@@ -1,0 +1,89 @@
+// Ablation: what the structural-similarity index buys at decision time.
+//
+// CAPMAN's point (Section III-C): runtime decisions must not re-solve the
+// MDP. This google-benchmark binary times the three alternatives on a
+// learned runtime graph:
+//   * indexed decision      - the O(1) Q-table lookup CAPMAN uses,
+//   * value-iteration solve - re-running the Bellman solver per decision,
+//   * full Algorithm 1      - re-running the similarity recursion.
+#include <benchmark/benchmark.h>
+
+#include "core/controller.h"
+#include "core/similarity.h"
+#include "core/value_iteration.h"
+#include "workload/generators.h"
+
+using namespace capman;
+
+namespace {
+
+core::CapmanController& shared_controller() {
+  static core::CapmanController* controller = [] {
+    core::CapmanConfig config;
+    config.exploration_initial = 0.5;
+    auto* ctl = new core::CapmanController{config, 42};
+    const auto trace =
+        workload::make_eta_static(0.5)->generate(util::Seconds{600.0}, 42);
+    auto current = battery::BatterySelection::kBig;
+    for (const auto& event : trace.events()) {
+      current = ctl->on_event(event.action, event.demand.state_vector(),
+                              current, util::Seconds{event.time_s});
+      ctl->record_step(util::Joules{1.0}, util::Joules{0.1}, true);
+    }
+    ctl->scheduler().recalibrate();
+    return ctl;
+  }();
+  return *controller;
+}
+
+void BM_IndexedDecision(benchmark::State& state) {
+  auto& ctl = shared_controller();
+  const device::DeviceStateVector dev{device::CpuState::kC0,
+                                      device::ScreenState::kOn,
+                                      device::WifiState::kAccess};
+  const workload::Action event{workload::Syscall::kNetRecvStart, 7};
+  auto current = battery::BatterySelection::kBig;
+  double t = 1e6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ctl.scheduler().decide(event, dev, current, false));
+    t += 1.0;
+  }
+}
+BENCHMARK(BM_IndexedDecision);
+
+void BM_ValueIterationSolve(benchmark::State& state) {
+  auto& ctl = shared_controller();
+  const auto& graph = ctl.scheduler().graph();
+  core::ValueIterationConfig cfg;
+  cfg.rho = 0.8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_values(graph, cfg));
+  }
+}
+BENCHMARK(BM_ValueIterationSolve);
+
+void BM_FullSimilarityRecursion(benchmark::State& state) {
+  auto& ctl = shared_controller();
+  const auto& graph = ctl.scheduler().graph();
+  core::SimilarityConfig cfg;
+  cfg.c_s = 1.0;
+  cfg.c_a = 0.8;
+  cfg.epsilon = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_structural_similarity(graph, cfg));
+  }
+}
+BENCHMARK(BM_FullSimilarityRecursion);
+
+void BM_FullRecalibration(benchmark::State& state) {
+  auto& ctl = shared_controller();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctl.scheduler().recalibrate());
+  }
+}
+BENCHMARK(BM_FullRecalibration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

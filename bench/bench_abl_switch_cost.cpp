@@ -1,0 +1,49 @@
+// Ablation: sensitivity to the per-flip switch loss of the switch facility.
+//
+// "Frequently switching batteries may cause additional energy loss and heat
+// dissipation" (Section II). This sweep shows how the per-switch energy
+// cost moves CAPMAN's service time and its switch count on the eta-50%
+// mixed workload, and where switching stops paying off.
+#include "bench_common.h"
+
+#include "sim/engine.h"
+#include "workload/generators.h"
+
+using namespace capman;
+
+int main(int argc, char** argv) {
+  const auto seed = bench::seed_from_args(argc, argv);
+  const device::PhoneModel phone{device::nexus_profile()};
+  const auto trace =
+      workload::make_eta_static(0.5)->generate(util::Seconds{600.0}, seed);
+
+  util::print_section(std::cout,
+                      "Ablation - per-switch energy loss sweep (eta-50%, "
+                      "CAPMAN vs Dual)");
+  util::TextTable table({"switch loss [J]", "CAPMAN [min]", "CAPMAN switches",
+                         "Dual [min]", "CAPMAN advantage [%]"});
+  for (double loss_j : {0.0, 0.05, 0.2, 0.5, 1.0, 2.0}) {
+    sim::SimConfig config;
+    config.pack_config.switch_config.switch_loss = util::Joules{loss_j};
+    sim::SimEngine engine{config};
+
+    auto capman = sim::make_policy(sim::PolicyKind::kCapman, seed);
+    const auto rc = engine.run(trace, *capman, phone);
+    auto dual = sim::make_policy(sim::PolicyKind::kDual, seed);
+    const auto rd = engine.run(trace, *dual, phone);
+
+    table.add_row(util::TextTable::format(loss_j, 2),
+                  {rc.service_time_s / 60.0,
+                   static_cast<double>(rc.switch_count),
+                   rd.service_time_s / 60.0,
+                   sim::improvement_pct(rc.service_time_s,
+                                        rd.service_time_s)},
+                  1);
+  }
+  table.print(std::cout);
+  bench::measured_note(std::cout,
+                       "CAPMAN's advantage persists until per-flip losses "
+                       "reach joule scale; Dual (2 switches/cycle) is nearly "
+                       "insensitive.");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every binary prints the rows/series of one paper table or figure and
+// (where useful) writes a CSV named after the figure next to the working
+// directory, so results can be re-plotted offline.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace capman::bench {
+
+inline constexpr std::uint64_t kDefaultSeed = 42;
+
+/// Parse an optional "--seed N" / positional seed argument.
+inline std::uint64_t seed_from_args(int argc, char** argv,
+                                    std::uint64_t fallback = kDefaultSeed) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) return std::stoull(argv[i + 1]);
+  }
+  return fallback;
+}
+
+/// True when "--csv" was passed (dump series files).
+inline bool csv_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string{argv[i]} == "--csv") return true;
+  }
+  return false;
+}
+
+inline void paper_note(std::ostream& out, const std::string& text) {
+  out << "  [paper] " << text << "\n";
+}
+
+inline void measured_note(std::ostream& out, const std::string& text) {
+  out << "  [measured] " << text << "\n";
+}
+
+}  // namespace capman::bench

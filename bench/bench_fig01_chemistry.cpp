@@ -1,0 +1,71 @@
+// Fig. 1 reproduction: "LMO and NCA batteries behave significantly
+// different in releasing electrons, or power supply."
+//
+// We pull constant power from fresh 2500 mAh LMO and NCA cells at several
+// levels and report the sustained current (electron release rate), the
+// voltage sag and the loss rate. LMO (the LITTLE chemistry) sustains far
+// higher discharge rates before its rail collapses.
+#include "bench_common.h"
+
+#include "battery/cell.h"
+#include "util/units.h"
+
+using namespace capman;
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  util::print_section(std::cout,
+                      "Fig. 1 - electron release (discharge rate): LMO vs NCA");
+
+  util::TextTable table({"load [W]", "LMO current [A]", "LMO V_t [V]",
+                         "NCA current [A]", "NCA V_t [V]", "notes"});
+  for (double watts : {1.0, 2.0, 4.0, 8.0, 12.0, 16.0}) {
+    battery::Cell lmo{battery::Chemistry::kLMO, 2500.0};
+    battery::Cell nca{battery::Chemistry::kNCA, 2500.0};
+    // Settle for two seconds of draw.
+    battery::Cell::DrawResult rl{};
+    battery::Cell::DrawResult rn{};
+    for (int i = 0; i < 20; ++i) {
+      rl = lmo.draw(util::Watts{watts}, util::Seconds{0.1});
+      rn = nca.draw(util::Watts{watts}, util::Seconds{0.1});
+    }
+    std::string note;
+    if (rn.brownout && !rl.brownout) note = "NCA cannot sustain";
+    if (rn.brownout && rl.brownout) note = "both collapse";
+    table.add_row({util::TextTable::format(watts, 1),
+                   util::TextTable::format(rl.current.value(), 2),
+                   util::TextTable::format(rl.terminal_voltage.value(), 2),
+                   util::TextTable::format(rn.current.value(), 2),
+                   util::TextTable::format(rn.terminal_voltage.value(), 2),
+                   note});
+  }
+  table.print(std::cout);
+
+  // Maximum sustainable discharge: the C-rate at which each chemistry's
+  // rail first collapses (fresh cell).
+  util::TextTable limits({"chemistry", "class", "max sustained load [W]",
+                          "max C-rate (catalogue)"});
+  for (auto chem : {battery::Chemistry::kLMO, battery::Chemistry::kNCA}) {
+    double max_w = 0.0;
+    for (double w = 0.5; w < 120.0; w += 0.5) {
+      battery::Cell cell{chem, 2500.0};
+      if (!cell.can_supply(util::Watts{w})) break;
+      max_w = w;
+    }
+    const auto& profile = battery::chemistry_profile(chem);
+    limits.add_row({std::string{profile.name},
+                    std::string{battery::to_string(battery::classify(profile))},
+                    util::TextTable::format(max_w, 1),
+                    util::TextTable::format(profile.max_c_rate, 1)});
+  }
+  limits.print(std::cout);
+
+  bench::paper_note(std::cout,
+                    "LMO exchanges far more electrons per unit time than NCA "
+                    "(higher discharge rate).");
+  bench::measured_note(
+      std::cout,
+      "LMO sustains multi-C loads where NCA's rail collapses; see rows above.");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Table I + Fig. 4 reproduction: the battery chemistry catalogue with the
+// paper's star ratings, the big/LITTLE classification result, and the
+// normalized five-axis radar values (discharge rate, energy density, cost,
+// lifetime, safety) behind Fig. 4.
+#include "bench_common.h"
+
+#include "battery/chemistry.h"
+
+using namespace capman;
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  util::print_section(std::cout, "Table I - battery model (star ratings)");
+  util::TextTable table({"battery", "formula", "cost eff.", "lifetime",
+                         "discharge rate", "energy density", "result"});
+  for (auto chem : battery::all_chemistries()) {
+    const auto& p = battery::chemistry_profile(chem);
+    auto stars = [](int n) { return std::string(static_cast<size_t>(n), '*'); };
+    table.add_row({std::string{p.name}, std::string{p.formula},
+                   stars(p.stars.cost_efficiency), stars(p.stars.lifetime),
+                   stars(p.stars.discharge_rate), stars(p.stars.energy_density),
+                   std::string{battery::to_string(battery::classify(p))}});
+  }
+  table.print(std::cout);
+  bench::paper_note(std::cout,
+                    "LCO/NCA classify as big; LMO/NMC/LFP/LTO as LITTLE.");
+
+  util::print_section(std::cout,
+                      "Fig. 4 - normalized radar axes per chemistry");
+  util::TextTable radar({"battery", "discharge rate", "energy density",
+                         "cost", "lifetime", "safety"});
+  for (auto chem : battery::all_chemistries()) {
+    const auto& p = battery::chemistry_profile(chem);
+    radar.add_row(std::string{p.name},
+                  {p.stars.discharge_rate / 5.0, p.stars.energy_density / 5.0,
+                   p.stars.cost_efficiency / 5.0, p.stars.lifetime / 5.0,
+                   p.stars.safety / 5.0});
+  }
+  radar.print(std::cout);
+  bench::paper_note(std::cout,
+                    "no single chemistry covers all five axes; combining "
+                    "orthogonal ones (NCA + LMO) does.");
+
+  util::print_section(std::cout, "Derived physical parameters (calibrated)");
+  util::TextTable phys({"battery", "V_nom [V]", "usable cap. factor",
+                        "R0 [ohm Ah]", "R1 surge [ohm Ah]", "tau [s]",
+                        "KiBaM c", "KiBaM k [1/s]", "self-dis [%/day]"});
+  for (auto chem : battery::all_chemistries()) {
+    const auto& p = battery::chemistry_profile(chem);
+    phys.add_row(std::string{p.name},
+                 {p.nominal_voltage_v, p.usable_capacity_factor,
+                  p.series_resistance_ohm_at_1ah,
+                  p.surge_resistance_ohm_at_1ah, p.surge_tau_s, p.kibam_c,
+                  p.kibam_k_per_s, p.self_discharge_per_day * 100.0},
+                 4);
+  }
+  phys.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,155 @@
+// capman_sim: command-line driver for the simulator.
+//
+//   capman_sim [--workload NAME | --trace FILE.csv] [--policy NAME]
+//              [--phone nexus|honor|lenovo] [--seed N] [--no-tec]
+//              [--dump-trace FILE.csv] [--csv PREFIX]
+//
+// Runs one discharge cycle and prints the result summary. --trace replays
+// a recorded trace (see workload/trace_io.h for the CSV schema);
+// --dump-trace writes the generated workload out for editing/replay;
+// --csv dumps the SoC/power/temperature series.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.h"
+#include "util/table.h"
+#include "util/csv.h"
+#include "workload/trace_io.h"
+
+using namespace capman;
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "usage: capman_sim [options]\n"
+      "  --workload NAME   geekbench|pcmark|video|localvideo|idle|\n"
+      "                    eta20|eta50|eta80|toggle60|toggle10 (default video)\n"
+      "  --trace FILE      replay a recorded trace CSV instead\n"
+      "  --policy NAME     oracle|capman|dual|heuristic|practice|all\n"
+      "                    (default all)\n"
+      "  --phone NAME      nexus|honor|lenovo (default nexus)\n"
+      "  --seed N          workload/policy seed (default 42)\n"
+      "  --no-tec          disable the thermoelectric cooler\n"
+      "  --dump-trace FILE write the generated trace as CSV and exit\n"
+      "  --csv PREFIX      dump result series as PREFIX_<policy>.csv\n";
+}
+
+std::unique_ptr<workload::WorkloadGenerator> generator_by_name(
+    const std::string& name) {
+  if (name == "geekbench") return workload::make_geekbench();
+  if (name == "pcmark") return workload::make_pcmark();
+  if (name == "video") return workload::make_video();
+  if (name == "localvideo") return workload::make_local_video();
+  if (name == "idle") return workload::make_idle_screen_on();
+  if (name == "eta20") return workload::make_eta_static(0.2);
+  if (name == "eta50") return workload::make_eta_static(0.5);
+  if (name == "eta80") return workload::make_eta_static(0.8);
+  if (name == "toggle60") return workload::make_screen_toggle(util::Seconds{60.0});
+  if (name == "toggle10") return workload::make_screen_toggle(util::Seconds{10.0});
+  return nullptr;
+}
+
+device::PhoneProfile phone_by_name(const std::string& name) {
+  if (name == "honor") return device::honor_profile();
+  if (name == "lenovo") return device::lenovo_profile();
+  return device::nexus_profile();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload_name = "video";
+  std::string trace_path;
+  std::string policy_name = "all";
+  std::string phone_name = "nexus";
+  std::string dump_path;
+  std::string csv_prefix;
+  std::uint64_t seed = 42;
+  bool tec = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : std::string{};
+    };
+    if (arg == "--workload") workload_name = next();
+    else if (arg == "--trace") trace_path = next();
+    else if (arg == "--policy") policy_name = next();
+    else if (arg == "--phone") phone_name = next();
+    else if (arg == "--seed") seed = std::stoull(next());
+    else if (arg == "--no-tec") tec = false;
+    else if (arg == "--dump-trace") dump_path = next();
+    else if (arg == "--csv") csv_prefix = next();
+    else {
+      usage();
+      return arg == "--help" || arg == "-h" ? 0 : 1;
+    }
+  }
+
+  workload::Trace trace;
+  if (!trace_path.empty()) {
+    trace = workload::load_trace_csv(trace_path, 600.0);
+  } else {
+    auto generator = generator_by_name(workload_name);
+    if (generator == nullptr) {
+      std::cerr << "unknown workload '" << workload_name << "'\n";
+      usage();
+      return 1;
+    }
+    trace = generator->generate(util::Seconds{600.0}, seed);
+  }
+  if (!dump_path.empty()) {
+    workload::save_trace_csv(trace, dump_path);
+    std::cout << "wrote " << trace.events().size() << " events to "
+              << dump_path << "\n";
+    return 0;
+  }
+
+  const device::PhoneModel phone{phone_by_name(phone_name)};
+  sim::SimConfig config;
+  config.enable_tec = tec;
+
+  std::vector<sim::PolicyKind> kinds;
+  if (policy_name == "all") {
+    kinds = sim::all_policy_kinds();
+  } else {
+    for (auto kind : sim::all_policy_kinds()) {
+      std::string lowered{sim::to_string(kind)};
+      for (auto& c : lowered) c = static_cast<char>(std::tolower(c));
+      if (lowered == policy_name) kinds.push_back(kind);
+    }
+    if (kinds.empty()) {
+      std::cerr << "unknown policy '" << policy_name << "'\n";
+      return 1;
+    }
+  }
+
+  std::cout << "workload " << trace.name() << " on " << phone.profile().name
+            << " (seed " << seed << ", TEC " << (tec ? "on" : "off")
+            << ")\n\n";
+  util::TextTable table({"policy", "service [min]", "avg power [mW]",
+                         "switches", "max hotspot [C]", "TEC on [%]",
+                         "efficiency [%]"});
+  sim::SimEngine engine{config};
+  for (auto kind : kinds) {
+    auto policy = sim::make_policy(kind, seed);
+    const auto r = engine.run(trace, *policy, phone);
+    table.add_row(r.policy,
+                  {r.service_time_s / 60.0, r.avg_power_w * 1000.0,
+                   static_cast<double>(r.switch_count), r.max_cpu_temp_c,
+                   r.tec_on_fraction * 100.0, r.efficiency() * 100.0},
+                  1);
+    if (!csv_prefix.empty()) {
+      util::CsvWriter out{csv_prefix + "_" + r.policy + ".csv"};
+      out.header({"t_s", "soc", "power_w", "cpu_temp_c"});
+      for (std::size_t i = 0; i < r.soc_series.size(); ++i) {
+        out.row({r.soc_series.time_at(i), r.soc_series.value_at(i),
+                 r.power_series.value_at(i), r.cpu_temp_series.value_at(i)});
+      }
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Example: extending the library with your own battery scheduling policy.
+//
+// Implements a tiny "RoundRobin" policy against the policy::BatteryPolicy
+// interface and races it against CAPMAN on the Video workload. This is the
+// template for experimenting with new scheduling ideas on the same
+// simulated hardware CAPMAN runs on.
+#include <iostream>
+
+#include "policy/capman_policy.h"
+#include "policy/policy.h"
+#include "sim/experiment.h"
+#include "util/table.h"
+
+using namespace capman;
+
+namespace {
+
+// A deliberately naive policy: alternate batteries every N events,
+// ignoring what the workload is doing. Good for calibrating how much of
+// CAPMAN's win comes from *informed* switching rather than switching
+// per se.
+class RoundRobinPolicy final : public policy::BatteryPolicy {
+ public:
+  explicit RoundRobinPolicy(int period_events = 10)
+      : period_(period_events) {}
+
+  [[nodiscard]] std::string name() const override { return "RoundRobin"; }
+
+  battery::BatterySelection on_event(const policy::PolicyContext& context,
+                                     const workload::Action&) override {
+    // Respect serviceability: never pick an empty cell.
+    if (context.little_soc < 0.05) return battery::BatterySelection::kBig;
+    if (context.big_soc < 0.05) return battery::BatterySelection::kLittle;
+    if (++events_ % period_ == 0) {
+      flip_ = !flip_;
+    }
+    return flip_ ? battery::BatterySelection::kLittle
+                 : battery::BatterySelection::kBig;
+  }
+
+ private:
+  int period_;
+  int events_ = 0;
+  bool flip_ = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::stoull(argv[1]) : 42;
+  const device::PhoneModel phone{device::nexus_profile()};
+  const auto trace =
+      workload::make_video()->generate(util::Seconds{600.0}, seed);
+
+  std::cout << "Custom policy demo: RoundRobin vs CAPMAN vs Dual on "
+            << trace.name() << "\n\n";
+
+  sim::SimConfig config;
+  sim::SimEngine engine{config};
+
+  util::TextTable table({"policy", "service [min]", "switches",
+                         "energy efficiency [%]", "stranded big SoC"});
+  auto report = [&](policy::BatteryPolicy& policy) {
+    const auto r = engine.run(trace, policy, phone);
+    table.add_row(r.policy,
+                  {r.service_time_s / 60.0,
+                   static_cast<double>(r.switch_count),
+                   r.efficiency() * 100.0, r.end_big_soc},
+                  1);
+  };
+
+  RoundRobinPolicy round_robin{10};
+  report(round_robin);
+  policy::CapmanPolicy capman{core::CapmanConfig{}, seed};
+  report(capman);
+  auto dual = sim::make_policy(sim::PolicyKind::kDual, seed);
+  report(*dual);
+
+  table.print(std::cout);
+  std::cout << "\nUninformed switching moves energy between the cells but "
+               "routes surges onto\nthe wrong chemistry half the time; "
+               "CAPMAN's learned routing is what matters.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Example: the paper's headline scenario - skewed mixed workloads.
+//
+// Sweeps the eta-Static mix (fraction of PCMark-style segments vs
+// Video-style segments) and compares CAPMAN against the Dual baseline and
+// the original single-battery phone (Practice). This is where big.LITTLE
+// battery scheduling roughly doubles service time.
+// Demonstrates: workload::make_eta_static, sim::run_policy_comparison.
+#include <iostream>
+
+#include "sim/experiment.h"
+#include "util/table.h"
+
+using namespace capman;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::stoull(argv[1]) : 42;
+  const device::PhoneModel phone{device::nexus_profile()};
+
+  std::cout << "Skewed mixed workloads: eta-Static sweep on "
+            << phone.profile().name << "\n"
+            << "(eta = fraction of CPU-intensive PCMark segments)\n\n";
+
+  util::TextTable table({"eta", "CAPMAN [min]", "Dual [min]",
+                         "Practice [min]", "CAPMAN vs Dual [%]",
+                         "CAPMAN vs Practice [%]"});
+  for (double eta : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const auto trace =
+        workload::make_eta_static(eta)->generate(util::Seconds{600.0}, seed);
+    sim::SimConfig config;
+    sim::SimEngine engine{config};
+
+    auto capman = sim::make_policy(sim::PolicyKind::kCapman, seed);
+    const double t_capman =
+        engine.run(trace, *capman, phone).service_time_s / 60.0;
+    auto dual = sim::make_policy(sim::PolicyKind::kDual, seed);
+    const double t_dual = engine.run(trace, *dual, phone).service_time_s / 60.0;
+    auto practice = sim::make_policy(sim::PolicyKind::kPractice, seed);
+    const double t_practice =
+        engine.run(trace, *practice, phone).service_time_s / 60.0;
+
+    table.add_row(util::TextTable::format(eta, 1),
+                  {t_capman, t_dual, t_practice,
+                   sim::improvement_pct(t_capman, t_dual),
+                   sim::improvement_pct(t_capman, t_practice)},
+                  1);
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper reference (Fig. 12d-f): CAPMAN extends service time "
+               "by +76% / +105% / +114%\nover the original phone on the "
+               "three mixed workloads - roughly doubling it.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: run one discharge cycle of the Video workload under CAPMAN
+// and every baseline, and print the service-time comparison the paper's
+// Fig. 12(c) reports.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart [workload] [seed]
+// where workload is one of: geekbench pcmark video eta20 eta50 eta80
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "sim/experiment.h"
+#include "util/table.h"
+
+using namespace capman;
+
+namespace {
+
+std::unique_ptr<workload::WorkloadGenerator> pick_workload(
+    const std::string& name) {
+  if (name == "geekbench") return workload::make_geekbench();
+  if (name == "pcmark") return workload::make_pcmark();
+  if (name == "eta20") return workload::make_eta_static(0.2);
+  if (name == "eta50") return workload::make_eta_static(0.5);
+  if (name == "eta80") return workload::make_eta_static(0.8);
+  return workload::make_video();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string workload_name = argc > 1 ? argv[1] : "video";
+  const std::uint64_t seed = argc > 2 ? std::stoull(argv[2]) : 42;
+
+  const auto generator = pick_workload(workload_name);
+  const device::PhoneModel phone{device::nexus_profile()};
+  const workload::Trace trace =
+      generator->generate(util::Seconds{600.0}, seed);
+
+  std::cout << "CAPMAN quickstart\n"
+            << "  workload: " << trace.name() << " (seed " << seed << ")\n"
+            << "  phone:    " << phone.profile().name << "\n"
+            << "  demand:   "
+            << util::to_milliwatts(trace.average_power(phone))
+            << " mW average\n\n";
+
+  sim::SimConfig config;
+  const auto results =
+      sim::run_policy_comparison(trace, phone, config, seed);
+
+  const sim::SimResult* practice = sim::find_result(results, "Practice");
+  util::TextTable table({"policy", "service time [min]", "vs Practice [%]",
+                         "avg power [mW]", "switches", "max temp [C]",
+                         "TEC on [%]"});
+  for (const auto& r : results) {
+    table.add_row(r.policy,
+                  {r.service_time_s / 60.0,
+                   practice != nullptr
+                       ? sim::improvement_pct(r.service_time_s,
+                                              practice->service_time_s)
+                       : 0.0,
+                   r.avg_power_w * 1000.0, static_cast<double>(r.switch_count),
+                   r.max_cpu_temp_c, r.tec_on_fraction * 100.0});
+  }
+  table.print(std::cout);
+  std::cout << "\nService time = how long one battery charge lasts under the "
+               "workload.\n";
+  return 0;
+}

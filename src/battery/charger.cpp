@@ -1,0 +1,62 @@
+#include "battery/charger.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace capman::battery {
+
+Charger::Charger(const ChargerConfig& config) : config_(config) {
+  assert(config_.cc_c_rate > 0.0);
+  assert(config_.cutoff_c_rate > 0.0 &&
+         config_.cutoff_c_rate < config_.cc_c_rate);
+}
+
+ChargeStepResult Charger::step(Cell& cell, util::Seconds dt) const {
+  ChargeStepResult result{};
+  if (cell.full()) {
+    result.done = true;
+    return result;
+  }
+  // CC phase at the configured C-rate; in the top band the current tapers
+  // linearly to the cutoff (the CV tail, approximated on state of charge
+  // because the cell's OCV curve is deliberately coarse).
+  const double soc = cell.soc();
+  double c_rate = config_.cc_c_rate;
+  constexpr double kTaperStartSoc = 0.85;
+  if (soc > kTaperStartSoc) {
+    const double frac =
+        std::clamp((0.995 - soc) / (0.995 - kTaperStartSoc), 0.0, 1.0);
+    c_rate = std::max(config_.cutoff_c_rate, config_.cc_c_rate * frac);
+  }
+  const util::Amperes current{c_rate * cell.capacity_ah()};
+  const auto accepted = cell.charge(current, dt, config_.efficiency);
+
+  const double v_now = cell.open_circuit_voltage().value();
+  result.current = current;
+  result.accepted = util::Joules{accepted.value() * v_now};
+  const double drawn_j =
+      current.value() * dt.value() * v_now;  // wall-side energy
+  result.losses = util::Joules{std::max(0.0, drawn_j - result.accepted.value())};
+  result.done = cell.full();
+  return result;
+}
+
+util::Seconds Charger::charge_fully(Cell& cell, util::Seconds dt) const {
+  double t = 0.0;
+  const double guard_s = 48.0 * 3600.0;
+  while (t < guard_s) {
+    const auto r = step(cell, dt);
+    t += dt.value();
+    if (r.done) break;
+  }
+  return util::Seconds{t};
+}
+
+util::Seconds Charger::charge_fully(DualBatteryPack& pack,
+                                    util::Seconds dt) const {
+  const auto t_little = charge_fully(pack.little_cell_mut(), dt);
+  const auto t_big = charge_fully(pack.big_cell_mut(), dt);
+  return t_little + t_big;
+}
+
+}  // namespace capman::battery

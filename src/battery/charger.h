@@ -1,0 +1,52 @@
+// CC-CV charger for cells and big.LITTLE packs.
+//
+// The paper scopes its evaluation to "one discharge cycle, i.e., duration
+// between two device charges"; this module closes the loop so multi-cycle
+// experiments (and charge-time questions for heterogeneous packs) can be
+// run on the same simulated cells. Standard constant-current /
+// constant-voltage profile: charge at a fixed C-rate until the terminal
+// voltage reaches the CV setpoint, then taper until the current falls
+// below the cutoff.
+#pragma once
+
+#include "battery/cell.h"
+#include "battery/pack.h"
+#include "util/units.h"
+
+namespace capman::battery {
+
+struct ChargerConfig {
+  double cc_c_rate = 0.7;          // constant-current phase, in C
+  double cv_headroom_v = 0.05;     // CV setpoint = full-charge OCV - this
+  double cutoff_c_rate = 0.05;     // taper ends below this C-rate
+  double efficiency = 0.95;        // wall-to-cell charge efficiency
+};
+
+struct ChargeStepResult {
+  util::Amperes current;   // current pushed into the cell this step
+  util::Joules accepted;   // chemical energy stored
+  util::Joules losses;     // charger + cell losses (heat)
+  bool done = false;       // taper finished (cell considered full)
+};
+
+class Charger {
+ public:
+  explicit Charger(const ChargerConfig& config = {});
+
+  /// Advance one charging step on a single cell.
+  ChargeStepResult step(Cell& cell, util::Seconds dt) const;
+
+  /// Charge a cell until done; returns the wall-clock charging time.
+  util::Seconds charge_fully(Cell& cell, util::Seconds dt) const;
+
+  /// Charge both cells of a pack (sequentially, LITTLE first - it is the
+  /// surge reserve you want back soonest). Returns total charging time.
+  util::Seconds charge_fully(DualBatteryPack& pack, util::Seconds dt) const;
+
+  [[nodiscard]] const ChargerConfig& config() const { return config_; }
+
+ private:
+  ChargerConfig config_;
+};
+
+}  // namespace capman::battery

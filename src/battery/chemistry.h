@@ -1,0 +1,95 @@
+// Chemistry catalogue for the six Li-ion families of paper Table I, with
+// the star ratings the paper reports (cost efficiency / lifetime / discharge
+// rate / energy density, plus the safety axis of Fig. 4) and the physical
+// parameters our cell simulator needs.
+//
+// Physical parameters are *calibrated*, not measured: the paper's cells are
+// physical hardware we do not have, so each chemistry is parameterized to
+// reproduce the paper's observed orderings (Fig. 1/2: LMO outlasts NCA on
+// bursty-idle, NCA outlasts LMO on steady video and on sparse toggles with
+// an advantage that decays as toggle frequency rises). EXPERIMENTS.md
+// records the calibration targets next to the measured outcomes.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "util/units.h"
+
+namespace capman::battery {
+
+enum class Chemistry { kLCO, kNCA, kLMO, kNMC, kLFP, kLTO };
+
+/// Paper Section II: big = high energy density / low discharge rate;
+/// LITTLE = high discharge rate / low energy density.
+enum class BatteryClass { kBig, kLittle };
+
+/// 1-5 stars, straight from Table I (safety from the Fig. 4 radar axes).
+struct StarRating {
+  int cost_efficiency = 0;
+  int lifetime = 0;
+  int discharge_rate = 0;
+  int energy_density = 0;
+  int safety = 0;
+};
+
+/// One point of the steady-state delivery-efficiency curve: at discharge
+/// rate `c_rate` (multiples of rated capacity per hour) the cell delivers
+/// fraction `efficiency` of the drawn charge to the load; the rest is lost
+/// as heat. Piecewise-linear between points, clamped outside.
+struct EfficiencyPoint {
+  double c_rate;
+  double efficiency;
+};
+
+struct ChemistryProfile {
+  Chemistry chemistry;
+  std::string_view name;     // e.g. "NCA"
+  std::string_view formula;  // e.g. "LiNiCoAlO2"
+  StarRating stars;
+
+  // --- Electrical ---
+  double nominal_voltage_v;   // OCV plateau at 50% available charge
+  double voltage_swing_v;     // OCV span across the SoC window
+  double cutoff_voltage_v;    // terminal voltage at which the cell cuts off
+  double series_resistance_ohm_at_1ah;  // R0, scaled inversely with capacity
+
+  // Surge transient (the V-edge of paper Fig. 3): a first-order RC
+  // overpotential. Big chemistries have a deep, slow dip (large D1);
+  // LITTLE chemistries a shallow, fast one.
+  double surge_resistance_ohm_at_1ah;  // R1
+  double surge_tau_s;                  // RC time constant
+
+  // --- Kinetic battery model (two-well) ---
+  double kibam_c;        // fraction of charge in the available well
+  double kibam_k_per_s;  // well-exchange rate constant
+
+  // --- Capacity & losses ---
+  // Usable energy per labeled amp-hour differs across chemistries (depth of
+  // discharge, plateau voltage, packaging); this factor scales the stored
+  // charge relative to the label.
+  double usable_capacity_factor;
+  double self_discharge_per_day;  // fraction of remaining charge per day
+  double max_c_rate;              // sustained discharge limit
+
+  std::vector<EfficiencyPoint> efficiency_curve;
+};
+
+/// Catalogue lookup (static storage, valid for program lifetime).
+const ChemistryProfile& chemistry_profile(Chemistry chemistry);
+
+/// All six catalogued chemistries, Table I order.
+const std::vector<Chemistry>& all_chemistries();
+
+/// Paper's classification rule: a chemistry whose energy-density rating
+/// exceeds its discharge-rate rating is a big battery; otherwise LITTLE.
+/// Reproduces the Result column of Table I exactly.
+BatteryClass classify(const ChemistryProfile& profile);
+
+/// Steady-state delivery efficiency at the given C-rate (piecewise linear).
+double delivery_efficiency(const ChemistryProfile& profile, double c_rate);
+
+std::string_view to_string(Chemistry chemistry);
+std::string_view to_string(BatteryClass cls);
+
+}  // namespace capman::battery

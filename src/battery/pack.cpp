@@ -1,0 +1,141 @@
+#include "battery/pack.h"
+
+#include <cmath>
+
+namespace capman::battery {
+
+// ---- SingleBatteryPack --------------------------------------------------
+
+SingleBatteryPack::SingleBatteryPack(Chemistry chemistry,
+                                     double labeled_capacity_mah)
+    : cell_(chemistry, labeled_capacity_mah) {}
+
+void SingleBatteryPack::request(BatterySelection /*target*/,
+                                util::Seconds /*now*/) {}
+
+util::Seconds SingleBatteryPack::activation_time(BatterySelection sel) const {
+  return sel == BatterySelection::kBig ? util::Seconds{active_time_s_}
+                                       : util::Seconds{0.0};
+}
+
+PackStepResult SingleBatteryPack::step(util::Watts load, util::Seconds dt,
+                                       util::Seconds /*now*/) {
+  PackStepResult result{};
+  const auto draw = cell_.draw(load, dt);
+  result.delivered = draw.delivered;
+  result.losses = draw.losses;
+  result.heat = draw.heat;
+  result.demand_met = !draw.brownout;
+  result.exhausted = cell_.exhausted();
+  result.rail_voltage = draw.terminal_voltage;
+  if (load.value() > 0.0) active_time_s_ += dt.value();
+  return result;
+}
+
+// ---- DualBatteryPack ----------------------------------------------------
+
+DualBatteryPack::DualBatteryPack(const DualPackConfig& config)
+    : config_(config),
+      big_(config.big_chemistry, config.big_capacity_mah),
+      little_(config.little_chemistry, config.little_capacity_mah),
+      switch_(config.switch_config, BatterySelection::kBig),
+      supercap_(config.supercap_capacitance, config.supercap_voltage,
+                config.supercap_esr) {}
+
+void DualBatteryPack::request(BatterySelection target, util::Seconds now) {
+  // Comparator-side validation: the switch will not latch onto a rail that
+  // is already collapsed under the present load (the LM339 compares rail
+  // voltages, so a dead or sagging cell never wins the comparison). There
+  // is deliberately NO autonomous mid-interval fallback: if the selected
+  // cell sags later, the phone stutters until the scheduler reacts - that
+  // is exactly the failure mode bad scheduling produces on the prototype.
+  Cell& cell = cell_for(target);
+  if (!cell.can_supply(util::Watts{last_load_w_})) return;
+  switch_.request(target, now);
+}
+
+bool DualBatteryPack::exhausted() const {
+  return big_.exhausted() && little_.exhausted();
+}
+
+double DualBatteryPack::soc() const {
+  const double big_cap = big_.capacity_ah();
+  const double little_cap = little_.capacity_ah();
+  return (big_.soc() * big_cap + little_.soc() * little_cap) /
+         (big_cap + little_cap);
+}
+
+util::Seconds DualBatteryPack::activation_time(BatterySelection sel) const {
+  return sel == BatterySelection::kBig ? util::Seconds{active_time_big_s_}
+                                       : util::Seconds{active_time_little_s_};
+}
+
+util::Joules DualBatteryPack::energy_remaining() const {
+  return big_.energy_remaining() + little_.energy_remaining();
+}
+
+void DualBatteryPack::recharge() {
+  big_.recharge();
+  little_.recharge();
+  baseline_w_ = 0.0;
+}
+
+Cell::DrawResult DualBatteryPack::draw_from(BatterySelection sel,
+                                            util::Watts load,
+                                            util::Seconds dt) {
+  if (sel == BatterySelection::kLittle) {
+    // The supercapacitor shaves surges above the smoothed baseline so the
+    // LITTLE rail stays stable (paper Fig. 10).
+    const util::Watts cell_load =
+        supercap_.filter(load, util::Watts{baseline_w_}, dt);
+    auto draw = little_.draw(cell_load, dt);
+    if (!draw.brownout) {
+      // The load saw its full power even though the cell supplied less.
+      draw.delivered = load * dt;
+    }
+    return draw;
+  }
+  return big_.draw(load, dt);
+}
+
+PackStepResult DualBatteryPack::step(util::Watts load, util::Seconds dt,
+                                     util::Seconds now) {
+  PackStepResult result{};
+  last_load_w_ = load.value();
+  // A completing switch does not dissipate instantly; its loss becomes a
+  // debt drained from the newly active cell as a parasitic load over the
+  // following steps (energy conservation: "frequently switching batteries
+  // may cause additional energy loss").
+  switch_debt_j_ += switch_.advance(now).value();
+
+  // Track the smoothed load baseline for the supercap filter.
+  const double alpha = 1.0 - std::exp(-dt.value() / config_.baseline_tau.value());
+  baseline_w_ += alpha * (load.value() - baseline_w_);
+
+  const double parasitic_w =
+      std::min(kSwitchDrainWatts, switch_debt_j_ / dt.value());
+  const util::Watts effective = load + util::Watts{parasitic_w};
+
+  const BatterySelection sel = switch_.active();
+  auto draw = draw_from(sel, effective, dt);
+
+  const double parasitic_j = draw.brownout ? 0.0 : parasitic_w * dt.value();
+  if (!draw.brownout) switch_debt_j_ -= parasitic_j;
+  result.delivered = util::Joules{draw.delivered.value() - parasitic_j};
+  result.losses = draw.losses + util::Joules{parasitic_j};
+  result.heat = result.losses / dt;
+  result.demand_met = !draw.brownout;
+  result.exhausted = exhausted();
+  result.supplied_by = sel;
+  result.rail_voltage = draw.terminal_voltage;
+  if (load.value() > 0.0 && !draw.brownout) {
+    if (sel == BatterySelection::kBig) {
+      active_time_big_s_ += dt.value();
+    } else {
+      active_time_little_s_ += dt.value();
+    }
+  }
+  return result;
+}
+
+}  // namespace capman::battery

@@ -1,0 +1,50 @@
+#include "battery/supercap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace capman::battery {
+
+Supercapacitor::Supercapacitor(util::Farads capacitance,
+                               util::Volts rated_voltage, util::Ohms esr)
+    : capacity_j_(0.5 * capacitance.value() * rated_voltage.value() *
+                  rated_voltage.value()),
+      stored_j_(capacity_j_),
+      esr_ohm_(esr.value()),
+      rated_voltage_v_(rated_voltage.value()) {
+  assert(capacity_j_ > 0.0);
+}
+
+util::Volts Supercapacitor::voltage() const {
+  // E = C V^2 / 2 -> V proportional to sqrt(E/E_full).
+  return util::Volts{rated_voltage_v_ * std::sqrt(stored_j_ / capacity_j_)};
+}
+
+util::Watts Supercapacitor::filter(util::Watts load, util::Watts baseline,
+                                   util::Seconds dt) {
+  const double dt_s = dt.value();
+  const double surplus_w = load.value() - baseline.value();
+  if (surplus_w > 0.0) {
+    // Serve the surge from the capacitor as far as the stored energy allows.
+    const double wanted_j = surplus_w * dt_s;
+    const double usable_j = std::max(0.0, stored_j_ - 0.05 * capacity_j_);
+    const double supplied_j = std::min(wanted_j, usable_j);
+    // ESR loss proportional to the square of the drawn power fraction.
+    const double v = std::max(voltage().value(), 0.5);
+    const double i = supplied_j / dt_s / v;
+    const double esr_loss_j = i * i * esr_ohm_ * dt_s;
+    stored_j_ -= supplied_j + esr_loss_j;
+    losses_j_ += esr_loss_j;
+    return util::Watts{load.value() - supplied_j / dt_s};
+  }
+  // Calm period: recharge the capacitor from the cell, bounded so the cell
+  // never sees more than the baseline.
+  const double headroom_w = -surplus_w;
+  const double deficit_j = capacity_j_ - stored_j_;
+  const double recharge_j = std::min(deficit_j, headroom_w * dt_s);
+  stored_j_ += recharge_j;
+  return util::Watts{load.value() + recharge_j / dt_s};
+}
+
+}  // namespace capman::battery

@@ -1,0 +1,42 @@
+// Supercapacitor rail filter (paper Fig. 10: "we installed a supercapacitor
+// to boost and filter the LITTLE output, such that CAPMAN can have a
+// reliable power supply").
+//
+// Modeled as an energy buffer with ESR: upward load steps are served from
+// the capacitor first (shaving the surge the cell sees), and the capacitor
+// recharges from the cell during calm periods at a bounded rate.
+#pragma once
+
+#include "util/units.h"
+
+namespace capman::battery {
+
+class Supercapacitor {
+ public:
+  Supercapacitor(util::Farads capacitance, util::Volts rated_voltage,
+                 util::Ohms esr);
+
+  /// Split an instantaneous load between the capacitor and the cell:
+  /// given the requested load and the smoothed baseline the cell should
+  /// see, discharge the cap to cover (load - baseline) when positive, and
+  /// absorb recharge power up to `recharge_limit` when load is below
+  /// baseline. Returns the power the *cell* must supply this step.
+  util::Watts filter(util::Watts load, util::Watts baseline,
+                     util::Seconds dt);
+
+  [[nodiscard]] util::Joules stored() const { return util::Joules{stored_j_}; }
+  [[nodiscard]] util::Joules capacity() const { return util::Joules{capacity_j_}; }
+  [[nodiscard]] double fill() const { return stored_j_ / capacity_j_; }
+  /// Total energy dissipated in the ESR so far.
+  [[nodiscard]] util::Joules losses() const { return util::Joules{losses_j_}; }
+  [[nodiscard]] util::Volts voltage() const;
+
+ private:
+  double capacity_j_;
+  double stored_j_;
+  double esr_ohm_;
+  double rated_voltage_v_;
+  double losses_j_ = 0.0;
+};
+
+}  // namespace capman::battery

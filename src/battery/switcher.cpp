@@ -1,0 +1,44 @@
+#include "battery/switcher.h"
+
+#include <cmath>
+
+namespace capman::battery {
+
+SwitchFacility::SwitchFacility(const SwitchFacilityConfig& config,
+                               BatterySelection initial)
+    : config_(config), active_(initial) {}
+
+BatterySelection SwitchFacility::target() const {
+  return pending_ ? pending_->target : active_;
+}
+
+bool SwitchFacility::request(BatterySelection target, util::Seconds now) {
+  if (target == this->target()) return false;
+  if (pending_ && pending_->target != active_ && target == active_) {
+    // Cancel an in-flight switch back to the currently active cell.
+    pending_.reset();
+    return false;
+  }
+  // Quantize the completion time to the oscillator clock, then add latency.
+  const double tick = 1.0 / config_.oscillator_hz;
+  const double quantized =
+      std::ceil(now.value() / tick) * tick + config_.latency.value();
+  pending_ = PendingSwitch{target, util::Seconds{quantized}};
+  return true;
+}
+
+util::Joules SwitchFacility::advance(util::Seconds now) {
+  if (!pending_ || now < pending_->complete_at) return util::Joules{0.0};
+  active_ = pending_->target;
+  pending_.reset();
+  ++switch_count_;
+  total_loss_j_ += config_.switch_loss.value();
+  return config_.switch_loss;
+}
+
+util::Volts SwitchFacility::signal_level() const {
+  return active_ == BatterySelection::kBig ? config_.high_level
+                                           : config_.low_level;
+}
+
+}  // namespace capman::battery

@@ -1,0 +1,74 @@
+// The battery switch facility of paper Section III-E / Fig. 9-11.
+//
+// Hardware being simulated: an LM339AD comparator driving two MOS tubes
+// from a 20 kHz oscillator. The comparator raises to 3.5 V to select the
+// big battery and drops to 0.3 V to select LITTLE; each signal flip is one
+// switch event, costs a fixed energy loss, injects heat, and takes one
+// oscillator-quantized latency (millisecond scale) before the new cell
+// carries the load.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "util/units.h"
+
+namespace capman::battery {
+
+enum class BatterySelection { kBig, kLittle };
+
+inline const char* to_string(BatterySelection sel) {
+  return sel == BatterySelection::kBig ? "big" : "LITTLE";
+}
+
+struct SwitchFacilityConfig {
+  util::Seconds latency = util::milliseconds(1.0);  // actuation delay
+  util::Joules switch_loss = util::Joules{0.05};    // per flip
+  double oscillator_hz = 20'000.0;                  // paper: 20 kHz clock
+  util::Volts high_level = util::Volts{3.5};        // comparator "big"
+  util::Volts low_level = util::Volts{0.3};         // comparator "LITTLE"
+};
+
+class SwitchFacility {
+ public:
+  explicit SwitchFacility(const SwitchFacilityConfig& config,
+                          BatterySelection initial = BatterySelection::kBig);
+
+  /// Request a battery at simulation time `now`. A request equal to the
+  /// current (or already pending) selection is a no-op. Returns true if a
+  /// switch was initiated.
+  bool request(BatterySelection target, util::Seconds now);
+
+  /// Advance to time `now`; completes a pending switch whose latency has
+  /// elapsed. Returns the energy lost to switching during this advance
+  /// (0 when no switch completed).
+  util::Joules advance(util::Seconds now);
+
+  /// The cell currently carrying the load.
+  [[nodiscard]] BatterySelection active() const { return active_; }
+  /// The selection that will be active once any pending switch completes.
+  [[nodiscard]] BatterySelection target() const;
+  [[nodiscard]] bool switch_pending() const { return pending_.has_value(); }
+
+  /// Comparator output voltage for the current selection (Fig. 9 signal).
+  [[nodiscard]] util::Volts signal_level() const;
+
+  [[nodiscard]] std::size_t switch_count() const { return switch_count_; }
+  [[nodiscard]] util::Joules total_switch_loss() const {
+    return util::Joules{total_loss_j_};
+  }
+
+ private:
+  struct PendingSwitch {
+    BatterySelection target;
+    util::Seconds complete_at;
+  };
+
+  SwitchFacilityConfig config_;
+  BatterySelection active_;
+  std::optional<PendingSwitch> pending_;
+  std::size_t switch_count_ = 0;
+  double total_loss_j_ = 0.0;
+};
+
+}  // namespace capman::battery

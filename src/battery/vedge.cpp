@@ -1,0 +1,55 @@
+#include "battery/vedge.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace capman::battery {
+
+VEdgeAreas analyze_vedge(const util::TimeSeries& voltage, double load_start,
+                         double load_end) {
+  assert(load_end > load_start);
+  VEdgeAreas areas{};
+  const std::size_t n = voltage.size();
+  if (n < 4) return areas;
+
+  // V0: mean over the pre-load window.
+  util::RunningStats pre;
+  for (std::size_t i = 0; i < n && voltage.time_at(i) < load_start; ++i) {
+    pre.add(voltage.value_at(i));
+  }
+  areas.v0 = pre.count() > 0 ? pre.mean() : voltage.value_at(0);
+
+  // V_rec: mean over the last quarter of the post-load window.
+  const double t_last = voltage.time_at(n - 1);
+  const double tail_start = load_end + 0.75 * (t_last - load_end);
+  util::RunningStats tail;
+  double v_rel = areas.v0;
+  double v_min = areas.v0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = voltage.time_at(i);
+    const double v = voltage.value_at(i);
+    if (t >= tail_start) tail.add(v);
+    if (t <= load_end) v_rel = v;
+    if (t >= load_start && t <= load_end) v_min = std::min(v_min, v);
+  }
+  areas.v_recovered = tail.count() > 0 ? tail.mean() : v_rel;
+  areas.v_min = v_min;
+
+  // Integrate D1 over the load period and D3 over the recovery period.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double t0 = voltage.time_at(i);
+    const double t1 = voltage.time_at(i + 1);
+    const double vmid = 0.5 * (voltage.value_at(i) + voltage.value_at(i + 1));
+    const double dt = t1 - t0;
+    if (t0 >= load_start && t1 <= load_end) {
+      areas.d1_vs += std::max(areas.v_recovered - vmid, 0.0) * dt;
+    } else if (t0 >= load_end) {
+      areas.d3_vs += (vmid - v_rel) * dt;
+    }
+  }
+  areas.d2_vs = std::max(areas.v0 - areas.v_recovered, 0.0) *
+                (load_end - load_start);
+  return areas;
+}
+
+}  // namespace capman::battery

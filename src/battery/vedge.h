@@ -1,0 +1,43 @@
+// V-edge analysis (paper Section II, Fig. 3, after Xu et al., NSDI'13).
+//
+// When a power demand arrives, the battery terminal voltage dips sharply,
+// then — once the demand ends — recovers to a level below the initial
+// voltage. The paper reads three areas off this curve:
+//   D1: the transient dip below the eventually-recovered level while the
+//       load is applied (the surge loss a LITTLE battery minimizes),
+//   D2: the permanent drop (unavoidable consumption),
+//   D3: the recovery gained after release (what a big battery maximizes).
+// The power-saving potential of scheduling the right battery is D3 - D1.
+//
+// Operational definitions used here (the paper gives only the picture):
+//   V0     = mean voltage over the pre-load window,
+//   V_rel  = voltage at the moment the load is released,
+//   V_rec  = mean voltage over the tail of the post-load window,
+//   D1     = integral over the load period of max(V_rec - V(t), 0) dt,
+//   D2     = (V0 - V_rec) * load duration,
+//   D3     = integral over the post period of (V(t) - V_rel) dt.
+#pragma once
+
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace capman::battery {
+
+struct VEdgeAreas {
+  double d1_vs = 0.0;  // volt-seconds
+  double d2_vs = 0.0;
+  double d3_vs = 0.0;
+  double v0 = 0.0;
+  double v_min = 0.0;
+  double v_recovered = 0.0;
+  /// The paper's "potential power saving we seek": D3 - D1.
+  [[nodiscard]] double saving_potential_vs() const { return d3_vs - d1_vs; }
+};
+
+/// Analyze a voltage trace around one load step.
+/// `load_start`/`load_end` delimit the demand pulse; samples after
+/// `load_end` up to the series end form the recovery window.
+VEdgeAreas analyze_vedge(const util::TimeSeries& voltage, double load_start,
+                         double load_end);
+
+}  // namespace capman::battery

@@ -1,0 +1,56 @@
+// CapmanController: the facade tying profiler, online scheduler and
+// actuator together (the shaded boxes of paper Fig. 5). The simulator (or a
+// real system service) calls:
+//   * on_event(...)   when a system call / trace event fires -> battery
+//                     decision for the coming interval,
+//   * record_step(...) every simulation step with the pack's energy
+//                     accounting,
+//   * maintenance(...) every step, which occasionally re-solves the MDP in
+//                     the background and reports the CPU power CAPMAN's own
+//                     bookkeeping costs.
+#pragma once
+
+#include "core/config.h"
+#include "core/profiler.h"
+#include "core/scheduler.h"
+
+namespace capman::core {
+
+class CapmanController {
+ public:
+  CapmanController(const CapmanConfig& config, std::uint64_t seed);
+
+  /// Decide the battery for the interval opened by `event`. Emergency
+  /// consultations (rail monitor) never explore and bypass dwell control.
+  battery::BatterySelection on_event(const workload::Action& event,
+                                     const device::DeviceStateVector& device,
+                                     battery::BatterySelection current,
+                                     util::Seconds now,
+                                     bool emergency = false);
+
+  /// Account one simulation step of the open interval.
+  void record_step(util::Joules delivered, util::Joules losses,
+                   bool demand_met);
+
+  /// Background upkeep: runs a recalibration when due (with backoff) and
+  /// returns the CPU power CAPMAN charges this step for maintaining the MDP
+  /// representation.
+  util::Watts maintenance(util::Seconds now);
+
+  [[nodiscard]] const OnlineScheduler& scheduler() const { return scheduler_; }
+  [[nodiscard]] OnlineScheduler& scheduler() { return scheduler_; }
+  /// Cumulative wall-clock seconds spent in recalibrations (Fig. 16's
+  /// computation overhead, aggregated).
+  [[nodiscard]] double solve_wall_seconds() const { return solve_seconds_; }
+
+ private:
+  CapmanConfig config_;
+  OnlineScheduler scheduler_;
+  RuntimeProfiler profiler_;
+  double next_recalibration_s_;
+  double recal_interval_s_;
+  double last_switch_s_ = -1e9;
+  double solve_seconds_ = 0.0;
+};
+
+}  // namespace capman::core

@@ -1,0 +1,106 @@
+#include "core/mdp.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace capman::core {
+
+std::string to_string(const DecisionAction& a) {
+  return workload::to_string(a.syscall) + "/" +
+         std::string{battery::to_string(a.battery)};
+}
+
+Mdp::Mdp(double recency_decay)
+    : recency_decay_(recency_decay),
+      counts_(state_space_size() * decision_action_space_size() *
+                  state_space_size(),
+              0.0),
+      reward_sums_(counts_.size(), 0.0),
+      sa_counts_(state_space_size() * decision_action_space_size(), 0.0),
+      state_seen_(state_space_size(), 0) {
+  assert(recency_decay_ > 0.0 && recency_decay_ <= 1.0);
+}
+
+void Mdp::observe(const Observation& obs) {
+  assert(obs.state < state_space_size());
+  assert(obs.next_state < state_space_size());
+  assert(obs.reward >= 0.0 && obs.reward <= 1.0);
+  const std::size_t a = obs.action.index();
+  if (recency_decay_ < 1.0) {
+    // Fade this pair's prior evidence before adding the new sample.
+    for (std::size_t next = 0; next < state_space_size(); ++next) {
+      counts_[flat(obs.state, a, next)] *= recency_decay_;
+      reward_sums_[flat(obs.state, a, next)] *= recency_decay_;
+    }
+    sa_counts_[flat_sa(obs.state, a)] *= recency_decay_;
+  }
+  const std::size_t f = flat(obs.state, a, obs.next_state);
+  counts_[f] += 1.0;
+  reward_sums_[f] += obs.reward;
+  sa_counts_[flat_sa(obs.state, a)] += 1.0;
+  state_seen_[obs.state] = 1;
+  state_seen_[obs.next_state] = 1;
+  ++total_;
+}
+
+double Mdp::count(std::size_t s, std::size_t a) const {
+  return sa_counts_[flat_sa(s, a)];
+}
+
+double Mdp::count(std::size_t s, std::size_t a, std::size_t next) const {
+  return counts_[flat(s, a, next)];
+}
+
+std::vector<double> Mdp::transition_distribution(std::size_t s,
+                                                 std::size_t a) const {
+  std::vector<double> dist(state_space_size(), 0.0);
+  const double total = sa_counts_[flat_sa(s, a)];
+  if (total <= 0.0) return dist;
+  for (std::size_t next = 0; next < state_space_size(); ++next) {
+    dist[next] = counts_[flat(s, a, next)] / total;
+  }
+  return dist;
+}
+
+double Mdp::mean_reward(std::size_t s, std::size_t a,
+                        std::size_t next) const {
+  const double n = counts_[flat(s, a, next)];
+  return n > 0.0 ? reward_sums_[flat(s, a, next)] / n : 0.0;
+}
+
+double Mdp::mean_reward(std::size_t s, std::size_t a) const {
+  const double n = sa_counts_[flat_sa(s, a)];
+  if (n <= 0.0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t next = 0; next < state_space_size(); ++next) {
+    sum += reward_sums_[flat(s, a, next)];
+  }
+  return sum / n;
+}
+
+std::vector<std::size_t> Mdp::visited_states() const {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < state_space_size(); ++s) {
+    if (state_seen_[s] != 0) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Mdp::observed_actions(std::size_t s,
+                                               double min_count) const {
+  std::vector<std::size_t> out;
+  for (std::size_t a = 0; a < decision_action_space_size(); ++a) {
+    if (sa_counts_[flat_sa(s, a)] >= min_count) out.push_back(a);
+  }
+  return out;
+}
+
+void Mdp::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0.0);
+  std::fill(reward_sums_.begin(), reward_sums_.end(), 0.0);
+  std::fill(sa_counts_.begin(), sa_counts_.end(), 0.0);
+  std::fill(state_seen_.begin(), state_seen_.end(), 0);
+  total_ = 0;
+}
+
+}  // namespace capman::core

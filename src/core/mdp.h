@@ -1,0 +1,108 @@
+// The learned MDP M = {S, A, T, R} (paper Section III-B).
+//
+// States: combined device-power/battery states (core/state.h).
+// Actions: a decision action pairs the system call that fired (the
+// environment's move) with the battery selection CAPMAN answers with (the
+// controllable move). Transition and reward statistics are estimated
+// online from observations; rewards are normalized energy efficiencies in
+// [0, 1] (the paper: "the reward is a function of a normalized variable in
+// [0,1]").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "battery/switcher.h"
+#include "core/state.h"
+#include "workload/event.h"
+
+namespace capman::core {
+
+struct DecisionAction {
+  workload::Action syscall;
+  battery::BatterySelection battery = battery::BatterySelection::kBig;
+
+  friend bool operator==(const DecisionAction&,
+                         const DecisionAction&) = default;
+
+  [[nodiscard]] std::size_t index() const {
+    return syscall.index() * 2 +
+           (battery == battery::BatterySelection::kLittle ? 1 : 0);
+  }
+  static DecisionAction from_index(std::size_t index) {
+    return {workload::Action::from_index(index / 2),
+            (index % 2 == 1) ? battery::BatterySelection::kLittle
+                             : battery::BatterySelection::kBig};
+  }
+};
+
+inline constexpr std::size_t decision_action_space_size() {
+  return workload::action_space_size() * 2;
+}
+
+std::string to_string(const DecisionAction& a);
+
+struct Observation {
+  std::size_t state;        // CapmanState index
+  DecisionAction action;
+  std::size_t next_state;   // CapmanState index
+  double reward;            // [0, 1]
+};
+
+/// Dense transition/reward statistics over the full (48 x 400 x 48) space.
+///
+/// `recency_decay` < 1 turns the statistics into exponentially weighted
+/// windows: each new observation of a (state, action) pair first scales the
+/// pair's existing evidence by the decay. The runtime scheduler uses this
+/// so stale rewards (e.g. "big handled this fine" from when the cell was
+/// full) fade once reality changes; 1.0 keeps plain arithmetic statistics.
+class Mdp {
+ public:
+  explicit Mdp(double recency_decay = 1.0);
+
+  void observe(const Observation& obs);
+
+  [[nodiscard]] std::uint64_t total_observations() const { return total_; }
+  [[nodiscard]] double count(std::size_t s, std::size_t a) const;
+  [[nodiscard]] double count(std::size_t s, std::size_t a,
+                             std::size_t next) const;
+
+  /// Empirical P(next | s, a); zero vector if the pair was never seen.
+  [[nodiscard]] std::vector<double> transition_distribution(
+      std::size_t s, std::size_t a) const;
+
+  /// Empirical mean reward of (s, a, next); 0 if unseen.
+  [[nodiscard]] double mean_reward(std::size_t s, std::size_t a,
+                                   std::size_t next) const;
+  /// Empirical mean reward of (s, a) across next states; 0 if unseen.
+  [[nodiscard]] double mean_reward(std::size_t s, std::size_t a) const;
+
+  /// State indices observed at least once (as source or target).
+  [[nodiscard]] std::vector<std::size_t> visited_states() const;
+  /// Action indices with at least `min_count` (decayed) observations from
+  /// state s.
+  [[nodiscard]] std::vector<std::size_t> observed_actions(
+      std::size_t s, double min_count) const;
+
+  void clear();
+
+ private:
+  [[nodiscard]] std::size_t flat(std::size_t s, std::size_t a,
+                                 std::size_t next) const {
+    return (s * decision_action_space_size() + a) * state_space_size() + next;
+  }
+  [[nodiscard]] std::size_t flat_sa(std::size_t s, std::size_t a) const {
+    return s * decision_action_space_size() + a;
+  }
+
+  double recency_decay_;
+  std::vector<double> counts_;       // (s, a, next), decayed
+  std::vector<double> reward_sums_;  // (s, a, next), decayed
+  std::vector<double> sa_counts_;    // (s, a), decayed
+  std::vector<std::uint8_t> state_seen_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace capman::core

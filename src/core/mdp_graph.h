@@ -1,0 +1,83 @@
+// The bipartite MDP graph G_M = {V, Lambda, E, psi, p, r} of paper
+// Section III-B: state vertices V, action vertices Lambda (one per observed
+// (state, decision-action) pair), unweighted decision edges E from states
+// to their action vertices, and transition edges psi from action vertices
+// to successor states weighted by probability p and reward r. A state with
+// no outgoing action vertex is absorbing (Eq. 3).
+//
+// G_M corresponds one-to-one with the MDP, so solving the graph (value
+// iteration, structural similarity) solves the original problem.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/mdp.h"
+
+namespace capman::core {
+
+struct TransitionEdge {
+  std::size_t to;      // state-vertex index
+  double probability;  // p
+  double reward;       // r, in [0, 1]
+};
+
+struct ActionVertex {
+  std::size_t source;      // state-vertex index
+  std::size_t action_id;   // DecisionAction::index()
+  std::vector<TransitionEdge> transitions;  // psi edges
+  /// Expected immediate reward sum(p * r).
+  [[nodiscard]] double expected_reward() const;
+};
+
+struct StateVertex {
+  std::size_t state_id;  // CapmanState::index()
+  std::vector<std::size_t> actions;  // E edges: indices into action vertices
+  [[nodiscard]] bool absorbing() const { return actions.empty(); }
+};
+
+class MdpGraph {
+ public:
+  MdpGraph() = default;
+
+  /// Build from learned statistics; only (s, a) pairs with at least
+  /// `min_observations` (possibly decayed) observations become action
+  /// vertices, and only states that appear (as source or target) become
+  /// state vertices.
+  static MdpGraph from_mdp(const Mdp& mdp, double min_observations);
+
+  /// Direct construction for synthetic graphs in tests/benches.
+  static MdpGraph from_parts(std::vector<StateVertex> states,
+                             std::vector<ActionVertex> actions);
+
+  [[nodiscard]] std::size_t state_count() const { return states_.size(); }
+  [[nodiscard]] std::size_t action_count() const { return actions_.size(); }
+  [[nodiscard]] const StateVertex& state(std::size_t i) const {
+    return states_[i];
+  }
+  [[nodiscard]] const ActionVertex& action(std::size_t i) const {
+    return actions_[i];
+  }
+  [[nodiscard]] const std::vector<StateVertex>& states() const {
+    return states_;
+  }
+  [[nodiscard]] const std::vector<ActionVertex>& actions() const {
+    return actions_;
+  }
+
+  /// Vertex index of a CapmanState index, or npos when absent.
+  [[nodiscard]] std::size_t vertex_of(std::size_t state_id) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Maximum out-degree of action vertices (K_max of the paper's
+  /// complexity analysis) and of state vertices (L_max).
+  [[nodiscard]] std::size_t max_action_out_degree() const;
+  [[nodiscard]] std::size_t max_state_out_degree() const;
+
+ private:
+  std::vector<StateVertex> states_;
+  std::vector<ActionVertex> actions_;
+  std::vector<std::size_t> state_to_vertex_;  // CapmanState id -> vertex
+};
+
+}  // namespace capman::core

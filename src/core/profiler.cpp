@@ -1,0 +1,57 @@
+#include "core/profiler.h"
+
+#include <algorithm>
+
+namespace capman::core {
+
+void RuntimeProfiler::begin_interval(const CapmanState& state,
+                                     const DecisionAction& action) {
+  open_ = true;
+  state_ = state;
+  action_ = action;
+  delivered_j_ = 0.0;
+  losses_j_ = 0.0;
+  unmet_steps_ = 0;
+  total_steps_ = 0;
+}
+
+void RuntimeProfiler::record(util::Joules delivered, util::Joules losses,
+                             bool demand_met) {
+  if (!open_) return;
+  delivered_j_ += delivered.value();
+  losses_j_ += losses.value();
+  if (!demand_met) ++unmet_steps_;
+  ++total_steps_;
+}
+
+double RuntimeProfiler::reward(util::Joules delivered, util::Joules losses,
+                               std::size_t unmet_steps,
+                               std::size_t total_steps) {
+  const double total = delivered.value() + losses.value();
+  double r = total > 0.0 ? delivered.value() / total : 1.0;
+  if (total_steps > 0 && unmet_steps > 0) {
+    // Unmet demand is the worst outcome a battery decision can produce.
+    const double unmet_frac =
+        static_cast<double>(unmet_steps) / static_cast<double>(total_steps);
+    r *= std::max(0.0, 0.25 - 0.25 * unmet_frac) / 0.25 * 0.25;
+  }
+  return std::clamp(r, 0.0, 1.0);
+}
+
+std::optional<Observation> RuntimeProfiler::close_interval(
+    const CapmanState& next_state) {
+  if (!open_ || total_steps_ == 0) {
+    open_ = false;
+    return std::nullopt;
+  }
+  open_ = false;
+  Observation obs;
+  obs.state = state_.index();
+  obs.action = action_;
+  obs.next_state = next_state.index();
+  obs.reward = reward(util::Joules{delivered_j_}, util::Joules{losses_j_},
+                      unmet_steps_, total_steps_);
+  return obs;
+}
+
+}  // namespace capman::core

@@ -1,0 +1,45 @@
+// Runtime profiler: turns the simulator's per-step energy accounting into
+// MDP observations (paper Fig. 5 "profile/monitor" box). An interval spans
+// from one trace event (action) to the next; its reward is the normalized
+// energy efficiency achieved over the interval, in [0,1], with a strong
+// penalty when demand went unmet (brownout).
+#pragma once
+
+#include <optional>
+
+#include "core/mdp.h"
+#include "util/units.h"
+
+namespace capman::core {
+
+class RuntimeProfiler {
+ public:
+  /// Start a new interval: `state` and the decision taken on its opening
+  /// event.
+  void begin_interval(const CapmanState& state, const DecisionAction& action);
+
+  /// Accumulate one simulation step of the open interval.
+  void record(util::Joules delivered, util::Joules losses, bool demand_met);
+
+  /// Close the open interval at the arrival of the next event; returns the
+  /// observation (or nullopt when no interval was open / nothing recorded).
+  std::optional<Observation> close_interval(const CapmanState& next_state);
+
+  /// Reward model: delivered / (delivered + losses), scaled down hard when
+  /// any step's demand was unmet.
+  static double reward(util::Joules delivered, util::Joules losses,
+                       std::size_t unmet_steps, std::size_t total_steps);
+
+  [[nodiscard]] bool interval_open() const { return open_; }
+
+ private:
+  bool open_ = false;
+  CapmanState state_{};
+  DecisionAction action_{};
+  double delivered_j_ = 0.0;
+  double losses_j_ = 0.0;
+  std::size_t unmet_steps_ = 0;
+  std::size_t total_steps_ = 0;
+};
+
+}  // namespace capman::core

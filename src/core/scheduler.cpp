@@ -1,0 +1,162 @@
+#include "core/scheduler.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+namespace capman::core {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::uint64_t sa_key(std::size_t state_id, std::size_t action_id) {
+  return (static_cast<std::uint64_t>(state_id) << 16) | action_id;
+}
+}  // namespace
+
+OnlineScheduler::OnlineScheduler(const CapmanConfig& config,
+                                 std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      mdp_(config.recency_decay),
+      exploration_(config.exploration_initial) {}
+
+void OnlineScheduler::observe(const Observation& obs) { mdp_.observe(obs); }
+
+double OnlineScheduler::recalibrate() {
+  const auto start = std::chrono::steady_clock::now();
+  graph_ = MdpGraph::from_mdp(mdp_, config_.min_observations);
+  SimilarityConfig sim_config;
+  sim_config.c_s = config_.c_s;
+  sim_config.c_a = config_.c_a;
+  sim_config.epsilon = config_.epsilon;
+  sim_config.max_iterations = config_.max_iterations;
+  sim_config.absorbing_distance = config_.absorbing_distance;
+  similarity_ = compute_structural_similarity(graph_, sim_config);
+
+  ValueIterationConfig vi_config;
+  vi_config.rho = config_.rho;
+  vi_config.epsilon = 1e-9;
+  values_ = solve_values(graph_, vi_config);
+
+  action_vertex_index_.clear();
+  for (std::size_t av = 0; av < graph_.action_count(); ++av) {
+    const auto& a = graph_.action(av);
+    action_vertex_index_[sa_key(graph_.state(a.source).state_id,
+                                a.action_id)] = av;
+  }
+  ++recals_;
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+double OnlineScheduler::solved_q(std::size_t state_id,
+                                 std::size_t action_id) const {
+  const auto it = action_vertex_index_.find(sa_key(state_id, action_id));
+  if (it == action_vertex_index_.end()) return kNaN;
+  return values_.action_values[it->second];
+}
+
+double OnlineScheduler::transferred_q(
+    std::size_t state_id, workload::Syscall kind,
+    battery::BatterySelection battery) const {
+  const std::size_t query_vertex = graph_.vertex_of(state_id);
+  double best_sim = 0.0;
+  double best_q = kNaN;
+  // Scan action vertices whose syscall kind and battery match; weight each
+  // candidate's Q by the structural similarity between its source state and
+  // the query state (exact state match was already handled by solved_q).
+  for (std::size_t av = 0; av < graph_.action_count(); ++av) {
+    const auto& a = graph_.action(av);
+    const DecisionAction da = DecisionAction::from_index(a.action_id);
+    if (da.syscall.kind != kind || da.battery != battery) continue;
+    double sim = 0.2;  // floor: same-kind experience is weak evidence
+    if (query_vertex != MdpGraph::npos) {
+      sim = similarity_.state_similarity(query_vertex, a.source);
+    }
+    if (sim > best_sim) {
+      best_sim = sim;
+      best_q = values_.action_values[av];
+    }
+  }
+  return best_sim > 0.05 ? best_q : kNaN;
+}
+
+battery::BatterySelection OnlineScheduler::kind_prior(
+    workload::Syscall kind, std::uint8_t param_bucket) {
+  using workload::Syscall;
+  switch (kind) {
+    // Surge-type calls: short power spikes the LITTLE battery absorbs with
+    // a shallow V-edge.
+    case Syscall::kScreenWake:
+    case Syscall::kAppLaunch:
+    case Syscall::kUserTouch:
+    case Syscall::kSyncDaemon:
+    case Syscall::kNetRecvStart:
+    case Syscall::kNetSendStart:
+    case Syscall::kVibrate:
+      return battery::BatterySelection::kLittle;
+    // A CPU burst is a spike only at the top intensity bucket; sustained
+    // compute blocks belong on the big battery.
+    case Syscall::kCpuBurst:
+      return param_bucket >= 9 ? battery::BatterySelection::kLittle
+                               : battery::BatterySelection::kBig;
+    default:
+      return battery::BatterySelection::kBig;
+  }
+}
+
+void OnlineScheduler::advance_time(double now_s) {
+  // Exploration decays with elapsed time (half-life ~2 minutes), not with
+  // event count: sparse workloads (Geekbench) must not explore forever.
+  const double elapsed = now_s - last_time_s_;
+  if (elapsed > 0.0) {
+    exploration_ = std::max(config_.exploration_floor,
+                            exploration_ * std::exp(-elapsed / 170.0));
+    last_time_s_ = now_s;
+  }
+}
+
+battery::BatterySelection OnlineScheduler::decide(
+    const workload::Action& event, const device::DeviceStateVector& dev,
+    battery::BatterySelection current, bool allow_exploration) {
+  exploration_ = std::max(config_.exploration_floor,
+                          exploration_ * config_.exploration_decay_per_event);
+  if (allow_exploration && rng_.chance(exploration_)) {
+    ++stats_.explored;
+    return rng_.chance(0.5) ? battery::BatterySelection::kBig
+                            : battery::BatterySelection::kLittle;
+  }
+
+  const CapmanState state{dev, current};
+  const std::size_t sid = state.index();
+  const DecisionAction keep_big{event, battery::BatterySelection::kBig};
+  const DecisionAction keep_little{event, battery::BatterySelection::kLittle};
+
+  double q_big = solved_q(sid, keep_big.index());
+  double q_little = solved_q(sid, keep_little.index());
+  if (!std::isnan(q_big) && !std::isnan(q_little)) {
+    ++stats_.exact;
+    return q_big >= q_little ? battery::BatterySelection::kBig
+                             : battery::BatterySelection::kLittle;
+  }
+
+  // Similarity transfer for the missing side(s).
+  if (std::isnan(q_big)) {
+    q_big = transferred_q(sid, event.kind, battery::BatterySelection::kBig);
+  }
+  if (std::isnan(q_little)) {
+    q_little =
+        transferred_q(sid, event.kind, battery::BatterySelection::kLittle);
+  }
+  if (!std::isnan(q_big) && !std::isnan(q_little)) {
+    ++stats_.transferred;
+    return q_big >= q_little ? battery::BatterySelection::kBig
+                             : battery::BatterySelection::kLittle;
+  }
+
+  ++stats_.fallback;
+  return kind_prior(event.kind, event.param_bucket);
+}
+
+}  // namespace capman::core

@@ -1,0 +1,103 @@
+// The online CAPMAN scheduler (paper Section III-C/D).
+//
+// Learns the MDP from runtime observations, periodically re-solves it in
+// the background (value iteration on the MDP graph + Algorithm 1 structural
+// similarities), and answers battery-selection queries in O(1):
+//   1. exact: the Q-values of (state, syscall, big) vs (..., LITTLE) from
+//      the last solve;
+//   2. similarity transfer: for unseen combinations, reuse the decision of
+//      the most structurally similar state that has the experience — this
+//      is precisely what the similarity index buys ("the decision can be
+//      extracted from history patterns without recomputing the graph");
+//   3. fallback: a syscall-kind prior (surge-type calls -> LITTLE).
+// Epsilon-greedy exploration (decaying) drives early learning, which is why
+// CAPMAN "drains fast in the beginning" on PCMark (Fig. 12b) and then
+// catches up.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "core/config.h"
+#include "core/mdp.h"
+#include "core/mdp_graph.h"
+#include "core/similarity.h"
+#include "core/value_iteration.h"
+#include "util/rng.h"
+
+namespace capman::core {
+
+struct DecisionStats {
+  std::size_t exact = 0;        // answered from solved Q-values
+  std::size_t transferred = 0;  // answered via similarity transfer
+  std::size_t fallback = 0;     // answered by the syscall-kind prior
+  std::size_t explored = 0;     // answered randomly (exploration)
+  [[nodiscard]] std::size_t total() const {
+    return exact + transferred + fallback + explored;
+  }
+};
+
+class OnlineScheduler {
+ public:
+  OnlineScheduler(const CapmanConfig& config, std::uint64_t seed);
+
+  /// Feed one completed interval observation into the learned MDP.
+  void observe(const Observation& obs);
+
+  /// Battery decision for syscall `event` arriving in device state `dev`
+  /// while `current` battery is active. `allow_exploration` is false for
+  /// emergency (rail-monitor) consultations: a sagging rail is no time to
+  /// experiment.
+  battery::BatterySelection decide(const workload::Action& event,
+                                   const device::DeviceStateVector& dev,
+                                   battery::BatterySelection current,
+                                   bool allow_exploration = true);
+
+  /// Advance the exploration schedule to simulation time `now` (seconds).
+  void advance_time(double now_s);
+
+  /// Rebuild the graph, run Algorithm 1 and value iteration. Returns the
+  /// wall-clock seconds the solve took (the controller charges it as CPU
+  /// maintenance work).
+  double recalibrate();
+
+  [[nodiscard]] const Mdp& mdp() const { return mdp_; }
+  [[nodiscard]] const MdpGraph& graph() const { return graph_; }
+  [[nodiscard]] const SimilarityResult& similarity() const {
+    return similarity_;
+  }
+  [[nodiscard]] const ValueIterationResult& values() const { return values_; }
+  [[nodiscard]] const DecisionStats& decision_stats() const { return stats_; }
+  [[nodiscard]] double exploration_rate() const { return exploration_; }
+  [[nodiscard]] std::size_t recalibration_count() const { return recals_; }
+
+  /// The syscall-kind prior used as last resort (exposed for tests); the
+  /// parameter bucket disambiguates spike-like from sustained calls.
+  static battery::BatterySelection kind_prior(workload::Syscall kind,
+                                              std::uint8_t param_bucket = 9);
+
+ private:
+  /// Q-value of (state_id, action_id) from the last solve, or NaN.
+  [[nodiscard]] double solved_q(std::size_t state_id,
+                                std::size_t action_id) const;
+  /// Best similarity-transferred Q estimate for (state, syscall-kind,
+  /// battery), or NaN when nothing transferable exists.
+  [[nodiscard]] double transferred_q(std::size_t state_id,
+                                     workload::Syscall kind,
+                                     battery::BatterySelection battery) const;
+
+  CapmanConfig config_;
+  util::Rng rng_;
+  Mdp mdp_;
+  MdpGraph graph_;
+  SimilarityResult similarity_;
+  ValueIterationResult values_;
+  // (state_id << 16 | action_id) -> action vertex index of the last solve.
+  std::unordered_map<std::uint64_t, std::size_t> action_vertex_index_;
+  DecisionStats stats_;
+  double exploration_;
+  double last_time_s_ = 0.0;
+  std::size_t recals_ = 0;
+};
+
+}  // namespace capman::core

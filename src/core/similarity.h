@@ -1,0 +1,56 @@
+// Algorithm 1: Structural Similarities Recursion (paper Section III-C/D,
+// after Wang et al., IJCAI'19).
+//
+// Iteratively computes state similarities sigma_S (via Hausdorff distance
+// over action-neighbour sets under the action dissimilarity delta_A) and
+// action similarities sigma_A (via expected-reward distance and the Earth
+// Mover's Distance between transition distributions under the state
+// dissimilarity delta_S), with discount weights C_S and C_A:
+//
+//   sigma_S(u,v) = C_S * (1 - Hausdorff(N_u, N_v; delta_A))
+//   sigma_A(a,b) = 1 - (1-C_A) * delta_rwd(a,b)
+//                    - C_A * EMD(p_a, p_b; delta_S)
+//
+// Base cases (Eq. 3): delta_S(u,u) = 0; exactly one absorbing -> 1; both
+// absorbing -> d_{u,v}.
+//
+// With C_S = 1 and C_A = rho the fixed point delta*_S bounds optimal value
+// differences: |V*_u - V*_v| <= delta*_S(u,v) / (1 - rho)  (Eq. 10) — the
+// paper's O(1/(1-rho)) competitiveness. Tested in
+// tests/core/similarity_bound_test.cpp.
+#pragma once
+
+#include <cstddef>
+
+#include "core/mdp_graph.h"
+#include "math/matrix.h"
+
+namespace capman::core {
+
+struct SimilarityConfig {
+  double c_s = 1.0;   // (0, 1]; 1 for the competitiveness bound
+  double c_a = 0.8;   // (0, 1); set to rho for the bound
+  double epsilon = 0.01;
+  std::size_t max_iterations = 60;
+  double absorbing_distance = 1.0;  // d_{u,v} of Eq. 3
+};
+
+struct SimilarityResult {
+  math::Matrix state_similarity;   // sigma*_S, |V| x |V|
+  math::Matrix action_similarity;  // sigma*_A, |Lambda| x |Lambda|
+  std::size_t iterations = 0;
+  bool converged = false;
+
+  [[nodiscard]] double state_distance(std::size_t u, std::size_t v) const {
+    return 1.0 - state_similarity(u, v);
+  }
+  [[nodiscard]] double action_distance(std::size_t a, std::size_t b) const {
+    return 1.0 - action_similarity(a, b);
+  }
+};
+
+/// Runs Algorithm 1 to the given precision.
+SimilarityResult compute_structural_similarity(const MdpGraph& graph,
+                                               const SimilarityConfig& config);
+
+}  // namespace capman::core

@@ -1,0 +1,13 @@
+#include "core/state.h"
+
+namespace capman::core {
+
+std::string to_string(const CapmanState& s) {
+  std::string out = to_string(s.device);
+  out.back() = ',';  // replace closing brace
+  out += battery::to_string(s.battery);
+  out += "}";
+  return out;
+}
+
+}  // namespace capman::core

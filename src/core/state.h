@@ -1,0 +1,41 @@
+// The combined CAPMAN MDP state: device power-state vector + battery
+// selection (paper Fig. 8, e.g. {SLEEP, OFF, ..., big}).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "battery/switcher.h"
+#include "device/power_state.h"
+
+namespace capman::core {
+
+struct CapmanState {
+  device::DeviceStateVector device;
+  battery::BatterySelection battery = battery::BatterySelection::kBig;
+
+  friend bool operator==(const CapmanState&, const CapmanState&) = default;
+
+  [[nodiscard]] std::size_t index() const {
+    return device.index() * 2 +
+           (battery == battery::BatterySelection::kLittle ? 1 : 0);
+  }
+
+  static CapmanState from_index(std::size_t index) {
+    CapmanState s;
+    s.battery = (index % 2 == 1) ? battery::BatterySelection::kLittle
+                                 : battery::BatterySelection::kBig;
+    s.device = device::DeviceStateVector::from_index(index / 2);
+    return s;
+  }
+};
+
+/// 4 CPU x 2 screen x 3 WiFi x 2 battery = 48 combined states (the paper's
+/// "finite MDP has 50 state nodes").
+inline constexpr std::size_t state_space_size() {
+  return device::device_state_count() * 2;
+}
+
+std::string to_string(const CapmanState& s);
+
+}  // namespace capman::core

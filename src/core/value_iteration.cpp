@@ -1,0 +1,55 @@
+#include "core/value_iteration.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace capman::core {
+
+ValueIterationResult solve_values(const MdpGraph& graph,
+                                  const ValueIterationConfig& config) {
+  assert(config.rho > 0.0 && config.rho < 1.0);
+  const std::size_t nv = graph.state_count();
+  const std::size_t na = graph.action_count();
+
+  ValueIterationResult result;
+  result.state_values.assign(nv, 0.0);
+  result.action_values.assign(na, 0.0);
+  result.best_action.assign(nv, ValueIterationResult::npos);
+
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    ++result.iterations;
+    // Q*(a) = sum_u p(a,u) * (r(a,u) + rho * V*(u))          (Eq. 9)
+    for (std::size_t a = 0; a < na; ++a) {
+      double q = 0.0;
+      for (const TransitionEdge& t : graph.action(a).transitions) {
+        q += t.probability * (t.reward + config.rho * result.state_values[t.to]);
+      }
+      result.action_values[a] = q;
+    }
+    // V*(u) = max_{a in N_u} Q*(a)                            (Eq. 8)
+    double delta = 0.0;
+    for (std::size_t u = 0; u < nv; ++u) {
+      const auto& actions = graph.state(u).actions;
+      if (actions.empty()) continue;  // absorbing: V = 0
+      double best = -1.0;
+      std::size_t best_a = ValueIterationResult::npos;
+      for (std::size_t a : actions) {
+        if (result.action_values[a] > best) {
+          best = result.action_values[a];
+          best_a = a;
+        }
+      }
+      delta = std::max(delta, std::abs(best - result.state_values[u]));
+      result.state_values[u] = best;
+      result.best_action[u] = best_a;
+    }
+    if (delta < config.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace capman::core

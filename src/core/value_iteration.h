@@ -1,0 +1,34 @@
+// Bellman-optimality solver on the MDP graph (paper Eq. 6-9): computes the
+// optimal state values V*, action values Q* and the greedy policy. This is
+// the "classic solution" whose cost motivates the similarity shortcut, the
+// reference for the competitiveness bound tests, and the engine behind the
+// offline Oracle baseline.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/mdp_graph.h"
+
+namespace capman::core {
+
+struct ValueIterationConfig {
+  double rho = 0.8;      // discount factor
+  double epsilon = 1e-9;
+  std::size_t max_iterations = 100000;
+};
+
+struct ValueIterationResult {
+  std::vector<double> state_values;   // V*, indexed by state vertex
+  std::vector<double> action_values;  // Q*, indexed by action vertex
+  /// Greedy action vertex per state vertex (npos for absorbing states).
+  std::vector<std::size_t> best_action;
+  std::size_t iterations = 0;
+  bool converged = false;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+ValueIterationResult solve_values(const MdpGraph& graph,
+                                  const ValueIterationConfig& config);
+
+}  // namespace capman::core

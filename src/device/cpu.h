@@ -1,0 +1,45 @@
+// CPU power model (paper Table II row 1, after [36]):
+//   P_cpu = gamma_freq * mu + C_cpu      (active, state C0)
+// with mu the utilization in [0, 100] and gamma depending on the frequency
+// index. Idle states (C1/C2/Sleep) draw their Table III state power.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "device/power_state.h"
+#include "util/units.h"
+
+namespace capman::device {
+
+struct CpuParams {
+  // One gamma per frequency level, mW per % utilization.
+  std::vector<double> gamma_mw_per_util;
+  double c0_base_mw = 310.0;   // C_cpu: active baseline (== C2 clocked idle)
+  double c1_mw = 462.0;        // shallow idle
+  double c2_mw = 310.0;        // deep idle, clocks gated
+  double sleep_mw = 55.0;      // suspend-to-RAM
+  // Frequency range, informational (paper: 1040-2000 MHz across phones).
+  double min_freq_mhz = 1040.0;
+  double max_freq_mhz = 2000.0;
+};
+
+class CpuModel {
+ public:
+  explicit CpuModel(CpuParams params);
+
+  /// Power at the given state; `utilization` in [0,100] and `freq_index`
+  /// into the gamma table only matter in C0.
+  [[nodiscard]] util::Watts power(CpuState state, double utilization,
+                                  std::size_t freq_index) const;
+
+  [[nodiscard]] std::size_t frequency_levels() const {
+    return params_.gamma_mw_per_util.size();
+  }
+  [[nodiscard]] const CpuParams& params() const { return params_; }
+
+ private:
+  CpuParams params_;
+};
+
+}  // namespace capman::device

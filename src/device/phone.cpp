@@ -1,0 +1,78 @@
+#include "device/phone.h"
+
+namespace capman::device {
+
+namespace {
+
+CpuParams scaled_cpu(double scale) {
+  CpuParams p;
+  // Three frequency levels; gamma grows superlinearly with frequency
+  // (dynamic power ~ f * V^2).
+  p.gamma_mw_per_util = {4.2 * scale, 6.04 * scale, 9.0 * scale};
+  p.c0_base_mw = 310.0 * scale;
+  p.c1_mw = 462.0 * scale;
+  p.c2_mw = 310.0 * scale;
+  p.sleep_mw = 55.0 * scale;
+  return p;
+}
+
+ScreenParams scaled_screen(double scale) {
+  ScreenParams s;
+  s.alpha_b_mw_per_level *= scale;
+  s.alpha_w_mw_per_level *= scale;
+  s.c_screen_mw *= scale;
+  s.off_mw *= scale;
+  return s;
+}
+
+WifiParams scaled_wifi(double scale) {
+  WifiParams w;
+  w.gamma_low_mw *= scale;
+  w.c_low_mw *= scale;
+  w.gamma_high_mw *= scale;
+  w.c_high_mw *= scale;
+  return w;
+}
+
+PhoneProfile make_profile(std::string name, std::string android,
+                          double scale, double min_freq, double max_freq) {
+  PhoneProfile profile;
+  profile.name = std::move(name);
+  profile.android_version = std::move(android);
+  profile.cpu = scaled_cpu(scale);
+  profile.cpu.min_freq_mhz = min_freq;
+  profile.cpu.max_freq_mhz = max_freq;
+  profile.screen = scaled_screen(scale);
+  profile.wifi = scaled_wifi(scale);
+  return profile;
+}
+
+}  // namespace
+
+PhoneProfile nexus_profile() {
+  return make_profile("Nexus", "5.0.1", 1.0, 1040.0, 2000.0);
+}
+
+PhoneProfile honor_profile() {
+  return make_profile("Honor", "6.0", 0.90, 1040.0, 1800.0);
+}
+
+PhoneProfile lenovo_profile() {
+  return make_profile("Lenovo", "7.1", 1.12, 1200.0, 2000.0);
+}
+
+PhoneModel::PhoneModel(PhoneProfile profile)
+    : profile_(std::move(profile)),
+      cpu_(profile_.cpu),
+      screen_(profile_.screen),
+      wifi_(profile_.wifi) {}
+
+ComponentPower PhoneModel::power(const DeviceDemand& demand) const {
+  ComponentPower out;
+  out.cpu = cpu_.power(demand.cpu, demand.utilization, demand.freq_index);
+  out.screen = screen_.power(demand.screen, demand.brightness);
+  out.wifi = wifi_.power(demand.wifi, demand.packet_rate);
+  return out;
+}
+
+}  // namespace capman::device

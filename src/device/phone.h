@@ -1,0 +1,80 @@
+// Phone profiles aggregating the component power models.
+//
+// The paper prototypes CAPMAN on three phones (Nexus, Honor, Lenovo;
+// Android 5.0-7.1; CPU 1040-2000 MHz) whose Table III state powers we use
+// for the Nexus and scale modestly for the other two (their absolute
+// coefficients are not published; what Fig. 15 shows is that the *shape*
+// of active power is similar across phones).
+#pragma once
+
+#include <string>
+
+#include "device/cpu.h"
+#include "device/power_state.h"
+#include "device/screen.h"
+#include "device/wifi.h"
+#include "util/units.h"
+
+namespace capman::device {
+
+/// What the running software currently asks of each device. Produced by the
+/// workload generators, consumed by PhoneModel and by the CAPMAN profiler.
+struct DeviceDemand {
+  CpuState cpu = CpuState::kSleep;
+  double utilization = 0.0;   // [0, 100], meaningful in C0
+  std::size_t freq_index = 0;
+  ScreenState screen = ScreenState::kOff;
+  double brightness = 180.0;  // [0, 255]
+  WifiState wifi = WifiState::kIdle;
+  double packet_rate = 0.0;
+
+  [[nodiscard]] DeviceStateVector state_vector() const {
+    return {cpu, screen, wifi};
+  }
+};
+
+struct ComponentPower {
+  util::Watts cpu;
+  util::Watts screen;
+  util::Watts wifi;
+  [[nodiscard]] util::Watts total() const { return cpu + screen + wifi; }
+};
+
+struct PhoneProfile {
+  std::string name;
+  std::string android_version;
+  CpuParams cpu;
+  ScreenParams screen;
+  WifiParams wifi;
+  // Table III's TEC row (0 / 29.17 mW) — the paper's duty-cycle-averaged
+  // figure, reported for the table reproduction; the thermal simulation
+  // uses the physical TEC model.
+  double tec_on_mw = 29.17;
+};
+
+/// The Nexus 6 profile: Table III numbers verbatim.
+PhoneProfile nexus_profile();
+/// Honor: ~10% lower power (smaller SoC, lower max frequency).
+PhoneProfile honor_profile();
+/// Lenovo: ~12% higher power (older process).
+PhoneProfile lenovo_profile();
+
+class PhoneModel {
+ public:
+  explicit PhoneModel(PhoneProfile profile);
+
+  [[nodiscard]] ComponentPower power(const DeviceDemand& demand) const;
+
+  [[nodiscard]] const PhoneProfile& profile() const { return profile_; }
+  [[nodiscard]] const CpuModel& cpu() const { return cpu_; }
+  [[nodiscard]] const ScreenModel& screen() const { return screen_; }
+  [[nodiscard]] const WifiModel& wifi() const { return wifi_; }
+
+ private:
+  PhoneProfile profile_;
+  CpuModel cpu_;
+  ScreenModel screen_;
+  WifiModel wifi_;
+};
+
+}  // namespace capman::device

@@ -1,0 +1,39 @@
+#include "device/power_state.h"
+
+namespace capman::device {
+
+const char* to_string(CpuState s) {
+  switch (s) {
+    case CpuState::kSleep: return "SLEEP";
+    case CpuState::kC2: return "C2";
+    case CpuState::kC1: return "C1";
+    case CpuState::kC0: return "C0";
+  }
+  return "?";
+}
+
+const char* to_string(ScreenState s) {
+  return s == ScreenState::kOff ? "OFF" : "ON";
+}
+
+const char* to_string(WifiState s) {
+  switch (s) {
+    case WifiState::kIdle: return "IDLE";
+    case WifiState::kAccess: return "ACCESS";
+    case WifiState::kSend: return "SEND";
+  }
+  return "?";
+}
+
+std::string to_string(const DeviceStateVector& v) {
+  std::string out = "{";
+  out += to_string(v.cpu);
+  out += ",";
+  out += to_string(v.screen);
+  out += ",";
+  out += to_string(v.wifi);
+  out += "}";
+  return out;
+}
+
+}  // namespace capman::device

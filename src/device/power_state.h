@@ -1,0 +1,59 @@
+// Device power states (paper Fig. 7) and the combined state vector that,
+// together with the battery selection, forms the MDP state space
+// (4 CPU x 2 screen x 3 WiFi x 2 battery = 48 states, matching the paper's
+// "our finite MDP has 50 state nodes").
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace capman::device {
+
+enum class CpuState : std::uint8_t { kSleep = 0, kC2 = 1, kC1 = 2, kC0 = 3 };
+enum class ScreenState : std::uint8_t { kOff = 0, kOn = 1 };
+enum class WifiState : std::uint8_t { kIdle = 0, kAccess = 1, kSend = 2 };
+
+inline constexpr std::size_t kCpuStateCount = 4;
+inline constexpr std::size_t kScreenStateCount = 2;
+inline constexpr std::size_t kWifiStateCount = 3;
+
+/// The hardware part of an MDP state (battery selection is appended by
+/// core/mdp.h).
+struct DeviceStateVector {
+  CpuState cpu = CpuState::kSleep;
+  ScreenState screen = ScreenState::kOff;
+  WifiState wifi = WifiState::kIdle;
+
+  friend bool operator==(const DeviceStateVector&,
+                         const DeviceStateVector&) = default;
+
+  /// Dense index in [0, device_state_count()).
+  [[nodiscard]] std::size_t index() const {
+    return (static_cast<std::size_t>(cpu) * kScreenStateCount +
+            static_cast<std::size_t>(screen)) *
+               kWifiStateCount +
+           static_cast<std::size_t>(wifi);
+  }
+
+  static DeviceStateVector from_index(std::size_t index) {
+    DeviceStateVector v;
+    v.wifi = static_cast<WifiState>(index % kWifiStateCount);
+    index /= kWifiStateCount;
+    v.screen = static_cast<ScreenState>(index % kScreenStateCount);
+    index /= kScreenStateCount;
+    v.cpu = static_cast<CpuState>(index);
+    return v;
+  }
+};
+
+inline constexpr std::size_t device_state_count() {
+  return kCpuStateCount * kScreenStateCount * kWifiStateCount;
+}
+
+const char* to_string(CpuState s);
+const char* to_string(ScreenState s);
+const char* to_string(WifiState s);
+std::string to_string(const DeviceStateVector& v);
+
+}  // namespace capman::device

@@ -1,0 +1,32 @@
+// Screen power model (paper Table II row 2, after [7]):
+//   P_screen = ((alpha_b + alpha_w) / 2) * B_level + C_screen    (on)
+// with brightness level B in [0, 255]; an off screen draws its Table III
+// standby power.
+#pragma once
+
+#include "device/power_state.h"
+#include "util/units.h"
+
+namespace capman::device {
+
+struct ScreenParams {
+  double alpha_b_mw_per_level = 3.5;
+  double alpha_w_mw_per_level = 3.0;
+  double c_screen_mw = 205.0;
+  double off_mw = 22.0;
+};
+
+class ScreenModel {
+ public:
+  explicit ScreenModel(const ScreenParams& params) : params_(params) {}
+
+  [[nodiscard]] util::Watts power(ScreenState state,
+                                  double brightness_level) const;
+
+  [[nodiscard]] const ScreenParams& params() const { return params_; }
+
+ private:
+  ScreenParams params_;
+};
+
+}  // namespace capman::device

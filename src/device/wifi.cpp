@@ -1,0 +1,24 @@
+#include "device/wifi.h"
+
+#include <algorithm>
+
+namespace capman::device {
+
+util::Watts WifiModel::power(WifiState state, double packet_rate) const {
+  if (state == WifiState::kIdle) return util::milliwatts(params_.c_low_mw);
+  const double p = std::max(packet_rate, 0.0);
+  const double mw = p <= params_.threshold
+                        ? params_.gamma_low_mw * p + params_.c_low_mw
+                        : params_.gamma_high_mw * p + params_.c_high_mw;
+  // Sending costs a fixed premium over receiving at the same rate
+  // (Table III: Send 1548 mW vs Access 1284 mW).
+  const double premium = state == WifiState::kSend ? 264.0 : 0.0;
+  return util::milliwatts(mw + premium);
+}
+
+WifiState WifiModel::state_for_rate(double packet_rate, bool sending) const {
+  if (packet_rate <= 0.0) return WifiState::kIdle;
+  return sending ? WifiState::kSend : WifiState::kAccess;
+}
+
+}  // namespace capman::device

@@ -1,0 +1,39 @@
+// WiFi power model (paper Table II row 3, after [44]): piecewise linear in
+// the packet rate p with a threshold t (the paper instantiates t as a
+// 100 kB/s traffic threshold on Android 5.0.1):
+//   P = gamma_l * p + C_l   if p <= t
+//   P = gamma_h * p + C_h   if p >  t
+#pragma once
+
+#include "device/power_state.h"
+#include "util/units.h"
+
+namespace capman::device {
+
+struct WifiParams {
+  double gamma_low_mw = 12.24;   // mW per packet-rate unit below threshold
+  double c_low_mw = 60.0;        // == Table III idle power at p = 0
+  double gamma_high_mw = 2.64;   // mW per unit above threshold
+  double c_high_mw = 1020.0;
+  double threshold = 100.0;      // packet-rate units (≈ kB/s)
+};
+
+class WifiModel {
+ public:
+  explicit WifiModel(const WifiParams& params) : params_(params) {}
+
+  /// Power given the state and the instantaneous packet rate. The state
+  /// gates the rate: Idle forces p = 0; Access/Send use the supplied rate.
+  [[nodiscard]] util::Watts power(WifiState state, double packet_rate) const;
+
+  /// The Fig. 7 state a given packet rate corresponds to.
+  [[nodiscard]] WifiState state_for_rate(double packet_rate,
+                                         bool sending) const;
+
+  [[nodiscard]] const WifiParams& params() const { return params_; }
+
+ private:
+  WifiParams params_;
+};
+
+}  // namespace capman::device

@@ -1,0 +1,39 @@
+#include "math/dijkstra.h"
+
+#include <cassert>
+
+#include "math/indexed_heap.h"
+
+namespace capman::math {
+
+void Digraph::add_edge(std::size_t from, std::size_t to, double weight) {
+  assert(from < adj_.size() && to < adj_.size());
+  assert(weight >= 0.0);
+  adj_[from].push_back({to, weight});
+}
+
+ShortestPaths dijkstra(const Digraph& graph, std::size_t source) {
+  const std::size_t n = graph.node_count();
+  ShortestPaths result;
+  result.distance.assign(n, std::numeric_limits<double>::infinity());
+  result.parent.assign(n, ShortestPaths::npos);
+
+  IndexedMinHeap heap(n);
+  result.distance[source] = 0.0;
+  heap.push_or_decrease(source, 0.0);
+  while (!heap.empty()) {
+    const auto [u, du] = heap.pop_min();
+    if (du > result.distance[u]) continue;  // stale entry
+    for (const WeightedEdge& e : graph.out_edges(u)) {
+      const double cand = du + e.weight;
+      if (cand < result.distance[e.to]) {
+        result.distance[e.to] = cand;
+        result.parent[e.to] = u;
+        heap.push_or_decrease(e.to, cand);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace capman::math

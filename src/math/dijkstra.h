@@ -1,0 +1,42 @@
+// Single-source shortest paths on a non-negatively weighted digraph.
+// Used directly by tests and as the inner loop of the successive-shortest-
+// path (SSP) min-cost-flow solver the paper's Algorithm 1 relies on for EMD.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace capman::math {
+
+struct WeightedEdge {
+  std::size_t to;
+  double weight;  // must be >= 0
+};
+
+/// Adjacency-list digraph for shortest-path queries.
+class Digraph {
+ public:
+  explicit Digraph(std::size_t node_count) : adj_(node_count) {}
+
+  void add_edge(std::size_t from, std::size_t to, double weight);
+
+  [[nodiscard]] std::size_t node_count() const { return adj_.size(); }
+  [[nodiscard]] const std::vector<WeightedEdge>& out_edges(std::size_t v) const {
+    return adj_[v];
+  }
+
+ private:
+  std::vector<std::vector<WeightedEdge>> adj_;
+};
+
+struct ShortestPaths {
+  std::vector<double> distance;       // +inf if unreachable
+  std::vector<std::size_t> parent;    // npos for source/unreachable
+  static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+};
+
+/// Dijkstra with an indexed 4-ary heap.
+ShortestPaths dijkstra(const Digraph& graph, std::size_t source);
+
+}  // namespace capman::math

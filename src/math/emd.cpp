@@ -1,0 +1,62 @@
+#include "math/emd.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "math/min_cost_flow.h"
+
+namespace capman::math {
+
+double earth_movers_distance(const Distribution& p, const Distribution& q,
+                             const GroundDistance& d) {
+  const std::size_t np = p.mass.size();
+  const std::size_t nq = q.mass.size();
+  const double total_p = std::accumulate(p.mass.begin(), p.mass.end(), 0.0);
+  const double total_q = std::accumulate(q.mass.begin(), q.mass.end(), 0.0);
+  if (total_p <= 0.0 || total_q <= 0.0) {
+    throw std::invalid_argument("earth_movers_distance: empty distribution");
+  }
+
+  // Nodes: 0 = source, 1..np = p supports, np+1..np+nq = q supports,
+  // np+nq+1 = sink.
+  const std::size_t source = 0;
+  const std::size_t sink = np + nq + 1;
+  MinCostFlow flow(np + nq + 2);
+  for (std::size_t i = 0; i < np; ++i) {
+    const double m = p.mass[i] / total_p;
+    if (m > 0.0) flow.add_edge(source, 1 + i, m, 0.0);
+  }
+  for (std::size_t j = 0; j < nq; ++j) {
+    const double m = q.mass[j] / total_q;
+    if (m > 0.0) flow.add_edge(1 + np + j, sink, m, 0.0);
+  }
+  for (std::size_t i = 0; i < np; ++i) {
+    if (p.mass[i] <= 0.0) continue;
+    for (std::size_t j = 0; j < nq; ++j) {
+      if (q.mass[j] <= 0.0) continue;
+      const double cost = d(i, j);
+      assert(cost >= 0.0);
+      flow.add_edge(1 + i, 1 + np + j, 2.0, cost);  // capacity > any mass
+    }
+  }
+  const auto result = flow.solve(source, sink, 1.0);
+  return result.cost;
+}
+
+double emd_1d(const std::vector<double>& p, const std::vector<double>& q) {
+  assert(p.size() == q.size());
+  const double tp = std::accumulate(p.begin(), p.end(), 0.0);
+  const double tq = std::accumulate(q.begin(), q.end(), 0.0);
+  assert(tp > 0.0 && tq > 0.0);
+  double carried = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    carried += p[i] / tp - q[i] / tq;
+    total += std::abs(carried);
+  }
+  return total;
+}
+
+}  // namespace capman::math

@@ -1,0 +1,35 @@
+// Earth Mover's Distance between two finite discrete distributions under an
+// arbitrary ground-distance matrix, solved as a transportation problem via
+// successive shortest paths (paper Algorithm 1, line 4:
+// d <- EMD(p_a, p_b; G_M, 1 - S)).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace capman::math {
+
+/// A discrete distribution: `mass[i]` on abstract point `i` (the point
+/// identity is external; only the ground distance matters here). Masses are
+/// normalized internally, so unnormalized histograms are accepted.
+struct Distribution {
+  std::vector<double> mass;
+};
+
+/// Ground distance between support point i of `p` and support point j of
+/// `q`. Must be >= 0; EMD is a metric iff the ground distance is one and the
+/// supports coincide.
+using GroundDistance = std::function<double(std::size_t, std::size_t)>;
+
+/// EMD(p, q; d): minimum total cost of transporting the mass of p onto q.
+/// Both distributions must have positive total mass.
+double earth_movers_distance(const Distribution& p, const Distribution& q,
+                             const GroundDistance& d);
+
+/// Closed-form EMD for distributions on the 1-D line with |x - y| ground
+/// distance (equals the L1 distance between CDFs). Used to cross-check the
+/// flow solver in tests.
+double emd_1d(const std::vector<double>& p, const std::vector<double>& q);
+
+}  // namespace capman::math

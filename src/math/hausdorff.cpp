@@ -1,0 +1,31 @@
+#include "math/hausdorff.h"
+
+#include <algorithm>
+
+namespace capman::math {
+
+double directed_hausdorff(std::size_t size_a, std::size_t size_b,
+                          const SetGroundDistance& d) {
+  if (size_a == 0) return 0.0;
+  if (size_b == 0) return 1.0;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < size_a; ++i) {
+    double best = d(i, 0);
+    for (std::size_t j = 1; j < size_b; ++j) {
+      best = std::min(best, d(i, j));
+      if (best == 0.0) break;
+    }
+    worst = std::max(worst, best);
+  }
+  return worst;
+}
+
+double hausdorff(std::size_t size_a, std::size_t size_b,
+                 const SetGroundDistance& d) {
+  const double forward = directed_hausdorff(size_a, size_b, d);
+  const double backward = directed_hausdorff(
+      size_b, size_a, [&d](std::size_t j, std::size_t i) { return d(i, j); });
+  return std::max(forward, backward);
+}
+
+}  // namespace capman::math

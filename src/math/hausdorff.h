@@ -1,0 +1,25 @@
+// Hausdorff distance between two finite point sets under a caller-supplied
+// ground metric. Algorithm 1 uses it to compare the action-neighbourhoods
+// of two state nodes:  sigma_S(u,v) = C_S * (1 - Hausdorff(N_u, N_v; d_A)).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace capman::math {
+
+/// Distance between element i of the first set and element j of the second.
+using SetGroundDistance = std::function<double(std::size_t, std::size_t)>;
+
+/// Directed Hausdorff: max over a in A of min over b in B of d(a, b).
+/// Empty A yields 0; empty B with non-empty A yields +infinity-like 1.0
+/// (distances in CAPMAN live in [0,1], so 1 is the diameter).
+double directed_hausdorff(std::size_t size_a, std::size_t size_b,
+                          const SetGroundDistance& d);
+
+/// Symmetric Hausdorff: max of the two directed distances.
+double hausdorff(std::size_t size_a, std::size_t size_b,
+                 const SetGroundDistance& d);
+
+}  // namespace capman::math

@@ -1,0 +1,66 @@
+#include "math/indexed_heap.h"
+
+#include <utility>
+
+namespace capman::math {
+
+void IndexedMinHeap::push_or_decrease(std::size_t key, double priority) {
+  assert(key < pos_.size());
+  if (pos_[key] == kAbsent) {
+    heap_.push_back({key, priority});
+    pos_[key] = heap_.size() - 1;
+    sift_up(heap_.size() - 1);
+    return;
+  }
+  const std::size_t i = pos_[key];
+  if (priority < heap_[i].priority) {
+    heap_[i].priority = priority;
+    sift_up(i);
+  }
+}
+
+std::pair<std::size_t, double> IndexedMinHeap::pop_min() {
+  assert(!heap_.empty());
+  const Node top = heap_.front();
+  swap_nodes(0, heap_.size() - 1);
+  pos_[top.key] = kAbsent;
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return {top.key, top.priority};
+}
+
+void IndexedMinHeap::clear() {
+  for (const Node& n : heap_) pos_[n.key] = kAbsent;
+  heap_.clear();
+}
+
+void IndexedMinHeap::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (heap_[parent].priority <= heap_[i].priority) break;
+    swap_nodes(i, parent);
+    i = parent;
+  }
+}
+
+void IndexedMinHeap::sift_down(std::size_t i) {
+  for (;;) {
+    std::size_t best = i;
+    const std::size_t first_child = kArity * i + 1;
+    for (std::size_t c = first_child;
+         c < heap_.size() && c < first_child + kArity; ++c) {
+      if (heap_[c].priority < heap_[best].priority) best = c;
+    }
+    if (best == i) break;
+    swap_nodes(i, best);
+    i = best;
+  }
+}
+
+void IndexedMinHeap::swap_nodes(std::size_t a, std::size_t b) {
+  std::swap(heap_[a], heap_[b]);
+  pos_[heap_[a].key] = a;
+  pos_[heap_[b].key] = b;
+}
+
+}  // namespace capman::math

@@ -1,0 +1,51 @@
+// Indexed binary min-heap with decrease-key, the priority queue behind
+// Dijkstra in the successive-shortest-path solver. The paper uses a
+// Fibonacci heap; for the graph sizes here (K_max <= |V| ~ 50) a 4-ary
+// indexed heap has strictly better constants while keeping the same
+// decrease-key interface.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace capman::math {
+
+class IndexedMinHeap {
+ public:
+  explicit IndexedMinHeap(std::size_t capacity)
+      : pos_(capacity, kAbsent) {}
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] bool contains(std::size_t key) const {
+    return key < pos_.size() && pos_[key] != kAbsent;
+  }
+
+  /// Insert key with priority, or lower its priority if already present
+  /// (no-op when the new priority is not lower).
+  void push_or_decrease(std::size_t key, double priority);
+
+  /// Pop the (key, priority) pair with the smallest priority.
+  std::pair<std::size_t, double> pop_min();
+
+  void clear();
+
+ private:
+  static constexpr std::size_t kAbsent = std::numeric_limits<std::size_t>::max();
+  static constexpr std::size_t kArity = 4;
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void swap_nodes(std::size_t a, std::size_t b);
+
+  struct Node {
+    std::size_t key;
+    double priority;
+  };
+  std::vector<Node> heap_;
+  std::vector<std::size_t> pos_;  // key -> heap index, or kAbsent
+};
+
+}  // namespace capman::math

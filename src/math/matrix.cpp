@@ -1,0 +1,22 @@
+#include "math/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace capman::math {
+
+double Matrix::linf_distance(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+bool Matrix::all_in(double lo, double hi) const {
+  return std::all_of(data_.begin(), data_.end(),
+                     [&](double v) { return v >= lo && v <= hi; });
+}
+
+}  // namespace capman::math

@@ -1,0 +1,52 @@
+// Dense row-major matrix of doubles, sized for the similarity matrices of
+// Algorithm 1 (|S| ~ 50 states, |A| ~ 200 actions -> at most ~40k doubles).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace capman::math {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Identity matrix (used to seed S^(0), A^(0) in Algorithm 1).
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Largest absolute element-wise difference; convergence criterion of the
+  /// similarity recursion.
+  [[nodiscard]] double linf_distance(const Matrix& other) const;
+
+  /// True when every element lies in [lo, hi] (boundedness invariant of
+  /// Algorithm 1: S, A in [0,1]).
+  [[nodiscard]] bool all_in(double lo, double hi) const;
+
+  void fill(double v) { data_.assign(data_.size(), v); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace capman::math

@@ -1,0 +1,95 @@
+#include "math/min_cost_flow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "math/indexed_heap.h"
+
+namespace capman::math {
+
+MinCostFlow::MinCostFlow(std::size_t node_count) : head_(node_count) {}
+
+std::size_t MinCostFlow::add_edge(std::size_t from, std::size_t to,
+                                  double capacity, double cost) {
+  assert(from < head_.size() && to < head_.size());
+  assert(capacity >= 0.0 && cost >= 0.0);
+  const std::size_t id = arcs_.size();
+  arcs_.push_back({to, capacity, cost});
+  arcs_.push_back({from, 0.0, -cost});
+  head_[from].push_back(id);
+  head_[to].push_back(id + 1);
+  return id;
+}
+
+MinCostFlow::Result MinCostFlow::solve(std::size_t source, std::size_t sink,
+                                       double amount) {
+  const std::size_t n = head_.size();
+  potential_.assign(n, 0.0);  // all costs >= 0, so zero potentials are valid
+  Result result;
+
+  std::vector<double> dist(n);
+  std::vector<std::size_t> parent_arc(n);
+  IndexedMinHeap heap(n);
+
+  while (result.flow + kEps < amount) {
+    // Dijkstra on reduced costs.
+    std::fill(dist.begin(), dist.end(), std::numeric_limits<double>::infinity());
+    std::fill(parent_arc.begin(), parent_arc.end(),
+              std::numeric_limits<std::size_t>::max());
+    heap.clear();
+    dist[source] = 0.0;
+    heap.push_or_decrease(source, 0.0);
+    while (!heap.empty()) {
+      const auto [u, du] = heap.pop_min();
+      if (du > dist[u]) continue;
+      for (std::size_t arc_id : head_[u]) {
+        const Arc& arc = arcs_[arc_id];
+        if (arc.capacity <= kEps) continue;
+        const double reduced = arc.cost + potential_[u] - potential_[arc.to];
+        // Reduced costs are >= -eps by induction; clamp tiny negatives that
+        // arise from floating point.
+        const double cand = du + std::max(reduced, 0.0);
+        if (cand < dist[arc.to] - kEps) {
+          dist[arc.to] = cand;
+          parent_arc[arc.to] = arc_id;
+          heap.push_or_decrease(arc.to, cand);
+        }
+      }
+    }
+    if (dist[sink] == std::numeric_limits<double>::infinity()) break;
+
+    for (std::size_t v = 0; v < n; ++v) {
+      if (dist[v] < std::numeric_limits<double>::infinity()) {
+        potential_[v] += dist[v];
+      }
+    }
+
+    // Bottleneck along the augmenting path.
+    double push = amount - result.flow;
+    for (std::size_t v = sink; v != source;) {
+      const Arc& arc = arcs_[parent_arc[v]];
+      push = std::min(push, arc.capacity);
+      v = arcs_[parent_arc[v] ^ 1].to;
+    }
+    if (push <= kEps) break;
+
+    for (std::size_t v = sink; v != source;) {
+      const std::size_t arc_id = parent_arc[v];
+      arcs_[arc_id].capacity -= push;
+      arcs_[arc_id ^ 1].capacity += push;
+      result.cost += push * arcs_[arc_id].cost;
+      v = arcs_[arc_id ^ 1].to;
+    }
+    result.flow += push;
+  }
+  result.saturated = result.flow + kEps >= amount;
+  return result;
+}
+
+double MinCostFlow::flow_on(std::size_t edge_id) const {
+  // Flow on a forward arc equals the residual capacity of its twin.
+  return arcs_[2 * (edge_id / 2) + 1].capacity;
+}
+
+}  // namespace capman::math

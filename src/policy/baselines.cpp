@@ -1,0 +1,30 @@
+#include "policy/baselines.h"
+
+#include <cmath>
+
+namespace capman::policy {
+
+battery::BatterySelection HeuristicPolicy::on_event(
+    const PolicyContext& context, const workload::Action& /*event*/) {
+  // EWMA prediction of demand from the Table II models' current output.
+  // The heuristic reacts to what the phone draws *now*, so it lags pattern
+  // changes — which is exactly where CAPMAN's learned model wins.
+  if (!primed_) {
+    predicted_w_ = context.demand_w;
+    primed_ = true;
+  } else {
+    const double dt = std::max(context.now_s - last_event_s_, 1e-3);
+    const double alpha = 1.0 - std::exp(-dt / ewma_tau_s_);
+    predicted_w_ += alpha * (context.demand_w - predicted_w_);
+  }
+  last_event_s_ = context.now_s;
+
+  if (context.little_soc <= 0.08) return battery::BatterySelection::kBig;
+  // Predict the coming interval as the max of the instantaneous reading and
+  // the trend: catches surges, but still lags when a pattern shifts.
+  const double predicted = std::max(context.demand_w, predicted_w_);
+  return predicted > threshold_w_ ? battery::BatterySelection::kLittle
+                                  : battery::BatterySelection::kBig;
+}
+
+}  // namespace capman::policy

@@ -1,0 +1,63 @@
+// The paper's state-of-the-practice baselines (Section V):
+//  * Practice  — the original phone: a single battery of the same total
+//                capacity; nothing to schedule.
+//  * Dual      — big.LITTLE pack but "always uses LITTLE battery first".
+//  * Heuristic — big.LITTLE pack with a utilization-based prediction model
+//                built on the Table II power models (EWMA-predicted demand
+//                above a threshold -> LITTLE, else big).
+#pragma once
+
+#include "policy/policy.h"
+
+namespace capman::policy {
+
+class PracticePolicy final : public BatteryPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "Practice"; }
+  battery::BatterySelection on_event(const PolicyContext&,
+                                     const workload::Action&) override {
+    return battery::BatterySelection::kBig;
+  }
+  [[nodiscard]] bool wants_single_pack() const override { return true; }
+};
+
+class DualPolicy final : public BatteryPolicy {
+ public:
+  /// LITTLE is used until it drops to `little_floor` state of charge
+  /// (below ~8% the LITTLE cell's available well can no longer hold the
+  /// rail, so the driver flips to big).
+  explicit DualPolicy(double little_floor = 0.08)
+      : little_floor_(little_floor) {}
+
+  [[nodiscard]] std::string name() const override { return "Dual"; }
+  battery::BatterySelection on_event(const PolicyContext& context,
+                                     const workload::Action&) override {
+    return context.little_soc > little_floor_
+               ? battery::BatterySelection::kLittle
+               : battery::BatterySelection::kBig;
+  }
+
+ private:
+  double little_floor_;
+};
+
+class HeuristicPolicy final : public BatteryPolicy {
+ public:
+  /// `threshold_w`: predicted demand above this routes to LITTLE.
+  /// `ewma_tau_s`: smoothing horizon of the utilization predictor.
+  explicit HeuristicPolicy(double threshold_w = 2.0, double ewma_tau_s = 8.0)
+      : threshold_w_(threshold_w), ewma_tau_s_(ewma_tau_s) {}
+
+  [[nodiscard]] std::string name() const override { return "Heuristic"; }
+  battery::BatterySelection on_event(const PolicyContext& context,
+                                     const workload::Action& event) override;
+
+ private:
+  double threshold_w_;
+  double ewma_tau_s_;
+  double predicted_w_ = 0.0;
+  double last_event_s_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace capman::policy

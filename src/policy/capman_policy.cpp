@@ -1,0 +1,36 @@
+#include "policy/capman_policy.h"
+
+namespace capman::policy {
+
+CapmanPolicy::CapmanPolicy(const core::CapmanConfig& config,
+                           std::uint64_t seed)
+    : controller_(config, seed) {}
+
+battery::BatterySelection CapmanPolicy::on_event(
+    const PolicyContext& context, const workload::Action& event) {
+  auto choice = controller_.on_event(event, context.device, context.active,
+                                     util::Seconds{context.now_s},
+                                     context.emergency);
+  // Management-facility reserve guard (the learned policy has no
+  // state-of-charge in its state space; protection is the actuator's job).
+  if (choice == battery::BatterySelection::kLittle &&
+      context.little_soc < kReserveSoc && context.big_soc > kReserveSoc) {
+    choice = battery::BatterySelection::kBig;
+  } else if (choice == battery::BatterySelection::kBig &&
+             context.big_soc < kReserveSoc &&
+             context.little_soc > kReserveSoc) {
+    choice = battery::BatterySelection::kLittle;
+  }
+  return choice;
+}
+
+void CapmanPolicy::record_step(util::Joules delivered, util::Joules losses,
+                               bool demand_met) {
+  controller_.record_step(delivered, losses, demand_met);
+}
+
+util::Watts CapmanPolicy::maintenance(util::Seconds now) {
+  return controller_.maintenance(now);
+}
+
+}  // namespace capman::policy

@@ -1,0 +1,39 @@
+// CAPMAN exposed as a BatteryPolicy: thin adapter around the core
+// controller so the simulation engine can compare it against the baselines
+// through one interface.
+#pragma once
+
+#include "core/controller.h"
+#include "policy/policy.h"
+
+namespace capman::policy {
+
+class CapmanPolicy final : public BatteryPolicy {
+ public:
+  explicit CapmanPolicy(const core::CapmanConfig& config = {},
+                        std::uint64_t seed = 42);
+
+  /// Reserve guard of the battery management facility: the scheduler's
+  /// choice is overridden when it would drain a cell past serviceability
+  /// while the sibling still has charge.
+  static constexpr double kReserveSoc = 0.06;
+
+  [[nodiscard]] std::string name() const override { return "CAPMAN"; }
+
+  battery::BatterySelection on_event(const PolicyContext& context,
+                                     const workload::Action& event) override;
+
+  void record_step(util::Joules delivered, util::Joules losses,
+                   bool demand_met) override;
+
+  util::Watts maintenance(util::Seconds now) override;
+
+  [[nodiscard]] const core::CapmanController& controller() const {
+    return controller_;
+  }
+
+ private:
+  core::CapmanController controller_;
+};
+
+}  // namespace capman::policy

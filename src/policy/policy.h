@@ -1,0 +1,59 @@
+// Battery scheduling policy interface shared by CAPMAN and all baselines
+// (paper Section V): Oracle, Practice, Dual, Heuristic, CAPMAN.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "battery/pack.h"
+#include "device/power_state.h"
+#include "util/units.h"
+#include "workload/event.h"
+
+namespace capman::policy {
+
+struct PolicyContext {
+  double now_s = 0.0;
+  device::DeviceStateVector device;
+  double demand_w = 0.0;  // instantaneous component power demand
+  battery::BatterySelection active = battery::BatterySelection::kBig;
+  double big_soc = 1.0;
+  double little_soc = 1.0;
+  double hotspot_c = 25.0;
+  // True when this consultation was triggered by the rail monitor (the
+  // previous step's demand went unmet), not by a trace event.
+  bool emergency = false;
+
+  // Clairvoyant fields, filled by the engine from the (known) trace. Only
+  // the offline Oracle may read them; online policies must ignore them.
+  double interval_avg_w = 0.0;
+  double interval_peak_w = 0.0;
+  double interval_duration_s = 0.0;
+  const battery::DualBatteryPack* pack = nullptr;  // null on single packs
+};
+
+class BatteryPolicy {
+ public:
+  virtual ~BatteryPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Battery decision when trace event `event` fires.
+  virtual battery::BatterySelection on_event(
+      const PolicyContext& context, const workload::Action& event) = 0;
+
+  /// Per-step energy accounting feedback (used by learning policies).
+  virtual void record_step(util::Joules /*delivered*/, util::Joules /*losses*/,
+                           bool /*demand_met*/) {}
+
+  /// Per-step upkeep; returns extra CPU power the policy itself costs.
+  virtual util::Watts maintenance(util::Seconds /*now*/) {
+    return util::Watts{0.0};
+  }
+
+  /// True when the policy runs on the original single-battery phone
+  /// (the paper's Practice baseline).
+  [[nodiscard]] virtual bool wants_single_pack() const { return false; }
+};
+
+}  // namespace capman::policy

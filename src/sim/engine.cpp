@@ -1,0 +1,156 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace capman::sim {
+
+SimEngine::SimEngine(const SimConfig& config) : config_(config) {}
+
+SimResult SimEngine::run(const workload::Trace& trace,
+                         policy::BatteryPolicy& policy,
+                         const device::PhoneModel& phone) {
+  SimResult result;
+  result.workload = trace.name();
+  result.policy = policy.name();
+  result.phone = phone.profile().name;
+
+  // Power source: the Practice baseline runs the original single-battery
+  // phone; everything else runs the big.LITTLE pack.
+  std::unique_ptr<battery::PowerSource> source;
+  const battery::DualBatteryPack* dual = nullptr;
+  if (policy.wants_single_pack()) {
+    source = std::make_unique<battery::SingleBatteryPack>(
+        config_.practice_chemistry, config_.practice_capacity_mah);
+  } else {
+    auto pack = std::make_unique<battery::DualBatteryPack>(config_.pack_config);
+    dual = pack.get();
+    source = std::move(pack);
+  }
+
+  thermal::PhoneThermal thermal{config_.thermal_config, config_.tec_params};
+  thermal::CoolingController cooling{config_.cooling_config};
+  workload::TraceCursor cursor{trace};
+
+  const double dt_s = config_.dt.value();
+  const util::Seconds dt = config_.dt;
+  double t = 0.0;
+  double unmet_s = 0.0;
+  double last_consult_s = -1.0;
+  double tec_power_w = 0.0;  // TEC draw decided last step (one-step lag)
+  double next_sample_s = 0.0;
+  double sum_power_x_dt = 0.0;
+  util::RunningStats cpu_temp_stats;
+  util::RunningStats surface_temp_stats;
+  double tec_on_s = 0.0;
+
+  while (t < config_.max_duration.value()) {
+    const bool fired = cursor.advance(t);
+    const device::DeviceDemand& demand = cursor.demand_at(t);
+    const device::ComponentPower comp = phone.power(demand);
+
+    // The policy is consulted on every trace event; additionally, the rail
+    // monitor (comparator input) triggers an emergency consultation when
+    // the previous step's demand went unmet - the paper's facility "can
+    // switch between batteries in milliseconds". The emergency consult only
+    // helps a policy whose decision logic actually picks the other cell.
+    const bool emergency = unmet_s > 0.0 && t - last_consult_s >= 0.2;
+    if (fired || emergency) {
+      policy::PolicyContext ctx;
+      ctx.now_s = t;
+      ctx.device = demand.state_vector();
+      ctx.demand_w = comp.total().value();
+      ctx.active = source->active();
+      ctx.big_soc = source->big_soc();
+      ctx.little_soc = source->little_soc();
+      ctx.hotspot_c = thermal.cpu_temperature().value();
+      ctx.emergency = emergency && !fired;
+      ctx.interval_avg_w = comp.total().value();
+      ctx.interval_peak_w = comp.total().value();
+      ctx.interval_duration_s = cursor.next_event_time(t) - t;
+      ctx.pack = dual;
+      const auto choice = policy.on_event(ctx, cursor.action_at(t));
+      source->request(choice, util::Seconds{t});
+      last_consult_s = t;
+    }
+
+    // Thermal actuation (TEC on/off) from the current hot-spot reading.
+    if (config_.enable_tec) {
+      cooling.update(thermal);
+    } else {
+      thermal.tec().turn_off();
+    }
+
+    const util::Watts maintenance = policy.maintenance(util::Seconds{t});
+    const util::Watts load =
+        comp.total() + maintenance + util::Watts{tec_power_w};
+
+    const auto step = source->step(load, dt, util::Seconds{t});
+    policy.record_step(step.delivered, step.losses, step.demand_met);
+
+    // Thermal integration; CPU node carries compute + policy maintenance,
+    // board carries screen/WiFi dissipation, battery carries its losses.
+    const util::Watts tec_power =
+        thermal.step(comp.cpu + maintenance, step.heat,
+                     comp.screen + comp.wifi, dt);
+    tec_power_w = tec_power.value();
+
+    // --- Metrics ---
+    result.energy_delivered_j += step.delivered.value();
+    result.energy_lost_j += step.losses.value();
+    result.tec_energy_j += tec_power_w * dt_s;
+    if (thermal.tec().is_on()) tec_on_s += dt_s;
+    sum_power_x_dt += load.value() * dt_s;
+    cpu_temp_stats.add(thermal.cpu_temperature().value());
+    surface_temp_stats.add(thermal.surface_temperature().value());
+
+    if (config_.record_series && t >= next_sample_s) {
+      result.soc_series.add(t, source->soc());
+      result.power_series.add(t, load.value());
+      result.cpu_temp_series.add(t, thermal.cpu_temperature().value());
+      result.surface_temp_series.add(t, thermal.surface_temperature().value());
+      result.tec_power_series.add(t, tec_power_w);
+      next_sample_s = t + config_.series_period.value();
+    }
+
+    // --- Death conditions ---
+    // Leaky integrator: unmet demand accumulates; met demand forgives it
+    // only slowly (a user tolerates one stutter, not one every few
+    // seconds). A phone limping along on brief recovery dribbles therefore
+    // still dies, as real hardware does on a sagging rail.
+    if (!step.demand_met) {
+      unmet_s += dt_s;
+      if (unmet_s >= config_.death_grace.value()) {
+        result.died_of_brownout = !step.exhausted;
+        t += dt_s;
+        break;
+      }
+    } else {
+      unmet_s = std::max(0.0, unmet_s - 0.1 * dt_s);
+    }
+    if (step.exhausted) {
+      t += dt_s;
+      break;
+    }
+    t += dt_s;
+  }
+
+  result.service_time_s = t;
+  result.truncated = t >= config_.max_duration.value();
+  result.avg_power_w = t > 0.0 ? sum_power_x_dt / t : 0.0;
+  result.avg_cpu_temp_c = cpu_temp_stats.mean();
+  result.max_cpu_temp_c = cpu_temp_stats.max();
+  result.avg_surface_temp_c = surface_temp_stats.mean();
+  result.max_surface_temp_c = surface_temp_stats.max();
+  result.tec_on_fraction = t > 0.0 ? tec_on_s / t : 0.0;
+  result.switch_count = source->switch_count();
+  result.big_active_s =
+      source->activation_time(battery::BatterySelection::kBig).value();
+  result.little_active_s =
+      source->activation_time(battery::BatterySelection::kLittle).value();
+  result.end_big_soc = source->big_soc();
+  result.end_little_soc = source->little_soc();
+  return result;
+}
+
+}  // namespace capman::sim

@@ -1,0 +1,55 @@
+// Discrete-time simulation engine: workload trace -> device power models ->
+// scheduling policy -> battery pack -> thermal network + TEC, stepped on a
+// fixed clock until the pack dies (one discharge cycle). This replaces the
+// paper's physical testbed (phones + multimeter + switch board).
+#pragma once
+
+#include <memory>
+
+#include "battery/pack.h"
+#include "device/phone.h"
+#include "policy/policy.h"
+#include "sim/metrics.h"
+#include "thermal/controller.h"
+#include "thermal/phone_thermal.h"
+#include "workload/trace.h"
+
+namespace capman::sim {
+
+struct SimConfig {
+  util::Seconds dt{0.05};
+  util::Seconds max_duration = util::hours(400.0);
+  bool enable_tec = true;
+  // Net unmet demand (leaky integrator, slow forgiveness) beyond this
+  // kills the phone: one voltage-sag stutter rides through on the rail
+  // capacitance, repeated or sustained sag shuts the phone down.
+  util::Seconds death_grace{2.5};
+
+  // Series capture (decimated to roughly this sampling period).
+  bool record_series = true;
+  util::Seconds series_period{2.0};
+
+  battery::DualPackConfig pack_config{};
+  battery::Chemistry practice_chemistry = battery::Chemistry::kLCO;
+  double practice_capacity_mah = 2500.0;
+
+  thermal::PhoneThermalConfig thermal_config{};
+  thermal::TecParams tec_params{};
+  thermal::CoolingControllerConfig cooling_config{};
+};
+
+class SimEngine {
+ public:
+  explicit SimEngine(const SimConfig& config = {});
+
+  /// Run one full discharge cycle of `policy` on `trace` with `phone`.
+  SimResult run(const workload::Trace& trace, policy::BatteryPolicy& policy,
+                const device::PhoneModel& phone);
+
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+
+ private:
+  SimConfig config_;
+};
+
+}  // namespace capman::sim

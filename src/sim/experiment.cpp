@@ -1,0 +1,84 @@
+#include "sim/experiment.h"
+
+#include "policy/baselines.h"
+#include "policy/capman_policy.h"
+#include "policy/oracle.h"
+
+namespace capman::sim {
+
+const std::vector<PolicyKind>& all_policy_kinds() {
+  static const std::vector<PolicyKind> kAll = {
+      PolicyKind::kOracle, PolicyKind::kCapman, PolicyKind::kDual,
+      PolicyKind::kHeuristic, PolicyKind::kPractice};
+  return kAll;
+}
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kOracle: return "Oracle";
+    case PolicyKind::kCapman: return "CAPMAN";
+    case PolicyKind::kDual: return "Dual";
+    case PolicyKind::kHeuristic: return "Heuristic";
+    case PolicyKind::kPractice: return "Practice";
+  }
+  return "?";
+}
+
+std::unique_ptr<policy::BatteryPolicy> make_policy(PolicyKind kind,
+                                                   std::uint64_t seed) {
+  switch (kind) {
+    case PolicyKind::kOracle:
+      return std::make_unique<policy::OraclePolicy>();
+    case PolicyKind::kCapman:
+      return std::make_unique<policy::CapmanPolicy>(core::CapmanConfig{},
+                                                    seed);
+    case PolicyKind::kDual:
+      return std::make_unique<policy::DualPolicy>();
+    case PolicyKind::kHeuristic:
+      return std::make_unique<policy::HeuristicPolicy>();
+    case PolicyKind::kPractice:
+      return std::make_unique<policy::PracticePolicy>();
+  }
+  return nullptr;
+}
+
+std::vector<SimResult> run_policy_comparison(const workload::Trace& trace,
+                                             const device::PhoneModel& phone,
+                                             const SimConfig& config,
+                                             std::uint64_t seed) {
+  std::vector<SimResult> results;
+  SimEngine engine{config};
+  for (PolicyKind kind : all_policy_kinds()) {
+    auto policy = make_policy(kind, seed);
+    results.push_back(engine.run(trace, *policy, phone));
+  }
+  return results;
+}
+
+std::vector<SimResult> run_multi_cycle(const workload::Trace& trace,
+                                       const device::PhoneModel& phone,
+                                       const SimConfig& config,
+                                       PolicyKind kind, std::size_t cycles,
+                                       std::uint64_t seed) {
+  std::vector<SimResult> results;
+  SimEngine engine{config};
+  auto policy = make_policy(kind, seed);
+  for (std::size_t c = 0; c < cycles; ++c) {
+    results.push_back(engine.run(trace, *policy, phone));
+  }
+  return results;
+}
+
+double improvement_pct(double a, double b) {
+  return b > 0.0 ? 100.0 * (a - b) / b : 0.0;
+}
+
+const SimResult* find_result(const std::vector<SimResult>& results,
+                             const std::string& policy_name) {
+  for (const auto& r : results) {
+    if (r.policy == policy_name) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace capman::sim

@@ -1,0 +1,49 @@
+// Experiment harness helpers shared by benches, examples and integration
+// tests: construct the paper's five policies, run a workload under each,
+// and compute the improvement ratios the paper reports.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "policy/policy.h"
+#include "sim/engine.h"
+#include "workload/generators.h"
+
+namespace capman::sim {
+
+enum class PolicyKind { kOracle, kCapman, kDual, kHeuristic, kPractice };
+
+/// Paper order: Oracle (ground truth) first, then CAPMAN, then baselines.
+const std::vector<PolicyKind>& all_policy_kinds();
+
+std::unique_ptr<policy::BatteryPolicy> make_policy(PolicyKind kind,
+                                                   std::uint64_t seed = 42);
+
+const char* to_string(PolicyKind kind);
+
+/// Run `trace` under every policy; results in all_policy_kinds() order.
+std::vector<SimResult> run_policy_comparison(const workload::Trace& trace,
+                                             const device::PhoneModel& phone,
+                                             const SimConfig& config,
+                                             std::uint64_t seed = 42);
+
+/// Run `cycles` consecutive discharge cycles of the same workload with ONE
+/// policy instance (a fresh, fully charged pack each cycle - see
+/// battery::Charger for explicit charge modeling). Learning policies
+/// (CAPMAN) carry their model across cycles, so later cycles start with a
+/// warm MDP - the multi-cycle learning effect.
+std::vector<SimResult> run_multi_cycle(const workload::Trace& trace,
+                                       const device::PhoneModel& phone,
+                                       const SimConfig& config,
+                                       PolicyKind kind, std::size_t cycles,
+                                       std::uint64_t seed = 42);
+
+/// Percentage improvement of a over b: 100 * (a - b) / b.
+double improvement_pct(double a, double b);
+
+/// Find a result by policy name (nullptr if absent).
+const SimResult* find_result(const std::vector<SimResult>& results,
+                             const std::string& policy_name);
+
+}  // namespace capman::sim

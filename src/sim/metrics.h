@@ -1,0 +1,56 @@
+// Simulation outputs: everything the paper's evaluation section reads off
+// the testbed (service time, energy, temperatures, switch counts, battery
+// activation ratios, time series for the figures).
+#pragma once
+
+#include <string>
+
+#include "util/stats.h"
+
+namespace capman::sim {
+
+struct SimResult {
+  std::string workload;
+  std::string policy;
+  std::string phone;
+
+  double service_time_s = 0.0;       // discharge-cycle length
+  bool truncated = false;            // hit max_duration before dying
+  bool died_of_brownout = false;     // sustained unmet demand (vs exhausted)
+
+  double energy_delivered_j = 0.0;
+  double energy_lost_j = 0.0;
+  double tec_energy_j = 0.0;
+  double tec_on_fraction = 0.0;
+
+  double avg_power_w = 0.0;          // average total draw while alive
+  double avg_cpu_temp_c = 0.0;
+  double max_cpu_temp_c = 0.0;
+  double avg_surface_temp_c = 0.0;
+  double max_surface_temp_c = 0.0;
+
+  std::size_t switch_count = 0;
+  double big_active_s = 0.0;
+  double little_active_s = 0.0;
+  double end_big_soc = 0.0;     // state of charge when the cycle ended
+  double end_little_soc = 0.0;  // (stranded charge is the 'rate-capacity' cost)
+
+  // Sampled series for figure reproduction.
+  util::TimeSeries soc_series;          // combined SoC vs time (Fig. 12)
+  util::TimeSeries power_series;        // total active power vs time (13/15)
+  util::TimeSeries cpu_temp_series;     // hot-spot temperature (Fig. 13)
+  util::TimeSeries surface_temp_series;
+  util::TimeSeries tec_power_series;
+
+  /// Overall energy efficiency delivered / (delivered + lost).
+  [[nodiscard]] double efficiency() const {
+    const double total = energy_delivered_j + energy_lost_j;
+    return total > 0.0 ? energy_delivered_j / total : 0.0;
+  }
+  /// Fig. 14's x-axis: big activation time / LITTLE activation time.
+  [[nodiscard]] double big_little_ratio() const {
+    return little_active_s > 0.0 ? big_active_s / little_active_s : 0.0;
+  }
+};
+
+}  // namespace capman::sim

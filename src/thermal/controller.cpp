@@ -1,0 +1,21 @@
+#include "thermal/controller.h"
+
+namespace capman::thermal {
+
+CoolingController::CoolingController(const CoolingControllerConfig& config)
+    : config_(config) {}
+
+bool CoolingController::update(PhoneThermal& thermal) {
+  const util::Celsius hot_spot = thermal.cpu_temperature();
+  Tec& tec = thermal.tec();
+  if (!tec.is_on() && hot_spot > config_.threshold) {
+    tec.turn_on();
+    ++activations_;
+  } else if (tec.is_on() &&
+             hot_spot < config_.threshold - config_.hysteresis) {
+    tec.turn_off();
+  }
+  return tec.is_on();
+}
+
+}  // namespace capman::thermal

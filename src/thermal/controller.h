@@ -1,0 +1,35 @@
+// Threshold cooling controller: "TEC is powered on directly from the switch
+// facility when the temperature is higher than the 45 C threshold" (paper
+// Section IV). A hysteresis band prevents relay chatter.
+#pragma once
+
+#include "thermal/phone_thermal.h"
+#include "util/units.h"
+
+namespace capman::thermal {
+
+struct CoolingControllerConfig {
+  util::Celsius threshold{45.0};
+  util::KelvinDiff hysteresis{2.0};  // turn off below threshold - hysteresis
+};
+
+class CoolingController {
+ public:
+  explicit CoolingController(const CoolingControllerConfig& config = {});
+
+  /// Update the TEC on/off state from the current hot-spot temperature.
+  /// Returns true when the TEC is (now) on.
+  bool update(PhoneThermal& thermal);
+
+  [[nodiscard]] const CoolingControllerConfig& config() const {
+    return config_;
+  }
+  /// Total number of on-transitions so far.
+  [[nodiscard]] std::size_t activation_count() const { return activations_; }
+
+ private:
+  CoolingControllerConfig config_;
+  std::size_t activations_ = 0;
+};
+
+}  // namespace capman::thermal

@@ -1,0 +1,94 @@
+#include "thermal/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace capman::thermal {
+
+NodeId ThermalNetwork::add_node(std::string name, double heat_capacity_j_per_k,
+                                util::Celsius initial) {
+  assert(heat_capacity_j_per_k > 0.0);
+  nodes_.push_back(
+      {std::move(name), heat_capacity_j_per_k, initial.value(), 0.0, false});
+  return nodes_.size() - 1;
+}
+
+NodeId ThermalNetwork::add_fixed_node(std::string name,
+                                      util::Celsius temperature) {
+  nodes_.push_back({std::move(name), 0.0, temperature.value(), 0.0, true});
+  return nodes_.size() - 1;
+}
+
+void ThermalNetwork::add_edge(NodeId a, NodeId b, double conductance_w_per_k) {
+  assert(a < nodes_.size() && b < nodes_.size() && a != b);
+  assert(conductance_w_per_k > 0.0);
+  edges_.push_back({a, b, conductance_w_per_k});
+}
+
+void ThermalNetwork::inject(NodeId node, util::Watts power) {
+  assert(node < nodes_.size());
+  nodes_[node].injected_w += power.value();
+}
+
+double ThermalNetwork::max_stable_dt() const {
+  // Explicit Euler stability: dt < C_i / sum of conductances at node i.
+  std::vector<double> g_sum(nodes_.size(), 0.0);
+  for (const Edge& e : edges_) {
+    g_sum[e.a] += e.conductance_w_per_k;
+    g_sum[e.b] += e.conductance_w_per_k;
+  }
+  double bound = 1e9;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].fixed && g_sum[i] > 0.0) {
+      bound = std::min(bound, nodes_[i].capacity_j_per_k / g_sum[i]);
+    }
+  }
+  // 0.05x the stability bound: explicit Euler needs small steps for
+  // accuracy, not just stability (2% error per time constant at this h).
+  return 0.05 * bound;
+}
+
+void ThermalNetwork::step(util::Seconds dt) {
+  const double total = dt.value();
+  assert(total > 0.0);
+  const double max_dt = max_stable_dt();
+  const int substeps = std::max(1, static_cast<int>(std::ceil(total / max_dt)));
+  const double h = total / substeps;
+
+  std::vector<double> flux(nodes_.size());
+  for (int s = 0; s < substeps; ++s) {
+    std::fill(flux.begin(), flux.end(), 0.0);
+    for (const Edge& e : edges_) {
+      const double q = e.conductance_w_per_k *
+                       (nodes_[e.a].temperature_c - nodes_[e.b].temperature_c);
+      flux[e.a] -= q;
+      flux[e.b] += q;
+    }
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      Node& n = nodes_[i];
+      if (n.fixed) continue;
+      n.temperature_c += h * (flux[i] + n.injected_w) / n.capacity_j_per_k;
+    }
+  }
+  for (Node& n : nodes_) n.injected_w = 0.0;
+}
+
+util::Celsius ThermalNetwork::temperature(NodeId node) const {
+  assert(node < nodes_.size());
+  return util::Celsius{nodes_[node].temperature_c};
+}
+
+std::string_view ThermalNetwork::node_name(NodeId node) const {
+  assert(node < nodes_.size());
+  return nodes_[node].name;
+}
+
+void ThermalNetwork::reset(util::Celsius temperature) {
+  for (Node& n : nodes_) {
+    if (!n.fixed) n.temperature_c = temperature.value();
+    n.injected_w = 0.0;
+  }
+}
+
+}  // namespace capman::thermal

@@ -1,0 +1,67 @@
+// Lumped-parameter (RC) thermal network.
+//
+// Nodes carry a heat capacity and temperature; edges carry a thermal
+// conductance. Heat injected per step (CPU power, battery losses, TEC hot
+// side) diffuses through the network toward fixed-temperature nodes
+// (ambient). Integration is explicit Euler with automatic sub-stepping to
+// stay well inside the stability bound dt < min_i C_i / G_i.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/units.h"
+
+namespace capman::thermal {
+
+using NodeId = std::size_t;
+
+class ThermalNetwork {
+ public:
+  /// Adds a node with heat capacity [J/K] and an initial temperature.
+  NodeId add_node(std::string name, double heat_capacity_j_per_k,
+                  util::Celsius initial);
+
+  /// Adds an isothermal boundary node (e.g. ambient air).
+  NodeId add_fixed_node(std::string name, util::Celsius temperature);
+
+  /// Connects two nodes with a thermal conductance [W/K].
+  void add_edge(NodeId a, NodeId b, double conductance_w_per_k);
+
+  /// Queues heat power into a node for the next `step` call. Positive =
+  /// heating; negative = cooling (TEC cold side). Accumulates.
+  void inject(NodeId node, util::Watts power);
+
+  /// Integrates the network over dt, consuming queued injections.
+  void step(util::Seconds dt);
+
+  [[nodiscard]] util::Celsius temperature(NodeId node) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::string_view node_name(NodeId node) const;
+
+  /// Reset all non-fixed nodes to the given temperature.
+  void reset(util::Celsius temperature);
+
+ private:
+  struct Node {
+    std::string name;
+    double capacity_j_per_k;  // <= 0 marks a fixed node
+    double temperature_c;
+    double injected_w = 0.0;
+    bool fixed = false;
+  };
+  struct Edge {
+    NodeId a;
+    NodeId b;
+    double conductance_w_per_k;
+  };
+
+  [[nodiscard]] double max_stable_dt() const;
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace capman::thermal

@@ -1,0 +1,63 @@
+#include "thermal/phone_thermal.h"
+
+namespace capman::thermal {
+
+PhoneThermal::PhoneThermal(const PhoneThermalConfig& config,
+                           const TecParams& tec_params)
+    : tec_(tec_params) {
+  cpu_ = network_.add_node("cpu", config.cpu_capacity, config.ambient);
+  board_ = network_.add_node("board", config.board_capacity, config.ambient);
+  battery_ =
+      network_.add_node("battery", config.battery_capacity, config.ambient);
+  surface_ =
+      network_.add_node("surface", config.surface_capacity, config.ambient);
+  ambient_ = network_.add_fixed_node("ambient", config.ambient);
+
+  network_.add_edge(cpu_, board_, config.cpu_board);
+  network_.add_edge(cpu_, surface_, config.cpu_surface);
+  network_.add_edge(board_, surface_, config.board_surface);
+  network_.add_edge(battery_, board_, config.battery_board);
+  network_.add_edge(battery_, surface_, config.battery_surface);
+  network_.add_edge(surface_, ambient_, config.surface_ambient);
+}
+
+util::Watts PhoneThermal::step(util::Watts cpu_power,
+                               util::Watts battery_heat,
+                               util::Watts other_power, util::Seconds dt) {
+  network_.inject(cpu_, cpu_power);
+  network_.inject(battery_, battery_heat);
+  // Screen/WiFi power dissipates into the board/surface region.
+  network_.inject(board_, other_power);
+
+  util::Watts tec_power{0.0};
+  const util::Amperes i = tec_.operating_current();
+  if (i.value() > 0.0) {
+    // Cold side on the CPU die, hot side against the back-cover spreader
+    // (the surface node), which has the strongest path to ambient.
+    const util::Celsius cold = network_.temperature(cpu_);
+    const util::Celsius hot = network_.temperature(surface_);
+    const util::Watts pumped = tec_.heat_pumped(cold, hot, i);
+    tec_power = tec_.electric_power(cold, hot, i);
+    network_.inject(cpu_, -pumped);
+    network_.inject(surface_, pumped + tec_power);
+  }
+  network_.step(dt);
+  return tec_power;
+}
+
+util::Celsius PhoneThermal::cpu_temperature() const {
+  return network_.temperature(cpu_);
+}
+util::Celsius PhoneThermal::surface_temperature() const {
+  return network_.temperature(surface_);
+}
+util::Celsius PhoneThermal::battery_temperature() const {
+  return network_.temperature(battery_);
+}
+
+void PhoneThermal::reset(util::Celsius temperature) {
+  network_.reset(temperature);
+  tec_.turn_off();
+}
+
+}  // namespace capman::thermal

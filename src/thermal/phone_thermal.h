@@ -1,0 +1,64 @@
+// The standard smartphone thermal stack used across all experiments
+// (paper Fig. 6 top: CPU is the hot spot; TEC sits on the CPU and rejects
+// into the board; the surface is what the 45 C skin-temperature limit
+// guards).
+#pragma once
+
+#include "thermal/network.h"
+#include "thermal/tec.h"
+#include "util/units.h"
+
+namespace capman::thermal {
+
+struct PhoneThermalConfig {
+  util::Celsius ambient{26.0};
+  // Heat capacities [J/K]
+  double cpu_capacity = 4.0;
+  double board_capacity = 20.0;
+  double battery_capacity = 40.0;
+  double surface_capacity = 15.0;
+  // Conductances [W/K]. The CPU is deliberately a high-resistance hot spot
+  // (die-to-sink ~11 K/W) while the surface sheds to ambient easily; spot
+  // cooling with a COP~0.5 TEC only pays off in exactly this regime, which
+  // is the situation paper Fig. 6 (top) depicts.
+  double cpu_board = 0.07;
+  double cpu_surface = 0.02;
+  double board_surface = 0.35;
+  double battery_board = 0.20;
+  double battery_surface = 0.15;
+  double surface_ambient = 0.30;
+};
+
+/// The phone's thermal network plus the TEC mounted across CPU (cold side)
+/// and board (hot side).
+class PhoneThermal {
+ public:
+  explicit PhoneThermal(const PhoneThermalConfig& config = {},
+                        const TecParams& tec_params = {});
+
+  /// One simulation step: inject CPU power and battery losses, run the TEC
+  /// at its operating current, integrate. Returns the TEC electric power
+  /// drawn this step (a load the battery must additionally supply).
+  util::Watts step(util::Watts cpu_power, util::Watts battery_heat,
+                   util::Watts other_power, util::Seconds dt);
+
+  [[nodiscard]] util::Celsius cpu_temperature() const;
+  [[nodiscard]] util::Celsius surface_temperature() const;
+  [[nodiscard]] util::Celsius battery_temperature() const;
+
+  [[nodiscard]] Tec& tec() { return tec_; }
+  [[nodiscard]] const Tec& tec() const { return tec_; }
+
+  void reset(util::Celsius temperature);
+
+ private:
+  ThermalNetwork network_;
+  Tec tec_;
+  NodeId cpu_;
+  NodeId board_;
+  NodeId battery_;
+  NodeId surface_;
+  NodeId ambient_;
+};
+
+}  // namespace capman::thermal

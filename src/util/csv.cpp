@@ -1,0 +1,85 @@
+#include "util/csv.h"
+
+#include <iomanip>
+#include <stdexcept>
+
+namespace capman::util {
+
+std::string csv_escape(std::string_view v) {
+  const bool needs_quotes =
+      v.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string{v};
+  std::string out = "\"";
+  for (char c : v) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+// Enough significant digits that parsing the CSV back reproduces the
+// original doubles to well below any tolerance the library cares about.
+constexpr int kPrecision = 12;
+}  // namespace
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(&out) {
+  *out_ << std::setprecision(kPrecision);
+}
+
+CsvWriter::CsvWriter(const std::string& path) : file_(path), out_(&file_) {
+  if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  *out_ << std::setprecision(kPrecision);
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> columns) {
+  for (auto c : columns) cell(c);
+  end_row();
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  for (const auto& c : columns) cell(c);
+  end_row();
+}
+
+void CsvWriter::separator() {
+  if (row_started_) *out_ << ',';
+  row_started_ = true;
+}
+
+CsvWriter& CsvWriter::cell(std::string_view v) {
+  separator();
+  *out_ << csv_escape(v);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double v) {
+  separator();
+  *out_ << v;
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(long long v) {
+  separator();
+  *out_ << v;
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(std::size_t v) {
+  separator();
+  *out_ << v;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  *out_ << '\n';
+  row_started_ = false;
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  for (double v : values) cell(v);
+  end_row();
+}
+
+}  // namespace capman::util

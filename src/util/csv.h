@@ -1,0 +1,45 @@
+// Minimal CSV writer used by the benchmark harness to dump the series each
+// paper figure plots, so results can be re-plotted offline.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace capman::util {
+
+class CsvWriter {
+ public:
+  /// Write to an already-open stream (not owned).
+  explicit CsvWriter(std::ostream& out);
+
+  /// Open `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void header(std::initializer_list<std::string_view> columns);
+  void header(const std::vector<std::string>& columns);
+
+  /// Begin a row; then call `cell` repeatedly and `end_row`.
+  CsvWriter& cell(std::string_view v);
+  CsvWriter& cell(double v);
+  CsvWriter& cell(long long v);
+  CsvWriter& cell(std::size_t v);
+  void end_row();
+
+  /// One-shot numeric row.
+  void row(std::initializer_list<double> values);
+
+ private:
+  void separator();
+  std::ofstream file_;
+  std::ostream* out_;
+  bool row_started_ = false;
+};
+
+/// Escape a CSV field (quotes fields containing comma/quote/newline).
+std::string csv_escape(std::string_view v);
+
+}  // namespace capman::util

@@ -1,0 +1,21 @@
+#include "util/logging.h"
+
+#include <iostream>
+
+namespace capman::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view msg) {
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::scoped_lock lock{mutex_};
+  std::ostream& out = sink_ != nullptr ? *sink_ : std::clog;
+  out << '[' << kNames[static_cast<int>(level)] << "] " << component << ": "
+      << msg << '\n';
+}
+
+}  // namespace capman::util

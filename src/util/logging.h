@@ -1,0 +1,59 @@
+// Leveled logging. Kept deliberately small: the simulator is the product,
+// logging is plumbing. Thread-safe at the sink level (single mutexed write).
+#pragma once
+
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+namespace capman::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  void set_sink(std::ostream* sink) { sink_ = sink; }
+
+  void write(LogLevel level, std::string_view component, std::string_view msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::ostream* sink_ = nullptr;  // nullptr -> std::clog
+  std::mutex mutex_;
+};
+
+namespace detail {
+template <typename... Args>
+void log(LogLevel level, std::string_view component, Args&&... args) {
+  auto& logger = Logger::instance();
+  if (level < logger.level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  logger.write(level, component, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(std::string_view component, Args&&... args) {
+  detail::log(LogLevel::kDebug, component, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(std::string_view component, Args&&... args) {
+  detail::log(LogLevel::kInfo, component, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(std::string_view component, Args&&... args) {
+  detail::log(LogLevel::kWarn, component, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(std::string_view component, Args&&... args) {
+  detail::log(LogLevel::kError, component, std::forward<Args>(args)...);
+}
+
+}  // namespace capman::util

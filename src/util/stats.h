@@ -1,0 +1,88 @@
+// Streaming statistics and time-series containers for simulation metrics.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace capman::util {
+
+/// Welford online mean/variance plus min/max. O(1) per sample.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// A (time, value) series sampled by the simulator. Supports trapezoidal
+/// integration and decimation for plotting/CSV export.
+class TimeSeries {
+ public:
+  void add(double t, double v);
+  void reserve(std::size_t n);
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return t_.size(); }
+  [[nodiscard]] bool empty() const { return t_.empty(); }
+  [[nodiscard]] double time_at(std::size_t i) const { return t_[i]; }
+  [[nodiscard]] double value_at(std::size_t i) const { return v_[i]; }
+  [[nodiscard]] const std::vector<double>& times() const { return t_; }
+  [[nodiscard]] const std::vector<double>& values() const { return v_; }
+
+  /// Trapezoidal integral over the whole series.
+  [[nodiscard]] double integrate() const;
+
+  /// Mean value weighted by time (integral / span); 0 for < 2 samples.
+  [[nodiscard]] double time_weighted_mean() const;
+
+  [[nodiscard]] double max_value() const;
+  [[nodiscard]] double min_value() const;
+
+  /// Uniformly subsample to at most n points (keeps first and last).
+  [[nodiscard]] TimeSeries decimate(std::size_t n) const;
+
+  /// Fraction of time the value exceeds `threshold` (piecewise-constant
+  /// interpretation: each sample holds until the next).
+  [[nodiscard]] double fraction_above(double threshold) const;
+
+ private:
+  std::vector<double> t_;
+  std::vector<double> v_;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp into the
+/// edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_low(std::size_t i) const;
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace capman::util

@@ -1,0 +1,62 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace capman::util {
+
+TextTable::TextTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+TextTable& TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+TextTable& TextTable::add_row(std::string label, const std::vector<double>& values,
+                              int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(std::move(label));
+  for (double v : values) cells.push_back(format(v, precision));
+  return add_row(std::move(cells));
+}
+
+std::string TextTable::format(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    out << "| ";
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : columns_[i];
+      out << std::left << std::setw(static_cast<int>(widths[i])) << c << " | ";
+    }
+    out << '\n';
+  };
+  print_row(columns_);
+  out << "|";
+  for (auto w : widths) out << std::string(w + 2, '-') << "-|";
+  out << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_section(std::ostream& out, std::string_view title) {
+  out << '\n' << std::string(72, '=') << '\n'
+      << "  " << title << '\n'
+      << std::string(72, '=') << '\n';
+}
+
+}  // namespace capman::util

@@ -1,0 +1,34 @@
+// ASCII table renderer for benchmark binaries: prints the same rows the
+// paper's tables/figure captions report, aligned for terminal reading.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace capman::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> columns);
+
+  TextTable& add_row(std::vector<std::string> cells);
+
+  /// Numeric convenience: formats each double with `precision` digits.
+  TextTable& add_row(std::string label, const std::vector<double>& values,
+                     int precision = 2);
+
+  void print(std::ostream& out) const;
+
+  static std::string format(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a titled section separator for bench output.
+void print_section(std::ostream& out, std::string_view title);
+
+}  // namespace capman::util

@@ -1,0 +1,139 @@
+// Strong unit types for the physical quantities CAPMAN manipulates.
+//
+// Following C++ Core Guidelines I.4 ("make interfaces precisely and strongly
+// typed"), every physical quantity that crosses a module boundary is wrapped
+// in a tagged Quantity so that a caller cannot pass milliwatts where joules
+// are expected. Arithmetic is defined within a unit, plus the handful of
+// cross-unit products the physics needs (V*A = W, W*s = J, A*s = C, ...).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace capman::util {
+
+/// A double wrapped with a unit tag. Zero-overhead: one double, all
+/// operations constexpr and inlined.
+template <typename Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  constexpr Quantity& operator+=(Quantity o) {
+    value_ += o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    value_ -= o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    value_ /= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.value_ + b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.value_ - b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a) { return Quantity{-a.value_}; }
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity{a.value_ * s};
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity{s * a.value_};
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity{a.value_ / s};
+  }
+  /// Ratio of two like quantities is a plain number.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.value_ / b.value_;
+  }
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+struct VoltsTag {};
+struct AmperesTag {};
+struct WattsTag {};
+struct JoulesTag {};
+struct CoulombsTag {};
+struct SecondsTag {};
+struct CelsiusTag {};   // absolute temperature, degrees Celsius
+struct KelvinDiffTag {};  // temperature *difference* (same magnitude as C)
+struct OhmsTag {};
+struct FaradsTag {};
+
+using Volts = Quantity<VoltsTag>;
+using Amperes = Quantity<AmperesTag>;
+using Watts = Quantity<WattsTag>;
+using Joules = Quantity<JoulesTag>;
+using Coulombs = Quantity<CoulombsTag>;
+using Seconds = Quantity<SecondsTag>;
+using Celsius = Quantity<CelsiusTag>;
+using KelvinDiff = Quantity<KelvinDiffTag>;
+using Ohms = Quantity<OhmsTag>;
+using Farads = Quantity<FaradsTag>;
+
+// ---- Cross-unit physics -----------------------------------------------
+
+constexpr Watts operator*(Volts v, Amperes i) { return Watts{v.value() * i.value()}; }
+constexpr Watts operator*(Amperes i, Volts v) { return v * i; }
+constexpr Joules operator*(Watts p, Seconds t) { return Joules{p.value() * t.value()}; }
+constexpr Joules operator*(Seconds t, Watts p) { return p * t; }
+constexpr Coulombs operator*(Amperes i, Seconds t) {
+  return Coulombs{i.value() * t.value()};
+}
+constexpr Coulombs operator*(Seconds t, Amperes i) { return i * t; }
+constexpr Volts operator*(Amperes i, Ohms r) { return Volts{i.value() * r.value()}; }
+constexpr Volts operator*(Ohms r, Amperes i) { return i * r; }
+constexpr Amperes operator/(Volts v, Ohms r) { return Amperes{v.value() / r.value()}; }
+constexpr Amperes operator/(Watts p, Volts v) { return Amperes{p.value() / v.value()}; }
+constexpr Volts operator/(Watts p, Amperes i) { return Volts{p.value() / i.value()}; }
+constexpr Watts operator/(Joules e, Seconds t) { return Watts{e.value() / t.value()}; }
+constexpr Seconds operator/(Joules e, Watts p) { return Seconds{e.value() / p.value()}; }
+
+/// Temperature +/- difference.
+constexpr Celsius operator+(Celsius t, KelvinDiff d) {
+  return Celsius{t.value() + d.value()};
+}
+constexpr Celsius operator-(Celsius t, KelvinDiff d) {
+  return Celsius{t.value() - d.value()};
+}
+/// Temperature difference a - b (the generic same-unit operator- already
+/// yields a Celsius-tagged quantity, so a named helper provides the
+/// difference-typed result where it matters).
+constexpr KelvinDiff temperature_difference(Celsius a, Celsius b) {
+  return KelvinDiff{a.value() - b.value()};
+}
+
+/// Kelvin value of an absolute Celsius temperature (for the Peltier term
+/// S_T * T_c * I, which needs absolute temperature).
+constexpr double kelvin(Celsius t) { return t.value() + 273.15; }
+
+// ---- Convenience constructors -----------------------------------------
+
+constexpr Watts milliwatts(double mw) { return Watts{mw / 1000.0}; }
+constexpr Seconds milliseconds(double ms) { return Seconds{ms / 1000.0}; }
+constexpr Seconds minutes(double m) { return Seconds{m * 60.0}; }
+constexpr Seconds hours(double h) { return Seconds{h * 3600.0}; }
+constexpr Coulombs milliamp_hours(double mah) { return Coulombs{mah * 3.6}; }
+constexpr double to_milliamp_hours(Coulombs c) { return c.value() / 3.6; }
+constexpr double to_milliwatts(Watts w) { return w.value() * 1000.0; }
+constexpr Joules watt_hours(double wh) { return Joules{wh * 3600.0}; }
+constexpr double to_watt_hours(Joules j) { return j.value() / 3600.0; }
+
+}  // namespace capman::util

@@ -1,0 +1,44 @@
+#include "workload/event.h"
+
+#include <algorithm>
+
+namespace capman::workload {
+
+const char* to_string(Syscall s) {
+  switch (s) {
+    case Syscall::kScreenWake: return "screen_wake";
+    case Syscall::kScreenSleep: return "screen_sleep";
+    case Syscall::kAppLaunch: return "app_launch";
+    case Syscall::kAppExit: return "app_exit";
+    case Syscall::kCpuBurst: return "cpu_burst";
+    case Syscall::kCpuIdle: return "cpu_idle";
+    case Syscall::kFreqScale: return "freq_scale";
+    case Syscall::kNetRecvStart: return "net_recv_start";
+    case Syscall::kNetRecvStop: return "net_recv_stop";
+    case Syscall::kNetSendStart: return "net_send_start";
+    case Syscall::kNetSendStop: return "net_send_stop";
+    case Syscall::kVideoFrame: return "video_frame";
+    case Syscall::kSyncDaemon: return "sync_daemon";
+    case Syscall::kUserTouch: return "user_touch";
+    case Syscall::kBinderCall: return "binder_call";
+    case Syscall::kGpsPoll: return "gps_poll";
+    case Syscall::kAudioStart: return "audio_start";
+    case Syscall::kAudioStop: return "audio_stop";
+    case Syscall::kVibrate: return "vibrate";
+    case Syscall::kTimerTick: return "timer_tick";
+  }
+  return "?";
+}
+
+std::string to_string(const Action& a) {
+  return std::string{to_string(a.kind)} + "#" + std::to_string(a.param_bucket);
+}
+
+std::uint8_t bucket_param(double value, double max) {
+  if (max <= 0.0) return 0;
+  const double f = std::clamp(value / max, 0.0, 1.0);
+  const auto b = static_cast<std::size_t>(f * kParamBuckets);
+  return static_cast<std::uint8_t>(std::min(b, kParamBuckets - 1));
+}
+
+}  // namespace capman::workload

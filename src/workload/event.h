@@ -1,0 +1,66 @@
+// Actions: the system calls / binder messages / user activities that
+// trigger device state transitions (paper Section III-B: actions are "the
+// system call vector [32]"). Twenty syscall kinds x ten parameter buckets
+// gives the ~200 recorded actions the paper mentions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace capman::workload {
+
+enum class Syscall : std::uint8_t {
+  kScreenWake = 0,
+  kScreenSleep,
+  kAppLaunch,
+  kAppExit,
+  kCpuBurst,
+  kCpuIdle,
+  kFreqScale,
+  kNetRecvStart,
+  kNetRecvStop,
+  kNetSendStart,
+  kNetSendStop,
+  kVideoFrame,
+  kSyncDaemon,
+  kUserTouch,
+  kBinderCall,
+  kGpsPoll,
+  kAudioStart,
+  kAudioStop,
+  kVibrate,
+  kTimerTick,
+};
+
+inline constexpr std::size_t kSyscallCount = 20;
+inline constexpr std::size_t kParamBuckets = 10;
+
+/// A system-call action with its parameter bucketed into one of
+/// kParamBuckets intensity classes (e.g. packet size, burst length).
+struct Action {
+  Syscall kind = Syscall::kTimerTick;
+  std::uint8_t param_bucket = 0;  // [0, kParamBuckets)
+
+  friend bool operator==(const Action&, const Action&) = default;
+
+  [[nodiscard]] std::size_t index() const {
+    return static_cast<std::size_t>(kind) * kParamBuckets + param_bucket;
+  }
+  static Action from_index(std::size_t index) {
+    return {static_cast<Syscall>(index / kParamBuckets),
+            static_cast<std::uint8_t>(index % kParamBuckets)};
+  }
+};
+
+inline constexpr std::size_t action_space_size() {
+  return kSyscallCount * kParamBuckets;
+}
+
+const char* to_string(Syscall s);
+std::string to_string(const Action& a);
+
+/// Bucket a continuous parameter in [0, max] into kParamBuckets classes.
+std::uint8_t bucket_param(double value, double max);
+
+}  // namespace capman::workload

@@ -1,0 +1,57 @@
+// Workload generators reproducing the paper's benchmark suite (Section V):
+//
+//   * Geekbench  — resource intensive, "always fulfills the system
+//                  utilization", easy-to-predict power profile.
+//   * PCMark     — CPU intensive with occasional user interactions and a
+//                  mid-run pattern change.
+//   * Video      — stable playback: moderate steady draw plus periodic
+//                  network buffering bursts.
+//   * eta-Static — mixed batch: fraction eta of PCMark-style segments,
+//                  1-eta of Video-style segments, with skewed (Pareto)
+//                  segment lengths.
+//   * ScreenToggle — the Fig. 2(b) motivation workload: wake/sleep cycles
+//                  at a configurable period.
+//   * IdleScreenOn — the Fig. 2(a) "keep the phone on and idle" workload:
+//                  screen on, deep CPU idle, periodic sync-daemon bursts.
+//
+// Generators are deterministic given (duration, seed).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/units.h"
+#include "workload/trace.h"
+
+namespace capman::workload {
+
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Generate a trace pattern spanning `horizon`; the simulator loops it.
+  [[nodiscard]] virtual Trace generate(util::Seconds horizon,
+                                       std::uint64_t seed) const = 0;
+};
+
+std::unique_ptr<WorkloadGenerator> make_geekbench();
+std::unique_ptr<WorkloadGenerator> make_pcmark();
+std::unique_ptr<WorkloadGenerator> make_video();
+/// Local video playback (paper Section II motivation: "the phone plays some
+/// videos"): pure decode + screen, no network buffering bursts.
+std::unique_ptr<WorkloadGenerator> make_local_video();
+/// eta in [0,1]: fraction of PCMark-style segments (paper's eta-Static).
+std::unique_ptr<WorkloadGenerator> make_eta_static(double eta);
+/// Toggle the phone on/off with the given period; the screen stays on for
+/// `on_fraction` of each period.
+std::unique_ptr<WorkloadGenerator> make_screen_toggle(util::Seconds period,
+                                                      double on_fraction = 0.05);
+std::unique_ptr<WorkloadGenerator> make_idle_screen_on();
+
+/// The six workloads of the paper's Fig. 12/13/14:
+/// Geekbench, PCMark, Video, eta-20%, eta-50%, eta-80%.
+std::vector<std::unique_ptr<WorkloadGenerator>> paper_suite();
+
+}  // namespace capman::workload

@@ -1,0 +1,89 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace capman::workload {
+
+Trace::Trace(std::string name, std::vector<TraceEvent> events,
+             double horizon_s)
+    : name_(std::move(name)),
+      events_(std::move(events)),
+      horizon_s_(horizon_s) {
+  assert(std::is_sorted(events_.begin(), events_.end(),
+                        [](const TraceEvent& a, const TraceEvent& b) {
+                          return a.time_s < b.time_s;
+                        }));
+  assert(horizon_s_ > 0.0);
+}
+
+util::Watts Trace::average_power(const device::PhoneModel& phone) const {
+  if (events_.empty()) return util::Watts{0.0};
+  double energy = 0.0;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const double t0 = events_[i].time_s;
+    const double t1 = i + 1 < events_.size() ? events_[i + 1].time_s : horizon_s_;
+    energy += phone.power(events_[i].demand).total().value() * (t1 - t0);
+  }
+  return util::Watts{energy / horizon_s_};
+}
+
+void TraceBuilder::add(double time_s, Action action,
+                       const device::DeviceDemand& demand) {
+  assert(events_.empty() || time_s >= events_.back().time_s);
+  events_.push_back({time_s, action, demand});
+}
+
+Trace TraceBuilder::build(double horizon_s) && {
+  return Trace{std::move(name_), std::move(events_), horizon_s};
+}
+
+TraceCursor::TraceCursor(const Trace& trace) : trace_(&trace) {
+  assert(!trace.empty());
+}
+
+std::size_t TraceCursor::index_for(double t) const {
+  const auto& events = trace_->events();
+  const double local = std::fmod(t, trace_->horizon_s());
+  // Last event with time <= local; events start at/near 0.
+  auto it = std::upper_bound(
+      events.begin(), events.end(), local,
+      [](double value, const TraceEvent& e) { return value < e.time_s; });
+  if (it == events.begin()) return events.size() - 1;  // wrap: tail demand
+  return static_cast<std::size_t>(std::distance(events.begin(), it)) - 1;
+}
+
+const device::DeviceDemand& TraceCursor::demand_at(double t) const {
+  return trace_->events()[index_for(t)].demand;
+}
+
+const Action& TraceCursor::action_at(double t) const {
+  return trace_->events()[index_for(t)].action;
+}
+
+double TraceCursor::next_event_time(double t) const {
+  const auto& events = trace_->events();
+  const double horizon = trace_->horizon_s();
+  const double local = std::fmod(t, horizon);
+  auto it = std::upper_bound(
+      events.begin(), events.end(), local,
+      [](double value, const TraceEvent& e) { return value < e.time_s; });
+  if (it == events.end()) {
+    // Wrap to the first event of the next loop.
+    return t + (horizon - local) + events.front().time_s;
+  }
+  return t + (it->time_s - local);
+}
+
+bool TraceCursor::advance(double t) {
+  const std::size_t idx = index_for(t);
+  const auto loop =
+      static_cast<std::size_t>(std::floor(t / trace_->horizon_s()));
+  const bool fired = idx != last_index_ || loop != last_loop_;
+  last_index_ = idx;
+  last_loop_ = loop;
+  return fired;
+}
+
+}  // namespace capman::workload

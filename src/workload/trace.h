@@ -1,0 +1,91 @@
+// A trace is a time-ordered sequence of (action, device-demand) events; the
+// demand holds until the next event. Traces repeat (loop) when a discharge
+// cycle outlives the generated horizon.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "device/phone.h"
+#include "util/units.h"
+#include "workload/event.h"
+
+namespace capman::workload {
+
+struct TraceEvent {
+  double time_s = 0.0;
+  Action action;
+  device::DeviceDemand demand;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::string name, std::vector<TraceEvent> events, double horizon_s);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] double horizon_s() const { return horizon_s_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// Average demanded device power under `phone`, for sizing experiments.
+  [[nodiscard]] util::Watts average_power(
+      const device::PhoneModel& phone) const;
+
+ private:
+  std::string name_;
+  std::vector<TraceEvent> events_;
+  double horizon_s_ = 0.0;
+};
+
+/// Incremental builder keeping events time-ordered.
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(std::string name) : name_(std::move(name)) {}
+
+  /// Appends an event; `time_s` must be non-decreasing.
+  void add(double time_s, Action action, const device::DeviceDemand& demand);
+
+  [[nodiscard]] double last_time() const {
+    return events_.empty() ? 0.0 : events_.back().time_s;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  Trace build(double horizon_s) &&;
+
+ private:
+  std::string name_;
+  std::vector<TraceEvent> events_;
+};
+
+/// A cursor that replays a trace, looping past the horizon. The simulator
+/// polls `demand_at`/`actions_between` as it advances.
+class TraceCursor {
+ public:
+  explicit TraceCursor(const Trace& trace);
+
+  /// Demand in force at absolute time t (trace loops past its horizon).
+  [[nodiscard]] const device::DeviceDemand& demand_at(double t) const;
+
+  /// The last action fired at or before time t (what the profiler records).
+  [[nodiscard]] const Action& action_at(double t) const;
+
+  /// Advance to time t and report whether a new event fired since the last
+  /// call (the MDP observes transitions on events).
+  bool advance(double t);
+
+  /// Absolute time of the next event strictly after t (looping).
+  [[nodiscard]] double next_event_time(double t) const;
+
+ private:
+  [[nodiscard]] std::size_t index_for(double t) const;
+
+  const Trace* trace_;
+  std::size_t last_index_ = static_cast<std::size_t>(-1);
+  std::size_t last_loop_ = static_cast<std::size_t>(-1);
+};
+
+}  // namespace capman::workload

@@ -1,0 +1,159 @@
+#include "workload/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/csv.h"
+
+namespace capman::workload {
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is{line};
+  while (std::getline(is, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+[[noreturn]] void bad_field(const std::string& what, const std::string& got) {
+  throw std::runtime_error("load_trace_csv: bad " + what + ": '" + got + "'");
+}
+
+}  // namespace
+
+const char* cpu_state_name(device::CpuState s) {
+  switch (s) {
+    case device::CpuState::kSleep: return "sleep";
+    case device::CpuState::kC2: return "c2";
+    case device::CpuState::kC1: return "c1";
+    case device::CpuState::kC0: return "c0";
+  }
+  return "?";
+}
+
+const char* screen_state_name(device::ScreenState s) {
+  return s == device::ScreenState::kOff ? "off" : "on";
+}
+
+const char* wifi_state_name(device::WifiState s) {
+  switch (s) {
+    case device::WifiState::kIdle: return "idle";
+    case device::WifiState::kAccess: return "access";
+    case device::WifiState::kSend: return "send";
+  }
+  return "?";
+}
+
+device::CpuState parse_cpu_state(const std::string& name) {
+  if (name == "sleep") return device::CpuState::kSleep;
+  if (name == "c2") return device::CpuState::kC2;
+  if (name == "c1") return device::CpuState::kC1;
+  if (name == "c0") return device::CpuState::kC0;
+  bad_field("cpu_state", name);
+}
+
+device::ScreenState parse_screen_state(const std::string& name) {
+  if (name == "off") return device::ScreenState::kOff;
+  if (name == "on") return device::ScreenState::kOn;
+  bad_field("screen_state", name);
+}
+
+device::WifiState parse_wifi_state(const std::string& name) {
+  if (name == "idle") return device::WifiState::kIdle;
+  if (name == "access") return device::WifiState::kAccess;
+  if (name == "send") return device::WifiState::kSend;
+  bad_field("wifi_state", name);
+}
+
+Syscall parse_syscall(const std::string& name) {
+  for (std::size_t k = 0; k < kSyscallCount; ++k) {
+    const auto kind = static_cast<Syscall>(k);
+    if (name == to_string(kind)) return kind;
+  }
+  bad_field("syscall", name);
+}
+
+void save_trace_csv(const Trace& trace, std::ostream& out) {
+  util::CsvWriter csv{out};
+  csv.header({"time_s", "syscall", "param_bucket", "cpu_state", "utilization",
+              "freq_index", "screen_state", "brightness", "wifi_state",
+              "packet_rate"});
+  for (const auto& e : trace.events()) {
+    csv.cell(e.time_s)
+        .cell(std::string_view{to_string(e.action.kind)})
+        .cell(static_cast<std::size_t>(e.action.param_bucket))
+        .cell(std::string_view{cpu_state_name(e.demand.cpu)})
+        .cell(e.demand.utilization)
+        .cell(e.demand.freq_index)
+        .cell(std::string_view{screen_state_name(e.demand.screen)})
+        .cell(e.demand.brightness)
+        .cell(std::string_view{wifi_state_name(e.demand.wifi)})
+        .cell(e.demand.packet_rate);
+    csv.end_row();
+  }
+}
+
+void save_trace_csv(const Trace& trace, const std::string& path) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error("save_trace_csv: cannot open " + path);
+  save_trace_csv(trace, out);
+}
+
+Trace load_trace_csv(std::istream& in, std::string name, double horizon_s) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("load_trace_csv: empty input");
+  }
+  TraceBuilder tb{std::move(name)};
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = split_csv_line(line);
+    if (fields.size() != 10) {
+      throw std::runtime_error("load_trace_csv: line " +
+                               std::to_string(line_no) + ": expected 10 "
+                               "fields, got " +
+                               std::to_string(fields.size()));
+    }
+    const double time_s = std::stod(fields[0]);
+    if (time_s < tb.last_time()) {
+      throw std::runtime_error("load_trace_csv: line " +
+                               std::to_string(line_no) +
+                               ": timestamps not sorted");
+    }
+    Action action{parse_syscall(fields[1]),
+                  static_cast<std::uint8_t>(
+                      std::min<unsigned long>(std::stoul(fields[2]),
+                                              kParamBuckets - 1))};
+    device::DeviceDemand demand;
+    demand.cpu = parse_cpu_state(fields[3]);
+    demand.utilization = std::stod(fields[4]);
+    demand.freq_index = std::stoul(fields[5]);
+    demand.screen = parse_screen_state(fields[6]);
+    demand.brightness = std::stod(fields[7]);
+    demand.wifi = parse_wifi_state(fields[8]);
+    demand.packet_rate = std::stod(fields[9]);
+    tb.add(time_s, action, demand);
+  }
+  if (tb.size() == 0) {
+    throw std::runtime_error("load_trace_csv: no events");
+  }
+  return std::move(tb).build(std::max(horizon_s, tb.last_time() + 1e-3));
+}
+
+Trace load_trace_csv(const std::string& path, double horizon_s) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error("load_trace_csv: cannot open " + path);
+  // Use the file name (without directories) as the trace name.
+  const auto slash = path.find_last_of('/');
+  return load_trace_csv(
+      in, slash == std::string::npos ? path : path.substr(slash + 1),
+      horizon_s);
+}
+
+}  // namespace capman::workload

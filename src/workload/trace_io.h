@@ -1,0 +1,38 @@
+// Trace serialization: save generated traces and load recorded ones.
+//
+// The paper evaluates on "real world workloads and traces"; this module is
+// the interchange point — a trace is a CSV of
+//   time_s, syscall, param_bucket, cpu_state, utilization, freq_index,
+//   screen_state, brightness, wifi_state, packet_rate
+// so traces captured on real devices (e.g. via systrace + power rails) can
+// be replayed through the simulator, and synthetic traces can be inspected
+// or edited by hand.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace.h"
+
+namespace capman::workload {
+
+/// Writes `trace` as CSV (with header). Throws std::runtime_error on I/O
+/// failure when given a path.
+void save_trace_csv(const Trace& trace, std::ostream& out);
+void save_trace_csv(const Trace& trace, const std::string& path);
+
+/// Parses a trace from CSV. Throws std::runtime_error on malformed input
+/// (unknown state names, unsorted timestamps, missing fields).
+Trace load_trace_csv(std::istream& in, std::string name, double horizon_s);
+Trace load_trace_csv(const std::string& path, double horizon_s);
+
+// Name <-> enum helpers (exact strings used in the CSV format).
+const char* cpu_state_name(device::CpuState s);
+const char* screen_state_name(device::ScreenState s);
+const char* wifi_state_name(device::WifiState s);
+device::CpuState parse_cpu_state(const std::string& name);
+device::ScreenState parse_screen_state(const std::string& name);
+device::WifiState parse_wifi_state(const std::string& name);
+Syscall parse_syscall(const std::string& name);
+
+}  // namespace capman::workload

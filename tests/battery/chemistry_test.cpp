@@ -1,0 +1,144 @@
+#include "battery/chemistry.h"
+
+#include <gtest/gtest.h>
+
+namespace capman::battery {
+namespace {
+
+TEST(Chemistry, CatalogueHasSixEntries) {
+  EXPECT_EQ(all_chemistries().size(), 6u);
+}
+
+TEST(Chemistry, LookupRoundTrips) {
+  for (Chemistry c : all_chemistries()) {
+    EXPECT_EQ(chemistry_profile(c).chemistry, c);
+  }
+}
+
+// Table I "Result" column: LCO/NCA -> big; LMO/NMC/LFP/LTO -> LITTLE.
+struct ClassifyCase {
+  Chemistry chemistry;
+  BatteryClass expected;
+};
+
+class ClassifyTest : public ::testing::TestWithParam<ClassifyCase> {};
+
+TEST_P(ClassifyTest, MatchesTableI) {
+  const auto& param = GetParam();
+  EXPECT_EQ(classify(chemistry_profile(param.chemistry)), param.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableI, ClassifyTest,
+    ::testing::Values(ClassifyCase{Chemistry::kLCO, BatteryClass::kBig},
+                      ClassifyCase{Chemistry::kNCA, BatteryClass::kBig},
+                      ClassifyCase{Chemistry::kLMO, BatteryClass::kLittle},
+                      ClassifyCase{Chemistry::kNMC, BatteryClass::kLittle},
+                      ClassifyCase{Chemistry::kLFP, BatteryClass::kLittle},
+                      ClassifyCase{Chemistry::kLTO, BatteryClass::kLittle}));
+
+TEST(Chemistry, StarRatingsMatchTableI) {
+  const auto& lco = chemistry_profile(Chemistry::kLCO);
+  EXPECT_EQ(lco.stars.cost_efficiency, 2);
+  EXPECT_EQ(lco.stars.lifetime, 3);
+  EXPECT_EQ(lco.stars.discharge_rate, 2);
+  EXPECT_EQ(lco.stars.energy_density, 4);
+  const auto& lto = chemistry_profile(Chemistry::kLTO);
+  EXPECT_EQ(lto.stars.lifetime, 5);
+  EXPECT_EQ(lto.stars.discharge_rate, 5);
+  EXPECT_EQ(lto.stars.energy_density, 1);
+}
+
+TEST(Chemistry, StarsWithinOneToFive) {
+  for (Chemistry c : all_chemistries()) {
+    const auto& s = chemistry_profile(c).stars;
+    for (int v : {s.cost_efficiency, s.lifetime, s.discharge_rate,
+                  s.energy_density, s.safety}) {
+      EXPECT_GE(v, 1);
+      EXPECT_LE(v, 5);
+    }
+  }
+}
+
+TEST(Chemistry, BigChemistriesStoreMoreUsableEnergy) {
+  const double big_factor =
+      chemistry_profile(Chemistry::kNCA).usable_capacity_factor;
+  for (Chemistry c : {Chemistry::kLMO, Chemistry::kNMC, Chemistry::kLFP,
+                      Chemistry::kLTO}) {
+    EXPECT_GT(big_factor, chemistry_profile(c).usable_capacity_factor);
+  }
+}
+
+TEST(Chemistry, LittleChemistriesHaveShallowerSurge) {
+  // LITTLE cells must dip less on a power step (smaller D1 of Fig. 3).
+  const auto& nca = chemistry_profile(Chemistry::kNCA);
+  const auto& lmo = chemistry_profile(Chemistry::kLMO);
+  EXPECT_GT(nca.surge_resistance_ohm_at_1ah, lmo.surge_resistance_ohm_at_1ah);
+  EXPECT_GT(nca.surge_tau_s, lmo.surge_tau_s);
+}
+
+TEST(Chemistry, LittleChemistriesRecoverFaster) {
+  const auto& nca = chemistry_profile(Chemistry::kNCA);
+  const auto& lmo = chemistry_profile(Chemistry::kLMO);
+  EXPECT_GT(lmo.kibam_k_per_s, nca.kibam_k_per_s);
+  EXPECT_GT(lmo.kibam_c, nca.kibam_c);
+}
+
+TEST(Chemistry, DischargeRateStarsOrderMaxCRate) {
+  // More discharge-rate stars -> higher sustained C-rate limit.
+  for (Chemistry a : all_chemistries()) {
+    for (Chemistry b : all_chemistries()) {
+      const auto& pa = chemistry_profile(a);
+      const auto& pb = chemistry_profile(b);
+      if (pa.stars.discharge_rate > pb.stars.discharge_rate) {
+        EXPECT_GE(pa.max_c_rate, pb.max_c_rate)
+            << pa.name << " vs " << pb.name;
+      }
+    }
+  }
+}
+
+class EfficiencyCurveTest : public ::testing::TestWithParam<Chemistry> {};
+
+TEST_P(EfficiencyCurveTest, EfficiencyWithinUnitInterval) {
+  const auto& profile = chemistry_profile(GetParam());
+  for (double c = 0.0; c <= 5.0; c += 0.05) {
+    const double eta = delivery_efficiency(profile, c);
+    EXPECT_GT(eta, 0.0);
+    EXPECT_LE(eta, 1.0);
+  }
+}
+
+TEST_P(EfficiencyCurveTest, CurveClampsOutsideKnots) {
+  const auto& profile = chemistry_profile(GetParam());
+  EXPECT_DOUBLE_EQ(delivery_efficiency(profile, 0.0),
+                   profile.efficiency_curve.front().efficiency);
+  EXPECT_DOUBLE_EQ(delivery_efficiency(profile, 99.0),
+                   profile.efficiency_curve.back().efficiency);
+}
+
+TEST_P(EfficiencyCurveTest, InterpolatesBetweenKnots) {
+  const auto& profile = chemistry_profile(GetParam());
+  const auto& curve = profile.efficiency_curve;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double mid = 0.5 * (curve[i - 1].c_rate + curve[i].c_rate);
+    const double lo = std::min(curve[i - 1].efficiency, curve[i].efficiency);
+    const double hi = std::max(curve[i - 1].efficiency, curve[i].efficiency);
+    const double eta = delivery_efficiency(profile, mid);
+    EXPECT_GE(eta, lo - 1e-12);
+    EXPECT_LE(eta, hi + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChemistries, EfficiencyCurveTest,
+                         ::testing::ValuesIn(all_chemistries()));
+
+TEST(Chemistry, ToStringNames) {
+  EXPECT_EQ(to_string(Chemistry::kNCA), "NCA");
+  EXPECT_EQ(to_string(Chemistry::kLMO), "LMO");
+  EXPECT_EQ(to_string(BatteryClass::kBig), "big");
+  EXPECT_EQ(to_string(BatteryClass::kLittle), "LITTLE");
+}
+
+}  // namespace
+}  // namespace capman::battery

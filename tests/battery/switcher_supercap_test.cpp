@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "battery/supercap.h"
+#include "battery/switcher.h"
+
+namespace capman::battery {
+namespace {
+
+using util::Seconds;
+using util::Watts;
+
+TEST(Switcher, InitialStateAndSignal) {
+  SwitchFacility sw{SwitchFacilityConfig{}};
+  EXPECT_EQ(sw.active(), BatterySelection::kBig);
+  EXPECT_DOUBLE_EQ(sw.signal_level().value(), 3.5);
+  EXPECT_EQ(sw.switch_count(), 0u);
+}
+
+TEST(Switcher, RequestThenAdvanceCompletesSwitch) {
+  SwitchFacility sw{SwitchFacilityConfig{}};
+  EXPECT_TRUE(sw.request(BatterySelection::kLittle, Seconds{0.0}));
+  EXPECT_TRUE(sw.switch_pending());
+  EXPECT_EQ(sw.active(), BatterySelection::kBig);  // not yet
+  const auto loss = sw.advance(Seconds{0.01});
+  EXPECT_EQ(sw.active(), BatterySelection::kLittle);
+  EXPECT_DOUBLE_EQ(loss.value(), SwitchFacilityConfig{}.switch_loss.value());
+  EXPECT_DOUBLE_EQ(sw.signal_level().value(), 0.3);
+}
+
+TEST(Switcher, AdvanceBeforeLatencyDoesNothing) {
+  SwitchFacilityConfig cfg;
+  cfg.latency = util::milliseconds(5.0);
+  SwitchFacility sw{cfg};
+  sw.request(BatterySelection::kLittle, Seconds{0.0});
+  EXPECT_DOUBLE_EQ(sw.advance(Seconds{0.002}).value(), 0.0);
+  EXPECT_EQ(sw.active(), BatterySelection::kBig);
+}
+
+TEST(Switcher, RedundantRequestIgnored) {
+  SwitchFacility sw{SwitchFacilityConfig{}};
+  EXPECT_FALSE(sw.request(BatterySelection::kBig, Seconds{0.0}));
+  EXPECT_FALSE(sw.switch_pending());
+}
+
+TEST(Switcher, RequestBackCancelsPending) {
+  SwitchFacility sw{SwitchFacilityConfig{}};
+  sw.request(BatterySelection::kLittle, Seconds{0.0});
+  sw.request(BatterySelection::kBig, Seconds{0.0001});
+  EXPECT_FALSE(sw.switch_pending());
+  sw.advance(Seconds{1.0});
+  EXPECT_EQ(sw.active(), BatterySelection::kBig);
+  EXPECT_EQ(sw.switch_count(), 0u);
+}
+
+TEST(Switcher, CountsAndAccumulatesLosses) {
+  SwitchFacility sw{SwitchFacilityConfig{}};
+  double t = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    const auto target = (i % 2 == 0) ? BatterySelection::kLittle
+                                     : BatterySelection::kBig;
+    sw.request(target, Seconds{t});
+    t += 0.01;
+    sw.advance(Seconds{t});
+  }
+  EXPECT_EQ(sw.switch_count(), 4u);
+  EXPECT_NEAR(sw.total_switch_loss().value(),
+              4.0 * SwitchFacilityConfig{}.switch_loss.value(), 1e-12);
+}
+
+TEST(Switcher, OscillatorQuantizesCompletion) {
+  SwitchFacilityConfig cfg;
+  cfg.oscillator_hz = 10.0;  // 100 ms ticks, exaggerated for the test
+  cfg.latency = Seconds{0.0};
+  SwitchFacility sw{cfg};
+  sw.request(BatterySelection::kLittle, Seconds{0.01});
+  // Completion cannot happen before the next 100 ms oscillator tick.
+  EXPECT_DOUBLE_EQ(sw.advance(Seconds{0.05}).value(), 0.0);
+  EXPECT_GT(sw.advance(Seconds{0.11}).value(), 0.0);
+}
+
+TEST(Supercap, StartsFull) {
+  Supercapacitor sc{util::Farads{2.0}, util::Volts{4.0}, util::Ohms{0.02}};
+  EXPECT_NEAR(sc.fill(), 1.0, 1e-12);
+  EXPECT_NEAR(sc.capacity().value(), 16.0, 1e-12);
+  EXPECT_NEAR(sc.voltage().value(), 4.0, 1e-12);
+}
+
+TEST(Supercap, ShavesSurgeAboveBaseline) {
+  Supercapacitor sc{util::Farads{2.0}, util::Volts{4.0}, util::Ohms{0.02}};
+  // Load 5 W, baseline 1 W: cell should see ~1 W while the cap covers 4 W.
+  const auto cell_load = sc.filter(Watts{5.0}, Watts{1.0}, Seconds{0.1});
+  EXPECT_NEAR(cell_load.value(), 1.0, 1e-6);
+  EXPECT_LT(sc.fill(), 1.0);
+}
+
+TEST(Supercap, RechargesDuringCalm) {
+  Supercapacitor sc{util::Farads{2.0}, util::Volts{4.0}, util::Ohms{0.02}};
+  sc.filter(Watts{6.0}, Watts{1.0}, Seconds{1.0});  // drain
+  const double drained = sc.fill();
+  ASSERT_LT(drained, 0.9);
+  // Calm period: load 0.5 W, baseline 2 W -> recharge headroom 1.5 W.
+  const auto cell_load = sc.filter(Watts{0.5}, Watts{2.0}, Seconds{1.0});
+  EXPECT_GT(cell_load.value(), 0.5);  // cell also charges the cap
+  EXPECT_LE(cell_load.value(), 2.0 + 1e-9);
+  EXPECT_GT(sc.fill(), drained);
+}
+
+TEST(Supercap, NeverDrainsBelowFloor) {
+  Supercapacitor sc{util::Farads{0.5}, util::Volts{4.0}, util::Ohms{0.02}};
+  for (int i = 0; i < 100; ++i) {
+    sc.filter(Watts{50.0}, Watts{0.0}, Seconds{0.1});
+  }
+  EXPECT_GE(sc.fill(), 0.0);
+  EXPECT_LE(sc.fill(), 0.06);  // 5% reserve floor plus rounding
+}
+
+TEST(Supercap, EsrLossesAccumulate) {
+  Supercapacitor sc{util::Farads{2.0}, util::Volts{4.0}, util::Ohms{0.1}};
+  sc.filter(Watts{8.0}, Watts{1.0}, Seconds{0.5});
+  EXPECT_GT(sc.losses().value(), 0.0);
+}
+
+TEST(Supercap, PassthroughWhenLoadEqualsBaseline) {
+  Supercapacitor sc{util::Farads{2.0}, util::Volts{4.0}, util::Ohms{0.02}};
+  const auto cell_load = sc.filter(Watts{1.0}, Watts{1.0}, Seconds{0.1});
+  EXPECT_NEAR(cell_load.value(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace capman::battery

@@ -1,0 +1,97 @@
+#include "battery/vedge.h"
+
+#include <gtest/gtest.h>
+
+#include "battery/cell.h"
+#include "util/stats.h"
+
+namespace capman::battery {
+namespace {
+
+using util::Seconds;
+using util::TimeSeries;
+using util::Watts;
+
+// Record the terminal/open-circuit voltage of a cell through a pre-load
+// rest, a load pulse, and a recovery window.
+TimeSeries record_pulse(Cell& cell, double load_w, double pre_s,
+                        double load_s, double post_s) {
+  TimeSeries v;
+  const double dt = 0.1;
+  double t = 0.0;
+  for (; t < pre_s; t += dt) {
+    cell.rest(Seconds{dt});
+    v.add(t, cell.open_circuit_voltage().value());
+  }
+  for (; t < pre_s + load_s; t += dt) {
+    const auto r = cell.draw(Watts{load_w}, Seconds{dt});
+    v.add(t, r.terminal_voltage.value());
+  }
+  for (; t < pre_s + load_s + post_s; t += dt) {
+    cell.rest(Seconds{dt});
+    v.add(t, cell.open_circuit_voltage().value());
+  }
+  return v;
+}
+
+TEST(VEdge, SyntheticCurveAreas) {
+  // Hand-built curve: V0 = 4.0 flat, dips to 3.0 during the load, recovers
+  // to 3.8 afterwards.
+  TimeSeries v;
+  for (double t = 0.0; t < 2.0; t += 0.1) v.add(t, 4.0);
+  for (double t = 2.0; t <= 4.0 + 1e-9; t += 0.1) v.add(t, 3.0);
+  for (double t = 4.1; t <= 10.0; t += 0.1) v.add(t, 3.8);
+  const auto areas = analyze_vedge(v, 2.0, 4.0);
+  EXPECT_NEAR(areas.v0, 4.0, 1e-6);
+  EXPECT_NEAR(areas.v_recovered, 3.8, 1e-6);
+  EXPECT_NEAR(areas.v_min, 3.0, 1e-6);
+  // D1 ~ (3.8 - 3.0) * 2 s = 1.6 V s (sampling slack at the edges).
+  EXPECT_NEAR(areas.d1_vs, 1.6, 0.15);
+  // D2 = (4.0 - 3.8) * 2 s = 0.4 V s.
+  EXPECT_NEAR(areas.d2_vs, 0.4, 0.05);
+  // D3 ~ (3.8 - 3.0) * 6 s = 4.8 V s.
+  EXPECT_NEAR(areas.d3_vs, 4.8, 0.3);
+  EXPECT_NEAR(areas.saving_potential_vs(), areas.d3_vs - areas.d1_vs, 1e-9);
+}
+
+TEST(VEdge, TooShortSeriesIsZero) {
+  TimeSeries v;
+  v.add(0.0, 4.0);
+  const auto areas = analyze_vedge(v, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(areas.d1_vs, 0.0);
+  EXPECT_DOUBLE_EQ(areas.d3_vs, 0.0);
+}
+
+TEST(VEdge, RealCellShowsDipAndRecovery) {
+  Cell cell{Chemistry::kNCA, 2500.0};
+  const auto v = record_pulse(cell, 3.0, 5.0, 10.0, 60.0);
+  const auto areas = analyze_vedge(v, 5.0, 15.0);
+  EXPECT_GT(areas.d1_vs, 0.0);   // the dip exists
+  EXPECT_GT(areas.d3_vs, 0.0);   // recovery exists
+  EXPECT_LT(areas.v_min, areas.v_recovered);
+  EXPECT_LE(areas.v_recovered, areas.v0 + 1e-9);
+}
+
+TEST(VEdge, BigChemistryHasLargerD1ThanLittle) {
+  // The paper's premise: the LITTLE battery minimizes D1.
+  Cell big{Chemistry::kNCA, 2500.0};
+  Cell little{Chemistry::kLMO, 2500.0};
+  const auto v_big = record_pulse(big, 3.0, 5.0, 10.0, 60.0);
+  const auto v_little = record_pulse(little, 3.0, 5.0, 10.0, 60.0);
+  const auto a_big = analyze_vedge(v_big, 5.0, 15.0);
+  const auto a_little = analyze_vedge(v_little, 5.0, 15.0);
+  EXPECT_GT(a_big.d1_vs, a_little.d1_vs);
+}
+
+TEST(VEdge, LongerPulseDeepensTheEdge) {
+  Cell a{Chemistry::kNCA, 2500.0};
+  Cell b{Chemistry::kNCA, 2500.0};
+  const auto v_short = record_pulse(a, 3.0, 5.0, 2.0, 60.0);
+  const auto v_long = record_pulse(b, 3.0, 5.0, 20.0, 60.0);
+  const auto area_short = analyze_vedge(v_short, 5.0, 7.0);
+  const auto area_long = analyze_vedge(v_long, 5.0, 25.0);
+  EXPECT_GT(area_long.d1_vs, area_short.d1_vs);
+}
+
+}  // namespace
+}  // namespace capman::battery

@@ -1,0 +1,112 @@
+#include "core/mdp_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph_test_util.h"
+
+namespace capman::core {
+namespace {
+
+using battery::BatterySelection;
+using workload::Action;
+using workload::Syscall;
+
+Observation make_obs(std::size_t s, std::size_t next, double reward,
+                     Syscall kind = Syscall::kCpuBurst,
+                     BatterySelection b = BatterySelection::kBig) {
+  Observation obs;
+  obs.state = s;
+  obs.action = DecisionAction{Action{kind, 0}, b};
+  obs.next_state = next;
+  obs.reward = reward;
+  return obs;
+}
+
+TEST(MdpGraph, EmptyMdpGivesEmptyGraph) {
+  Mdp mdp;
+  const auto graph = MdpGraph::from_mdp(mdp, 1);
+  EXPECT_EQ(graph.state_count(), 0u);
+  EXPECT_EQ(graph.action_count(), 0u);
+}
+
+TEST(MdpGraph, BuildsBipartiteStructure) {
+  Mdp mdp;
+  mdp.observe(make_obs(1, 2, 0.5));
+  mdp.observe(make_obs(1, 3, 0.7));
+  const auto graph = MdpGraph::from_mdp(mdp, 1);
+  ASSERT_EQ(graph.state_count(), 3u);  // states 1, 2, 3
+  ASSERT_EQ(graph.action_count(), 1u);
+  const auto& av = graph.action(0);
+  EXPECT_EQ(graph.state(av.source).state_id, 1u);
+  ASSERT_EQ(av.transitions.size(), 2u);
+  double p_total = 0.0;
+  for (const auto& t : av.transitions) p_total += t.probability;
+  EXPECT_NEAR(p_total, 1.0, 1e-12);
+}
+
+TEST(MdpGraph, TargetsWithoutActionsAreAbsorbing) {
+  Mdp mdp;
+  mdp.observe(make_obs(1, 2, 0.5));
+  const auto graph = MdpGraph::from_mdp(mdp, 1);
+  const std::size_t v2 = graph.vertex_of(2);
+  ASSERT_NE(v2, MdpGraph::npos);
+  EXPECT_TRUE(graph.state(v2).absorbing());
+  EXPECT_FALSE(graph.state(graph.vertex_of(1)).absorbing());
+}
+
+TEST(MdpGraph, MinObservationsFiltersRarePairs) {
+  Mdp mdp;
+  mdp.observe(make_obs(1, 2, 0.5));
+  EXPECT_EQ(MdpGraph::from_mdp(mdp, 2).action_count(), 0u);
+  mdp.observe(make_obs(1, 2, 0.5));
+  EXPECT_EQ(MdpGraph::from_mdp(mdp, 2).action_count(), 1u);
+}
+
+TEST(MdpGraph, VertexOfUnknownStateIsNpos) {
+  Mdp mdp;
+  mdp.observe(make_obs(1, 2, 0.5));
+  const auto graph = MdpGraph::from_mdp(mdp, 1);
+  EXPECT_EQ(graph.vertex_of(40), MdpGraph::npos);
+  EXPECT_EQ(graph.vertex_of(9999), MdpGraph::npos);
+}
+
+TEST(MdpGraph, ExpectedRewardIsProbabilityWeighted) {
+  Mdp mdp;
+  mdp.observe(make_obs(1, 2, 1.0));
+  mdp.observe(make_obs(1, 3, 0.0));
+  mdp.observe(make_obs(1, 3, 0.0));
+  const auto graph = MdpGraph::from_mdp(mdp, 1);
+  ASSERT_EQ(graph.action_count(), 1u);
+  // P(2)=1/3 with r=1, P(3)=2/3 with r=0.
+  EXPECT_NEAR(graph.action(0).expected_reward(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(MdpGraph, SeparatesActionsByBatteryChoice) {
+  Mdp mdp;
+  mdp.observe(make_obs(1, 2, 0.9, Syscall::kCpuBurst, BatterySelection::kBig));
+  mdp.observe(
+      make_obs(1, 3, 0.4, Syscall::kCpuBurst, BatterySelection::kLittle));
+  const auto graph = MdpGraph::from_mdp(mdp, 1);
+  EXPECT_EQ(graph.action_count(), 2u);
+  EXPECT_EQ(graph.state(graph.vertex_of(1)).actions.size(), 2u);
+}
+
+TEST(MdpGraph, OutDegreeStatistics) {
+  util::Rng rng{11};
+  const auto graph = testutil::random_graph(rng, 10, 2, 4, 3);
+  EXPECT_LE(graph.max_action_out_degree(), 3u);
+  EXPECT_GE(graph.max_action_out_degree(), 1u);
+  EXPECT_LE(graph.max_state_out_degree(), 4u);
+}
+
+TEST(MdpGraph, FromPartsPreservesStructure) {
+  const auto graph = testutil::two_state_chain(0.5);
+  EXPECT_EQ(graph.state_count(), 2u);
+  EXPECT_EQ(graph.action_count(), 1u);
+  EXPECT_TRUE(graph.state(1).absorbing());
+  EXPECT_EQ(graph.vertex_of(0), 0u);
+  EXPECT_EQ(graph.vertex_of(1), 1u);
+}
+
+}  // namespace
+}  // namespace capman::core

@@ -1,0 +1,144 @@
+#include "core/mdp.h"
+
+#include <gtest/gtest.h>
+
+#include "core/state.h"
+
+namespace capman::core {
+namespace {
+
+using battery::BatterySelection;
+using device::CpuState;
+using device::DeviceStateVector;
+using device::ScreenState;
+using device::WifiState;
+using workload::Action;
+using workload::Syscall;
+
+TEST(CapmanState, IndexRoundTrip) {
+  for (std::size_t i = 0; i < state_space_size(); ++i) {
+    EXPECT_EQ(CapmanState::from_index(i).index(), i);
+  }
+}
+
+TEST(CapmanState, SpaceSizeIs48) {
+  // 4 CPU x 2 screen x 3 WiFi x 2 battery = 48, the paper's ~50 states.
+  EXPECT_EQ(state_space_size(), 48u);
+}
+
+TEST(CapmanState, ToStringMentionsBattery) {
+  CapmanState s;
+  s.battery = BatterySelection::kLittle;
+  EXPECT_NE(to_string(s).find("LITTLE"), std::string::npos);
+}
+
+TEST(DecisionAction, IndexRoundTrip) {
+  for (std::size_t i = 0; i < decision_action_space_size(); ++i) {
+    EXPECT_EQ(DecisionAction::from_index(i).index(), i);
+  }
+}
+
+TEST(DecisionAction, SpaceSizeIs400) {
+  EXPECT_EQ(decision_action_space_size(), 400u);
+}
+
+Observation make_obs(std::size_t s, Syscall kind, BatterySelection b,
+                     std::size_t next, double reward) {
+  Observation obs;
+  obs.state = s;
+  obs.action = DecisionAction{Action{kind, 0}, b};
+  obs.next_state = next;
+  obs.reward = reward;
+  return obs;
+}
+
+TEST(Mdp, StartsEmpty) {
+  Mdp mdp;
+  EXPECT_EQ(mdp.total_observations(), 0u);
+  EXPECT_TRUE(mdp.visited_states().empty());
+}
+
+TEST(Mdp, ObserveAccumulatesCounts) {
+  Mdp mdp;
+  const auto obs =
+      make_obs(3, Syscall::kScreenWake, BatterySelection::kLittle, 7, 0.8);
+  mdp.observe(obs);
+  mdp.observe(obs);
+  EXPECT_EQ(mdp.total_observations(), 2u);
+  EXPECT_EQ(mdp.count(3, obs.action.index()), 2u);
+  EXPECT_EQ(mdp.count(3, obs.action.index(), 7), 2u);
+  EXPECT_EQ(mdp.count(3, obs.action.index(), 8), 0u);
+}
+
+TEST(Mdp, TransitionDistributionNormalized) {
+  Mdp mdp;
+  mdp.observe(make_obs(1, Syscall::kCpuBurst, BatterySelection::kBig, 2, 0.5));
+  mdp.observe(make_obs(1, Syscall::kCpuBurst, BatterySelection::kBig, 2, 0.5));
+  mdp.observe(make_obs(1, Syscall::kCpuBurst, BatterySelection::kBig, 3, 0.5));
+  const auto a =
+      DecisionAction{Action{Syscall::kCpuBurst, 0}, BatterySelection::kBig};
+  const auto dist = mdp.transition_distribution(1, a.index());
+  EXPECT_NEAR(dist[2], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(dist[3], 1.0 / 3.0, 1e-12);
+  double sum = 0.0;
+  for (double p : dist) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Mdp, UnseenPairHasZeroDistribution) {
+  Mdp mdp;
+  const auto dist = mdp.transition_distribution(0, 0);
+  for (double p : dist) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+TEST(Mdp, MeanRewardPerTransitionAndPerAction) {
+  Mdp mdp;
+  mdp.observe(make_obs(1, Syscall::kCpuBurst, BatterySelection::kBig, 2, 0.4));
+  mdp.observe(make_obs(1, Syscall::kCpuBurst, BatterySelection::kBig, 2, 0.8));
+  mdp.observe(make_obs(1, Syscall::kCpuBurst, BatterySelection::kBig, 3, 1.0));
+  const auto a =
+      DecisionAction{Action{Syscall::kCpuBurst, 0}, BatterySelection::kBig};
+  EXPECT_NEAR(mdp.mean_reward(1, a.index(), 2), 0.6, 1e-12);
+  EXPECT_NEAR(mdp.mean_reward(1, a.index(), 3), 1.0, 1e-12);
+  EXPECT_NEAR(mdp.mean_reward(1, a.index()), (0.4 + 0.8 + 1.0) / 3.0, 1e-12);
+}
+
+TEST(Mdp, VisitedStatesIncludeSourcesAndTargets) {
+  Mdp mdp;
+  mdp.observe(make_obs(5, Syscall::kAppLaunch, BatterySelection::kBig, 9, 0.5));
+  const auto visited = mdp.visited_states();
+  ASSERT_EQ(visited.size(), 2u);
+  EXPECT_EQ(visited[0], 5u);
+  EXPECT_EQ(visited[1], 9u);
+}
+
+TEST(Mdp, ObservedActionsRespectsMinCount) {
+  Mdp mdp;
+  const auto obs =
+      make_obs(2, Syscall::kVideoFrame, BatterySelection::kBig, 2, 0.9);
+  mdp.observe(obs);
+  EXPECT_EQ(mdp.observed_actions(2, 1).size(), 1u);
+  EXPECT_TRUE(mdp.observed_actions(2, 2).empty());
+  mdp.observe(obs);
+  EXPECT_EQ(mdp.observed_actions(2, 2).size(), 1u);
+}
+
+TEST(Mdp, ClearResetsEverything) {
+  Mdp mdp;
+  mdp.observe(make_obs(1, Syscall::kCpuBurst, BatterySelection::kBig, 2, 0.5));
+  mdp.clear();
+  EXPECT_EQ(mdp.total_observations(), 0u);
+  EXPECT_TRUE(mdp.visited_states().empty());
+}
+
+TEST(Mdp, BigLittleActionsAreDistinct) {
+  const DecisionAction big{Action{Syscall::kCpuBurst, 3},
+                           BatterySelection::kBig};
+  const DecisionAction little{Action{Syscall::kCpuBurst, 3},
+                              BatterySelection::kLittle};
+  EXPECT_NE(big.index(), little.index());
+  EXPECT_NE(to_string(big), to_string(little));
+}
+
+}  // namespace
+}  // namespace capman::core

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "core/profiler.h"
+#include "core/scheduler.h"
+
+namespace capman::core {
+namespace {
+
+using battery::BatterySelection;
+using device::CpuState;
+using device::DeviceStateVector;
+using device::ScreenState;
+using device::WifiState;
+using util::Joules;
+using util::Seconds;
+using workload::Action;
+using workload::Syscall;
+
+CapmanConfig no_exploration_config() {
+  CapmanConfig cfg;
+  cfg.exploration_initial = 0.0;
+  cfg.exploration_floor = 0.0;
+  cfg.min_observations = 1;
+  return cfg;
+}
+
+DeviceStateVector busy_state() {
+  return {CpuState::kC0, ScreenState::kOn, WifiState::kIdle};
+}
+
+Observation obs_for(const DeviceStateVector& dev, Syscall kind,
+                    BatterySelection b, double reward) {
+  Observation obs;
+  obs.state = CapmanState{dev, b}.index();
+  obs.action = DecisionAction{Action{kind, 0}, b};
+  obs.next_state = CapmanState{dev, b}.index();
+  obs.reward = reward;
+  return obs;
+}
+
+TEST(Profiler, RewardIsEfficiency) {
+  EXPECT_NEAR(RuntimeProfiler::reward(Joules{9.0}, Joules{1.0}, 0, 10), 0.9,
+              1e-12);
+  EXPECT_NEAR(RuntimeProfiler::reward(Joules{0.0}, Joules{0.0}, 0, 10), 1.0,
+              1e-12);
+}
+
+TEST(Profiler, UnmetDemandCrushesReward) {
+  const double met = RuntimeProfiler::reward(Joules{9.0}, Joules{1.0}, 0, 10);
+  const double unmet =
+      RuntimeProfiler::reward(Joules{9.0}, Joules{1.0}, 5, 10);
+  EXPECT_LT(unmet, 0.5 * met);
+  EXPECT_GE(unmet, 0.0);
+}
+
+TEST(Profiler, IntervalLifecycle) {
+  RuntimeProfiler profiler;
+  EXPECT_FALSE(profiler.interval_open());
+  const CapmanState s{busy_state(), BatterySelection::kBig};
+  profiler.begin_interval(s, DecisionAction{Action{Syscall::kCpuBurst, 0},
+                                            BatterySelection::kBig});
+  EXPECT_TRUE(profiler.interval_open());
+  profiler.record(Joules{2.0}, Joules{0.5}, true);
+  profiler.record(Joules{2.0}, Joules{0.5}, true);
+  const CapmanState next{busy_state(), BatterySelection::kBig};
+  const auto obs = profiler.close_interval(next);
+  ASSERT_TRUE(obs.has_value());
+  EXPECT_EQ(obs->state, s.index());
+  EXPECT_NEAR(obs->reward, 4.0 / 5.0, 1e-12);
+  EXPECT_FALSE(profiler.interval_open());
+}
+
+TEST(Profiler, EmptyIntervalYieldsNothing) {
+  RuntimeProfiler profiler;
+  const CapmanState s{busy_state(), BatterySelection::kBig};
+  EXPECT_FALSE(profiler.close_interval(s).has_value());
+  profiler.begin_interval(s, DecisionAction{});
+  EXPECT_FALSE(profiler.close_interval(s).has_value());
+}
+
+TEST(Scheduler, KindPriorRoutesSurgesToLittle) {
+  EXPECT_EQ(OnlineScheduler::kind_prior(Syscall::kScreenWake),
+            BatterySelection::kLittle);
+  EXPECT_EQ(OnlineScheduler::kind_prior(Syscall::kAppLaunch),
+            BatterySelection::kLittle);
+  EXPECT_EQ(OnlineScheduler::kind_prior(Syscall::kVideoFrame),
+            BatterySelection::kBig);
+  EXPECT_EQ(OnlineScheduler::kind_prior(Syscall::kScreenSleep),
+            BatterySelection::kBig);
+}
+
+TEST(Scheduler, FallsBackToPriorWithoutExperience) {
+  OnlineScheduler sched{no_exploration_config(), 1};
+  sched.recalibrate();
+  const auto choice = sched.decide(Action{Syscall::kScreenWake, 0},
+                                   busy_state(), BatterySelection::kBig);
+  EXPECT_EQ(choice, BatterySelection::kLittle);
+  EXPECT_EQ(sched.decision_stats().fallback, 1u);
+}
+
+TEST(Scheduler, LearnsFromRewards) {
+  OnlineScheduler sched{no_exploration_config(), 1};
+  const auto dev = busy_state();
+  // LITTLE earns much better efficiency than big on CpuBurst in this state.
+  for (int i = 0; i < 10; ++i) {
+    sched.observe(obs_for(dev, Syscall::kCpuBurst, BatterySelection::kLittle,
+                          0.95));
+    sched.observe(
+        obs_for(dev, Syscall::kCpuBurst, BatterySelection::kBig, 0.40));
+  }
+  sched.recalibrate();
+  // Decision queried from the big-battery state (what the phone is on now).
+  const auto choice = sched.decide(Action{Syscall::kCpuBurst, 0}, dev,
+                                   BatterySelection::kBig);
+  EXPECT_EQ(choice, BatterySelection::kLittle);
+  EXPECT_GE(sched.decision_stats().exact + sched.decision_stats().transferred,
+            1u);
+}
+
+TEST(Scheduler, PrefersBigWhenBigEarnsMore) {
+  OnlineScheduler sched{no_exploration_config(), 1};
+  const auto dev = busy_state();
+  for (int i = 0; i < 10; ++i) {
+    sched.observe(obs_for(dev, Syscall::kVideoFrame, BatterySelection::kBig,
+                          0.95));
+    sched.observe(obs_for(dev, Syscall::kVideoFrame,
+                          BatterySelection::kLittle, 0.60));
+  }
+  sched.recalibrate();
+  EXPECT_EQ(sched.decide(Action{Syscall::kVideoFrame, 0}, dev,
+                         BatterySelection::kBig),
+            BatterySelection::kBig);
+}
+
+TEST(Scheduler, SimilarityTransferAcrossStates) {
+  OnlineScheduler sched{no_exploration_config(), 1};
+  const DeviceStateVector seen{CpuState::kC0, ScreenState::kOn,
+                               WifiState::kAccess};
+  // Experience exists only for `seen`; query a different state.
+  for (int i = 0; i < 8; ++i) {
+    sched.observe(
+        obs_for(seen, Syscall::kNetRecvStart, BatterySelection::kLittle, 0.9));
+    sched.observe(
+        obs_for(seen, Syscall::kNetRecvStart, BatterySelection::kBig, 0.3));
+  }
+  sched.recalibrate();
+  const DeviceStateVector unseen{CpuState::kC0, ScreenState::kOn,
+                                 WifiState::kSend};
+  const auto choice = sched.decide(Action{Syscall::kNetRecvStart, 0}, unseen,
+                                   BatterySelection::kBig);
+  EXPECT_EQ(choice, BatterySelection::kLittle);
+  EXPECT_GE(sched.decision_stats().transferred, 1u);
+}
+
+TEST(Scheduler, ExplorationDecays) {
+  CapmanConfig cfg;
+  cfg.exploration_initial = 0.5;
+  cfg.exploration_decay_per_event = 0.9;
+  cfg.exploration_floor = 0.01;
+  OnlineScheduler sched{cfg, 7};
+  for (int i = 0; i < 200; ++i) {
+    sched.decide(Action{Syscall::kCpuBurst, 0}, busy_state(),
+                 BatterySelection::kBig);
+  }
+  EXPECT_NEAR(sched.exploration_rate(), 0.01, 1e-9);
+  EXPECT_GT(sched.decision_stats().explored, 0u);
+}
+
+TEST(Scheduler, RecalibrationCountsAndTiming) {
+  OnlineScheduler sched{no_exploration_config(), 1};
+  const double secs = sched.recalibrate();
+  EXPECT_GE(secs, 0.0);
+  EXPECT_EQ(sched.recalibration_count(), 1u);
+}
+
+TEST(Controller, FirstEventUsesPriorAndOpensInterval) {
+  CapmanController ctl{no_exploration_config(), 3};
+  const auto choice =
+      ctl.on_event(Action{Syscall::kScreenWake, 0}, busy_state(),
+                   BatterySelection::kBig, Seconds{1.0});
+  EXPECT_EQ(choice, BatterySelection::kLittle);
+}
+
+TEST(Controller, DwellLimitSuppressesRapidSwitching) {
+  CapmanConfig cfg = no_exploration_config();
+  cfg.min_switch_dwell = Seconds{1.0};
+  CapmanController ctl{cfg, 3};
+  const auto first = ctl.on_event(Action{Syscall::kScreenWake, 0},
+                                  busy_state(), BatterySelection::kBig,
+                                  Seconds{0.0});
+  EXPECT_EQ(first, BatterySelection::kLittle);
+  // Immediately after, a steady event wants big again, but dwell holds it.
+  const auto second = ctl.on_event(Action{Syscall::kVideoFrame, 0},
+                                   busy_state(), first, Seconds{0.1});
+  EXPECT_EQ(second, first);
+  // After the dwell expires the switch is allowed.
+  const auto third = ctl.on_event(Action{Syscall::kVideoFrame, 0},
+                                  busy_state(), first, Seconds{2.0});
+  EXPECT_EQ(third, BatterySelection::kBig);
+}
+
+TEST(Controller, MaintenanceChargesConstantPowerAndRecalibrates) {
+  CapmanConfig cfg = no_exploration_config();
+  cfg.recalibration_interval = Seconds{5.0};
+  CapmanController ctl{cfg, 3};
+  EXPECT_NEAR(ctl.maintenance(Seconds{0.0}).value(),
+              cfg.maintenance_power.value(), 1e-12);
+  EXPECT_EQ(ctl.scheduler().recalibration_count(), 0u);
+  ctl.maintenance(Seconds{6.0});
+  EXPECT_EQ(ctl.scheduler().recalibration_count(), 1u);
+  // Backoff: next recalibration is further out than the first interval.
+  ctl.maintenance(Seconds{11.0});
+  EXPECT_EQ(ctl.scheduler().recalibration_count(), 1u);
+}
+
+TEST(Controller, LearnsAcrossEvents) {
+  CapmanConfig cfg = no_exploration_config();
+  cfg.min_switch_dwell = Seconds{0.0};
+  CapmanController ctl{cfg, 3};
+  const auto dev = busy_state();
+  // Simulate intervals where LITTLE is efficient on top-bucket bursts
+  // (the kind prior already routes those to LITTLE; the rewards confirm).
+  BatterySelection current = BatterySelection::kBig;
+  for (int i = 0; i < 30; ++i) {
+    const auto choice = ctl.on_event(Action{Syscall::kCpuBurst, 9}, dev,
+                                     current, Seconds{i * 2.0});
+    const double eff = choice == BatterySelection::kLittle ? 0.95 : 0.4;
+    ctl.record_step(Joules{eff}, Joules{1.0 - eff}, true);
+    current = choice;
+    if (i % 10 == 9) ctl.maintenance(Seconds{i * 2.0 + 1.0});
+  }
+  ctl.maintenance(Seconds{100.0});
+  const auto choice = ctl.on_event(Action{Syscall::kCpuBurst, 9}, dev,
+                                   BatterySelection::kBig, Seconds{101.0});
+  EXPECT_EQ(choice, BatterySelection::kLittle);
+}
+
+}  // namespace
+}  // namespace capman::core

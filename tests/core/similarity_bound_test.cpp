@@ -1,0 +1,120 @@
+// Property test for the paper's central theoretical claim (Eq. 10):
+// with C_S = 1 and C_A = rho, the fixed-point structural distances bound
+// the optimal value differences,
+//
+//   |V*_u - V*_v| <= delta*_S(u, v) / (1 - rho)
+//   |Q*_a - Q*_b| <= delta*_A(a, b) / (1 - rho)
+//
+// which is what makes the similarity-indexed online scheduler
+// O(1/(1-rho))-competitive. We check it on randomized MDP graphs across
+// sizes and discount factors against exact value iteration.
+#include <gtest/gtest.h>
+
+#include "core/similarity.h"
+#include "core/value_iteration.h"
+#include "graph_test_util.h"
+
+namespace capman::core {
+namespace {
+
+struct BoundCase {
+  std::size_t n_states;
+  std::size_t n_absorbing;
+  double rho;
+  std::uint64_t seed;
+};
+
+class CompetitivenessBoundTest : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(CompetitivenessBoundTest, ValueDifferencesBounded) {
+  const auto& param = GetParam();
+  util::Rng rng{param.seed};
+  const auto graph =
+      testutil::random_graph(rng, param.n_states, param.n_absorbing);
+
+  ValueIterationConfig vi_cfg;
+  vi_cfg.rho = param.rho;
+  vi_cfg.epsilon = 1e-12;
+  const auto values = solve_values(graph, vi_cfg);
+  ASSERT_TRUE(values.converged);
+
+  SimilarityConfig sim_cfg;
+  sim_cfg.c_s = 1.0;        // paper: "Let C_S = 1 ..."
+  sim_cfg.c_a = param.rho;  // "... and C_A = rho"
+  sim_cfg.epsilon = 1e-9;
+  sim_cfg.max_iterations = 4000;
+  sim_cfg.absorbing_distance = 1.0;
+  const auto sim = compute_structural_similarity(graph, sim_cfg);
+  ASSERT_TRUE(sim.converged);
+
+  const double scale = 1.0 / (1.0 - param.rho);
+  const double slack = 1e-5 * scale;  // convergence-epsilon slack
+
+  for (std::size_t u = 0; u < graph.state_count(); ++u) {
+    for (std::size_t v = 0; v < graph.state_count(); ++v) {
+      const double gap =
+          std::abs(values.state_values[u] - values.state_values[v]);
+      EXPECT_LE(gap, sim.state_distance(u, v) * scale + slack)
+          << "states " << u << "," << v;
+    }
+  }
+  for (std::size_t a = 0; a < graph.action_count(); ++a) {
+    for (std::size_t b = 0; b < graph.action_count(); ++b) {
+      const double gap =
+          std::abs(values.action_values[a] - values.action_values[b]);
+      EXPECT_LE(gap, sim.action_distance(a, b) * scale + slack)
+          << "actions " << a << "," << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, CompetitivenessBoundTest,
+    ::testing::Values(
+        BoundCase{4, 1, 0.05, 101},  // the paper's O(1.05) example
+        BoundCase{4, 1, 0.50, 102},
+        BoundCase{8, 2, 0.30, 103},
+        BoundCase{8, 2, 0.70, 104},
+        BoundCase{12, 3, 0.50, 105},
+        BoundCase{12, 3, 0.90, 106},
+        BoundCase{16, 4, 0.60, 107},
+        BoundCase{16, 2, 0.80, 108},
+        BoundCase{20, 5, 0.40, 109},
+        BoundCase{20, 5, 0.95, 110},
+        BoundCase{24, 6, 0.25, 111},
+        BoundCase{24, 4, 0.85, 112}));
+
+// The bound should be *useful*, not vacuous: for twin states it pins the
+// values together exactly.
+TEST(CompetitivenessBound, TightForTwinStates) {
+  std::vector<StateVertex> states(3);
+  for (std::size_t i = 0; i < 3; ++i) states[i].state_id = i;
+  ActionVertex a0;
+  a0.source = 0;
+  a0.action_id = 0;
+  a0.transitions.push_back({2, 1.0, 0.4});
+  ActionVertex a1;
+  a1.source = 1;
+  a1.action_id = 1;
+  a1.transitions.push_back({2, 1.0, 0.4});
+  states[0].actions.push_back(0);
+  states[1].actions.push_back(1);
+  const auto graph = MdpGraph::from_parts(std::move(states), {a0, a1});
+
+  const double rho = 0.7;
+  ValueIterationConfig vi_cfg;
+  vi_cfg.rho = rho;
+  const auto values = solve_values(graph, vi_cfg);
+  SimilarityConfig sim_cfg;
+  sim_cfg.c_s = 1.0;
+  sim_cfg.c_a = rho;
+  sim_cfg.epsilon = 1e-10;
+  sim_cfg.max_iterations = 2000;
+  const auto sim = compute_structural_similarity(graph, sim_cfg);
+
+  EXPECT_NEAR(values.state_values[0], values.state_values[1], 1e-9);
+  EXPECT_NEAR(sim.state_distance(0, 1), 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace capman::core

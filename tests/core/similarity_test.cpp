@@ -1,0 +1,194 @@
+#include "core/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph_test_util.h"
+
+namespace capman::core {
+namespace {
+
+SimilarityConfig tight_config() {
+  SimilarityConfig cfg;
+  cfg.c_s = 1.0;
+  cfg.c_a = 0.8;
+  cfg.epsilon = 1e-6;
+  cfg.max_iterations = 500;
+  return cfg;
+}
+
+TEST(Similarity, EmptyGraphConverges) {
+  const MdpGraph graph;
+  const auto result = compute_structural_similarity(graph, tight_config());
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(Similarity, SelfSimilarityIsOne) {
+  util::Rng rng{31};
+  const auto graph = testutil::random_graph(rng, 12, 3);
+  const auto result = compute_structural_similarity(graph, tight_config());
+  for (std::size_t u = 0; u < graph.state_count(); ++u) {
+    EXPECT_DOUBLE_EQ(result.state_similarity(u, u), 1.0);
+  }
+  for (std::size_t a = 0; a < graph.action_count(); ++a) {
+    EXPECT_DOUBLE_EQ(result.action_similarity(a, a), 1.0);
+  }
+}
+
+TEST(Similarity, MatricesBoundedInUnitInterval) {
+  util::Rng rng{32};
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto graph = testutil::random_graph(rng, 10, 2);
+    const auto result = compute_structural_similarity(graph, tight_config());
+    EXPECT_TRUE(result.state_similarity.all_in(0.0, 1.0));
+    EXPECT_TRUE(result.action_similarity.all_in(0.0, 1.0));
+  }
+}
+
+TEST(Similarity, SymmetricMatrices) {
+  util::Rng rng{33};
+  const auto graph = testutil::random_graph(rng, 10, 2);
+  const auto result = compute_structural_similarity(graph, tight_config());
+  for (std::size_t u = 0; u < graph.state_count(); ++u) {
+    for (std::size_t v = 0; v < graph.state_count(); ++v) {
+      EXPECT_DOUBLE_EQ(result.state_similarity(u, v),
+                       result.state_similarity(v, u));
+    }
+  }
+  for (std::size_t a = 0; a < graph.action_count(); ++a) {
+    for (std::size_t b = 0; b < graph.action_count(); ++b) {
+      EXPECT_DOUBLE_EQ(result.action_similarity(a, b),
+                       result.action_similarity(b, a));
+    }
+  }
+}
+
+TEST(Similarity, AbsorbingBaseCases) {
+  // Build: s0 -> s1 (absorbing), s2 absorbing as well.
+  std::vector<StateVertex> states(3);
+  for (std::size_t i = 0; i < 3; ++i) states[i].state_id = i;
+  ActionVertex a;
+  a.source = 0;
+  a.action_id = 0;
+  a.transitions.push_back({1, 1.0, 0.5});
+  states[0].actions.push_back(0);
+  const auto graph = MdpGraph::from_parts(std::move(states), {a});
+
+  SimilarityConfig cfg = tight_config();
+  cfg.absorbing_distance = 0.3;
+  const auto result = compute_structural_similarity(graph, cfg);
+  // Exactly one absorbing: delta = 1 -> similarity 0.
+  EXPECT_DOUBLE_EQ(result.state_similarity(0, 1), 0.0);
+  // Both absorbing: similarity = 1 - d_{u,v} = 0.7.
+  EXPECT_DOUBLE_EQ(result.state_similarity(1, 2), 0.7);
+}
+
+TEST(Similarity, IdenticalTwinStatesAreMaximallySimilar) {
+  // Two states with structurally identical single actions into the same
+  // absorbing target with equal rewards.
+  std::vector<StateVertex> states(3);
+  for (std::size_t i = 0; i < 3; ++i) states[i].state_id = i;
+  ActionVertex a0;
+  a0.source = 0;
+  a0.action_id = 0;
+  a0.transitions.push_back({2, 1.0, 0.6});
+  ActionVertex a1;
+  a1.source = 1;
+  a1.action_id = 1;
+  a1.transitions.push_back({2, 1.0, 0.6});
+  states[0].actions.push_back(0);
+  states[1].actions.push_back(1);
+  const auto graph = MdpGraph::from_parts(std::move(states), {a0, a1});
+  const auto result = compute_structural_similarity(graph, tight_config());
+  EXPECT_NEAR(result.state_similarity(0, 1), 1.0, 1e-6);
+  EXPECT_NEAR(result.action_similarity(0, 1), 1.0, 1e-6);
+}
+
+TEST(Similarity, RewardGapLowersActionSimilarity) {
+  // Same transition structure, different rewards.
+  std::vector<StateVertex> states(3);
+  for (std::size_t i = 0; i < 3; ++i) states[i].state_id = i;
+  ActionVertex cheap;
+  cheap.source = 0;
+  cheap.action_id = 0;
+  cheap.transitions.push_back({2, 1.0, 0.1});
+  ActionVertex rich;
+  rich.source = 1;
+  rich.action_id = 1;
+  rich.transitions.push_back({2, 1.0, 0.9});
+  states[0].actions.push_back(0);
+  states[1].actions.push_back(1);
+  const auto graph =
+      MdpGraph::from_parts(std::move(states), {cheap, rich});
+  const auto result = compute_structural_similarity(graph, tight_config());
+  // delta_A = (1 - c_a) * |0.9 - 0.1| = 0.16 -> sigma_A = 0.84.
+  EXPECT_NEAR(result.action_similarity(0, 1), 1.0 - 0.2 * 0.8, 1e-6);
+  EXPECT_LT(result.state_similarity(0, 1), 1.0);
+}
+
+TEST(Similarity, DivergentTargetsLowerSimilarity) {
+  // a0 -> absorbing A; a1 -> absorbing B; absorbing distance 1.
+  std::vector<StateVertex> states(4);
+  for (std::size_t i = 0; i < 4; ++i) states[i].state_id = i;
+  ActionVertex a0;
+  a0.source = 0;
+  a0.action_id = 0;
+  a0.transitions.push_back({2, 1.0, 0.5});
+  ActionVertex a1;
+  a1.source = 1;
+  a1.action_id = 1;
+  a1.transitions.push_back({3, 1.0, 0.5});
+  states[0].actions.push_back(0);
+  states[1].actions.push_back(1);
+  const auto graph = MdpGraph::from_parts(std::move(states), {a0, a1});
+  SimilarityConfig cfg = tight_config();
+  cfg.absorbing_distance = 1.0;
+  const auto result = compute_structural_similarity(graph, cfg);
+  // delta_EMD between point masses on A and B = d(A,B) = 1
+  // -> sigma_A = 1 - c_a = 0.2.
+  EXPECT_NEAR(result.action_similarity(0, 1), 1.0 - cfg.c_a, 1e-6);
+}
+
+TEST(Similarity, ConvergesWithinIterationBudget) {
+  util::Rng rng{34};
+  const auto graph = testutil::random_graph(rng, 16, 4);
+  const auto result = compute_structural_similarity(graph, tight_config());
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.iterations, 0u);
+  EXPECT_LT(result.iterations, 500u);
+}
+
+TEST(Similarity, HigherCaNeedsMoreIterationsOnAverage) {
+  // The contraction factor is C_A; iterations grow as it approaches 1.
+  // (This is the mechanism behind the paper's Fig. 16.) Per-graph the count
+  // is noisy, so compare averages over several random graphs.
+  util::Rng rng{35};
+  double iters_low = 0.0;
+  double iters_high = 0.0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto graph = testutil::random_graph(rng, 14, 3);
+    SimilarityConfig low = tight_config();
+    low.c_a = 0.3;
+    SimilarityConfig high = tight_config();
+    high.c_a = 0.9;
+    iters_low += static_cast<double>(
+        compute_structural_similarity(graph, low).iterations);
+    iters_high += static_cast<double>(
+        compute_structural_similarity(graph, high).iterations);
+  }
+  EXPECT_GT(iters_high, iters_low);
+}
+
+TEST(Similarity, DistanceAccessorsAreComplements) {
+  util::Rng rng{36};
+  const auto graph = testutil::random_graph(rng, 8, 2);
+  const auto result = compute_structural_similarity(graph, tight_config());
+  EXPECT_NEAR(result.state_distance(0, 1),
+              1.0 - result.state_similarity(0, 1), 1e-12);
+  if (graph.action_count() >= 2) {
+    EXPECT_NEAR(result.action_distance(0, 1),
+                1.0 - result.action_similarity(0, 1), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace capman::core

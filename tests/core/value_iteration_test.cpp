@@ -1,0 +1,148 @@
+#include "core/value_iteration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph_test_util.h"
+
+namespace capman::core {
+namespace {
+
+TEST(ValueIteration, TwoStateChainAnalytic) {
+  // V(s0) = r0 + rho * V(absorbing) = r0.
+  const auto graph = testutil::two_state_chain(0.7);
+  ValueIterationConfig cfg;
+  cfg.rho = 0.9;
+  const auto result = solve_values(graph, cfg);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.state_values[0], 0.7, 1e-8);
+  EXPECT_DOUBLE_EQ(result.state_values[1], 0.0);
+  EXPECT_EQ(result.best_action[0], 0u);
+  EXPECT_EQ(result.best_action[1], ValueIterationResult::npos);
+}
+
+TEST(ValueIteration, SelfLoopGeometricSum) {
+  // s0 loops onto itself with reward 1: V = 1 / (1 - rho).
+  std::vector<StateVertex> states(1);
+  states[0].state_id = 0;
+  ActionVertex a;
+  a.source = 0;
+  a.action_id = 0;
+  a.transitions.push_back({0, 1.0, 1.0});
+  states[0].actions.push_back(0);
+  const auto graph = MdpGraph::from_parts(std::move(states), {a});
+  ValueIterationConfig cfg;
+  cfg.rho = 0.8;
+  const auto result = solve_values(graph, cfg);
+  EXPECT_NEAR(result.state_values[0], 1.0 / (1.0 - 0.8), 1e-6);
+}
+
+TEST(ValueIteration, PicksBetterAction) {
+  std::vector<StateVertex> states(2);
+  states[0].state_id = 0;
+  states[1].state_id = 1;
+  ActionVertex bad;
+  bad.source = 0;
+  bad.action_id = 0;
+  bad.transitions.push_back({1, 1.0, 0.2});
+  ActionVertex good;
+  good.source = 0;
+  good.action_id = 1;
+  good.transitions.push_back({1, 1.0, 0.9});
+  states[0].actions = {0, 1};
+  const auto graph =
+      MdpGraph::from_parts(std::move(states), {bad, good});
+  const auto result = solve_values(graph, ValueIterationConfig{});
+  EXPECT_EQ(result.best_action[0], 1u);
+  EXPECT_NEAR(result.state_values[0], 0.9, 1e-8);
+  EXPECT_NEAR(result.action_values[0], 0.2, 1e-8);
+}
+
+TEST(ValueIteration, StochasticTransitionExpectation) {
+  // One action: 0.3 -> absorbing r=1.0, 0.7 -> absorbing r=0.5.
+  std::vector<StateVertex> states(3);
+  for (std::size_t i = 0; i < 3; ++i) states[i].state_id = i;
+  ActionVertex a;
+  a.source = 0;
+  a.action_id = 0;
+  a.transitions.push_back({1, 0.3, 1.0});
+  a.transitions.push_back({2, 0.7, 0.5});
+  states[0].actions.push_back(0);
+  const auto graph = MdpGraph::from_parts(std::move(states), {a});
+  const auto result = solve_values(graph, ValueIterationConfig{});
+  EXPECT_NEAR(result.state_values[0], 0.3 * 1.0 + 0.7 * 0.5, 1e-8);
+}
+
+TEST(ValueIteration, ValuesBoundedByGeometricSeries) {
+  util::Rng rng{21};
+  for (double rho : {0.3, 0.6, 0.9}) {
+    const auto graph = testutil::random_graph(rng, 20, 4);
+    ValueIterationConfig cfg;
+    cfg.rho = rho;
+    const auto result = solve_values(graph, cfg);
+    EXPECT_TRUE(result.converged);
+    for (double v : result.state_values) {
+      EXPECT_GE(v, -1e-12);
+      EXPECT_LE(v, 1.0 / (1.0 - rho) + 1e-9);
+    }
+  }
+}
+
+TEST(ValueIteration, BellmanConsistencyAtFixedPoint) {
+  util::Rng rng{22};
+  const auto graph = testutil::random_graph(rng, 15, 3);
+  ValueIterationConfig cfg;
+  cfg.rho = 0.7;
+  const auto result = solve_values(graph, cfg);
+  // Eq. 9: Q(a) == sum p (r + rho V).
+  for (std::size_t a = 0; a < graph.action_count(); ++a) {
+    double q = 0.0;
+    for (const auto& t : graph.action(a).transitions) {
+      q += t.probability * (t.reward + cfg.rho * result.state_values[t.to]);
+    }
+    EXPECT_NEAR(result.action_values[a], q, 1e-6);
+  }
+  // Eq. 8: V(u) == max_a Q(a).
+  for (std::size_t u = 0; u < graph.state_count(); ++u) {
+    const auto& actions = graph.state(u).actions;
+    if (actions.empty()) {
+      EXPECT_DOUBLE_EQ(result.state_values[u], 0.0);
+      continue;
+    }
+    double best = -1.0;
+    for (std::size_t a : actions) best = std::max(best, result.action_values[a]);
+    EXPECT_NEAR(result.state_values[u], best, 1e-6);
+  }
+}
+
+TEST(ValueIteration, HigherDiscountRaisesValues) {
+  util::Rng rng{23};
+  const auto graph = testutil::random_graph(rng, 12, 0);
+  ValueIterationConfig lo;
+  lo.rho = 0.3;
+  ValueIterationConfig hi;
+  hi.rho = 0.9;
+  const auto v_lo = solve_values(graph, lo);
+  const auto v_hi = solve_values(graph, hi);
+  for (std::size_t u = 0; u < graph.state_count(); ++u) {
+    EXPECT_GE(v_hi.state_values[u], v_lo.state_values[u] - 1e-9);
+  }
+}
+
+TEST(ValueIteration, IterationCountGrowsWithRho) {
+  util::Rng rng{24};
+  const auto graph = testutil::random_graph(rng, 12, 0);
+  std::size_t prev_iters = 0;
+  for (double rho : {0.2, 0.5, 0.8, 0.95}) {
+    ValueIterationConfig cfg;
+    cfg.rho = rho;
+    cfg.epsilon = 1e-8;
+    const auto result = solve_values(graph, cfg);
+    EXPECT_GE(result.iterations, prev_iters);
+    prev_iters = result.iterations;
+  }
+}
+
+}  // namespace
+}  // namespace capman::core

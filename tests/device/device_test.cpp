@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "device/cpu.h"
+#include "device/phone.h"
+#include "device/power_state.h"
+#include "device/screen.h"
+#include "device/wifi.h"
+
+namespace capman::device {
+namespace {
+
+TEST(PowerState, IndexRoundTrip) {
+  for (std::size_t i = 0; i < device_state_count(); ++i) {
+    EXPECT_EQ(DeviceStateVector::from_index(i).index(), i);
+  }
+}
+
+TEST(PowerState, CountIs24) { EXPECT_EQ(device_state_count(), 24u); }
+
+TEST(PowerState, DistinctStatesDistinctIndices) {
+  DeviceStateVector a{CpuState::kC0, ScreenState::kOn, WifiState::kSend};
+  DeviceStateVector b{CpuState::kC0, ScreenState::kOn, WifiState::kAccess};
+  EXPECT_NE(a.index(), b.index());
+  EXPECT_NE(a, b);
+}
+
+TEST(PowerState, ToStringContainsParts) {
+  DeviceStateVector v{CpuState::kSleep, ScreenState::kOff, WifiState::kIdle};
+  const std::string s = to_string(v);
+  EXPECT_NE(s.find("SLEEP"), std::string::npos);
+  EXPECT_NE(s.find("OFF"), std::string::npos);
+  EXPECT_NE(s.find("IDLE"), std::string::npos);
+}
+
+CpuParams nexus_cpu() { return nexus_profile().cpu; }
+
+TEST(CpuModel, TableIIIStatePowers) {
+  CpuModel cpu{nexus_cpu()};
+  EXPECT_NEAR(util::to_milliwatts(cpu.power(CpuState::kSleep, 0, 0)), 55.0,
+              1e-9);
+  EXPECT_NEAR(util::to_milliwatts(cpu.power(CpuState::kC2, 0, 0)), 310.0,
+              1e-9);
+  EXPECT_NEAR(util::to_milliwatts(cpu.power(CpuState::kC1, 0, 0)), 462.0,
+              1e-9);
+}
+
+TEST(CpuModel, C0MatchesTableIIAtReferencePoint) {
+  // Table III's C0 = 612 mW corresponds to 50% utilization at the middle
+  // frequency: gamma * 50 + 310 = 612 -> gamma = 6.04.
+  CpuModel cpu{nexus_cpu()};
+  EXPECT_NEAR(util::to_milliwatts(cpu.power(CpuState::kC0, 50.0, 1)), 612.0,
+              1.0);
+}
+
+TEST(CpuModel, PowerLinearInUtilization) {
+  CpuModel cpu{nexus_cpu()};
+  const double p0 = cpu.power(CpuState::kC0, 20.0, 1).value();
+  const double p1 = cpu.power(CpuState::kC0, 40.0, 1).value();
+  const double p2 = cpu.power(CpuState::kC0, 60.0, 1).value();
+  EXPECT_NEAR(p1 - p0, p2 - p1, 1e-12);
+}
+
+TEST(CpuModel, HigherFrequencyCostsMore) {
+  CpuModel cpu{nexus_cpu()};
+  EXPECT_LT(cpu.power(CpuState::kC0, 80.0, 0).value(),
+            cpu.power(CpuState::kC0, 80.0, 1).value());
+  EXPECT_LT(cpu.power(CpuState::kC0, 80.0, 1).value(),
+            cpu.power(CpuState::kC0, 80.0, 2).value());
+}
+
+TEST(CpuModel, UtilizationClamped) {
+  CpuModel cpu{nexus_cpu()};
+  EXPECT_DOUBLE_EQ(cpu.power(CpuState::kC0, 150.0, 1).value(),
+                   cpu.power(CpuState::kC0, 100.0, 1).value());
+  EXPECT_DOUBLE_EQ(cpu.power(CpuState::kC0, -5.0, 1).value(),
+                   cpu.power(CpuState::kC0, 0.0, 1).value());
+}
+
+TEST(CpuModel, FreqIndexClamped) {
+  CpuModel cpu{nexus_cpu()};
+  EXPECT_DOUBLE_EQ(cpu.power(CpuState::kC0, 50.0, 99).value(),
+                   cpu.power(CpuState::kC0, 50.0, 2).value());
+}
+
+TEST(ScreenModel, OffPowerMatchesTableIII) {
+  ScreenModel screen{nexus_profile().screen};
+  EXPECT_NEAR(util::to_milliwatts(screen.power(ScreenState::kOff, 200.0)),
+              22.0, 1e-9);
+}
+
+TEST(ScreenModel, OnPowerMatchesTableIIIAtReferenceBrightness) {
+  // On = 790 mW at brightness 180: (3.5+3.0)/2 * 180 + 205 = 790.
+  ScreenModel screen{nexus_profile().screen};
+  EXPECT_NEAR(util::to_milliwatts(screen.power(ScreenState::kOn, 180.0)),
+              790.0, 1.0);
+}
+
+TEST(ScreenModel, PowerIncreasesWithBrightness) {
+  ScreenModel screen{nexus_profile().screen};
+  EXPECT_LT(screen.power(ScreenState::kOn, 50.0).value(),
+            screen.power(ScreenState::kOn, 250.0).value());
+}
+
+TEST(ScreenModel, BrightnessClamped) {
+  ScreenModel screen{nexus_profile().screen};
+  EXPECT_DOUBLE_EQ(screen.power(ScreenState::kOn, 400.0).value(),
+                   screen.power(ScreenState::kOn, 255.0).value());
+}
+
+TEST(WifiModel, IdleMatchesTableIII) {
+  WifiModel wifi{nexus_profile().wifi};
+  EXPECT_NEAR(util::to_milliwatts(wifi.power(WifiState::kIdle, 0.0)), 60.0,
+              1e-9);
+}
+
+TEST(WifiModel, AccessAtThresholdMatchesTableIII) {
+  // 12.24 * 100 + 60 = 1284 mW (Table III Access).
+  WifiModel wifi{nexus_profile().wifi};
+  EXPECT_NEAR(util::to_milliwatts(wifi.power(WifiState::kAccess, 100.0)),
+              1284.0, 1.0);
+}
+
+TEST(WifiModel, SendPremiumMatchesTableIII) {
+  WifiModel wifi{nexus_profile().wifi};
+  EXPECT_NEAR(util::to_milliwatts(wifi.power(WifiState::kSend, 100.0)),
+              1548.0, 1.0);
+}
+
+TEST(WifiModel, PiecewiseContinuousAtThreshold) {
+  WifiModel wifi{nexus_profile().wifi};
+  const double below = wifi.power(WifiState::kAccess, 99.999).value();
+  const double above = wifi.power(WifiState::kAccess, 100.001).value();
+  EXPECT_NEAR(below, above, 0.01);
+}
+
+TEST(WifiModel, HighRateUsesHighSlope) {
+  WifiModel wifi{nexus_profile().wifi};
+  const auto& p = nexus_profile().wifi;
+  const double p200 = util::to_milliwatts(wifi.power(WifiState::kAccess, 200.0));
+  EXPECT_NEAR(p200, p.gamma_high_mw * 200.0 + p.c_high_mw, 1.0);
+}
+
+TEST(WifiModel, StateForRate) {
+  WifiModel wifi{nexus_profile().wifi};
+  EXPECT_EQ(wifi.state_for_rate(0.0, false), WifiState::kIdle);
+  EXPECT_EQ(wifi.state_for_rate(50.0, false), WifiState::kAccess);
+  EXPECT_EQ(wifi.state_for_rate(50.0, true), WifiState::kSend);
+}
+
+TEST(PhoneModel, TotalIsSumOfComponents) {
+  PhoneModel phone{nexus_profile()};
+  DeviceDemand d;
+  d.cpu = CpuState::kC0;
+  d.utilization = 60.0;
+  d.freq_index = 1;
+  d.screen = ScreenState::kOn;
+  d.brightness = 180.0;
+  d.wifi = WifiState::kAccess;
+  d.packet_rate = 100.0;
+  const auto p = phone.power(d);
+  EXPECT_NEAR(p.total().value(),
+              p.cpu.value() + p.screen.value() + p.wifi.value(), 1e-12);
+  EXPECT_GT(p.total().value(), 2.0);
+}
+
+TEST(PhoneModel, SleepDemandIsCheap) {
+  PhoneModel phone{nexus_profile()};
+  DeviceDemand d;  // defaults: sleep/off/idle
+  EXPECT_NEAR(util::to_milliwatts(phone.power(d).total()),
+              55.0 + 22.0 + 60.0, 1.0);
+}
+
+TEST(PhoneModel, ProfilesDifferInScale) {
+  PhoneModel nexus{nexus_profile()};
+  PhoneModel honor{honor_profile()};
+  PhoneModel lenovo{lenovo_profile()};
+  DeviceDemand d;
+  d.cpu = CpuState::kC0;
+  d.utilization = 80.0;
+  d.freq_index = 1;
+  d.screen = ScreenState::kOn;
+  const double pn = nexus.power(d).total().value();
+  EXPECT_LT(honor.power(d).total().value(), pn);
+  EXPECT_GT(lenovo.power(d).total().value(), pn);
+}
+
+TEST(PhoneModel, DemandStateVectorMatchesFields) {
+  DeviceDemand d;
+  d.cpu = CpuState::kC1;
+  d.screen = ScreenState::kOn;
+  d.wifi = WifiState::kSend;
+  const DeviceStateVector v = d.state_vector();
+  EXPECT_EQ(v.cpu, CpuState::kC1);
+  EXPECT_EQ(v.screen, ScreenState::kOn);
+  EXPECT_EQ(v.wifi, WifiState::kSend);
+}
+
+TEST(PhoneModel, ProfileMetadata) {
+  EXPECT_EQ(nexus_profile().name, "Nexus");
+  EXPECT_EQ(honor_profile().name, "Honor");
+  EXPECT_EQ(lenovo_profile().name, "Lenovo");
+  EXPECT_NEAR(nexus_profile().tec_on_mw, 29.17, 1e-9);
+}
+
+}  // namespace
+}  // namespace capman::device

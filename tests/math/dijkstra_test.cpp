@@ -1,0 +1,71 @@
+#include "math/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/rng.h"
+
+namespace capman::math {
+namespace {
+
+TEST(Dijkstra, LineGraph) {
+  Digraph g{4};
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  const auto sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.distance[0], 0.0);
+  EXPECT_DOUBLE_EQ(sp.distance[1], 1.0);
+  EXPECT_DOUBLE_EQ(sp.distance[2], 3.0);
+  EXPECT_DOUBLE_EQ(sp.distance[3], 6.0);
+  EXPECT_EQ(sp.parent[3], 2u);
+}
+
+TEST(Dijkstra, PrefersCheaperDetour) {
+  Digraph g{3};
+  g.add_edge(0, 2, 10.0);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  const auto sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.distance[2], 3.0);
+  EXPECT_EQ(sp.parent[2], 1u);
+}
+
+TEST(Dijkstra, UnreachableIsInfinite) {
+  Digraph g{3};
+  g.add_edge(0, 1, 1.0);
+  const auto sp = dijkstra(g, 0);
+  EXPECT_EQ(sp.distance[2], std::numeric_limits<double>::infinity());
+  EXPECT_EQ(sp.parent[2], ShortestPaths::npos);
+}
+
+TEST(Dijkstra, ZeroWeightEdges) {
+  Digraph g{3};
+  g.add_edge(0, 1, 0.0);
+  g.add_edge(1, 2, 0.0);
+  const auto sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.distance[2], 0.0);
+}
+
+TEST(Dijkstra, RandomizedTriangleInequality) {
+  util::Rng rng{5};
+  const std::size_t n = 40;
+  Digraph g{n};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int k = 0; k < 4; ++k) {
+      g.add_edge(i, rng.uniform_index(n), rng.uniform(0.1, 5.0));
+    }
+  }
+  const auto sp = dijkstra(g, 0);
+  // Relaxation invariant: no edge can shorten a settled distance.
+  for (std::size_t u = 0; u < n; ++u) {
+    if (sp.distance[u] == std::numeric_limits<double>::infinity()) continue;
+    for (const auto& e : g.out_edges(u)) {
+      EXPECT_LE(sp.distance[e.to], sp.distance[u] + e.weight + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace capman::math

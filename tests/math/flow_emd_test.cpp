@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "math/emd.h"
+#include "math/min_cost_flow.h"
+#include "util/rng.h"
+
+namespace capman::math {
+namespace {
+
+TEST(MinCostFlow, SingleEdge) {
+  MinCostFlow f{2};
+  f.add_edge(0, 1, 5.0, 2.0);
+  const auto r = f.solve(0, 1, 3.0);
+  EXPECT_TRUE(r.saturated);
+  EXPECT_DOUBLE_EQ(r.flow, 3.0);
+  EXPECT_DOUBLE_EQ(r.cost, 6.0);
+}
+
+TEST(MinCostFlow, PicksCheaperPathFirst) {
+  MinCostFlow f{4};
+  f.add_edge(0, 1, 2.0, 1.0);
+  f.add_edge(1, 3, 2.0, 1.0);
+  f.add_edge(0, 2, 2.0, 5.0);
+  f.add_edge(2, 3, 2.0, 5.0);
+  // 3 units: 2 over the cheap path (cost 4), 1 over the expensive (cost 10).
+  const auto r = f.solve(0, 3, 3.0);
+  EXPECT_TRUE(r.saturated);
+  EXPECT_NEAR(r.cost, 14.0, 1e-9);
+}
+
+TEST(MinCostFlow, CapacityLimitsFlow) {
+  MinCostFlow f{2};
+  f.add_edge(0, 1, 1.5, 1.0);
+  const auto r = f.solve(0, 1, 10.0);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_NEAR(r.flow, 1.5, 1e-9);
+}
+
+TEST(MinCostFlow, DisconnectedYieldsZero) {
+  MinCostFlow f{3};
+  f.add_edge(0, 1, 1.0, 1.0);
+  const auto r = f.solve(0, 2, 1.0);
+  EXPECT_DOUBLE_EQ(r.flow, 0.0);
+  EXPECT_FALSE(r.saturated);
+}
+
+TEST(MinCostFlow, FlowOnReportsPerEdgeFlow) {
+  MinCostFlow f{3};
+  const auto cheap = f.add_edge(0, 1, 1.0, 1.0);
+  const auto direct = f.add_edge(0, 2, 5.0, 10.0);
+  f.add_edge(1, 2, 1.0, 1.0);
+  f.solve(0, 2, 2.0);
+  EXPECT_NEAR(f.flow_on(cheap), 1.0, 1e-9);
+  EXPECT_NEAR(f.flow_on(direct), 1.0, 1e-9);
+}
+
+// Brute-force check on tiny transportation instances: enumerate splits of
+// supply across two routes.
+TEST(MinCostFlow, MatchesBruteForceOnTransportation) {
+  util::Rng rng{77};
+  for (int trial = 0; trial < 50; ++trial) {
+    // Two sources (supply a, b summing to 1), two sinks (demand c, d).
+    const double a = rng.uniform(0.1, 0.9);
+    const double c = rng.uniform(0.1, 0.9);
+    double cost[2][2];
+    for (auto& row : cost) {
+      for (double& x : row) x = rng.uniform(0.0, 1.0);
+    }
+    // Flow solver network.
+    MinCostFlow f{6};
+    f.add_edge(0, 1, a, 0.0);
+    f.add_edge(0, 2, 1.0 - a, 0.0);
+    f.add_edge(3, 5, c, 0.0);
+    f.add_edge(4, 5, 1.0 - c, 0.0);
+    for (int i = 0; i < 2; ++i) {
+      for (int j = 0; j < 2; ++j) f.add_edge(1 + i, 3 + j, 2.0, cost[i][j]);
+    }
+    const auto r = f.solve(0, 5, 1.0);
+    ASSERT_TRUE(r.saturated);
+
+    // Brute force: x = flow source0 -> sink0 parameterizes the whole plan.
+    double best = 1e18;
+    for (int k = 0; k <= 2000; ++k) {
+      const double x = k / 2000.0;
+      const double x01 = a - x;        // source0 -> sink1
+      const double x10 = c - x;        // source1 -> sink0
+      const double x11 = (1.0 - a) - x10;
+      if (x01 < -1e-12 || x10 < -1e-12 || x11 < -1e-12 || x > a + 1e-12 ||
+          x > c + 1e-12) {
+        continue;
+      }
+      best = std::min(best, x * cost[0][0] + x01 * cost[0][1] +
+                                x10 * cost[1][0] + x11 * cost[1][1]);
+    }
+    EXPECT_NEAR(r.cost, best, 2e-3);
+  }
+}
+
+TEST(Emd, IdenticalDistributionsZero) {
+  Distribution p{{0.3, 0.7}};
+  const auto d = [](std::size_t i, std::size_t j) {
+    return i == j ? 0.0 : 1.0;
+  };
+  EXPECT_NEAR(earth_movers_distance(p, p, d), 0.0, 1e-9);
+}
+
+TEST(Emd, DisjointPointMasses) {
+  Distribution p{{1.0, 0.0}};
+  Distribution q{{0.0, 1.0}};
+  const auto d = [](std::size_t i, std::size_t j) {
+    return i == j ? 0.0 : 0.8;
+  };
+  EXPECT_NEAR(earth_movers_distance(p, q, d), 0.8, 1e-9);
+}
+
+TEST(Emd, NormalizesUnnormalizedInputs) {
+  Distribution p{{2.0, 2.0}};   // = {0.5, 0.5}
+  Distribution q{{30.0, 10.0}}; // = {0.75, 0.25}
+  const auto d = [](std::size_t i, std::size_t j) {
+    return std::abs(static_cast<double>(i) - static_cast<double>(j));
+  };
+  // Move 0.25 mass a distance of 1.
+  EXPECT_NEAR(earth_movers_distance(p, q, d), 0.25, 1e-9);
+}
+
+TEST(Emd, ThrowsOnEmptyDistribution) {
+  Distribution p{{0.0}};
+  Distribution q{{1.0}};
+  const auto d = [](std::size_t, std::size_t) { return 1.0; };
+  EXPECT_THROW(earth_movers_distance(p, q, d), std::invalid_argument);
+}
+
+TEST(Emd, MatchesClosedForm1D) {
+  util::Rng rng{123};
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 2 + rng.uniform_index(6);
+    std::vector<double> p(n);
+    std::vector<double> q(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = rng.uniform(0.01, 1.0);
+      q[i] = rng.uniform(0.01, 1.0);
+    }
+    Distribution dp{p};
+    Distribution dq{q};
+    const auto ground = [](std::size_t i, std::size_t j) {
+      return std::abs(static_cast<double>(i) - static_cast<double>(j));
+    };
+    EXPECT_NEAR(earth_movers_distance(dp, dq, ground), emd_1d(p, q), 1e-6);
+  }
+}
+
+TEST(Emd, SymmetricWithMetricGround) {
+  util::Rng rng{321};
+  for (int trial = 0; trial < 20; ++trial) {
+    Distribution p{{rng.uniform(0.1, 1.0), rng.uniform(0.1, 1.0),
+                    rng.uniform(0.1, 1.0)}};
+    Distribution q{{rng.uniform(0.1, 1.0), rng.uniform(0.1, 1.0),
+                    rng.uniform(0.1, 1.0)}};
+    const auto ground = [](std::size_t i, std::size_t j) {
+      return i == j ? 0.0 : 0.5 + 0.1 * static_cast<double>(i + j);
+    };
+    const auto ground_t = [&](std::size_t i, std::size_t j) {
+      return ground(j, i);
+    };
+    EXPECT_NEAR(earth_movers_distance(p, q, ground),
+                earth_movers_distance(q, p, ground_t), 1e-7);
+  }
+}
+
+TEST(Emd, BoundedByGroundDiameter) {
+  util::Rng rng{55};
+  for (int trial = 0; trial < 20; ++trial) {
+    Distribution p{{rng.uniform(), rng.uniform(), rng.uniform(), 0.01}};
+    Distribution q{{0.01, rng.uniform(), rng.uniform(), rng.uniform()}};
+    const auto ground = [](std::size_t i, std::size_t j) {
+      return i == j ? 0.0 : 1.0;
+    };
+    const double d = earth_movers_distance(p, q, ground);
+    EXPECT_GE(d, -1e-9);
+    EXPECT_LE(d, 1.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace capman::math

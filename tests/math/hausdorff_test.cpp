@@ -1,0 +1,79 @@
+#include "math/hausdorff.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace capman::math {
+namespace {
+
+// Ground distance over two explicit point sets on the line.
+SetGroundDistance line_distance(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  return [&a, &b](std::size_t i, std::size_t j) {
+    return std::abs(a[i] - b[j]);
+  };
+}
+
+TEST(Hausdorff, IdenticalSetsZero) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(hausdorff(a.size(), a.size(), line_distance(a, a)), 0.0);
+}
+
+TEST(Hausdorff, KnownExample) {
+  const std::vector<double> a{0.0, 1.0};
+  const std::vector<double> b{0.0, 3.0};
+  // directed(a->b): max(min(0,3), min(1,2)) = 1; directed(b->a): point 3 is
+  // 2 away from nearest -> 2. Symmetric = 2... distances: |3-0|=3,|3-1|=2.
+  EXPECT_DOUBLE_EQ(hausdorff(a.size(), b.size(), line_distance(a, b)), 2.0);
+}
+
+TEST(Hausdorff, DirectedAsymmetry) {
+  const std::vector<double> a{0.0};
+  const std::vector<double> b{0.0, 10.0};
+  // a -> b: 0 (0 is in b). b -> a: point 10 is 10 away.
+  EXPECT_DOUBLE_EQ(directed_hausdorff(a.size(), b.size(), line_distance(a, b)),
+                   0.0);
+  EXPECT_DOUBLE_EQ(directed_hausdorff(b.size(), a.size(), line_distance(b, a)),
+                   10.0);
+  EXPECT_DOUBLE_EQ(hausdorff(a.size(), b.size(), line_distance(a, b)), 10.0);
+}
+
+TEST(Hausdorff, EmptySets) {
+  const auto d = [](std::size_t, std::size_t) { return 0.5; };
+  EXPECT_DOUBLE_EQ(directed_hausdorff(0, 3, d), 0.0);
+  EXPECT_DOUBLE_EQ(directed_hausdorff(3, 0, d), 1.0);
+  EXPECT_DOUBLE_EQ(hausdorff(0, 0, d), 0.0);
+  EXPECT_DOUBLE_EQ(hausdorff(3, 0, d), 1.0);
+  EXPECT_DOUBLE_EQ(hausdorff(0, 3, d), 1.0);
+}
+
+TEST(Hausdorff, SubsetDirectedZero) {
+  const std::vector<double> sub{1.0, 2.0};
+  const std::vector<double> super{0.0, 1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(
+      directed_hausdorff(sub.size(), super.size(), line_distance(sub, super)),
+      0.0);
+}
+
+TEST(Hausdorff, SymmetricProperty) {
+  const std::vector<double> a{0.2, 0.9, 0.5};
+  const std::vector<double> b{0.1, 0.4};
+  const double ab = hausdorff(a.size(), b.size(), line_distance(a, b));
+  const double ba = hausdorff(b.size(), a.size(), line_distance(b, a));
+  EXPECT_DOUBLE_EQ(ab, ba);
+}
+
+TEST(Hausdorff, TriangleInequalityOnLineSets) {
+  const std::vector<double> a{0.0, 1.0};
+  const std::vector<double> b{0.5, 1.5};
+  const std::vector<double> c{2.0};
+  const double ab = hausdorff(a.size(), b.size(), line_distance(a, b));
+  const double bc = hausdorff(b.size(), c.size(), line_distance(b, c));
+  const double ac = hausdorff(a.size(), c.size(), line_distance(a, c));
+  EXPECT_LE(ac, ab + bc + 1e-12);
+}
+
+}  // namespace
+}  // namespace capman::math

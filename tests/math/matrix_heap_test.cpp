@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "math/indexed_heap.h"
+#include "math/matrix.h"
+#include "util/rng.h"
+
+namespace capman::math {
+namespace {
+
+TEST(Matrix, IdentityDiagonal) {
+  const Matrix m = Matrix::identity(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(m(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, LinfDistance) {
+  Matrix a(2, 2, 0.0);
+  Matrix b(2, 2, 0.0);
+  b(1, 0) = 0.7;
+  b(0, 1) = -0.2;
+  EXPECT_DOUBLE_EQ(a.linf_distance(b), 0.7);
+  EXPECT_DOUBLE_EQ(b.linf_distance(a), 0.7);
+}
+
+TEST(Matrix, AllIn) {
+  Matrix m(3, 3, 0.5);
+  EXPECT_TRUE(m.all_in(0.0, 1.0));
+  m(2, 2) = 1.5;
+  EXPECT_FALSE(m.all_in(0.0, 1.0));
+}
+
+TEST(Matrix, FillOverwrites) {
+  Matrix m = Matrix::identity(3);
+  m.fill(0.25);
+  EXPECT_TRUE(m.all_in(0.25, 0.25));
+}
+
+TEST(IndexedHeap, PopsInOrder) {
+  IndexedMinHeap h(10);
+  h.push_or_decrease(3, 5.0);
+  h.push_or_decrease(1, 2.0);
+  h.push_or_decrease(7, 9.0);
+  h.push_or_decrease(0, 4.0);
+  EXPECT_EQ(h.pop_min().first, 1u);
+  EXPECT_EQ(h.pop_min().first, 0u);
+  EXPECT_EQ(h.pop_min().first, 3u);
+  EXPECT_EQ(h.pop_min().first, 7u);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(IndexedHeap, DecreaseKeyReorders) {
+  IndexedMinHeap h(5);
+  h.push_or_decrease(0, 10.0);
+  h.push_or_decrease(1, 20.0);
+  h.push_or_decrease(1, 1.0);  // decrease
+  EXPECT_EQ(h.pop_min().first, 1u);
+}
+
+TEST(IndexedHeap, IncreaseIsIgnored) {
+  IndexedMinHeap h(5);
+  h.push_or_decrease(0, 1.0);
+  h.push_or_decrease(0, 100.0);  // no-op
+  const auto [key, prio] = h.pop_min();
+  EXPECT_EQ(key, 0u);
+  EXPECT_DOUBLE_EQ(prio, 1.0);
+}
+
+TEST(IndexedHeap, ContainsTracksMembership) {
+  IndexedMinHeap h(4);
+  EXPECT_FALSE(h.contains(2));
+  h.push_or_decrease(2, 1.0);
+  EXPECT_TRUE(h.contains(2));
+  h.pop_min();
+  EXPECT_FALSE(h.contains(2));
+}
+
+TEST(IndexedHeap, ClearEmptiesAndAllowsReuse) {
+  IndexedMinHeap h(4);
+  h.push_or_decrease(1, 1.0);
+  h.push_or_decrease(2, 2.0);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.contains(1));
+  h.push_or_decrease(1, 5.0);
+  EXPECT_EQ(h.pop_min().first, 1u);
+}
+
+TEST(IndexedHeap, RandomizedAgainstSort) {
+  util::Rng rng{99};
+  IndexedMinHeap h(1000);
+  std::vector<double> priorities(1000);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    priorities[i] = rng.uniform();
+    h.push_or_decrease(i, priorities[i]);
+  }
+  std::vector<double> sorted = priorities;
+  std::sort(sorted.begin(), sorted.end());
+  for (double expected : sorted) {
+    EXPECT_DOUBLE_EQ(h.pop_min().second, expected);
+  }
+}
+
+}  // namespace
+}  // namespace capman::math

@@ -1,0 +1,184 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "workload/generators.h"
+
+namespace capman::sim {
+namespace {
+
+device::PhoneModel nexus() { return device::PhoneModel{device::nexus_profile()}; }
+
+workload::Trace video_trace(std::uint64_t seed = 7) {
+  return workload::make_video()->generate(util::Seconds{600.0}, seed);
+}
+
+TEST(SimEngine, TruncatesAtMaxDuration) {
+  // A sleeping phone outlives any short budget.
+  workload::TraceBuilder tb{"sleep"};
+  device::DeviceDemand sleep;  // defaults: Sleep/Off/Idle
+  tb.add(0.0, {workload::Syscall::kScreenSleep, 0}, sleep);
+  const auto trace = std::move(tb).build(60.0);
+
+  SimConfig config;
+  config.max_duration = util::Seconds{120.0};
+  SimEngine engine{config};
+  auto policy = make_policy(PolicyKind::kDual);
+  const auto r = engine.run(trace, *policy, nexus());
+  EXPECT_TRUE(r.truncated);
+  EXPECT_NEAR(r.service_time_s, 120.0, 1.0);
+  EXPECT_FALSE(r.died_of_brownout);
+}
+
+TEST(SimEngine, PracticeRunsOnSinglePack) {
+  SimConfig config;
+  config.max_duration = util::Seconds{300.0};
+  SimEngine engine{config};
+  auto policy = make_policy(PolicyKind::kPractice);
+  const auto r = engine.run(video_trace(), *policy, nexus());
+  EXPECT_EQ(r.switch_count, 0u);
+  EXPECT_DOUBLE_EQ(r.little_active_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.end_little_soc, 0.0);
+  EXPECT_GT(r.big_active_s, 0.0);
+}
+
+TEST(SimEngine, SeriesAreRecordedAndOrdered) {
+  SimConfig config;
+  config.max_duration = util::Seconds{120.0};
+  config.series_period = util::Seconds{1.0};
+  SimEngine engine{config};
+  auto policy = make_policy(PolicyKind::kDual);
+  const auto r = engine.run(video_trace(), *policy, nexus());
+  EXPECT_GT(r.soc_series.size(), 50u);
+  EXPECT_EQ(r.soc_series.size(), r.power_series.size());
+  EXPECT_EQ(r.soc_series.size(), r.cpu_temp_series.size());
+  // SoC never increases.
+  for (std::size_t i = 1; i < r.soc_series.size(); ++i) {
+    EXPECT_LE(r.soc_series.value_at(i), r.soc_series.value_at(i - 1) + 1e-9);
+  }
+}
+
+TEST(SimEngine, RecordSeriesOffKeepsSeriesEmpty) {
+  SimConfig config;
+  config.max_duration = util::Seconds{60.0};
+  config.record_series = false;
+  SimEngine engine{config};
+  auto policy = make_policy(PolicyKind::kDual);
+  const auto r = engine.run(video_trace(), *policy, nexus());
+  EXPECT_TRUE(r.soc_series.empty());
+}
+
+TEST(SimEngine, EnergyConservationAgainstPackCapacity) {
+  // Delivered + lost can never exceed the pack's initial chemical energy.
+  SimConfig config;
+  SimEngine engine{config};
+  auto policy = make_policy(PolicyKind::kDual);
+  const auto r = engine.run(video_trace(), *policy, nexus());
+  battery::DualBatteryPack fresh{config.pack_config};
+  EXPECT_LE(r.energy_delivered_j + r.energy_lost_j,
+            fresh.energy_remaining().value() * 1.02);
+  EXPECT_GT(r.energy_delivered_j, 0.0);
+}
+
+TEST(SimEngine, DeterministicForSameSeed) {
+  SimConfig config;
+  config.max_duration = util::Seconds{900.0};
+  SimEngine engine{config};
+  auto a = make_policy(PolicyKind::kCapman, 9);
+  auto b = make_policy(PolicyKind::kCapman, 9);
+  const auto ra = engine.run(video_trace(3), *a, nexus());
+  const auto rb = engine.run(video_trace(3), *b, nexus());
+  EXPECT_DOUBLE_EQ(ra.service_time_s, rb.service_time_s);
+  EXPECT_EQ(ra.switch_count, rb.switch_count);
+  EXPECT_DOUBLE_EQ(ra.energy_delivered_j, rb.energy_delivered_j);
+}
+
+TEST(SimEngine, TecDisabledNeverDrawsTecPower) {
+  SimConfig config;
+  config.enable_tec = false;
+  config.max_duration = util::Seconds{600.0};
+  SimEngine engine{config};
+  auto policy = make_policy(PolicyKind::kDual);
+  const auto r = engine.run(
+      workload::make_geekbench()->generate(util::Seconds{600.0}, 7), *policy,
+      nexus());
+  EXPECT_DOUBLE_EQ(r.tec_energy_j, 0.0);
+  EXPECT_DOUBLE_EQ(r.tec_on_fraction, 0.0);
+}
+
+TEST(SimEngine, TecEngagesOnHotWorkload) {
+  SimConfig config;
+  config.max_duration = util::Seconds{1800.0};
+  SimEngine engine{config};
+  auto policy = make_policy(PolicyKind::kDual);
+  const auto r = engine.run(
+      workload::make_geekbench()->generate(util::Seconds{600.0}, 7), *policy,
+      nexus());
+  EXPECT_GT(r.tec_on_fraction, 0.1);
+  EXPECT_GT(r.tec_energy_j, 0.0);
+  // The controller caps the hot spot near the threshold (death-phase
+  // excursions allowed).
+  EXPECT_LT(r.avg_cpu_temp_c, 48.0);
+}
+
+TEST(SimEngine, ResultMetadataFilled) {
+  SimConfig config;
+  config.max_duration = util::Seconds{30.0};
+  SimEngine engine{config};
+  auto policy = make_policy(PolicyKind::kOracle);
+  const auto r = engine.run(video_trace(), *policy, nexus());
+  EXPECT_EQ(r.workload, "Video");
+  EXPECT_EQ(r.policy, "Oracle");
+  EXPECT_EQ(r.phone, "Nexus");
+  EXPECT_GT(r.avg_power_w, 0.5);
+}
+
+TEST(Experiment, AllPolicyKindsConstruct) {
+  for (auto kind : all_policy_kinds()) {
+    auto policy = make_policy(kind);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), to_string(kind));
+  }
+}
+
+TEST(Experiment, ImprovementPct) {
+  EXPECT_DOUBLE_EQ(improvement_pct(150.0, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(improvement_pct(50.0, 100.0), -50.0);
+  EXPECT_DOUBLE_EQ(improvement_pct(1.0, 0.0), 0.0);
+}
+
+TEST(Experiment, FindResultByName) {
+  std::vector<SimResult> results(2);
+  results[0].policy = "CAPMAN";
+  results[1].policy = "Dual";
+  EXPECT_EQ(find_result(results, "Dual"), &results[1]);
+  EXPECT_EQ(find_result(results, "nope"), nullptr);
+}
+
+TEST(Experiment, ComparisonRunsAllFivePolicies) {
+  SimConfig config;
+  config.max_duration = util::Seconds{60.0};
+  config.record_series = false;
+  const auto results =
+      run_policy_comparison(video_trace(), nexus(), config, 1);
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_EQ(results[0].policy, "Oracle");
+  EXPECT_EQ(results[4].policy, "Practice");
+}
+
+TEST(SimResult, DerivedAccessors) {
+  SimResult r;
+  r.energy_delivered_j = 80.0;
+  r.energy_lost_j = 20.0;
+  r.big_active_s = 300.0;
+  r.little_active_s = 100.0;
+  EXPECT_DOUBLE_EQ(r.efficiency(), 0.8);
+  EXPECT_DOUBLE_EQ(r.big_little_ratio(), 3.0);
+  SimResult empty;
+  EXPECT_DOUBLE_EQ(empty.efficiency(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.big_little_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace capman::sim

@@ -1,0 +1,186 @@
+// End-to-end integration tests: full discharge cycles asserting the
+// paper's headline orderings (Fig. 12). These run the real engine, real
+// pack, real thermal stack and real policies; tolerances are deliberately
+// loose because the assertions are about *ordering and rough factor*, not
+// exact minutes.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "workload/generators.h"
+
+namespace capman::sim {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+
+device::PhoneModel nexus() { return device::PhoneModel{device::nexus_profile()}; }
+
+std::vector<SimResult> run_suite(const workload::Trace& trace) {
+  SimConfig config;
+  config.record_series = false;
+  return run_policy_comparison(trace, nexus(), config, kSeed);
+}
+
+double minutes(const std::vector<SimResult>& results, const char* name) {
+  const auto* r = find_result(results, name);
+  EXPECT_NE(r, nullptr) << name;
+  return r->service_time_s / 60.0;
+}
+
+TEST(Integration, MixedWorkloadHeadline) {
+  // Paper Fig. 12(e): on skewed mixes CAPMAN roughly doubles the original
+  // phone's service time and clearly beats the naive dual baseline.
+  const auto trace =
+      workload::make_eta_static(0.5)->generate(util::Seconds{600.0}, kSeed);
+  const auto results = run_suite(trace);
+  const double capman = minutes(results, "CAPMAN");
+  const double dual = minutes(results, "Dual");
+  const double practice = minutes(results, "Practice");
+  const double oracle = minutes(results, "Oracle");
+  EXPECT_GT(capman, 1.8 * practice);  // ~2x the original phone
+  EXPECT_GT(capman, 1.25 * dual);     // clearly beats LITTLE-first
+  EXPECT_GT(oracle, dual);            // ground truth above naive baseline
+}
+
+TEST(Integration, VideoOrdering) {
+  // Paper Fig. 12(c): every dual-pack policy comfortably beats the single
+  // battery on streaming video.
+  const auto trace =
+      workload::make_video()->generate(util::Seconds{600.0}, kSeed);
+  const auto results = run_suite(trace);
+  const double practice = minutes(results, "Practice");
+  for (const char* name : {"Oracle", "CAPMAN", "Dual", "Heuristic"}) {
+    EXPECT_GT(minutes(results, name), 1.5 * practice) << name;
+  }
+  EXPECT_GE(minutes(results, "CAPMAN"), 0.99 * minutes(results, "Dual"));
+}
+
+TEST(Integration, GeekbenchCapmanTiesDual) {
+  // Paper Fig. 12(a): on the stationary saturated workload CAPMAN works
+  // like Dual/Heuristic (its model upkeep buys nothing), but still far
+  // outlives Practice.
+  const auto trace =
+      workload::make_geekbench()->generate(util::Seconds{600.0}, kSeed);
+  const auto results = run_suite(trace);
+  const double capman = minutes(results, "CAPMAN");
+  const double dual = minutes(results, "Dual");
+  EXPECT_NEAR(capman, dual, 0.15 * dual);
+  EXPECT_GT(capman, 1.4 * minutes(results, "Practice"));
+}
+
+TEST(Integration, PCMarkCapmanBeatsRuleBaselines) {
+  // Paper Fig. 12(b): the learned model beats both rule baselines once the
+  // software pattern changes mid-run.
+  const auto trace =
+      workload::make_pcmark()->generate(util::Seconds{600.0}, kSeed);
+  const auto results = run_suite(trace);
+  const double capman = minutes(results, "CAPMAN");
+  EXPECT_GT(capman, 1.1 * minutes(results, "Dual"));
+  EXPECT_GT(capman, 1.1 * minutes(results, "Heuristic"));
+}
+
+TEST(Integration, StrandedChargeTellsTheStory) {
+  // The mechanism behind the gaps: Practice dies with a large fraction of
+  // its battery stranded (it cannot serve surges once drained); CAPMAN
+  // dies nearly empty.
+  const auto trace =
+      workload::make_eta_static(0.5)->generate(util::Seconds{600.0}, kSeed);
+  const auto results = run_suite(trace);
+  const auto* practice = find_result(results, "Practice");
+  const auto* capman = find_result(results, "CAPMAN");
+  ASSERT_NE(practice, nullptr);
+  ASSERT_NE(capman, nullptr);
+  EXPECT_GT(practice->end_big_soc, 0.3);
+  // CAPMAN strands strictly less of its big cell than the stock phone
+  // strands of its single cell (and its LITTLE cell is spent, not wasted).
+  EXPECT_LT(capman->end_big_soc, practice->end_big_soc - 0.05);
+  EXPECT_LT(capman->end_little_soc, 0.15);
+}
+
+TEST(Integration, CapmanLearnsToSwitch) {
+  // CAPMAN actually exercises the switch facility (hundreds of informed
+  // switches per cycle), unlike Dual's single hand-off.
+  const auto trace =
+      workload::make_eta_static(0.5)->generate(util::Seconds{600.0}, kSeed);
+  const auto results = run_suite(trace);
+  EXPECT_GT(find_result(results, "CAPMAN")->switch_count, 50u);
+  EXPECT_LE(find_result(results, "Dual")->switch_count, 10u);
+}
+
+TEST(Integration, HotWorkloadStaysNearThreshold) {
+  // Paper Fig. 13: CAPMAN maintains the hot spot around 45 C even under
+  // the heaviest load (the TEC engages instead of letting it run away).
+  const auto trace =
+      workload::make_geekbench()->generate(util::Seconds{600.0}, kSeed);
+  SimConfig config;
+  config.record_series = false;
+  SimEngine engine{config};
+  auto policy = make_policy(PolicyKind::kCapman, kSeed);
+  const auto r = engine.run(trace, *policy, nexus());
+  EXPECT_GT(r.tec_on_fraction, 0.3);
+  EXPECT_LT(r.avg_cpu_temp_c, 47.5);
+
+  SimConfig no_tec;
+  no_tec.enable_tec = false;
+  no_tec.record_series = false;
+  auto policy2 = make_policy(PolicyKind::kCapman, kSeed);
+  const auto r2 = SimEngine{no_tec}.run(trace, *policy2, nexus());
+  EXPECT_GT(r2.max_cpu_temp_c, r.max_cpu_temp_c + 1.0);
+}
+
+class SeedSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The headline ordering is not a single-seed artifact.
+TEST_P(SeedSweepTest, MixedOrderingHoldsAcrossSeeds) {
+  const auto trace = workload::make_eta_static(0.5)->generate(
+      util::Seconds{600.0}, GetParam());
+  SimConfig config;
+  config.record_series = false;
+  SimEngine engine{config};
+  auto capman = make_policy(PolicyKind::kCapman, GetParam());
+  auto practice = make_policy(PolicyKind::kPractice, GetParam());
+  const double t_capman =
+      engine.run(trace, *capman, nexus()).service_time_s;
+  const double t_practice =
+      engine.run(trace, *practice, nexus()).service_time_s;
+  EXPECT_GT(t_capman, 1.4 * t_practice);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u));
+
+TEST(Integration, LearningPersistsAcrossChargeCycles) {
+  // Multi-cycle experiment: CAPMAN's learned MDP survives a recharge, so
+  // later cycles never regress below the cold-start first cycle by much
+  // and the best warm cycle beats it.
+  const auto trace =
+      workload::make_pcmark()->generate(util::Seconds{600.0}, kSeed);
+  SimConfig config;
+  config.record_series = false;
+  const auto cycles =
+      run_multi_cycle(trace, nexus(), config, PolicyKind::kCapman, 3, kSeed);
+  ASSERT_EQ(cycles.size(), 3u);
+  const double first = cycles[0].service_time_s;
+  double best_warm = 0.0;
+  for (std::size_t c = 1; c < cycles.size(); ++c) {
+    best_warm = std::max(best_warm, cycles[c].service_time_s);
+    EXPECT_GT(cycles[c].service_time_s, 0.75 * first) << "cycle " << c;
+  }
+  EXPECT_GT(best_warm, 0.95 * first);
+}
+
+TEST(Integration, MultiCycleStaticPolicyIsStable) {
+  // A memoryless policy repeats itself: cycle-to-cycle variation is noise.
+  const auto trace =
+      workload::make_video()->generate(util::Seconds{600.0}, kSeed);
+  SimConfig config;
+  config.record_series = false;
+  const auto cycles =
+      run_multi_cycle(trace, nexus(), config, PolicyKind::kDual, 2, kSeed);
+  ASSERT_EQ(cycles.size(), 2u);
+  EXPECT_NEAR(cycles[0].service_time_s, cycles[1].service_time_s,
+              0.02 * cycles[0].service_time_s);
+}
+
+}  // namespace
+}  // namespace capman::sim

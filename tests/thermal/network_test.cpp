@@ -1,0 +1,139 @@
+#include "thermal/network.h"
+
+#include <gtest/gtest.h>
+
+namespace capman::thermal {
+namespace {
+
+using util::Celsius;
+using util::Seconds;
+using util::Watts;
+
+TEST(ThermalNetwork, StaysAtAmbientWithoutHeat) {
+  ThermalNetwork net;
+  const auto node = net.add_node("chip", 5.0, Celsius{25.0});
+  const auto amb = net.add_fixed_node("ambient", Celsius{25.0});
+  net.add_edge(node, amb, 0.1);
+  for (int i = 0; i < 100; ++i) net.step(Seconds{1.0});
+  EXPECT_NEAR(net.temperature(node).value(), 25.0, 1e-9);
+}
+
+TEST(ThermalNetwork, SteadyStateMatchesAnalyticSolution) {
+  // One node, conductance G to ambient, constant power P:
+  // steady dT = P / G.
+  ThermalNetwork net;
+  const auto node = net.add_node("chip", 2.0, Celsius{25.0});
+  const auto amb = net.add_fixed_node("ambient", Celsius{25.0});
+  net.add_edge(node, amb, 0.25);
+  for (int i = 0; i < 5000; ++i) {
+    net.inject(node, Watts{1.0});
+    net.step(Seconds{1.0});
+  }
+  EXPECT_NEAR(net.temperature(node).value(), 25.0 + 1.0 / 0.25, 0.01);
+}
+
+TEST(ThermalNetwork, TwoNodeSteadyState) {
+  // chip -G1- spreader -G2- ambient, P into chip:
+  // T_spreader = amb + P/G2; T_chip = T_spreader + P/G1.
+  ThermalNetwork net;
+  const auto chip = net.add_node("chip", 1.0, Celsius{20.0});
+  const auto spreader = net.add_node("spreader", 5.0, Celsius{20.0});
+  const auto amb = net.add_fixed_node("ambient", Celsius{20.0});
+  net.add_edge(chip, spreader, 0.5);
+  net.add_edge(spreader, amb, 0.2);
+  for (int i = 0; i < 20000; ++i) {
+    net.inject(chip, Watts{2.0});
+    net.step(Seconds{1.0});
+  }
+  EXPECT_NEAR(net.temperature(spreader).value(), 20.0 + 2.0 / 0.2, 0.05);
+  EXPECT_NEAR(net.temperature(chip).value(), 20.0 + 10.0 + 2.0 / 0.5, 0.05);
+}
+
+TEST(ThermalNetwork, ExponentialRelaxation) {
+  // Cooling from 50 C toward 25 C with tau = C/G = 10 s.
+  ThermalNetwork net;
+  const auto node = net.add_node("chip", 5.0, Celsius{50.0});
+  const auto amb = net.add_fixed_node("ambient", Celsius{25.0});
+  net.add_edge(node, amb, 0.5);
+  net.step(Seconds{10.0});  // one time constant
+  const double expected = 25.0 + 25.0 * std::exp(-1.0);
+  EXPECT_NEAR(net.temperature(node).value(), expected, 0.3);
+}
+
+TEST(ThermalNetwork, NegativeInjectionCools) {
+  ThermalNetwork net;
+  const auto node = net.add_node("chip", 5.0, Celsius{40.0});
+  const auto amb = net.add_fixed_node("ambient", Celsius{40.0});
+  net.add_edge(node, amb, 0.01);
+  net.inject(node, Watts{-2.0});
+  net.step(Seconds{1.0});
+  EXPECT_LT(net.temperature(node).value(), 40.0);
+}
+
+TEST(ThermalNetwork, InjectionsAccumulateAndClear) {
+  ThermalNetwork net;
+  const auto node = net.add_node("chip", 1.0, Celsius{0.0});
+  const auto amb = net.add_fixed_node("ambient", Celsius{0.0});
+  net.add_edge(node, amb, 1e-6);
+  net.inject(node, Watts{1.0});
+  net.inject(node, Watts{2.0});
+  net.step(Seconds{1.0});
+  EXPECT_NEAR(net.temperature(node).value(), 3.0, 0.01);
+  // Next step without injection barely moves (tiny conductance).
+  net.step(Seconds{1.0});
+  EXPECT_NEAR(net.temperature(node).value(), 3.0, 0.01);
+}
+
+TEST(ThermalNetwork, FixedNodeNeverMoves) {
+  ThermalNetwork net;
+  const auto node = net.add_node("chip", 1.0, Celsius{80.0});
+  const auto amb = net.add_fixed_node("ambient", Celsius{25.0});
+  net.add_edge(node, amb, 1.0);
+  net.inject(amb, Watts{100.0});  // ignored by fixed nodes
+  for (int i = 0; i < 100; ++i) net.step(Seconds{1.0});
+  EXPECT_DOUBLE_EQ(net.temperature(amb).value(), 25.0);
+}
+
+TEST(ThermalNetwork, EnergyFlowsHotToCold) {
+  ThermalNetwork net;
+  const auto hot = net.add_node("hot", 10.0, Celsius{60.0});
+  const auto cold = net.add_node("cold", 10.0, Celsius{20.0});
+  net.add_edge(hot, cold, 0.5);
+  net.step(Seconds{5.0});
+  EXPECT_LT(net.temperature(hot).value(), 60.0);
+  EXPECT_GT(net.temperature(cold).value(), 20.0);
+  // Isolated pair conserves energy: temperatures converge to the mean.
+  for (int i = 0; i < 500; ++i) net.step(Seconds{1.0});
+  EXPECT_NEAR(net.temperature(hot).value(), 40.0, 0.1);
+  EXPECT_NEAR(net.temperature(cold).value(), 40.0, 0.1);
+}
+
+TEST(ThermalNetwork, StableWithLargeTimestep) {
+  // Substepping must keep explicit Euler stable even for dt >> C/G.
+  ThermalNetwork net;
+  const auto node = net.add_node("chip", 0.5, Celsius{90.0});
+  const auto amb = net.add_fixed_node("ambient", Celsius{25.0});
+  net.add_edge(node, amb, 5.0);  // tau = 0.1 s
+  net.step(Seconds{10.0});       // 100x tau in one call
+  EXPECT_NEAR(net.temperature(node).value(), 25.0, 0.5);
+  EXPECT_GE(net.temperature(node).value(), 25.0 - 1e-6);  // no overshoot
+}
+
+TEST(ThermalNetwork, ResetRestoresTemperature) {
+  ThermalNetwork net;
+  const auto node = net.add_node("chip", 1.0, Celsius{25.0});
+  net.inject(node, Watts{10.0});
+  net.step(Seconds{1.0});
+  ASSERT_GT(net.temperature(node).value(), 25.0);
+  net.reset(Celsius{25.0});
+  EXPECT_DOUBLE_EQ(net.temperature(node).value(), 25.0);
+}
+
+TEST(ThermalNetwork, NamesAreStored) {
+  ThermalNetwork net;
+  const auto a = net.add_node("cpu", 1.0, Celsius{25.0});
+  EXPECT_EQ(net.node_name(a), "cpu");
+}
+
+}  // namespace
+}  // namespace capman::thermal

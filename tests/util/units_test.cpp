@@ -1,0 +1,86 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace capman::util {
+namespace {
+
+TEST(Units, SameUnitArithmetic) {
+  const Watts a{2.0};
+  const Watts b{3.0};
+  EXPECT_DOUBLE_EQ((a + b).value(), 5.0);
+  EXPECT_DOUBLE_EQ((b - a).value(), 1.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 4.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).value(), 4.0);
+  EXPECT_DOUBLE_EQ((b / 2.0).value(), 1.5);
+  EXPECT_DOUBLE_EQ(b / a, 1.5);
+  EXPECT_DOUBLE_EQ((-a).value(), -2.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  Joules e{10.0};
+  e += Joules{5.0};
+  EXPECT_DOUBLE_EQ(e.value(), 15.0);
+  e -= Joules{3.0};
+  EXPECT_DOUBLE_EQ(e.value(), 12.0);
+  e *= 2.0;
+  EXPECT_DOUBLE_EQ(e.value(), 24.0);
+  e /= 4.0;
+  EXPECT_DOUBLE_EQ(e.value(), 6.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Volts{3.0}, Volts{3.7});
+  EXPECT_GE(Amperes{1.0}, Amperes{1.0});
+  EXPECT_EQ(Seconds{5.0}, Seconds{5.0});
+}
+
+TEST(Units, CrossUnitPhysics) {
+  EXPECT_DOUBLE_EQ((Volts{3.7} * Amperes{2.0}).value(), 7.4);
+  EXPECT_DOUBLE_EQ((Watts{2.0} * Seconds{10.0}).value(), 20.0);
+  EXPECT_DOUBLE_EQ((Amperes{0.5} * Seconds{7200.0}).value(), 3600.0);
+  EXPECT_DOUBLE_EQ((Amperes{2.0} * Ohms{0.1}).value(), 0.2);
+  EXPECT_DOUBLE_EQ((Volts{4.0} / Ohms{2.0}).value(), 2.0);
+  EXPECT_DOUBLE_EQ((Watts{7.4} / Volts{3.7}).value(), 2.0);
+  EXPECT_DOUBLE_EQ((Watts{7.4} / Amperes{2.0}).value(), 3.7);
+  EXPECT_DOUBLE_EQ((Joules{100.0} / Seconds{50.0}).value(), 2.0);
+  EXPECT_DOUBLE_EQ((Joules{100.0} / Watts{4.0}).value(), 25.0);
+}
+
+TEST(Units, TemperatureArithmetic) {
+  const Celsius t{40.0};
+  EXPECT_DOUBLE_EQ((t + KelvinDiff{5.0}).value(), 45.0);
+  EXPECT_DOUBLE_EQ((t - KelvinDiff{5.0}).value(), 35.0);
+  EXPECT_DOUBLE_EQ(temperature_difference(Celsius{50.0}, t).value(), 10.0);
+  EXPECT_DOUBLE_EQ(kelvin(Celsius{25.0}), 298.15);
+  EXPECT_DOUBLE_EQ(kelvin(Celsius{-273.15}), 0.0);
+}
+
+TEST(Units, ConvenienceConstructors) {
+  EXPECT_DOUBLE_EQ(milliwatts(500.0).value(), 0.5);
+  EXPECT_DOUBLE_EQ(milliseconds(250.0).value(), 0.25);
+  EXPECT_DOUBLE_EQ(minutes(2.0).value(), 120.0);
+  EXPECT_DOUBLE_EQ(hours(1.5).value(), 5400.0);
+  EXPECT_DOUBLE_EQ(milliamp_hours(1000.0).value(), 3600.0);
+  EXPECT_DOUBLE_EQ(to_milliamp_hours(Coulombs{3600.0}), 1000.0);
+  EXPECT_DOUBLE_EQ(to_milliwatts(Watts{1.5}), 1500.0);
+  EXPECT_DOUBLE_EQ(watt_hours(2.0).value(), 7200.0);
+  EXPECT_DOUBLE_EQ(to_watt_hours(Joules{7200.0}), 2.0);
+}
+
+TEST(Units, RoundTripConversions) {
+  for (double mah : {1.0, 700.0, 2500.0, 10000.0}) {
+    EXPECT_NEAR(to_milliamp_hours(milliamp_hours(mah)), mah, 1e-9);
+  }
+  for (double wh : {0.1, 9.25, 11.4}) {
+    EXPECT_NEAR(to_watt_hours(watt_hours(wh)), wh, 1e-12);
+  }
+}
+
+TEST(Units, DefaultConstructedIsZero) {
+  EXPECT_DOUBLE_EQ(Watts{}.value(), 0.0);
+  EXPECT_DOUBLE_EQ(Celsius{}.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace capman::util

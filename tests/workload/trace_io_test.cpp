@@ -1,0 +1,109 @@
+#include "workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/generators.h"
+
+namespace capman::workload {
+namespace {
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const auto original =
+      make_pcmark()->generate(util::Seconds{120.0}, 5);
+  std::stringstream buffer;
+  save_trace_csv(original, buffer);
+  const auto loaded = load_trace_csv(buffer, "PCMark", original.horizon_s());
+
+  ASSERT_EQ(loaded.events().size(), original.events().size());
+  for (std::size_t i = 0; i < original.events().size(); ++i) {
+    const auto& a = original.events()[i];
+    const auto& b = loaded.events()[i];
+    EXPECT_NEAR(a.time_s, b.time_s, 1e-6) << i;
+    EXPECT_EQ(a.action, b.action) << i;
+    EXPECT_EQ(a.demand.cpu, b.demand.cpu) << i;
+    EXPECT_NEAR(a.demand.utilization, b.demand.utilization, 1e-6) << i;
+    EXPECT_EQ(a.demand.freq_index, b.demand.freq_index) << i;
+    EXPECT_EQ(a.demand.screen, b.demand.screen) << i;
+    EXPECT_NEAR(a.demand.brightness, b.demand.brightness, 1e-6) << i;
+    EXPECT_EQ(a.demand.wifi, b.demand.wifi) << i;
+    EXPECT_NEAR(a.demand.packet_rate, b.demand.packet_rate, 1e-6) << i;
+  }
+  EXPECT_DOUBLE_EQ(loaded.horizon_s(), original.horizon_s());
+}
+
+TEST(TraceIo, StateNameRoundTrips) {
+  for (auto s : {device::CpuState::kSleep, device::CpuState::kC2,
+                 device::CpuState::kC1, device::CpuState::kC0}) {
+    EXPECT_EQ(parse_cpu_state(cpu_state_name(s)), s);
+  }
+  for (auto s : {device::ScreenState::kOff, device::ScreenState::kOn}) {
+    EXPECT_EQ(parse_screen_state(screen_state_name(s)), s);
+  }
+  for (auto s : {device::WifiState::kIdle, device::WifiState::kAccess,
+                 device::WifiState::kSend}) {
+    EXPECT_EQ(parse_wifi_state(wifi_state_name(s)), s);
+  }
+}
+
+TEST(TraceIo, SyscallNamesRoundTrip) {
+  for (std::size_t k = 0; k < kSyscallCount; ++k) {
+    const auto kind = static_cast<Syscall>(k);
+    EXPECT_EQ(parse_syscall(to_string(kind)), kind);
+  }
+}
+
+TEST(TraceIo, RejectsEmptyInput) {
+  std::stringstream empty;
+  EXPECT_THROW(load_trace_csv(empty, "x", 10.0), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsHeaderOnly) {
+  std::stringstream in{"time_s,syscall,param_bucket,cpu_state,utilization,"
+                       "freq_index,screen_state,brightness,wifi_state,"
+                       "packet_rate\n"};
+  EXPECT_THROW(load_trace_csv(in, "x", 10.0), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsWrongFieldCount) {
+  std::stringstream in{"header\n1.0,cpu_burst,3\n"};
+  EXPECT_THROW(load_trace_csv(in, "x", 10.0), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnknownStateNames) {
+  std::stringstream in{
+      "header\n0.0,cpu_burst,3,warp9,50,1,on,180,idle,0\n"};
+  EXPECT_THROW(load_trace_csv(in, "x", 10.0), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnsortedTimestamps) {
+  std::stringstream in{
+      "header\n"
+      "5.0,cpu_burst,3,c0,50,1,on,180,idle,0\n"
+      "1.0,cpu_idle,0,c1,0,0,on,180,idle,0\n"};
+  EXPECT_THROW(load_trace_csv(in, "x", 10.0), std::runtime_error);
+}
+
+TEST(TraceIo, HorizonExtendsPastLastEvent) {
+  std::stringstream in{"header\n2.0,cpu_burst,3,c0,50,1,on,180,idle,0\n"};
+  const auto trace = load_trace_csv(in, "x", 1.0);  // horizon below event
+  EXPECT_GT(trace.horizon_s(), 2.0);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto original = make_video()->generate(util::Seconds{60.0}, 3);
+  const std::string path = "/tmp/capman_trace_io_test.csv";
+  save_trace_csv(original, path);
+  const auto loaded = load_trace_csv(path, original.horizon_s());
+  EXPECT_EQ(loaded.events().size(), original.events().size());
+  EXPECT_EQ(loaded.name(), "capman_trace_io_test.csv");
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_trace_csv("/nonexistent/trace.csv", 10.0),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace capman::workload
