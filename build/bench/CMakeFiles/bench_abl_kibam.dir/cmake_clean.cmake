@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_kibam.dir/bench_abl_kibam.cpp.o"
+  "CMakeFiles/bench_abl_kibam.dir/bench_abl_kibam.cpp.o.d"
+  "bench_abl_kibam"
+  "bench_abl_kibam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_kibam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_similarity.dir/bench_abl_similarity.cpp.o"
+  "CMakeFiles/bench_abl_similarity.dir/bench_abl_similarity.cpp.o.d"
+  "bench_abl_similarity"
+  "bench_abl_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_tec.dir/bench_abl_tec.cpp.o"
+  "CMakeFiles/bench_abl_tec.dir/bench_abl_tec.cpp.o.d"
+  "bench_abl_tec"
+  "bench_abl_tec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_tec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_chemistry.dir/bench_fig01_chemistry.cpp.o"
+  "CMakeFiles/bench_fig01_chemistry.dir/bench_fig01_chemistry.cpp.o.d"
+  "bench_fig01_chemistry"
+  "bench_fig01_chemistry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_chemistry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_apps.dir/bench_fig02_apps.cpp.o"
+  "CMakeFiles/bench_fig02_apps.dir/bench_fig02_apps.cpp.o.d"
+  "bench_fig02_apps"
+  "bench_fig02_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_vedge.dir/bench_fig03_vedge.cpp.o"
+  "CMakeFiles/bench_fig03_vedge.dir/bench_fig03_vedge.cpp.o.d"
+  "bench_fig03_vedge"
+  "bench_fig03_vedge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_vedge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

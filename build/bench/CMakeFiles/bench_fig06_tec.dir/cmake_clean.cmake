@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_tec.dir/bench_fig06_tec.cpp.o"
+  "CMakeFiles/bench_fig06_tec.dir/bench_fig06_tec.cpp.o.d"
+  "bench_fig06_tec"
+  "bench_fig06_tec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_tec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

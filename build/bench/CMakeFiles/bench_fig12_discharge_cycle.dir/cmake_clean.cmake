@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_discharge_cycle.dir/bench_fig12_discharge_cycle.cpp.o"
+  "CMakeFiles/bench_fig12_discharge_cycle.dir/bench_fig12_discharge_cycle.cpp.o.d"
+  "bench_fig12_discharge_cycle"
+  "bench_fig12_discharge_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_discharge_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_ratio_temp.dir/bench_fig14_ratio_temp.cpp.o"
+  "CMakeFiles/bench_fig14_ratio_temp.dir/bench_fig14_ratio_temp.cpp.o.d"
+  "bench_fig14_ratio_temp"
+  "bench_fig14_ratio_temp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_ratio_temp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_phones.dir/bench_fig15_phones.cpp.o"
+  "CMakeFiles/bench_fig15_phones.dir/bench_fig15_phones.cpp.o.d"
+  "bench_fig15_phones"
+  "bench_fig15_phones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_phones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab1_fig4_catalog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_power_states.dir/bench_tab3_power_states.cpp.o"
+  "CMakeFiles/bench_tab3_power_states.dir/bench_tab3_power_states.cpp.o.d"
+  "bench_tab3_power_states"
+  "bench_tab3_power_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_power_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

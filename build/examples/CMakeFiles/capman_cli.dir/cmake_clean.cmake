@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capman_cli.dir/capman_sim.cpp.o"
+  "CMakeFiles/capman_cli.dir/capman_sim.cpp.o.d"
+  "capman_sim"
+  "capman_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capman_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_cooling.dir/thermal_cooling.cpp.o"
+  "CMakeFiles/thermal_cooling.dir/thermal_cooling.cpp.o.d"
+  "thermal_cooling"
+  "thermal_cooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_cooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/battery/cell.cpp" "src/battery/CMakeFiles/capman_battery.dir/cell.cpp.o" "gcc" "src/battery/CMakeFiles/capman_battery.dir/cell.cpp.o.d"
+  "/root/repo/src/battery/charger.cpp" "src/battery/CMakeFiles/capman_battery.dir/charger.cpp.o" "gcc" "src/battery/CMakeFiles/capman_battery.dir/charger.cpp.o.d"
+  "/root/repo/src/battery/chemistry.cpp" "src/battery/CMakeFiles/capman_battery.dir/chemistry.cpp.o" "gcc" "src/battery/CMakeFiles/capman_battery.dir/chemistry.cpp.o.d"
+  "/root/repo/src/battery/pack.cpp" "src/battery/CMakeFiles/capman_battery.dir/pack.cpp.o" "gcc" "src/battery/CMakeFiles/capman_battery.dir/pack.cpp.o.d"
+  "/root/repo/src/battery/supercap.cpp" "src/battery/CMakeFiles/capman_battery.dir/supercap.cpp.o" "gcc" "src/battery/CMakeFiles/capman_battery.dir/supercap.cpp.o.d"
+  "/root/repo/src/battery/switcher.cpp" "src/battery/CMakeFiles/capman_battery.dir/switcher.cpp.o" "gcc" "src/battery/CMakeFiles/capman_battery.dir/switcher.cpp.o.d"
+  "/root/repo/src/battery/vedge.cpp" "src/battery/CMakeFiles/capman_battery.dir/vedge.cpp.o" "gcc" "src/battery/CMakeFiles/capman_battery.dir/vedge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/capman_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capman_battery.dir/cell.cpp.o"
+  "CMakeFiles/capman_battery.dir/cell.cpp.o.d"
+  "CMakeFiles/capman_battery.dir/charger.cpp.o"
+  "CMakeFiles/capman_battery.dir/charger.cpp.o.d"
+  "CMakeFiles/capman_battery.dir/chemistry.cpp.o"
+  "CMakeFiles/capman_battery.dir/chemistry.cpp.o.d"
+  "CMakeFiles/capman_battery.dir/pack.cpp.o"
+  "CMakeFiles/capman_battery.dir/pack.cpp.o.d"
+  "CMakeFiles/capman_battery.dir/supercap.cpp.o"
+  "CMakeFiles/capman_battery.dir/supercap.cpp.o.d"
+  "CMakeFiles/capman_battery.dir/switcher.cpp.o"
+  "CMakeFiles/capman_battery.dir/switcher.cpp.o.d"
+  "CMakeFiles/capman_battery.dir/vedge.cpp.o"
+  "CMakeFiles/capman_battery.dir/vedge.cpp.o.d"
+  "libcapman_battery.a"
+  "libcapman_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capman_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/capman_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/capman_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/mdp.cpp" "src/core/CMakeFiles/capman_core.dir/mdp.cpp.o" "gcc" "src/core/CMakeFiles/capman_core.dir/mdp.cpp.o.d"
+  "/root/repo/src/core/mdp_graph.cpp" "src/core/CMakeFiles/capman_core.dir/mdp_graph.cpp.o" "gcc" "src/core/CMakeFiles/capman_core.dir/mdp_graph.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/core/CMakeFiles/capman_core.dir/profiler.cpp.o" "gcc" "src/core/CMakeFiles/capman_core.dir/profiler.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/capman_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/capman_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/similarity.cpp" "src/core/CMakeFiles/capman_core.dir/similarity.cpp.o" "gcc" "src/core/CMakeFiles/capman_core.dir/similarity.cpp.o.d"
+  "/root/repo/src/core/state.cpp" "src/core/CMakeFiles/capman_core.dir/state.cpp.o" "gcc" "src/core/CMakeFiles/capman_core.dir/state.cpp.o.d"
+  "/root/repo/src/core/value_iteration.cpp" "src/core/CMakeFiles/capman_core.dir/value_iteration.cpp.o" "gcc" "src/core/CMakeFiles/capman_core.dir/value_iteration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/capman_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/capman_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/capman_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/capman_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/capman_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capman_core.dir/controller.cpp.o"
+  "CMakeFiles/capman_core.dir/controller.cpp.o.d"
+  "CMakeFiles/capman_core.dir/mdp.cpp.o"
+  "CMakeFiles/capman_core.dir/mdp.cpp.o.d"
+  "CMakeFiles/capman_core.dir/mdp_graph.cpp.o"
+  "CMakeFiles/capman_core.dir/mdp_graph.cpp.o.d"
+  "CMakeFiles/capman_core.dir/profiler.cpp.o"
+  "CMakeFiles/capman_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/capman_core.dir/scheduler.cpp.o"
+  "CMakeFiles/capman_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/capman_core.dir/similarity.cpp.o"
+  "CMakeFiles/capman_core.dir/similarity.cpp.o.d"
+  "CMakeFiles/capman_core.dir/state.cpp.o"
+  "CMakeFiles/capman_core.dir/state.cpp.o.d"
+  "CMakeFiles/capman_core.dir/value_iteration.cpp.o"
+  "CMakeFiles/capman_core.dir/value_iteration.cpp.o.d"
+  "libcapman_core.a"
+  "libcapman_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capman_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/cpu.cpp" "src/device/CMakeFiles/capman_device.dir/cpu.cpp.o" "gcc" "src/device/CMakeFiles/capman_device.dir/cpu.cpp.o.d"
+  "/root/repo/src/device/phone.cpp" "src/device/CMakeFiles/capman_device.dir/phone.cpp.o" "gcc" "src/device/CMakeFiles/capman_device.dir/phone.cpp.o.d"
+  "/root/repo/src/device/power_state.cpp" "src/device/CMakeFiles/capman_device.dir/power_state.cpp.o" "gcc" "src/device/CMakeFiles/capman_device.dir/power_state.cpp.o.d"
+  "/root/repo/src/device/screen.cpp" "src/device/CMakeFiles/capman_device.dir/screen.cpp.o" "gcc" "src/device/CMakeFiles/capman_device.dir/screen.cpp.o.d"
+  "/root/repo/src/device/wifi.cpp" "src/device/CMakeFiles/capman_device.dir/wifi.cpp.o" "gcc" "src/device/CMakeFiles/capman_device.dir/wifi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/capman_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capman_device.dir/cpu.cpp.o"
+  "CMakeFiles/capman_device.dir/cpu.cpp.o.d"
+  "CMakeFiles/capman_device.dir/phone.cpp.o"
+  "CMakeFiles/capman_device.dir/phone.cpp.o.d"
+  "CMakeFiles/capman_device.dir/power_state.cpp.o"
+  "CMakeFiles/capman_device.dir/power_state.cpp.o.d"
+  "CMakeFiles/capman_device.dir/screen.cpp.o"
+  "CMakeFiles/capman_device.dir/screen.cpp.o.d"
+  "CMakeFiles/capman_device.dir/wifi.cpp.o"
+  "CMakeFiles/capman_device.dir/wifi.cpp.o.d"
+  "libcapman_device.a"
+  "libcapman_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capman_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

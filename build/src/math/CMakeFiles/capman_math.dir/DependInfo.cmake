@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/dijkstra.cpp" "src/math/CMakeFiles/capman_math.dir/dijkstra.cpp.o" "gcc" "src/math/CMakeFiles/capman_math.dir/dijkstra.cpp.o.d"
+  "/root/repo/src/math/emd.cpp" "src/math/CMakeFiles/capman_math.dir/emd.cpp.o" "gcc" "src/math/CMakeFiles/capman_math.dir/emd.cpp.o.d"
+  "/root/repo/src/math/hausdorff.cpp" "src/math/CMakeFiles/capman_math.dir/hausdorff.cpp.o" "gcc" "src/math/CMakeFiles/capman_math.dir/hausdorff.cpp.o.d"
+  "/root/repo/src/math/indexed_heap.cpp" "src/math/CMakeFiles/capman_math.dir/indexed_heap.cpp.o" "gcc" "src/math/CMakeFiles/capman_math.dir/indexed_heap.cpp.o.d"
+  "/root/repo/src/math/matrix.cpp" "src/math/CMakeFiles/capman_math.dir/matrix.cpp.o" "gcc" "src/math/CMakeFiles/capman_math.dir/matrix.cpp.o.d"
+  "/root/repo/src/math/min_cost_flow.cpp" "src/math/CMakeFiles/capman_math.dir/min_cost_flow.cpp.o" "gcc" "src/math/CMakeFiles/capman_math.dir/min_cost_flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/capman_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

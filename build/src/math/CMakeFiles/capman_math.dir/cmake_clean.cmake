@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capman_math.dir/dijkstra.cpp.o"
+  "CMakeFiles/capman_math.dir/dijkstra.cpp.o.d"
+  "CMakeFiles/capman_math.dir/emd.cpp.o"
+  "CMakeFiles/capman_math.dir/emd.cpp.o.d"
+  "CMakeFiles/capman_math.dir/hausdorff.cpp.o"
+  "CMakeFiles/capman_math.dir/hausdorff.cpp.o.d"
+  "CMakeFiles/capman_math.dir/indexed_heap.cpp.o"
+  "CMakeFiles/capman_math.dir/indexed_heap.cpp.o.d"
+  "CMakeFiles/capman_math.dir/matrix.cpp.o"
+  "CMakeFiles/capman_math.dir/matrix.cpp.o.d"
+  "CMakeFiles/capman_math.dir/min_cost_flow.cpp.o"
+  "CMakeFiles/capman_math.dir/min_cost_flow.cpp.o.d"
+  "libcapman_math.a"
+  "libcapman_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capman_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

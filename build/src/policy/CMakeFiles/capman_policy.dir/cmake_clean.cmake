@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capman_policy.dir/baselines.cpp.o"
+  "CMakeFiles/capman_policy.dir/baselines.cpp.o.d"
+  "CMakeFiles/capman_policy.dir/capman_policy.cpp.o"
+  "CMakeFiles/capman_policy.dir/capman_policy.cpp.o.d"
+  "CMakeFiles/capman_policy.dir/oracle.cpp.o"
+  "CMakeFiles/capman_policy.dir/oracle.cpp.o.d"
+  "libcapman_policy.a"
+  "libcapman_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capman_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcapman_policy.a"
+)

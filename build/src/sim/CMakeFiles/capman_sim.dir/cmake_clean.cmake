@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capman_sim.dir/engine.cpp.o"
+  "CMakeFiles/capman_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/capman_sim.dir/experiment.cpp.o"
+  "CMakeFiles/capman_sim.dir/experiment.cpp.o.d"
+  "libcapman_sim.a"
+  "libcapman_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capman_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

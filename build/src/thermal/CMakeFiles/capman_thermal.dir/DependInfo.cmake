@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/controller.cpp" "src/thermal/CMakeFiles/capman_thermal.dir/controller.cpp.o" "gcc" "src/thermal/CMakeFiles/capman_thermal.dir/controller.cpp.o.d"
+  "/root/repo/src/thermal/network.cpp" "src/thermal/CMakeFiles/capman_thermal.dir/network.cpp.o" "gcc" "src/thermal/CMakeFiles/capman_thermal.dir/network.cpp.o.d"
+  "/root/repo/src/thermal/phone_thermal.cpp" "src/thermal/CMakeFiles/capman_thermal.dir/phone_thermal.cpp.o" "gcc" "src/thermal/CMakeFiles/capman_thermal.dir/phone_thermal.cpp.o.d"
+  "/root/repo/src/thermal/tec.cpp" "src/thermal/CMakeFiles/capman_thermal.dir/tec.cpp.o" "gcc" "src/thermal/CMakeFiles/capman_thermal.dir/tec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/capman_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

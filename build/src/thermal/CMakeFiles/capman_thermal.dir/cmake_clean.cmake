@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capman_thermal.dir/controller.cpp.o"
+  "CMakeFiles/capman_thermal.dir/controller.cpp.o.d"
+  "CMakeFiles/capman_thermal.dir/network.cpp.o"
+  "CMakeFiles/capman_thermal.dir/network.cpp.o.d"
+  "CMakeFiles/capman_thermal.dir/phone_thermal.cpp.o"
+  "CMakeFiles/capman_thermal.dir/phone_thermal.cpp.o.d"
+  "CMakeFiles/capman_thermal.dir/tec.cpp.o"
+  "CMakeFiles/capman_thermal.dir/tec.cpp.o.d"
+  "libcapman_thermal.a"
+  "libcapman_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capman_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

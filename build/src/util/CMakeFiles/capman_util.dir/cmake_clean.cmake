@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capman_util.dir/csv.cpp.o"
+  "CMakeFiles/capman_util.dir/csv.cpp.o.d"
+  "CMakeFiles/capman_util.dir/logging.cpp.o"
+  "CMakeFiles/capman_util.dir/logging.cpp.o.d"
+  "CMakeFiles/capman_util.dir/rng.cpp.o"
+  "CMakeFiles/capman_util.dir/rng.cpp.o.d"
+  "CMakeFiles/capman_util.dir/stats.cpp.o"
+  "CMakeFiles/capman_util.dir/stats.cpp.o.d"
+  "CMakeFiles/capman_util.dir/table.cpp.o"
+  "CMakeFiles/capman_util.dir/table.cpp.o.d"
+  "libcapman_util.a"
+  "libcapman_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capman_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

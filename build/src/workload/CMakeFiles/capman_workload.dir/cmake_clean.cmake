@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capman_workload.dir/event.cpp.o"
+  "CMakeFiles/capman_workload.dir/event.cpp.o.d"
+  "CMakeFiles/capman_workload.dir/generators.cpp.o"
+  "CMakeFiles/capman_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/capman_workload.dir/trace.cpp.o"
+  "CMakeFiles/capman_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/capman_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/capman_workload.dir/trace_io.cpp.o.d"
+  "libcapman_workload.a"
+  "libcapman_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capman_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

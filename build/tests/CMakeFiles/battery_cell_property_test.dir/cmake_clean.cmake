@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_cell_property_test.dir/battery/cell_property_test.cpp.o"
+  "CMakeFiles/battery_cell_property_test.dir/battery/cell_property_test.cpp.o.d"
+  "battery_cell_property_test"
+  "battery_cell_property_test.pdb"
+  "battery_cell_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_cell_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

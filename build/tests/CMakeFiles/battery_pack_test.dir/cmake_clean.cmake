@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_pack_test.dir/battery/pack_test.cpp.o"
+  "CMakeFiles/battery_pack_test.dir/battery/pack_test.cpp.o.d"
+  "battery_pack_test"
+  "battery_pack_test.pdb"
+  "battery_pack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_pack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

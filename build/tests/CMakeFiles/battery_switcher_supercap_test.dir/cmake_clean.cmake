@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_switcher_supercap_test.dir/battery/switcher_supercap_test.cpp.o"
+  "CMakeFiles/battery_switcher_supercap_test.dir/battery/switcher_supercap_test.cpp.o.d"
+  "battery_switcher_supercap_test"
+  "battery_switcher_supercap_test.pdb"
+  "battery_switcher_supercap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_switcher_supercap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

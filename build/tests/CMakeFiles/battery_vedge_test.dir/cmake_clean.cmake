@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_vedge_test.dir/battery/vedge_test.cpp.o"
+  "CMakeFiles/battery_vedge_test.dir/battery/vedge_test.cpp.o.d"
+  "battery_vedge_test"
+  "battery_vedge_test.pdb"
+  "battery_vedge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_vedge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/mdp_test.cpp" "tests/CMakeFiles/core_mdp_test.dir/core/mdp_test.cpp.o" "gcc" "tests/CMakeFiles/core_mdp_test.dir/core/mdp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/capman_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/capman_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/capman_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/capman_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/capman_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/capman_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/capman_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/capman_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/capman_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

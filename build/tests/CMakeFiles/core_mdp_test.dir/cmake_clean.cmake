@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mdp_test.dir/core/mdp_test.cpp.o"
+  "CMakeFiles/core_mdp_test.dir/core/mdp_test.cpp.o.d"
+  "core_mdp_test"
+  "core_mdp_test.pdb"
+  "core_mdp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

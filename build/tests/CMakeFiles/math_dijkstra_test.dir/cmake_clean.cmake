@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_dijkstra_test.dir/math/dijkstra_test.cpp.o"
+  "CMakeFiles/math_dijkstra_test.dir/math/dijkstra_test.cpp.o.d"
+  "math_dijkstra_test"
+  "math_dijkstra_test.pdb"
+  "math_dijkstra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_dijkstra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

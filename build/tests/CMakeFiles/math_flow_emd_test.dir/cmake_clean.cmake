@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_flow_emd_test.dir/math/flow_emd_test.cpp.o"
+  "CMakeFiles/math_flow_emd_test.dir/math/flow_emd_test.cpp.o.d"
+  "math_flow_emd_test"
+  "math_flow_emd_test.pdb"
+  "math_flow_emd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_flow_emd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_hausdorff_test.dir/math/hausdorff_test.cpp.o"
+  "CMakeFiles/math_hausdorff_test.dir/math/hausdorff_test.cpp.o.d"
+  "math_hausdorff_test"
+  "math_hausdorff_test.pdb"
+  "math_hausdorff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_hausdorff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_matrix_heap_test.dir/math/matrix_heap_test.cpp.o"
+  "CMakeFiles/math_matrix_heap_test.dir/math/matrix_heap_test.cpp.o.d"
+  "math_matrix_heap_test"
+  "math_matrix_heap_test.pdb"
+  "math_matrix_heap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_matrix_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

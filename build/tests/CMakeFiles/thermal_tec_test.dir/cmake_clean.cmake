@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_tec_test.dir/thermal/tec_test.cpp.o"
+  "CMakeFiles/thermal_tec_test.dir/thermal/tec_test.cpp.o.d"
+  "thermal_tec_test"
+  "thermal_tec_test.pdb"
+  "thermal_tec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_tec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
