@@ -1,0 +1,224 @@
+// Scaling study of the parallel, memoized Algorithm 1 engine
+// (core/similarity.cpp): wall-clock speedup of the engine over the serial
+// path at 1/2/4/8 worker threads on learned-shape MDP graphs of growing
+// |S|, plus the contribution of the exact EMD cache and the (approximate)
+// frozen-pair frontier.
+//
+// The serial path is the engine with one thread, no cache and no frontier
+// — operation-for-operation the pre-engine implementation. Thread count
+// and the EMD cache are bit-identical transformations, which this binary
+// re-verifies on every graph; the frontier row is reported separately with
+// its max deviation because it is the one approximate mode.
+//
+// Columns: engine wall time [ms], speedup vs the serial path, sweeps, and
+// the pair-visit breakdown (EMD solved / cache hits / frozen skips) from
+// SimilarityStats. With --csv, writes bench_similarity_scaling.csv with
+// one row per (states, mode, threads) configuration.
+#include "bench_common.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "core/similarity.h"
+#include "util/rng.h"
+
+using namespace capman;
+
+namespace {
+
+// A learned-shape synthetic graph: like MdpGraph::from_mdp output, a large
+// share of states are absorbing (observed only as targets, below the
+// min-observations cut) and transitions are biased toward them. The
+// absorbing core is what lets similarity rows freeze — the same structure
+// the cache and frontier exploit on real recalibrations.
+core::MdpGraph learned_shape_graph(std::size_t n_states, util::Rng& rng) {
+  const std::size_t n_absorbing = n_states * 2 / 5;
+  std::vector<core::StateVertex> states(n_states);
+  std::vector<core::ActionVertex> actions;
+  for (std::size_t s = 0; s < n_states; ++s) states[s].state_id = s;
+  for (std::size_t s = 0; s + n_absorbing < n_states; ++s) {
+    const std::size_t n_act = 1 + rng.uniform_index(3);
+    for (std::size_t a = 0; a < n_act; ++a) {
+      core::ActionVertex av;
+      av.source = s;
+      av.action_id = actions.size() % core::decision_action_space_size();
+      const std::size_t fanout = 2 + rng.uniform_index(3);
+      double total = 0.0;
+      for (std::size_t t = 0; t < fanout; ++t) {
+        core::TransitionEdge e;
+        // 70% of transitions land in the absorbing core.
+        e.to = rng.uniform() < 0.7
+                   ? n_states - n_absorbing + rng.uniform_index(n_absorbing)
+                   : rng.uniform_index(n_states);
+        e.probability = rng.uniform(0.1, 1.0);
+        e.reward = rng.uniform();
+        total += e.probability;
+        av.transitions.push_back(e);
+      }
+      for (auto& e : av.transitions) e.probability /= total;
+      states[s].actions.push_back(actions.size());
+      actions.push_back(std::move(av));
+    }
+  }
+  return core::MdpGraph::from_parts(std::move(states), std::move(actions));
+}
+
+core::SimilarityConfig engine_config(std::size_t threads, bool cache,
+                                     bool frontier) {
+  core::SimilarityConfig cfg;
+  cfg.c_s = 1.0;
+  cfg.c_a = 0.9;  // strong coupling between the two similarity layers
+  cfg.epsilon = 1e-3;
+  cfg.max_iterations = 300;
+  cfg.num_threads = threads;
+  cfg.use_emd_cache = cache;
+  cfg.skip_frozen_pairs = frontier;
+  return cfg;
+}
+
+struct Timed {
+  core::SimilarityResult result;
+  double ms = 0.0;
+};
+
+Timed run_timed(const core::MdpGraph& graph,
+                const core::SimilarityConfig& cfg, int reps) {
+  Timed best;
+  std::vector<double> times;
+  for (int i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    auto result = compute_structural_similarity(graph, cfg);
+    const auto end = std::chrono::steady_clock::now();
+    times.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+    if (i == 0) best.result = std::move(result);
+  }
+  std::sort(times.begin(), times.end());
+  best.ms = times[times.size() / 2];
+  return best;
+}
+
+double max_abs_diff(const math::Matrix& a, const math::Matrix& b) {
+  double worst = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      worst = std::max(worst, std::abs(a(r, c) - b(r, c)));
+    }
+  }
+  return worst;
+}
+
+bool bit_identical(const core::SimilarityResult& a,
+                   const core::SimilarityResult& b) {
+  return max_abs_diff(a.state_similarity, b.state_similarity) == 0.0 &&
+         max_abs_diff(a.action_similarity, b.action_similarity) == 0.0 &&
+         a.iterations == b.iterations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto seed = bench::seed_from_args(argc, argv);
+  const bool csv = bench::csv_requested(argc, argv);
+  util::Rng rng{seed};
+
+  util::print_section(
+      std::cout, "Similarity engine scaling - threads, EMD cache, frontier");
+
+  std::unique_ptr<util::CsvWriter> csv_out;
+  if (csv) {
+    csv_out = std::make_unique<util::CsvWriter>(
+        std::string{"bench_similarity_scaling.csv"});
+    csv_out->header({"states", "actions", "mode", "threads", "ms", "speedup",
+                     "sweeps", "emd_solved", "cache_hits", "frozen_skips"});
+  }
+
+  bool all_identical = true;
+  double largest_speedup_4t = 0.0;
+  for (const std::size_t n_states : {24, 48, 96}) {
+    const auto graph = learned_shape_graph(n_states, rng);
+    const int reps = n_states <= 48 ? 3 : 1;
+
+    std::cout << "\n  |S| = " << graph.state_count()
+              << ", |Lambda| = " << graph.action_count() << " ("
+              << graph.action_count() * (graph.action_count() - 1) / 2
+              << " action pairs per sweep)\n";
+
+    const auto serial = run_timed(graph, engine_config(1, false, false), reps);
+
+    util::TextTable table({"mode", "threads", "ms", "speedup", "sweeps",
+                           "EMD solved", "cache hits", "frozen skips"});
+    const auto report = [&](const std::string& mode, std::size_t threads,
+                            const Timed& timed) {
+      const auto& st = timed.result.stats;
+      const double speedup = serial.ms / std::max(timed.ms, 1e-9);
+      table.add_row(mode,
+                    {static_cast<double>(threads), timed.ms, speedup,
+                     static_cast<double>(timed.result.iterations),
+                     static_cast<double>(st.action_pairs_computed),
+                     static_cast<double>(st.action_pairs_cached),
+                     static_cast<double>(st.action_pairs_skipped +
+                                         st.state_pairs_skipped)},
+                    2);
+      if (csv_out) {
+        csv_out->cell(graph.state_count())
+            .cell(graph.action_count())
+            .cell(mode)
+            .cell(threads)
+            .cell(timed.ms)
+            .cell(speedup)
+            .cell(timed.result.iterations)
+            .cell(st.action_pairs_computed)
+            .cell(st.action_pairs_cached)
+            .cell(st.action_pairs_skipped + st.state_pairs_skipped);
+        csv_out->end_row();
+      }
+      return speedup;
+    };
+
+    report("serial", 1, serial);
+    for (const std::size_t threads : {1, 2, 4, 8}) {
+      const auto engine =
+          run_timed(graph, engine_config(threads, true, false), reps);
+      const double speedup = report("engine", threads, engine);
+      if (!bit_identical(serial.result, engine.result)) {
+        all_identical = false;
+      }
+      if (threads == 4 && n_states == 96) largest_speedup_4t = speedup;
+    }
+    // Cache off at 4 threads: the pure-threading row.
+    const auto no_cache =
+        run_timed(graph, engine_config(4, false, false), reps);
+    report("no-cache", 4, no_cache);
+    if (!bit_identical(serial.result, no_cache.result)) all_identical = false;
+
+    // Frontier on: approximate, reported with its deviation.
+    const auto frontier =
+        run_timed(graph, engine_config(4, true, true), reps);
+    report("frontier", 4, frontier);
+    const double dev = std::max(
+        max_abs_diff(serial.result.state_similarity,
+                     frontier.result.state_similarity),
+        max_abs_diff(serial.result.action_similarity,
+                     frontier.result.action_similarity));
+    table.print(std::cout);
+    std::cout << "  frontier max |deviation| = " << dev
+              << " (bound epsilon*c/(4(1-c)) = "
+              << 1e-3 * 0.9 / (4.0 * 0.1) << ")\n";
+  }
+
+  bench::measured_note(
+      std::cout, std::string{"thread/cache modes bit-identical to serial: "} +
+                     (all_identical ? "yes" : "NO - ENGINE BUG"));
+  bench::measured_note(
+      std::cout,
+      "largest graph, engine x4 speedup over serial path: " +
+          util::TextTable::format(largest_speedup_4t, 2) + "x");
+  bench::paper_note(
+      std::cout,
+      "per-pair decomposition parallelises Algorithm 1 near-linearly on "
+      "real cores; on a single-core host the speedup is carried by the "
+      "exact EMD cache over the absorbing-frozen rows.");
+  return all_identical ? 0 : 1;
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Fails when a benchmark binary is missing from the per-figure reproduction
+# guide: every bench/bench_*.cpp target must be mentioned (as its target
+# name, e.g. `bench_fig06_tec`) in EXPERIMENTS.md. Wired into CTest as the
+# `docs_check` test; run manually with scripts/check_docs.sh.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+guide="$repo_root/EXPERIMENTS.md"
+
+if [[ ! -f "$guide" ]]; then
+  echo "check_docs: $guide not found" >&2
+  exit 1
+fi
+
+missing=0
+for src in "$repo_root"/bench/bench_*.cpp; do
+  target="$(basename "$src" .cpp)"
+  if ! grep -q "$target" "$guide"; then
+    echo "check_docs: $target (bench/$(basename "$src")) is not documented in EXPERIMENTS.md" >&2
+    missing=$((missing + 1))
+  fi
+done
+
+if [[ $missing -gt 0 ]]; then
+  echo "check_docs: $missing undocumented benchmark target(s); add a section to EXPERIMENTS.md" >&2
+  exit 1
+fi
+echo "check_docs: every bench target is documented in EXPERIMENTS.md"

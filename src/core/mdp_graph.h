@@ -16,12 +16,17 @@
 
 namespace capman::core {
 
+/// One psi edge: taking the owning action vertex lands in state `to` with
+/// probability p, collecting reward r.
 struct TransitionEdge {
   std::size_t to;      // state-vertex index
-  double probability;  // p
+  double probability;  // p; the edges of one action vertex sum to 1
   double reward;       // r, in [0, 1]
 };
 
+/// One action vertex of Lambda: an observed (state, decision-action) pair
+/// with its learned transition distribution. Its transition support is
+/// what the EMD of Algorithm 1 compares across action pairs.
 struct ActionVertex {
   std::size_t source;      // state-vertex index
   std::size_t action_id;   // DecisionAction::index()
@@ -30,9 +35,13 @@ struct ActionVertex {
   [[nodiscard]] double expected_reward() const;
 };
 
+/// One state vertex of V with its decision edges E. `actions` is the
+/// action-neighbourhood N_u the Hausdorff step of Algorithm 1 compares.
 struct StateVertex {
   std::size_t state_id;  // CapmanState::index()
   std::vector<std::size_t> actions;  // E edges: indices into action vertices
+  /// No observed outgoing action: the Eq. 3 base cases pin this state's
+  /// similarity row, and Algorithm 1 never recomputes it.
   [[nodiscard]] bool absorbing() const { return actions.empty(); }
 };
 
@@ -50,8 +59,12 @@ class MdpGraph {
   static MdpGraph from_parts(std::vector<StateVertex> states,
                              std::vector<ActionVertex> actions);
 
+  /// |V| — the side length of the state-similarity matrix.
   [[nodiscard]] std::size_t state_count() const { return states_.size(); }
+  /// |Lambda| — the side length of the action-similarity matrix.
   [[nodiscard]] std::size_t action_count() const { return actions_.size(); }
+  /// Vertex accessors; indices are dense in [0, count) and stable for the
+  /// lifetime of the graph (solvers key matrices and caches by them).
   [[nodiscard]] const StateVertex& state(std::size_t i) const {
     return states_[i];
   }

@@ -32,6 +32,9 @@ double OnlineScheduler::recalibrate() {
   sim_config.epsilon = config_.epsilon;
   sim_config.max_iterations = config_.max_iterations;
   sim_config.absorbing_distance = config_.absorbing_distance;
+  sim_config.num_threads = config_.similarity_threads;
+  sim_config.use_emd_cache = config_.similarity_emd_cache;
+  sim_config.skip_frozen_pairs = config_.similarity_skip_frozen;
   similarity_ = compute_structural_similarity(graph_, sim_config);
 
   ValueIterationConfig vi_config;

@@ -2,31 +2,61 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
 
 #include "math/emd.h"
 #include "math/hausdorff.h"
+#include "util/thread_pool.h"
 
 namespace capman::core {
 
 namespace {
 
-/// delta_EMD(p_a, p_b; delta_S): EMD between the two actions' transition
-/// distributions, with ground distance 1 - S over their target states.
-double transition_emd(const ActionVertex& a, const ActionVertex& b,
-                      const math::Matrix& state_sim) {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Memo slot for one action pair: the last solved EMD together with the
+/// exact ground-distance values it was solved under. Reuse requires the
+/// current ground values to compare equal element-for-element, so a hit
+/// returns exactly what the flow solver would — the cache cannot change a
+/// bit of the result, only skip the solve.
+struct EmdCacheEntry {
+  std::vector<double> ground;
+  double emd = 0.0;
+  std::uint64_t signature = 0;
+  bool valid = false;
+};
+
+/// Order-sensitive hash of the ground row, quantised to 2^-24 (well below
+/// any meaningful similarity difference). Used only as a fast reject
+/// before the exact vector comparison above.
+std::uint64_t ground_signature(const std::vector<double>& ground) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ ground.size();
+  for (const double v : ground) {
+    const auto q = static_cast<std::uint64_t>(
+        std::llround(v * static_cast<double>(1 << 24)));
+    h ^= q + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+/// Per-worker reusable buffers and counters; workers never share one, so
+/// the hot loop allocates only when a support outgrows its buffer.
+struct WorkerScratch {
+  std::vector<double> ground;
   math::Distribution pa;
   math::Distribution pb;
-  pa.mass.reserve(a.transitions.size());
-  pb.mass.reserve(b.transitions.size());
-  for (const auto& t : a.transitions) pa.mass.push_back(t.probability);
-  for (const auto& t : b.transitions) pb.mass.push_back(t.probability);
-  const auto ground = [&](std::size_t i, std::size_t j) {
-    const double sim = state_sim(a.transitions[i].to, b.transitions[j].to);
-    return std::clamp(1.0 - sim, 0.0, 1.0);
-  };
-  return math::earth_movers_distance(pa, pb, ground);
-}
+  std::size_t action_computed = 0;
+  std::size_t action_cached = 0;
+  std::size_t action_skipped = 0;
+  std::size_t state_computed = 0;
+  std::size_t state_skipped = 0;
+};
+
+using PairList = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
 
 }  // namespace
 
@@ -48,68 +78,253 @@ SimilarityResult compute_structural_similarity(
   math::Matrix& s_mat = result.state_similarity;
   math::Matrix& a_mat = result.action_similarity;
 
-  // Base cases (Eq. 3) are fixed across iterations.
-  auto apply_state_base_cases = [&] {
-    for (std::size_t u = 0; u < nv; ++u) {
-      for (std::size_t v = 0; v < nv; ++v) {
-        if (u == v) {
-          s_mat(u, v) = 1.0;  // delta_S = 0
-          continue;
-        }
-        const bool ua = graph.state(u).absorbing();
-        const bool va = graph.state(v).absorbing();
-        if (ua && va) {
-          s_mat(u, v) = 1.0 - config.absorbing_distance;
-        } else if (ua != va) {
-          s_mat(u, v) = 0.0;  // delta_S = 1
-        }
+  // Base cases (Eq. 3). The sweeps below only write pairs of distinct
+  // non-absorbing states, so one application holds for the whole solve.
+  for (std::size_t u = 0; u < nv; ++u) {
+    for (std::size_t v = 0; v < nv; ++v) {
+      if (u == v) {
+        s_mat(u, v) = 1.0;  // delta_S = 0
+        continue;
+      }
+      const bool ua = graph.state(u).absorbing();
+      const bool va = graph.state(v).absorbing();
+      if (ua && va) {
+        s_mat(u, v) = 1.0 - config.absorbing_distance;
+      } else if (ua != va) {
+        s_mat(u, v) = 0.0;  // delta_S = 1
       }
     }
+  }
+
+  // The work lists: every unordered action pair, and every unordered pair
+  // of distinct non-absorbing states (absorbing pairs are base cases).
+  // Fixed up front so sweeps shard over stable indices.
+  PairList action_pairs;
+  action_pairs.reserve(na * (na - 1) / 2);
+  for (std::uint32_t a = 0; a < na; ++a) {
+    for (std::uint32_t b = a + 1; b < na; ++b) action_pairs.push_back({a, b});
+  }
+  PairList state_pairs;
+  for (std::uint32_t u = 0; u < nv; ++u) {
+    if (graph.state(u).absorbing()) continue;
+    for (std::uint32_t v = u + 1; v < nv; ++v) {
+      if (!graph.state(v).absorbing()) state_pairs.push_back({u, v});
+    }
+  }
+
+  std::vector<double> rewards(na);
+  for (std::size_t a = 0; a < na; ++a) {
+    rewards[a] = graph.action(a).expected_reward();
+  }
+
+  util::ThreadPool pool(config.num_threads);
+  const std::size_t workers = pool.worker_count();
+  result.stats.threads_used = workers;
+  std::vector<WorkerScratch> scratch(workers);
+
+  std::vector<EmdCacheEntry> emd_cache;
+  if (config.use_emd_cache) emd_cache.resize(action_pairs.size());
+
+  // Frozen-frontier bookkeeping: a pair is skipped while its own last
+  // movement was below the threshold AND the cumulative drift of its input
+  // rows since it was last refreshed stays below the threshold. Row drift
+  // is the running sum of per-sweep row movements, so slow creep past the
+  // threshold still wakes a pair.
+  const double freeze_thr =
+      config.freeze_threshold > 0.0 ? config.freeze_threshold
+                                    : config.epsilon / 4.0;
+  std::vector<double> a_pair_last_delta;
+  std::vector<double> s_pair_last_delta;
+  std::vector<double> a_pair_drift_mark;
+  std::vector<double> s_pair_drift_mark;
+  std::vector<double> s_row_drift;  // cumulative movement of s_mat rows
+  std::vector<double> a_row_drift;  // cumulative movement of a_mat rows
+  if (config.skip_frozen_pairs) {
+    a_pair_last_delta.assign(action_pairs.size(), kInf);
+    s_pair_last_delta.assign(state_pairs.size(), kInf);
+    a_pair_drift_mark.assign(action_pairs.size(), 0.0);
+    s_pair_drift_mark.assign(state_pairs.size(), 0.0);
+    s_row_drift.assign(nv, 0.0);
+    a_row_drift.assign(na, 0.0);
+  }
+  const auto action_input_drift = [&](const ActionVertex& va,
+                                      const ActionVertex& vb) {
+    double sum = 0.0;
+    for (const auto& t : va.transitions) sum += s_row_drift[t.to];
+    for (const auto& t : vb.transitions) sum += s_row_drift[t.to];
+    return sum;
   };
-  apply_state_base_cases();
+  const auto state_input_drift = [&](const StateVertex& su,
+                                     const StateVertex& sv) {
+    double sum = 0.0;
+    for (const std::size_t a : su.actions) sum += a_row_drift[a];
+    for (const std::size_t a : sv.actions) sum += a_row_drift[a];
+    return sum;
+  };
+
+  math::Matrix s_prev;
+  math::Matrix a_prev;
 
   for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
-    const math::Matrix s_prev = s_mat;
-    const math::Matrix a_prev = a_mat;
+    const auto iter_start = std::chrono::steady_clock::now();
+    s_prev = s_mat;
+    a_prev = a_mat;
 
-    // Lines 3-5: action similarities from reward distance + EMD.
-    for (std::size_t a = 0; a < na; ++a) {
-      for (std::size_t b = a + 1; b < na; ++b) {
-        const double d_rwd = std::abs(graph.action(a).expected_reward() -
-                                      graph.action(b).expected_reward());
-        const double d_emd =
-            transition_emd(graph.action(a), graph.action(b), s_prev);
-        const double sim = std::clamp(
-            1.0 - (1.0 - config.c_a) * d_rwd - config.c_a * d_emd, 0.0, 1.0);
-        a_mat(a, b) = sim;
-        a_mat(b, a) = sim;
+    // Lines 3-5: action similarities from reward distance + EMD. Reads
+    // only s_prev, writes disjoint a_mat cells per pair — safe to shard.
+    pool.parallel_for(
+        action_pairs.size(),
+        [&](std::size_t begin, std::size_t end, std::size_t worker) {
+          WorkerScratch& sc = scratch[worker];
+          for (std::size_t k = begin; k < end; ++k) {
+            const auto [a, b] = action_pairs[k];
+            const ActionVertex& va = graph.action(a);
+            const ActionVertex& vb = graph.action(b);
+            if (config.skip_frozen_pairs && a_pair_last_delta[k] < freeze_thr &&
+                action_input_drift(va, vb) - a_pair_drift_mark[k] <
+                    freeze_thr) {
+              ++sc.action_skipped;
+              continue;
+            }
+
+            // Ground distances 1 - S over the two transition supports,
+            // row-major |T_a| x |T_b| — the exact inputs of this EMD.
+            const std::size_t ta = va.transitions.size();
+            const std::size_t tb = vb.transitions.size();
+            sc.ground.resize(ta * tb);
+            for (std::size_t i = 0; i < ta; ++i) {
+              for (std::size_t j = 0; j < tb; ++j) {
+                sc.ground[i * tb + j] = std::clamp(
+                    1.0 - s_prev(va.transitions[i].to, vb.transitions[j].to),
+                    0.0, 1.0);
+              }
+            }
+
+            double d_emd = 0.0;
+            bool solved = true;
+            if (config.use_emd_cache) {
+              EmdCacheEntry& entry = emd_cache[k];
+              const std::uint64_t sig = ground_signature(sc.ground);
+              if (entry.valid && entry.signature == sig &&
+                  entry.ground == sc.ground) {
+                d_emd = entry.emd;
+                solved = false;
+                ++sc.action_cached;
+              } else {
+                entry.signature = sig;
+                entry.ground = sc.ground;
+                entry.valid = true;
+              }
+            }
+            if (solved) {
+              sc.pa.mass.clear();
+              sc.pb.mass.clear();
+              for (const auto& t : va.transitions) {
+                sc.pa.mass.push_back(t.probability);
+              }
+              for (const auto& t : vb.transitions) {
+                sc.pb.mass.push_back(t.probability);
+              }
+              d_emd = math::earth_movers_distance(
+                  sc.pa, sc.pb, [&](std::size_t i, std::size_t j) {
+                    return sc.ground[i * tb + j];
+                  });
+              if (config.use_emd_cache) emd_cache[k].emd = d_emd;
+              ++sc.action_computed;
+            }
+
+            const double d_rwd = std::abs(rewards[a] - rewards[b]);
+            const double sim = std::clamp(
+                1.0 - (1.0 - config.c_a) * d_rwd - config.c_a * d_emd, 0.0,
+                1.0);
+            if (config.skip_frozen_pairs) {
+              a_pair_last_delta[k] = std::abs(sim - a_mat(a, b));
+              a_pair_drift_mark[k] = action_input_drift(va, vb);
+            }
+            a_mat(a, b) = sim;
+            a_mat(b, a) = sim;
+          }
+        });
+
+    if (config.skip_frozen_pairs) {
+      for (std::size_t a = 0; a < na; ++a) {
+        double moved = 0.0;
+        for (std::size_t b = 0; b < na; ++b) {
+          moved = std::max(moved, std::abs(a_mat(a, b) - a_prev(a, b)));
+        }
+        a_row_drift[a] += moved;
       }
-      a_mat(a, a) = 1.0;
     }
 
     // Lines 6-7: state similarities via Hausdorff over action neighbours.
-    for (std::size_t u = 0; u < nv; ++u) {
-      const auto& nu = graph.state(u).actions;
-      if (nu.empty()) continue;  // absorbing: base case holds
-      for (std::size_t v = u + 1; v < nv; ++v) {
-        const auto& nvv = graph.state(v).actions;
-        if (nvv.empty()) continue;
-        const double h = math::hausdorff(
-            nu.size(), nvv.size(), [&](std::size_t i, std::size_t j) {
-              return std::clamp(1.0 - a_mat(nu[i], nvv[j]), 0.0, 1.0);
-            });
-        const double sim = config.c_s * (1.0 - h);
-        s_mat(u, v) = sim;
-        s_mat(v, u) = sim;
+    // Reads the a_mat just completed above (barrier between the phases),
+    // writes disjoint s_mat cells per pair.
+    pool.parallel_for(
+        state_pairs.size(),
+        [&](std::size_t begin, std::size_t end, std::size_t worker) {
+          WorkerScratch& sc = scratch[worker];
+          for (std::size_t k = begin; k < end; ++k) {
+            const auto [u, v] = state_pairs[k];
+            const StateVertex& su = graph.state(u);
+            const StateVertex& sv = graph.state(v);
+            if (config.skip_frozen_pairs && s_pair_last_delta[k] < freeze_thr &&
+                state_input_drift(su, sv) - s_pair_drift_mark[k] <
+                    freeze_thr) {
+              ++sc.state_skipped;
+              continue;
+            }
+            const auto& nu = su.actions;
+            const auto& nvv = sv.actions;
+            const double h = math::hausdorff(
+                nu.size(), nvv.size(), [&](std::size_t i, std::size_t j) {
+                  return std::clamp(1.0 - a_mat(nu[i], nvv[j]), 0.0, 1.0);
+                });
+            const double sim = config.c_s * (1.0 - h);
+            if (config.skip_frozen_pairs) {
+              s_pair_last_delta[k] = std::abs(sim - s_mat(u, v));
+              s_pair_drift_mark[k] = state_input_drift(su, sv);
+            }
+            s_mat(u, v) = sim;
+            s_mat(v, u) = sim;
+            ++sc.state_computed;
+          }
+        });
+
+    if (config.skip_frozen_pairs) {
+      for (std::size_t u = 0; u < nv; ++u) {
+        double moved = 0.0;
+        for (std::size_t v = 0; v < nv; ++v) {
+          moved = std::max(moved, std::abs(s_mat(u, v) - s_prev(u, v)));
+        }
+        s_row_drift[u] += moved;
       }
     }
-    apply_state_base_cases();
+
+    SimilarityStats& stats = result.stats;
+    stats.action_pairs_total += action_pairs.size();
+    stats.state_pairs_total += state_pairs.size();
+    for (WorkerScratch& sc : scratch) {
+      stats.action_pairs_computed += sc.action_computed;
+      stats.action_pairs_cached += sc.action_cached;
+      stats.action_pairs_skipped += sc.action_skipped;
+      stats.state_pairs_computed += sc.state_computed;
+      stats.state_pairs_skipped += sc.state_skipped;
+      sc.action_computed = sc.action_cached = sc.action_skipped = 0;
+      sc.state_computed = sc.state_skipped = 0;
+    }
+    const auto iter_end = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(iter_end - iter_start)
+            .count();
+    stats.iteration_ms.push_back(ms);
+    stats.total_ms += ms;
 
     ++result.iterations;
     // Contraction-aware convergence: per-iteration movement delta implies a
     // distance to the fixed point of at most delta * c / (1 - c); stopping
     // on raw delta would under-iterate exactly when C_A -> 1 (the regime
-    // Fig. 16 studies).
+    // Fig. 16 studies). Reduced on the calling thread in a fixed order, so
+    // the stopping decision is identical for every thread count.
     const double delta = std::max(s_mat.linf_distance(s_prev),
                                   a_mat.linf_distance(a_prev));
     if (delta * config.c_a <= config.epsilon * (1.0 - config.c_a)) {
@@ -119,6 +334,7 @@ SimilarityResult compute_structural_similarity(
   }
   assert(s_mat.all_in(0.0, 1.0));
   assert(a_mat.all_in(0.0, 1.0));
+  assert(result.stats.consistent());
   return result;
 }
 

@@ -18,9 +18,19 @@
 // differences: |V*_u - V*_v| <= delta*_S(u,v) / (1 - rho)  (Eq. 10) — the
 // paper's O(1/(1-rho)) competitiveness. Tested in
 // tests/core/similarity_bound_test.cpp.
+//
+// Engine (see docs/ARCHITECTURE.md and DESIGN.md §8): every pair update of
+// a sweep reads only the previous sweep's matrices, so both phases shard
+// across a util::ThreadPool with a barrier between them; every pair is
+// owned by exactly one worker and the convergence reduction runs on the
+// calling thread in a fixed order, making results bit-identical for every
+// thread count. An exact EMD memo (per action pair, verified against the
+// exact ground-distance values before reuse) and an optional frozen-pair
+// frontier cut the per-sweep work once most pairs stop moving.
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "core/mdp_graph.h"
 #include "math/matrix.h"
@@ -33,6 +43,45 @@ struct SimilarityConfig {
   double epsilon = 0.01;
   std::size_t max_iterations = 60;
   double absorbing_distance = 1.0;  // d_{u,v} of Eq. 3
+
+  // Worker threads for the per-sweep pair fan-out; 0 means one per
+  // hardware core. Results are bit-identical for every value.
+  std::size_t num_threads = 0;
+  // Reuse a pair's last EMD when its exact ground-distance inputs (the
+  // delta_S entries over the two transition supports) are unchanged.
+  // Exact: toggling the cache cannot change a single bit of the result.
+  bool use_emd_cache = true;
+  // Skip pairs whose similarity moved less than the freeze threshold in
+  // their last computed sweep and whose inputs have drifted less than the
+  // threshold since. Approximate: the result may differ from the exact
+  // fixed point by O(threshold * C_A / (1 - C_A)); off by default.
+  bool skip_frozen_pairs = false;
+  // Freeze/wake threshold for skip_frozen_pairs; 0 means epsilon / 4.
+  double freeze_threshold = 0.0;
+};
+
+/// Per-solve instrumentation of the similarity engine. Pair counters are
+/// accumulated over all sweeps: every (pair, sweep) visit is classified as
+/// computed (full EMD / Hausdorff), cached (exact EMD reuse) or skipped
+/// (frozen frontier), so computed + cached + skipped == total.
+struct SimilarityStats {
+  std::size_t action_pairs_total = 0;
+  std::size_t action_pairs_computed = 0;
+  std::size_t action_pairs_cached = 0;
+  std::size_t action_pairs_skipped = 0;
+  std::size_t state_pairs_total = 0;     // no cache on the Hausdorff side:
+  std::size_t state_pairs_computed = 0;  // computed + skipped == total
+  std::size_t state_pairs_skipped = 0;
+  std::vector<double> iteration_ms;  // wall time of each sweep
+  double total_ms = 0.0;
+  std::size_t threads_used = 1;
+
+  /// The accounting invariant above; asserted in tests.
+  [[nodiscard]] bool consistent() const {
+    return action_pairs_computed + action_pairs_cached +
+               action_pairs_skipped == action_pairs_total &&
+           state_pairs_computed + state_pairs_skipped == state_pairs_total;
+  }
 };
 
 struct SimilarityResult {
@@ -40,6 +89,7 @@ struct SimilarityResult {
   math::Matrix action_similarity;  // sigma*_A, |Lambda| x |Lambda|
   std::size_t iterations = 0;
   bool converged = false;
+  SimilarityStats stats;
 
   [[nodiscard]] double state_distance(std::size_t u, std::size_t v) const {
     return 1.0 - state_similarity(u, v);

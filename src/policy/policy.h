@@ -12,14 +12,19 @@
 
 namespace capman::policy {
 
+/// Everything a policy may observe when consulted. The engine fills it
+/// per event; policies must treat it as read-only and keep any learned
+/// state internal.
 struct PolicyContext {
-  double now_s = 0.0;
-  device::DeviceStateVector device;
+  double now_s = 0.0;  // simulation time of the consultation
+  device::DeviceStateVector device;  // CPU/screen/WiFi power states (Fig. 7)
   double demand_w = 0.0;  // instantaneous component power demand
   battery::BatterySelection active = battery::BatterySelection::kBig;
-  double big_soc = 1.0;
-  double little_soc = 1.0;
-  double hotspot_c = 25.0;
+  double big_soc = 1.0;     // state of charge in [0, 1]; online policies
+  double little_soc = 1.0;  // may read these (a fuel gauge exists in
+                            // practice), the MDP state deliberately omits
+                            // them (see EXPERIMENTS.md D1)
+  double hotspot_c = 25.0;  // CPU hot-spot temperature, deg C
   // True when this consultation was triggered by the rail monitor (the
   // previous step's demand went unmet), not by a trace event.
   bool emergency = false;
@@ -32,13 +37,21 @@ struct PolicyContext {
   const battery::DualBatteryPack* pack = nullptr;  // null on single packs
 };
 
+/// A battery-selection policy racing in the Fig. 12 comparison. One
+/// instance lives for exactly one discharge cycle; the engine consults it
+/// on every trace event and on every rail emergency, applies the returned
+/// selection to the switch facility, and feeds accounting back through
+/// record_step/maintenance.
 class BatteryPolicy {
  public:
   virtual ~BatteryPolicy() = default;
 
+  /// Display name used in tables and series files ("CAPMAN", "Dual", ...).
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Battery decision when trace event `event` fires.
+  /// Battery decision when trace event `event` fires. Called again with
+  /// `context.emergency` set when the previous selection failed to serve
+  /// the demand; the answer is applied before the next engine step.
   virtual battery::BatterySelection on_event(
       const PolicyContext& context, const workload::Action& event) = 0;
 

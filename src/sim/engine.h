@@ -17,9 +17,11 @@
 namespace capman::sim {
 
 struct SimConfig {
-  util::Seconds dt{0.05};
-  util::Seconds max_duration = util::hours(400.0);
-  bool enable_tec = true;
+  util::Seconds dt{0.05};  // fixed step; 50 ms resolves surge trains while
+                           // keeping multi-day toggle runs tractable
+  util::Seconds max_duration = util::hours(400.0);  // hard stop for runs
+                                                    // that never deplete
+  bool enable_tec = true;  // false: cooling plate only (Fig. 14 baseline)
   // Net unmet demand (leaky integrator, slow forgiveness) beyond this
   // kills the phone: one voltage-sag stutter rides through on the rail
   // capacitance, repeated or sustained sag shuts the phone down.
@@ -29,20 +31,29 @@ struct SimConfig {
   bool record_series = true;
   util::Seconds series_period{2.0};
 
+  // The big.LITTLE pack under test, and the single stock cell swapped in
+  // for policies with wants_single_pack() (the paper's Practice phone).
   battery::DualPackConfig pack_config{};
   battery::Chemistry practice_chemistry = battery::Chemistry::kLCO;
   double practice_capacity_mah = 2500.0;
 
+  // Thermal stack: RC network, Peltier element, 45 C threshold controller.
   thermal::PhoneThermalConfig thermal_config{};
   thermal::TecParams tec_params{};
   thermal::CoolingControllerConfig cooling_config{};
 };
 
+/// The testbed. Stateless between runs: every run() builds a fresh pack,
+/// thermal stack and metrics pipeline from the config, so one engine can
+/// race many policies on the same trace (sim::run_policy_comparison).
 class SimEngine {
  public:
   explicit SimEngine(const SimConfig& config = {});
 
-  /// Run one full discharge cycle of `policy` on `trace` with `phone`.
+  /// Run one full discharge cycle of `policy` on `trace` with `phone`:
+  /// steps the clock by dt until the pack can no longer serve the demand
+  /// (sustained unmet demand beyond death_grace) or max_duration passes.
+  /// Deterministic: identical inputs give identical SimResults.
   SimResult run(const workload::Trace& trace, policy::BatteryPolicy& policy,
                 const device::PhoneModel& phone);
 

@@ -1,0 +1,89 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace capman::util {
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : workers_(resolve_thread_count(threads)) {
+  // Worker 0 is always the calling thread; only extra workers need OS
+  // threads. A single-worker pool therefore costs nothing to construct.
+  threads_.reserve(workers_ - 1);
+  for (std::size_t w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  // jthread joins on destruction.
+}
+
+void ThreadPool::parallel_for(
+    std::size_t total,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  // Fixed partition: chunk w covers [w*q + min(w,r), ...) where
+  // q = total / workers, r = total % workers — the first r chunks get one
+  // extra index. Purely arithmetic, so identical across runs.
+  const auto chunk_begin = [&](std::size_t w) {
+    const std::size_t q = total / workers_;
+    const std::size_t r = total % workers_;
+    return w * q + std::min(w, r);
+  };
+  if (workers_ == 1) {
+    body(0, total, 0);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &body;
+    task_total_ = total;
+    pending_ = workers_ - 1;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  body(chunk_begin(0), chunk_begin(1), 0);  // caller runs chunk 0 inline
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return pending_ == 0; });
+  task_ = nullptr;
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* task;
+    std::size_t total;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      task = task_;
+      total = task_total_;
+    }
+    const std::size_t q = total / workers_;
+    const std::size_t r = total % workers_;
+    const std::size_t begin = worker * q + std::min(worker, r);
+    const std::size_t end = (worker + 1) * q + std::min(worker + 1, r);
+    (*task)(begin, end, worker);
+    bool last = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      last = --pending_ == 0;
+    }
+    if (last) work_done_.notify_one();
+  }
+}
+
+}  // namespace capman::util

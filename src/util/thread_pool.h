@@ -1,0 +1,72 @@
+// Reusable fixed-size worker pool for data-parallel loops.
+//
+// Built for the per-iteration fan-out of Algorithm 1 (core/similarity.cpp):
+// each sweep shards thousands of independent pair updates across cores,
+// then joins at a barrier before the reduction. Workers are std::jthread
+// and live for the lifetime of the pool, so per-sweep dispatch costs one
+// mutex round-trip instead of thread creation.
+//
+// Determinism contract: parallel_for partitions [0, total) into exactly
+// `worker_count()` contiguous chunks by a fixed formula that does not
+// depend on scheduling, and every index is visited exactly once. A body
+// that writes only to locations owned by its indices therefore produces
+// bit-identical memory contents for every worker count (including the
+// inline single-threaded path).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace capman::util {
+
+/// Worker count for `requested` threads: 0 means "auto" (the hardware
+/// concurrency, at least 1); any other value is used as given.
+std::size_t resolve_thread_count(std::size_t requested);
+
+class ThreadPool {
+ public:
+  /// A pool of `resolve_thread_count(threads)` workers. A pool of one
+  /// worker never spawns a thread: tasks run inline on the caller.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_; }
+
+  /// Runs `body(begin, end, worker)` for `worker_count()` contiguous
+  /// chunks covering [0, total) and blocks until all chunks finished.
+  /// Chunk boundaries depend only on `total` and `worker_count()`; chunk
+  /// `worker` always runs the same index range regardless of timing.
+  /// Empty chunks (total < worker_count()) are still dispatched so the
+  /// body may rely on being called once per worker slot.
+  void parallel_for(
+      std::size_t total,
+      const std::function<void(std::size_t begin, std::size_t end,
+                               std::size_t worker)>& body);
+
+ private:
+  void worker_loop(std::size_t worker);
+
+  std::size_t workers_ = 1;
+  std::vector<std::jthread> threads_;
+
+  // One-shot task state, guarded by mutex_: generation_ increments per
+  // parallel_for call; workers run the current task_ once per generation.
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::uint64_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool stopping_ = false;
+  std::size_t task_total_ = 0;
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* task_ =
+      nullptr;
+};
+
+}  // namespace capman::util
