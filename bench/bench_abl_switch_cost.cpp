@@ -23,14 +23,14 @@ int main(int argc, char** argv) {
   util::TextTable table({"switch loss [J]", "CAPMAN [min]", "CAPMAN switches",
                          "Dual [min]", "CAPMAN advantage [%]"});
   for (double loss_j : {0.0, 0.05, 0.2, 0.5, 1.0, 2.0}) {
-    sim::SimConfig config;
-    config.pack_config.switch_config.switch_loss = util::Joules{loss_j};
-    sim::SimEngine engine{config};
+    sim::RunnerOptions options;
+    options.seed = seed;
+    options.config.pack_config.switch_config.switch_loss =
+        util::Joules{loss_j};
+    const sim::ExperimentRunner runner{phone, options};
 
-    auto capman = sim::make_policy(sim::PolicyKind::kCapman, seed);
-    const auto rc = engine.run(trace, *capman, phone);
-    auto dual = sim::make_policy(sim::PolicyKind::kDual, seed);
-    const auto rd = engine.run(trace, *dual, phone);
+    const auto rc = runner.run(trace, sim::PolicyKind::kCapman);
+    const auto rd = runner.run(trace, sim::PolicyKind::kDual);
 
     table.add_row(util::TextTable::format(loss_j, 2),
                   {rc.service_time_s / 60.0,

@@ -34,12 +34,12 @@ int main(int argc, char** argv) {
   util::TextTable table({"variant", "service [min]", "max hotspot [C]",
                          "time > 45C [%]", "TEC on [%]", "TEC energy [J]"});
   for (const auto& v : variants) {
-    sim::SimConfig config;
-    config.enable_tec = v.enable;
-    config.cooling_config.threshold = util::Celsius{v.threshold_c};
-    sim::SimEngine engine{config};
-    auto policy = sim::make_policy(sim::PolicyKind::kCapman, seed);
-    const auto r = engine.run(trace, *policy, phone);
+    sim::RunnerOptions options;
+    options.seed = seed;
+    options.config.enable_tec = v.enable;
+    options.config.cooling_config.threshold = util::Celsius{v.threshold_c};
+    const sim::ExperimentRunner runner{phone, options};
+    const auto r = runner.run(trace, sim::PolicyKind::kCapman);
     table.add_row(v.name,
                   {r.service_time_s / 60.0, r.max_cpu_temp_c,
                    r.cpu_temp_series.fraction_above(45.0) * 100.0,

@@ -19,15 +19,15 @@ namespace {
 double discharge_minutes(const workload::Trace& trace,
                          battery::Chemistry chemistry,
                          const device::PhoneModel& phone) {
-  sim::SimConfig config;
-  config.practice_chemistry = chemistry;
-  config.practice_capacity_mah = 2500.0;
-  config.dt = util::Seconds{0.1};
-  config.record_series = false;
-  config.enable_tec = false;  // the motivation rig has no TEC
-  sim::SimEngine engine{config};
+  sim::RunnerOptions options;
+  options.config.practice_chemistry = chemistry;
+  options.config.practice_capacity_mah = 2500.0;
+  options.config.dt = util::Seconds{0.1};
+  options.config.record_series = false;
+  options.config.enable_tec = false;  // the motivation rig has no TEC
+  const sim::ExperimentRunner runner{phone, options};
   policy::PracticePolicy single;
-  return engine.run(trace, single, phone).service_time_s / 60.0;
+  return runner.run(trace, single).service_time_s / 60.0;
 }
 
 }  // namespace

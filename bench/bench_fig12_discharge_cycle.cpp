@@ -15,7 +15,9 @@ int main(int argc, char** argv) {
   const auto seed = bench::seed_from_args(argc, argv);
   const bool csv = bench::csv_requested(argc, argv);
   const device::PhoneModel phone{device::nexus_profile()};
-  sim::SimConfig config;
+  sim::RunnerOptions options;
+  options.seed = seed;
+  const sim::ExperimentRunner runner{phone, options};
 
   util::RunningStats capman_vs_practice;
   util::RunningStats capman_vs_dual;
@@ -23,41 +25,41 @@ int main(int argc, char** argv) {
 
   for (const auto& generator : workload::paper_suite()) {
     const auto trace = generator->generate(util::Seconds{600.0}, seed);
-    const auto results = sim::run_policy_comparison(trace, phone, config, seed);
+    const auto results = runner.compare(trace);
 
     util::print_section(std::cout,
                         "Fig. 12 - one discharge cycle: " + trace.name());
-    const auto* practice = sim::find_result(results, "Practice");
-    const auto* oracle = sim::find_result(results, "Oracle");
+    const auto& practice = results.at(sim::PolicyKind::kPractice);
+    const auto& oracle = results.at(sim::PolicyKind::kOracle);
     util::TextTable table({"policy", "service time [min]", "vs Practice [%]",
                            "vs Oracle [%]", "stranded big SoC",
                            "switches"});
-    for (const auto& r : results) {
+    for (const auto& [kind, r] : results.entries()) {
       table.add_row(r.policy,
                     {r.service_time_s / 60.0,
                      sim::improvement_pct(r.service_time_s,
-                                          practice->service_time_s),
+                                          practice.service_time_s),
                      sim::improvement_pct(r.service_time_s,
-                                          oracle->service_time_s),
+                                          oracle.service_time_s),
                      r.end_big_soc, static_cast<double>(r.switch_count)},
                     1);
     }
     table.print(std::cout);
 
-    const auto* capman = sim::find_result(results, "CAPMAN");
-    const auto* dual = sim::find_result(results, "Dual");
-    const auto* heuristic = sim::find_result(results, "Heuristic");
-    capman_vs_practice.add(sim::improvement_pct(capman->service_time_s,
-                                                practice->service_time_s));
+    const auto& capman = results.at(sim::PolicyKind::kCapman);
+    const auto& dual = results.at(sim::PolicyKind::kDual);
+    const auto& heuristic = results.at(sim::PolicyKind::kHeuristic);
+    capman_vs_practice.add(sim::improvement_pct(capman.service_time_s,
+                                                practice.service_time_s));
     capman_vs_dual.add(
-        sim::improvement_pct(capman->service_time_s, dual->service_time_s));
-    capman_vs_heuristic.add(sim::improvement_pct(capman->service_time_s,
-                                                 heuristic->service_time_s));
+        sim::improvement_pct(capman.service_time_s, dual.service_time_s));
+    capman_vs_heuristic.add(sim::improvement_pct(capman.service_time_s,
+                                                 heuristic.service_time_s));
 
     if (csv) {
       util::CsvWriter out{"fig12_" + trace.name() + "_soc.csv"};
       out.header({"policy", "t_min", "soc"});
-      for (const auto& r : results) {
+      for (const auto& [kind, r] : results.entries()) {
         const auto series = r.soc_series.decimate(300);
         for (std::size_t i = 0; i < series.size(); ++i) {
           out.cell(r.policy).cell(series.time_at(i) / 60.0)

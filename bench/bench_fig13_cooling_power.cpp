@@ -15,8 +15,9 @@ int main(int argc, char** argv) {
   const auto seed = bench::seed_from_args(argc, argv);
   const bool csv = bench::csv_requested(argc, argv);
   const device::PhoneModel phone{device::nexus_profile()};
-  sim::SimConfig config;
-  sim::SimEngine engine{config};
+  sim::RunnerOptions options;
+  options.seed = seed;
+  const sim::ExperimentRunner runner{phone, options};
 
   util::print_section(std::cout,
                       "Fig. 13 - cooling and active power per workload "
@@ -26,8 +27,7 @@ int main(int argc, char** argv) {
                          "time > 45C [%]", "TEC on [%]", "TEC energy [J]"});
   for (const auto& generator : workload::paper_suite()) {
     const auto trace = generator->generate(util::Seconds{600.0}, seed);
-    auto policy = sim::make_policy(sim::PolicyKind::kCapman, seed);
-    const auto r = engine.run(trace, *policy, phone);
+    const auto r = runner.run(trace, sim::PolicyKind::kCapman);
     table.add_row(trace.name(),
                   {r.avg_power_w * 1000.0, r.power_series.max_value() * 1000.0,
                    r.avg_cpu_temp_c, r.max_cpu_temp_c,

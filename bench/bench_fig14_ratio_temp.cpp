@@ -23,17 +23,18 @@ int main(int argc, char** argv) {
   util::TextTable table({"workload", "big active [min]", "LITTLE active [min]",
                          "big:LITTLE ratio", "max hotspot w/ TEC [C]",
                          "max hotspot w/o TEC [C]", "reduction [K]"});
+  sim::RunnerOptions tec_options;
+  tec_options.seed = seed;
+  const sim::ExperimentRunner with_tec{phone, tec_options};
+  sim::RunnerOptions no_tec_options = tec_options;
+  no_tec_options.config.enable_tec = false;
+  const sim::ExperimentRunner without_tec{phone, no_tec_options};
+
   for (const auto& generator : workload::paper_suite()) {
     const auto trace = generator->generate(util::Seconds{600.0}, seed);
 
-    sim::SimConfig with_tec;
-    auto policy_a = sim::make_policy(sim::PolicyKind::kCapman, seed);
-    const auto ra = sim::SimEngine{with_tec}.run(trace, *policy_a, phone);
-
-    sim::SimConfig without_tec;
-    without_tec.enable_tec = false;
-    auto policy_b = sim::make_policy(sim::PolicyKind::kCapman, seed);
-    const auto rb = sim::SimEngine{without_tec}.run(trace, *policy_b, phone);
+    const auto ra = with_tec.run(trace, sim::PolicyKind::kCapman);
+    const auto rb = without_tec.run(trace, sim::PolicyKind::kCapman);
 
     table.add_row(trace.name(),
                   {ra.big_active_s / 60.0, ra.little_active_s / 60.0,

@@ -25,9 +25,10 @@ int main(int argc, char** argv) {
   for (const auto& profile : {device::nexus_profile(), device::honor_profile(),
                               device::lenovo_profile()}) {
     const device::PhoneModel phone{profile};
-    sim::SimConfig config;
-    auto policy = sim::make_policy(sim::PolicyKind::kCapman, seed);
-    const auto r = sim::SimEngine{config}.run(trace, *policy, phone);
+    sim::RunnerOptions options;
+    options.seed = seed;
+    const sim::ExperimentRunner runner{phone, options};
+    const auto r = runner.run(trace, sim::PolicyKind::kCapman);
 
     // Percentiles of the sampled power series.
     util::Histogram hist{0.0, 5.0, 200};

@@ -2,7 +2,7 @@
 //
 //   capman_sim [--workload NAME | --trace FILE.csv] [--policy NAME]
 //              [--phone nexus|honor|lenovo] [--seed N] [--no-tec]
-//              [--dump-trace FILE.csv] [--csv PREFIX]
+//              [--fault-stuck RATE] [--dump-trace FILE.csv] [--csv PREFIX]
 //
 // Runs one discharge cycle and prints the result summary. --trace replays
 // a recorded trace (see workload/trace_io.h for the CSV schema);
@@ -32,6 +32,8 @@ void usage() {
       "  --phone NAME      nexus|honor|lenovo (default nexus)\n"
       "  --seed N          workload/policy seed (default 42)\n"
       "  --no-tec          disable the thermoelectric cooler\n"
+      "  --fault-stuck R   inject stuck-comparator episodes at R per minute\n"
+      "                    (30-90 s each; see sim/faults.h)\n"
       "  --dump-trace FILE write the generated trace as CSV and exit\n"
       "  --csv PREFIX      dump result series as PREFIX_<policy>.csv\n";
 }
@@ -68,6 +70,7 @@ int main(int argc, char** argv) {
   std::string csv_prefix;
   std::uint64_t seed = 42;
   bool tec = true;
+  double fault_stuck_rate = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -80,6 +83,7 @@ int main(int argc, char** argv) {
     else if (arg == "--phone") phone_name = next();
     else if (arg == "--seed") seed = std::stoull(next());
     else if (arg == "--no-tec") tec = false;
+    else if (arg == "--fault-stuck") fault_stuck_rate = std::stod(next());
     else if (arg == "--dump-trace") dump_path = next();
     else if (arg == "--csv") csv_prefix = next();
     else {
@@ -108,8 +112,17 @@ int main(int argc, char** argv) {
   }
 
   const device::PhoneModel phone{phone_by_name(phone_name)};
-  sim::SimConfig config;
-  config.enable_tec = tec;
+  sim::RunnerOptions options;
+  options.seed = seed;
+  options.config.enable_tec = tec;
+  if (fault_stuck_rate > 0.0) {
+    sim::FaultPlanConfig plan;
+    plan.seed = seed;
+    plan.stuck_rate_per_min = fault_stuck_rate;
+    plan.stuck_min_duration = util::Seconds{30.0};
+    plan.stuck_max_duration = util::Seconds{90.0};
+    options.faults = plan;
+  }
 
   std::vector<sim::PolicyKind> kinds;
   if (policy_name == "all") {
@@ -127,15 +140,29 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "workload " << trace.name() << " on " << phone.profile().name
-            << " (seed " << seed << ", TEC " << (tec ? "on" : "off")
-            << ")\n\n";
+            << " (seed " << seed << ", TEC " << (tec ? "on" : "off");
+  if (fault_stuck_rate > 0.0) {
+    std::cout << ", stuck-comparator rate " << fault_stuck_rate << "/min";
+  }
+  std::cout << ")\n\n";
   util::TextTable table({"policy", "service [min]", "avg power [mW]",
                          "switches", "max hotspot [C]", "TEC on [%]",
                          "efficiency [%]"});
-  sim::SimEngine engine{config};
+  const sim::ExperimentRunner runner{phone, options};
+  util::TextTable fault_table({"policy", "stuck [s]", "dropped req",
+                               "detected", "fallbacks", "retries"});
   for (auto kind : kinds) {
-    auto policy = sim::make_policy(kind, seed);
-    const auto r = engine.run(trace, *policy, phone);
+    const auto r = runner.run(trace, kind);
+    if (fault_stuck_rate > 0.0) {
+      fault_table.add_row(
+          r.policy,
+          {r.faults.stuck_time_s,
+           static_cast<double>(r.faults.dropped_requests),
+           static_cast<double>(r.faults.detected_switch_failures),
+           static_cast<double>(r.faults.fallback_episodes),
+           static_cast<double>(r.faults.fallback_retries)},
+          1);
+    }
     table.add_row(r.policy,
                   {r.service_time_s / 60.0, r.avg_power_w * 1000.0,
                    static_cast<double>(r.switch_count), r.max_cpu_temp_c,
@@ -151,5 +178,9 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  if (fault_stuck_rate > 0.0) {
+    std::cout << "\nfault telemetry (sim/faults.h):\n";
+    fault_table.print(std::cout);
+  }
   return 0;
 }

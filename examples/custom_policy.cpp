@@ -55,13 +55,14 @@ int main(int argc, char** argv) {
   std::cout << "Custom policy demo: RoundRobin vs CAPMAN vs Dual on "
             << trace.name() << "\n\n";
 
-  sim::SimConfig config;
-  sim::SimEngine engine{config};
+  sim::RunnerOptions options;
+  options.seed = seed;
+  const sim::ExperimentRunner runner{phone, options};
 
   util::TextTable table({"policy", "service [min]", "switches",
                          "energy efficiency [%]", "stranded big SoC"});
   auto report = [&](policy::BatteryPolicy& policy) {
-    const auto r = engine.run(trace, policy, phone);
+    const auto r = runner.run(trace, policy);
     table.add_row(r.policy,
                   {r.service_time_s / 60.0,
                    static_cast<double>(r.switch_count),
@@ -71,9 +72,9 @@ int main(int argc, char** argv) {
 
   RoundRobinPolicy round_robin{10};
   report(round_robin);
-  policy::CapmanPolicy capman{core::CapmanConfig{}, seed};
-  report(capman);
-  auto dual = sim::make_policy(sim::PolicyKind::kDual, seed);
+  auto capman = runner.build_policy(sim::PolicyKind::kCapman);
+  report(*capman);
+  auto dual = runner.build_policy(sim::PolicyKind::kDual);
   report(*dual);
 
   table.print(std::cout);

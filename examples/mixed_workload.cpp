@@ -4,7 +4,7 @@
 // Video-style segments) and compares CAPMAN against the Dual baseline and
 // the original single-battery phone (Practice). This is where big.LITTLE
 // battery scheduling roughly doubles service time.
-// Demonstrates: workload::make_eta_static, sim::run_policy_comparison.
+// Demonstrates: workload::make_eta_static, sim::ExperimentRunner.
 #include <iostream>
 
 #include "sim/experiment.h"
@@ -23,20 +23,19 @@ int main(int argc, char** argv) {
   util::TextTable table({"eta", "CAPMAN [min]", "Dual [min]",
                          "Practice [min]", "CAPMAN vs Dual [%]",
                          "CAPMAN vs Practice [%]"});
+  sim::RunnerOptions options;
+  options.seed = seed;
+  const sim::ExperimentRunner runner{phone, options};
   for (double eta : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
     const auto trace =
         workload::make_eta_static(eta)->generate(util::Seconds{600.0}, seed);
-    sim::SimConfig config;
-    sim::SimEngine engine{config};
 
-    auto capman = sim::make_policy(sim::PolicyKind::kCapman, seed);
     const double t_capman =
-        engine.run(trace, *capman, phone).service_time_s / 60.0;
-    auto dual = sim::make_policy(sim::PolicyKind::kDual, seed);
-    const double t_dual = engine.run(trace, *dual, phone).service_time_s / 60.0;
-    auto practice = sim::make_policy(sim::PolicyKind::kPractice, seed);
+        runner.run(trace, sim::PolicyKind::kCapman).service_time_s / 60.0;
+    const double t_dual =
+        runner.run(trace, sim::PolicyKind::kDual).service_time_s / 60.0;
     const double t_practice =
-        engine.run(trace, *practice, phone).service_time_s / 60.0;
+        runner.run(trace, sim::PolicyKind::kPractice).service_time_s / 60.0;
 
     table.add_row(util::TextTable::format(eta, 1),
                   {t_capman, t_dual, t_practice,

@@ -45,21 +45,20 @@ int main(int argc, char** argv) {
             << util::to_milliwatts(trace.average_power(phone))
             << " mW average\n\n";
 
-  sim::SimConfig config;
-  const auto results =
-      sim::run_policy_comparison(trace, phone, config, seed);
+  sim::RunnerOptions options;
+  options.seed = seed;
+  const sim::ExperimentRunner runner{phone, options};
+  const sim::ComparisonResult results = runner.compare(trace);
 
-  const sim::SimResult* practice = sim::find_result(results, "Practice");
+  const sim::SimResult& practice = results.at(sim::PolicyKind::kPractice);
   util::TextTable table({"policy", "service time [min]", "vs Practice [%]",
                          "avg power [mW]", "switches", "max temp [C]",
                          "TEC on [%]"});
-  for (const auto& r : results) {
+  for (const auto& [kind, r] : results.entries()) {
     table.add_row(r.policy,
                   {r.service_time_s / 60.0,
-                   practice != nullptr
-                       ? sim::improvement_pct(r.service_time_s,
-                                              practice->service_time_s)
-                       : 0.0,
+                   sim::improvement_pct(r.service_time_s,
+                                        practice.service_time_s),
                    r.avg_power_w * 1000.0, static_cast<double>(r.switch_count),
                    r.max_cpu_temp_c, r.tec_on_fraction * 100.0});
   }

@@ -4,7 +4,7 @@
 // with only the passive cooling plate - and prints the hot-spot trajectory,
 // the TEC duty cycle and what the cooling costs in battery service time.
 // Demonstrates: thermal::PhoneThermal, thermal::CoolingController,
-// sim::SimEngine configuration knobs.
+// sim::ExperimentRunner configuration knobs.
 #include <iostream>
 
 #include "sim/experiment.h"
@@ -27,11 +27,12 @@ int main(int argc, char** argv) {
   };
   std::vector<Run> runs;
   for (bool tec : {true, false}) {
-    sim::SimConfig config;
-    config.enable_tec = tec;
-    auto policy = sim::make_policy(sim::PolicyKind::kCapman, seed);
+    sim::RunnerOptions options;
+    options.seed = seed;
+    options.config.enable_tec = tec;
+    const sim::ExperimentRunner runner{phone, options};
     runs.push_back({tec ? "TEC @ 45C threshold" : "cooling plate only",
-                    sim::SimEngine{config}.run(trace, *policy, phone)});
+                    runner.run(trace, sim::PolicyKind::kCapman)});
   }
 
   util::TextTable table({"configuration", "service [min]", "avg hotspot [C]",

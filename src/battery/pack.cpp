@@ -1,5 +1,6 @@
 #include "battery/pack.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace capman::battery {
@@ -35,10 +36,17 @@ PackStepResult SingleBatteryPack::step(util::Watts load, util::Seconds dt,
 // ---- DualBatteryPack ----------------------------------------------------
 
 DualBatteryPack::DualBatteryPack(const DualPackConfig& config)
+    : DualBatteryPack(config, nullptr) {}
+
+DualBatteryPack::DualBatteryPack(const DualPackConfig& config,
+                                 std::unique_ptr<SwitchFacility> switcher)
     : config_(config),
       big_(config.big_chemistry, config.big_capacity_mah),
       little_(config.little_chemistry, config.little_capacity_mah),
-      switch_(config.switch_config, BatterySelection::kBig),
+      switch_(switcher != nullptr
+                  ? std::move(switcher)
+                  : std::make_unique<SwitchFacility>(config.switch_config,
+                                                     BatterySelection::kBig)),
       supercap_(config.supercap_capacitance, config.supercap_voltage,
                 config.supercap_esr) {}
 
@@ -51,7 +59,7 @@ void DualBatteryPack::request(BatterySelection target, util::Seconds now) {
   // is exactly the failure mode bad scheduling produces on the prototype.
   Cell& cell = cell_for(target);
   if (!cell.can_supply(util::Watts{last_load_w_})) return;
-  switch_.request(target, now);
+  switch_->request(target, now);
 }
 
 bool DualBatteryPack::exhausted() const {
@@ -82,12 +90,20 @@ void DualBatteryPack::recharge() {
 
 Cell::DrawResult DualBatteryPack::draw_from(BatterySelection sel,
                                             util::Watts load,
-                                            util::Seconds dt) {
+                                            util::Seconds dt,
+                                            util::Seconds now) {
   if (sel == BatterySelection::kLittle) {
     // The supercapacitor shaves surges above the smoothed baseline so the
-    // LITTLE rail stays stable (paper Fig. 10).
+    // LITTLE rail stays stable (paper Fig. 10). A drooping electrical path
+    // (switch transient under fault injection) raises the effective
+    // baseline toward the load, so only `ride` of the surge is shaved.
+    double base_w = baseline_w_;
+    const double ride = switch_->surge_ride_through(now);
+    if (ride < 1.0) {
+      base_w += (1.0 - ride) * std::max(0.0, load.value() - base_w);
+    }
     const util::Watts cell_load =
-        supercap_.filter(load, util::Watts{baseline_w_}, dt);
+        supercap_.filter(load, util::Watts{base_w}, dt);
     auto draw = little_.draw(cell_load, dt);
     if (!draw.brownout) {
       // The load saw its full power even though the cell supplied less.
@@ -106,7 +122,7 @@ PackStepResult DualBatteryPack::step(util::Watts load, util::Seconds dt,
   // debt drained from the newly active cell as a parasitic load over the
   // following steps (energy conservation: "frequently switching batteries
   // may cause additional energy loss").
-  switch_debt_j_ += switch_.advance(now).value();
+  switch_debt_j_ += switch_->advance(now).value();
 
   // Track the smoothed load baseline for the supercap filter.
   const double alpha = 1.0 - std::exp(-dt.value() / config_.baseline_tau.value());
@@ -116,8 +132,8 @@ PackStepResult DualBatteryPack::step(util::Watts load, util::Seconds dt,
       std::min(kSwitchDrainWatts, switch_debt_j_ / dt.value());
   const util::Watts effective = load + util::Watts{parasitic_w};
 
-  const BatterySelection sel = switch_.active();
-  auto draw = draw_from(sel, effective, dt);
+  const BatterySelection sel = switch_->active();
+  auto draw = draw_from(sel, effective, dt, now);
 
   const double parasitic_j = draw.brownout ? 0.0 : parasitic_w * dt.value();
   if (!draw.brownout) switch_debt_j_ -= parasitic_j;

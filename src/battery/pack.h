@@ -102,6 +102,12 @@ struct DualPackConfig {
 class DualBatteryPack final : public PowerSource {
  public:
   explicit DualBatteryPack(const DualPackConfig& config = {});
+  /// Inject a custom switch facility (e.g. a fault-decorated board from
+  /// sim::FaultySwitchFacility). The pack routes every actuation through
+  /// the facility's virtual interface and never learns which faults, if
+  /// any, are active. A null `switcher` falls back to the ideal facility.
+  DualBatteryPack(const DualPackConfig& config,
+                  std::unique_ptr<SwitchFacility> switcher);
 
   PackStepResult step(util::Watts load, util::Seconds dt,
                       util::Seconds now) override;
@@ -111,15 +117,25 @@ class DualBatteryPack final : public PowerSource {
   [[nodiscard]] double big_soc() const override { return big_.soc(); }
   [[nodiscard]] double little_soc() const override { return little_.soc(); }
   [[nodiscard]] BatterySelection active() const override {
-    return switch_.active();
+    return switch_->active();
   }
   [[nodiscard]] util::Seconds activation_time(
       BatterySelection sel) const override;
   [[nodiscard]] std::size_t switch_count() const override {
-    return switch_.switch_count();
+    return switch_->switch_count();
   }
   [[nodiscard]] util::Joules energy_remaining() const override;
   void recharge() override;
+
+  /// Whether the comparator-side validation in request() would accept a
+  /// switch to `target` under the load the pack saw last step. Exposed so
+  /// policy-level watchdogs (core::DegradationGuard) can tell a protection
+  /// refusal — a drained target rail, rejected by design — from an
+  /// actuator fault.
+  [[nodiscard]] bool would_accept(BatterySelection target) const {
+    const Cell& cell = target == BatterySelection::kBig ? big_ : little_;
+    return cell.can_supply(util::Watts{last_load_w_});
+  }
 
   /// Switch-loss energy not yet drained from the cells (telemetry).
   [[nodiscard]] util::Joules switch_debt() const {
@@ -132,7 +148,7 @@ class DualBatteryPack final : public PowerSource {
   [[nodiscard]] Cell& big_cell_mut() { return big_; }
   [[nodiscard]] Cell& little_cell_mut() { return little_; }
   [[nodiscard]] const SwitchFacility& switch_facility() const {
-    return switch_;
+    return *switch_;
   }
   [[nodiscard]] const Supercapacitor& supercap() const { return supercap_; }
 
@@ -142,7 +158,7 @@ class DualBatteryPack final : public PowerSource {
   }
   /// Draw from one specific cell, applying the supercap filter on LITTLE.
   Cell::DrawResult draw_from(BatterySelection sel, util::Watts load,
-                             util::Seconds dt);
+                             util::Seconds dt, util::Seconds now);
 
   // Maximum rate at which accumulated switch losses drain the active cell.
   static constexpr double kSwitchDrainWatts = 0.25;
@@ -150,7 +166,7 @@ class DualBatteryPack final : public PowerSource {
   DualPackConfig config_;
   Cell big_;
   Cell little_;
-  SwitchFacility switch_;
+  std::unique_ptr<SwitchFacility> switch_;
   Supercapacitor supercap_;
   double baseline_w_ = 0.0;  // EWMA of recent load for the supercap filter
   double last_load_w_ = 0.0;  // load seen last step (for request validation)

@@ -4,12 +4,35 @@
 
 namespace capman::battery {
 
+std::vector<std::string> SwitchFacilityConfig::validate() const {
+  std::vector<std::string> errors;
+  if (!(latency.value() >= 0.0)) {
+    errors.push_back("switch latency must be >= 0");
+  }
+  if (!(switch_loss.value() >= 0.0)) {
+    errors.push_back("per-switch loss must be >= 0");
+  }
+  if (!(oscillator_hz > 0.0)) {
+    errors.push_back("oscillator frequency must be > 0");
+  }
+  if (!(high_level.value() > low_level.value())) {
+    errors.push_back(
+        "comparator high level must exceed low level (big vs LITTLE must be "
+        "distinguishable)");
+  }
+  return errors;
+}
+
 SwitchFacility::SwitchFacility(const SwitchFacilityConfig& config,
                                BatterySelection initial)
     : config_(config), active_(initial) {}
 
 BatterySelection SwitchFacility::target() const {
   return pending_ ? pending_->target : active_;
+}
+
+util::Seconds SwitchFacility::switch_latency(util::Seconds /*now*/) {
+  return config_.latency;
 }
 
 bool SwitchFacility::request(BatterySelection target, util::Seconds now) {
@@ -22,7 +45,7 @@ bool SwitchFacility::request(BatterySelection target, util::Seconds now) {
   // Quantize the completion time to the oscillator clock, then add latency.
   const double tick = 1.0 / config_.oscillator_hz;
   const double quantized =
-      std::ceil(now.value() / tick) * tick + config_.latency.value();
+      std::ceil(now.value() / tick) * tick + switch_latency(now).value();
   pending_ = PendingSwitch{target, util::Seconds{quantized}};
   return true;
 }

@@ -6,10 +6,18 @@
 // switch event, costs a fixed energy loss, injects heat, and takes one
 // oscillator-quantized latency (millisecond scale) before the new cell
 // carries the load.
+//
+// The class is an open base: request/advance and the latency draw are
+// virtual so a decorator (sim::FaultySwitchFacility) can model a degraded
+// board — stuck comparator, latency jitter, transient request failures,
+// supercapacitor droop — while the pack and the policies keep talking to
+// the same interface.
 #pragma once
 
 #include <cstddef>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "util/units.h"
 
@@ -27,22 +35,33 @@ struct SwitchFacilityConfig {
   double oscillator_hz = 20'000.0;                  // paper: 20 kHz clock
   util::Volts high_level = util::Volts{3.5};        // comparator "big"
   util::Volts low_level = util::Volts{0.3};         // comparator "LITTLE"
+
+  /// Human-readable configuration errors; empty means valid.
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 class SwitchFacility {
  public:
   explicit SwitchFacility(const SwitchFacilityConfig& config,
                           BatterySelection initial = BatterySelection::kBig);
+  virtual ~SwitchFacility() = default;
 
   /// Request a battery at simulation time `now`. A request equal to the
   /// current (or already pending) selection is a no-op. Returns true if a
   /// switch was initiated.
-  bool request(BatterySelection target, util::Seconds now);
+  virtual bool request(BatterySelection target, util::Seconds now);
 
   /// Advance to time `now`; completes a pending switch whose latency has
   /// elapsed. Returns the energy lost to switching during this advance
   /// (0 when no switch completed).
-  util::Joules advance(util::Seconds now);
+  virtual util::Joules advance(util::Seconds now);
+
+  /// Fraction of the supercapacitor's surge ride-through the electrical
+  /// path currently supports. Ideal hardware always reports 1.0; fault
+  /// decorators derate it while a droop episode is active.
+  [[nodiscard]] virtual double surge_ride_through(util::Seconds /*now*/) const {
+    return 1.0;
+  }
 
   /// The cell currently carrying the load.
   [[nodiscard]] BatterySelection active() const { return active_; }
@@ -57,6 +76,14 @@ class SwitchFacility {
   [[nodiscard]] util::Joules total_switch_loss() const {
     return util::Joules{total_loss_j_};
   }
+
+  [[nodiscard]] const SwitchFacilityConfig& config() const { return config_; }
+
+ protected:
+  /// Actuation latency of a switch initiated at `now`, before oscillator
+  /// quantization. The ideal board always takes the configured latency;
+  /// fault decorators add jitter/spikes per flip.
+  virtual util::Seconds switch_latency(util::Seconds now);
 
  private:
   struct PendingSwitch {

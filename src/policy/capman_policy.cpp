@@ -3,8 +3,9 @@
 namespace capman::policy {
 
 CapmanPolicy::CapmanPolicy(const core::CapmanConfig& config,
-                           std::uint64_t seed)
-    : controller_(config, seed) {}
+                           std::uint64_t seed,
+                           const core::DegradationConfig& resilience)
+    : controller_(config, seed), guard_(resilience) {}
 
 battery::BatterySelection CapmanPolicy::on_event(
     const PolicyContext& context, const workload::Action& event) {
@@ -21,7 +22,18 @@ battery::BatterySelection CapmanPolicy::on_event(
              context.little_soc > kReserveSoc) {
     choice = battery::BatterySelection::kLittle;
   }
-  return choice;
+  // Actuator watchdog: detect switches the facility never latched, fall
+  // back to the observed cell's safe policy, retry with backoff. A switch
+  // the management facility would refuse anyway (target cell cannot carry
+  // the present demand) is reported as infeasible so the guard never
+  // mistakes a protection refusal for a broken board. No-op when the
+  // guard is disabled (the fault-free default).
+  bool feasible = true;
+  if (choice != context.active && context.pack != nullptr) {
+    feasible = context.pack->would_accept(choice);
+  }
+  return guard_.filter(util::Seconds{context.now_s}, context.active, choice,
+                       context.emergency, feasible);
 }
 
 void CapmanPolicy::record_step(util::Joules delivered, util::Joules losses,

@@ -4,14 +4,18 @@
 #pragma once
 
 #include "core/controller.h"
+#include "core/degradation.h"
 #include "policy/policy.h"
 
 namespace capman::policy {
 
 class CapmanPolicy final : public BatteryPolicy {
  public:
+  /// `resilience` arms the actuator DegradationGuard; the default keeps it
+  /// off, which is bit-identical to the guard-less controller.
   explicit CapmanPolicy(const core::CapmanConfig& config = {},
-                        std::uint64_t seed = 42);
+                        std::uint64_t seed = 42,
+                        const core::DegradationConfig& resilience = {});
 
   /// Reserve guard of the battery management facility: the scheduler's
   /// choice is overridden when it would drain a cell past serviceability
@@ -28,12 +32,20 @@ class CapmanPolicy final : public BatteryPolicy {
 
   util::Watts maintenance(util::Seconds now) override;
 
+  [[nodiscard]] core::DegradationStats degradation() const override {
+    return guard_.stats();
+  }
+
   [[nodiscard]] const core::CapmanController& controller() const {
     return controller_;
   }
 
  private:
   core::CapmanController controller_;
+  // Actuator watchdog (graceful degradation). Sits at the policy boundary
+  // because feasibility gating needs the pack observability (SoCs, demand)
+  // that PolicyContext carries and the core controller never sees.
+  core::DegradationGuard guard_;
 };
 
 }  // namespace capman::policy

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "battery/pack.h"
+#include "core/degradation.h"
 #include "device/power_state.h"
 #include "util/units.h"
 #include "workload/event.h"
@@ -67,6 +68,13 @@ class BatteryPolicy {
   /// True when the policy runs on the original single-battery phone
   /// (the paper's Practice baseline).
   [[nodiscard]] virtual bool wants_single_pack() const { return false; }
+
+  /// Actuator-degradation telemetry (detected switch failures, fallback
+  /// episodes, retries). All zeros for policies without a guard; the
+  /// engine threads it into sim::FaultStats.
+  [[nodiscard]] virtual core::DegradationStats degradation() const {
+    return {};
+  }
 };
 
 }  // namespace capman::policy

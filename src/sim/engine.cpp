@@ -2,28 +2,78 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace capman::sim {
 
-SimEngine::SimEngine(const SimConfig& config) : config_(config) {}
+std::vector<std::string> SimConfig::validate() const {
+  std::vector<std::string> errors;
+  auto require = [&errors](bool ok, const char* message) {
+    if (!ok) errors.emplace_back(message);
+  };
+  require(dt.value() > 0.0, "dt must be > 0");
+  require(max_duration.value() > 0.0, "max_duration must be > 0");
+  require(death_grace.value() > 0.0, "death_grace must be > 0");
+  require(series_period.value() > 0.0, "series_period must be > 0");
+  require(pack_config.big_capacity_mah > 0.0,
+          "pack_config.big_capacity_mah must be > 0");
+  require(pack_config.little_capacity_mah > 0.0,
+          "pack_config.little_capacity_mah must be > 0");
+  require(practice_capacity_mah > 0.0, "practice_capacity_mah must be > 0");
+  for (auto& error : pack_config.switch_config.validate()) {
+    errors.push_back("pack_config.switch_config: " + error);
+  }
+  for (auto& error : faults.validate()) {
+    errors.push_back(std::move(error));
+  }
+  return errors;
+}
+
+SimEngine::SimEngine(const SimConfig& config) : config_(config) {
+  const auto errors = config_.validate();
+  if (!errors.empty()) {
+    std::string message = "invalid SimConfig:";
+    for (const auto& error : errors) {
+      message += "\n  - " + error;
+    }
+    throw std::invalid_argument(message);
+  }
+}
 
 SimResult SimEngine::run(const workload::Trace& trace,
                          policy::BatteryPolicy& policy,
-                         const device::PhoneModel& phone) {
+                         const device::PhoneModel& phone) const {
   SimResult result;
   result.workload = trace.name();
   result.policy = policy.name();
   result.phone = phone.profile().name;
 
+  // Fault injection (sim/faults.h). The injector is only built when the
+  // plan is enabled: with no injector the run is byte-for-byte the code
+  // path that existed before the fault layer, so zero-fault configs are
+  // bit-identical by construction (and the force_injection_path hook lets
+  // tests assert the decorated path is identical too).
+  std::unique_ptr<FaultInjector> injector;
+  if (config_.faults.enabled()) {
+    injector = std::make_unique<FaultInjector>(config_.faults);
+  }
+
   // Power source: the Practice baseline runs the original single-battery
-  // phone; everything else runs the big.LITTLE pack.
+  // phone; everything else runs the big.LITTLE pack (with the decorated
+  // switch facility when faults are injected).
   std::unique_ptr<battery::PowerSource> source;
   const battery::DualBatteryPack* dual = nullptr;
   if (policy.wants_single_pack()) {
     source = std::make_unique<battery::SingleBatteryPack>(
         config_.practice_chemistry, config_.practice_capacity_mah);
   } else {
-    auto pack = std::make_unique<battery::DualBatteryPack>(config_.pack_config);
+    std::unique_ptr<battery::SwitchFacility> facility;
+    if (injector) {
+      facility = injector->make_switch_facility(
+          config_.pack_config.switch_config);
+    }
+    auto pack = std::make_unique<battery::DualBatteryPack>(
+        config_.pack_config, std::move(facility));
     dual = pack.get();
     source = std::move(pack);
   }
@@ -61,9 +111,18 @@ SimResult SimEngine::run(const workload::Trace& trace,
       ctx.device = demand.state_vector();
       ctx.demand_w = comp.total().value();
       ctx.active = source->active();
-      ctx.big_soc = source->big_soc();
-      ctx.little_soc = source->little_soc();
-      ctx.hotspot_c = thermal.cpu_temperature().value();
+      if (injector) {
+        // Policies observe the world through the (possibly corrupted)
+        // sensor channels, never the ground truth.
+        ctx.big_soc = injector->read_big_soc(source->big_soc());
+        ctx.little_soc = injector->read_little_soc(source->little_soc());
+        ctx.hotspot_c =
+            injector->read_hotspot_c(thermal.cpu_temperature().value());
+      } else {
+        ctx.big_soc = source->big_soc();
+        ctx.little_soc = source->little_soc();
+        ctx.hotspot_c = thermal.cpu_temperature().value();
+      }
       ctx.emergency = emergency && !fired;
       ctx.interval_avg_w = comp.total().value();
       ctx.interval_peak_w = comp.total().value();
@@ -150,6 +209,14 @@ SimResult SimEngine::run(const workload::Trace& trace,
       source->activation_time(battery::BatterySelection::kLittle).value();
   result.end_big_soc = source->big_soc();
   result.end_little_soc = source->little_soc();
+  if (injector) {
+    // Collect while the pack (and thus the decorated facility) is alive.
+    result.faults = injector->collect();
+    const auto degradation = policy.degradation();
+    result.faults.detected_switch_failures = degradation.failures_detected;
+    result.faults.fallback_episodes = degradation.fallback_episodes;
+    result.faults.fallback_retries = degradation.retries;
+  }
   return result;
 }
 

@@ -5,10 +5,13 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "battery/pack.h"
 #include "device/phone.h"
 #include "policy/policy.h"
+#include "sim/faults.h"
 #include "sim/metrics.h"
 #include "thermal/controller.h"
 #include "thermal/phone_thermal.h"
@@ -41,6 +44,15 @@ struct SimConfig {
   thermal::PhoneThermalConfig thermal_config{};
   thermal::TecParams tec_params{};
   thermal::CoolingControllerConfig cooling_config{};
+
+  // Actuator/sensor fault plan (sim/faults.h). All-zero by default: the
+  // engine then runs the ideal path and produces bit-identical results to
+  // a fault-free build.
+  FaultPlanConfig faults{};
+
+  /// Human-readable configuration errors; empty means the config is valid.
+  /// Checks this struct plus the nested switch-facility and fault plans.
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 /// The testbed. Stateless between runs: every run() builds a fresh pack,
@@ -48,6 +60,9 @@ struct SimConfig {
 /// race many policies on the same trace (sim::run_policy_comparison).
 class SimEngine {
  public:
+  /// Throws std::invalid_argument listing every problem when
+  /// `config.validate()` is non-empty (negative dt, non-positive
+  /// death_grace, zero oscillator_hz, malformed fault plan, ...).
   explicit SimEngine(const SimConfig& config = {});
 
   /// Run one full discharge cycle of `policy` on `trace` with `phone`:
@@ -55,7 +70,7 @@ class SimEngine {
   /// (sustained unmet demand beyond death_grace) or max_duration passes.
   /// Deterministic: identical inputs give identical SimResults.
   SimResult run(const workload::Trace& trace, policy::BatteryPolicy& policy,
-                const device::PhoneModel& phone);
+                const device::PhoneModel& phone) const;
 
   [[nodiscard]] const SimConfig& config() const { return config_; }
 

@@ -1,10 +1,48 @@
 #include "sim/experiment.h"
 
+#include <cctype>
+#include <stdexcept>
+#include <utility>
+
 #include "policy/baselines.h"
 #include "policy/capman_policy.h"
 #include "policy/oracle.h"
 
 namespace capman::sim {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<policy::BatteryPolicy> build_policy_impl(
+    PolicyKind kind, std::uint64_t seed,
+    const core::DegradationConfig& resilience) {
+  switch (kind) {
+    case PolicyKind::kOracle:
+      return std::make_unique<policy::OraclePolicy>();
+    case PolicyKind::kCapman:
+      return std::make_unique<policy::CapmanPolicy>(core::CapmanConfig{}, seed,
+                                                    resilience);
+    case PolicyKind::kDual:
+      return std::make_unique<policy::DualPolicy>();
+    case PolicyKind::kHeuristic:
+      return std::make_unique<policy::HeuristicPolicy>();
+    case PolicyKind::kPractice:
+      return std::make_unique<policy::PracticePolicy>();
+  }
+  return nullptr;
+}
+
+}  // namespace
 
 const std::vector<PolicyKind>& all_policy_kinds() {
   static const std::vector<PolicyKind> kAll = {
@@ -24,35 +62,114 @@ const char* to_string(PolicyKind kind) {
   return "?";
 }
 
-std::unique_ptr<policy::BatteryPolicy> make_policy(PolicyKind kind,
-                                                   std::uint64_t seed) {
-  switch (kind) {
-    case PolicyKind::kOracle:
-      return std::make_unique<policy::OraclePolicy>();
-    case PolicyKind::kCapman:
-      return std::make_unique<policy::CapmanPolicy>(core::CapmanConfig{},
-                                                    seed);
-    case PolicyKind::kDual:
-      return std::make_unique<policy::DualPolicy>();
-    case PolicyKind::kHeuristic:
-      return std::make_unique<policy::HeuristicPolicy>();
-    case PolicyKind::kPractice:
-      return std::make_unique<policy::PracticePolicy>();
+// ---------------------------------------------------------------------------
+// ComparisonResult
+
+const SimResult& ComparisonResult::at(PolicyKind kind) const {
+  if (const SimResult* r = find(kind)) return *r;
+  throw std::out_of_range(std::string{"no result for policy "} +
+                          to_string(kind));
+}
+
+const SimResult* ComparisonResult::find(PolicyKind kind) const {
+  for (const auto& entry : entries_) {
+    if (entry.kind == kind) return &entry.result;
   }
   return nullptr;
+}
+
+const SimResult* ComparisonResult::find(std::string_view policy_name) const {
+  for (const auto& entry : entries_) {
+    if (iequals(entry.result.policy, policy_name)) return &entry.result;
+  }
+  return nullptr;
+}
+
+std::vector<SimResult> ComparisonResult::to_vector() const {
+  std::vector<SimResult> results;
+  results.reserve(entries_.size());
+  for (const auto& entry : entries_) results.push_back(entry.result);
+  return results;
+}
+
+void ComparisonResult::add(PolicyKind kind, SimResult result) {
+  entries_.push_back({kind, std::move(result)});
+}
+
+// ---------------------------------------------------------------------------
+// ExperimentRunner
+
+namespace {
+
+SimConfig merge_options(RunnerOptions& options) {
+  if (options.faults) options.config.faults = *options.faults;
+  return options.config;
+}
+
+}  // namespace
+
+ExperimentRunner::ExperimentRunner(device::PhoneModel phone,
+                                   RunnerOptions options)
+    : phone_(std::move(phone)),
+      seed_(options.seed),
+      engine_(merge_options(options)) {}
+
+std::unique_ptr<policy::BatteryPolicy> ExperimentRunner::build_policy(
+    PolicyKind kind) const {
+  core::DegradationConfig resilience;
+  // Arm CAPMAN's actuator watchdog only when the fault plan can fire: in
+  // fault-free runs the pack legitimately refuses requests for cells that
+  // cannot supply, and a watchdog would misread that as actuator failure
+  // (and perturb the bit-identical baseline).
+  resilience.enabled = config().faults.any_active();
+  return build_policy_impl(kind, seed_, resilience);
+}
+
+SimResult ExperimentRunner::run(const workload::Trace& trace,
+                                PolicyKind kind) const {
+  auto policy = build_policy(kind);
+  return engine_.run(trace, *policy, phone_);
+}
+
+SimResult ExperimentRunner::run(const workload::Trace& trace,
+                                policy::BatteryPolicy& policy) const {
+  return engine_.run(trace, policy, phone_);
+}
+
+ComparisonResult ExperimentRunner::compare(
+    const workload::Trace& trace) const {
+  ComparisonResult comparison;
+  for (PolicyKind kind : all_policy_kinds()) {
+    comparison.add(kind, run(trace, kind));
+  }
+  return comparison;
+}
+
+std::vector<SimResult> ExperimentRunner::run_cycles(
+    const workload::Trace& trace, PolicyKind kind, std::size_t cycles) const {
+  std::vector<SimResult> results;
+  results.reserve(cycles);
+  auto policy = build_policy(kind);
+  for (std::size_t c = 0; c < cycles; ++c) {
+    results.push_back(engine_.run(trace, *policy, phone_));
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy shims
+
+std::unique_ptr<policy::BatteryPolicy> make_policy(PolicyKind kind,
+                                                   std::uint64_t seed) {
+  return build_policy_impl(kind, seed, core::DegradationConfig{});
 }
 
 std::vector<SimResult> run_policy_comparison(const workload::Trace& trace,
                                              const device::PhoneModel& phone,
                                              const SimConfig& config,
                                              std::uint64_t seed) {
-  std::vector<SimResult> results;
-  SimEngine engine{config};
-  for (PolicyKind kind : all_policy_kinds()) {
-    auto policy = make_policy(kind, seed);
-    results.push_back(engine.run(trace, *policy, phone));
-  }
-  return results;
+  ExperimentRunner runner{phone, {config, seed, std::nullopt}};
+  return runner.compare(trace).to_vector();
 }
 
 std::vector<SimResult> run_multi_cycle(const workload::Trace& trace,
@@ -60,13 +177,8 @@ std::vector<SimResult> run_multi_cycle(const workload::Trace& trace,
                                        const SimConfig& config,
                                        PolicyKind kind, std::size_t cycles,
                                        std::uint64_t seed) {
-  std::vector<SimResult> results;
-  SimEngine engine{config};
-  auto policy = make_policy(kind, seed);
-  for (std::size_t c = 0; c < cycles; ++c) {
-    results.push_back(engine.run(trace, *policy, phone));
-  }
-  return results;
+  ExperimentRunner runner{phone, {config, seed, std::nullopt}};
+  return runner.run_cycles(trace, kind, cycles);
 }
 
 double improvement_pct(double a, double b) {
@@ -74,9 +186,9 @@ double improvement_pct(double a, double b) {
 }
 
 const SimResult* find_result(const std::vector<SimResult>& results,
-                             const std::string& policy_name) {
+                             std::string_view policy_name) {
   for (const auto& r : results) {
-    if (r.policy == policy_name) return &r;
+    if (iequals(r.policy, policy_name)) return &r;
   }
   return nullptr;
 }

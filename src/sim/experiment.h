@@ -1,11 +1,23 @@
-// Experiment harness helpers shared by benches, examples and integration
-// tests: construct the paper's five policies, run a workload under each,
-// and compute the improvement ratios the paper reports.
+// Experiment harness shared by benches, examples and integration tests.
+//
+// ExperimentRunner is the front door: it owns the simulation configuration,
+// the phone model, an explicit seed and an optional fault plan, and runs
+// single policies, the paper's five-way comparison, or multi-cycle learning
+// runs. The legacy free functions (make_policy, run_policy_comparison,
+// run_multi_cycle) are kept as thin shims over the runner for older call
+// sites; new code should construct an ExperimentRunner.
+//
+// Policy display names ("Oracle", "CAPMAN", "Dual", "Heuristic",
+// "Practice") are a stable API: tables, CSV headers and find() lookups key
+// on them, and tests pin each value. Lookups by name are case-insensitive.
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string_view>
 #include <vector>
 
+#include "device/phone.h"
 #include "policy/policy.h"
 #include "sim/engine.h"
 #include "workload/generators.h"
@@ -17,22 +29,106 @@ enum class PolicyKind { kOracle, kCapman, kDual, kHeuristic, kPractice };
 /// Paper order: Oracle (ground truth) first, then CAPMAN, then baselines.
 const std::vector<PolicyKind>& all_policy_kinds();
 
+/// Stable display name ("Oracle", "CAPMAN", "Dual", "Heuristic",
+/// "Practice") — see the header comment; tests pin every value.
+const char* to_string(PolicyKind kind);
+
+/// Results of one five-way comparison, keyed by PolicyKind.
+class ComparisonResult {
+ public:
+  struct Entry {
+    PolicyKind kind;
+    SimResult result;
+  };
+
+  /// Result for `kind`; throws std::out_of_range when absent.
+  [[nodiscard]] const SimResult& at(PolicyKind kind) const;
+  /// Result for `kind`, nullptr when absent.
+  [[nodiscard]] const SimResult* find(PolicyKind kind) const;
+  /// Result by display name, matched case-insensitively ("capman" works).
+  [[nodiscard]] const SimResult* find(std::string_view policy_name) const;
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Bare results in entry order (the legacy vector<SimResult> shape).
+  [[nodiscard]] std::vector<SimResult> to_vector() const;
+
+  void add(PolicyKind kind, SimResult result);
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Everything an ExperimentRunner holds besides the phone model.
+struct RunnerOptions {
+  SimConfig config{};
+  std::uint64_t seed = 42;
+  /// When set, overrides config.faults — the convenient way to attach a
+  /// fault plan to an otherwise default config.
+  std::optional<FaultPlanConfig> faults;
+};
+
+/// The redesigned experiment front door (see header comment). One runner
+/// pins down phone + config + seed + fault plan; every run*() call builds
+/// fresh policy and engine state from them, so results are reproducible
+/// and independent.
+class ExperimentRunner {
+ public:
+  /// Validates the merged config via SimEngine construction; throws
+  /// std::invalid_argument on malformed configs.
+  explicit ExperimentRunner(device::PhoneModel phone,
+                            RunnerOptions options = {});
+
+  /// Fresh policy instance of `kind` wired to this runner's seed; CAPMAN
+  /// additionally gets its DegradationGuard armed when the fault plan can
+  /// actually fire (graceful degradation is pointless — and would perturb
+  /// fault-free runs — otherwise).
+  [[nodiscard]] std::unique_ptr<policy::BatteryPolicy> build_policy(
+      PolicyKind kind) const;
+
+  /// One discharge cycle of a fresh `kind` policy on `trace`.
+  SimResult run(const workload::Trace& trace, PolicyKind kind) const;
+  /// One discharge cycle of a caller-owned policy (custom policies).
+  SimResult run(const workload::Trace& trace,
+                policy::BatteryPolicy& policy) const;
+
+  /// The paper's five-way comparison on `trace`.
+  [[nodiscard]] ComparisonResult compare(const workload::Trace& trace) const;
+
+  /// `cycles` consecutive discharge cycles with ONE policy instance (fresh
+  /// fully-charged pack each cycle); learning policies carry their model
+  /// across cycles — the multi-cycle learning effect.
+  [[nodiscard]] std::vector<SimResult> run_cycles(const workload::Trace& trace,
+                                                  PolicyKind kind,
+                                                  std::size_t cycles) const;
+
+  [[nodiscard]] const SimConfig& config() const { return engine_.config(); }
+  [[nodiscard]] const device::PhoneModel& phone() const { return phone_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  device::PhoneModel phone_;
+  std::uint64_t seed_;
+  SimEngine engine_;
+};
+
+// ---------------------------------------------------------------------------
+// Legacy shims. Deprecated: construct an ExperimentRunner instead. Kept as
+// plain functions (not [[deprecated]]) so existing out-of-tree callers
+// build warning-free while they migrate.
+
+/// Deprecated shim over ExperimentRunner::build_policy (guard always off).
 std::unique_ptr<policy::BatteryPolicy> make_policy(PolicyKind kind,
                                                    std::uint64_t seed = 42);
 
-const char* to_string(PolicyKind kind);
-
-/// Run `trace` under every policy; results in all_policy_kinds() order.
+/// Deprecated shim over ExperimentRunner::compare().to_vector().
 std::vector<SimResult> run_policy_comparison(const workload::Trace& trace,
                                              const device::PhoneModel& phone,
                                              const SimConfig& config,
                                              std::uint64_t seed = 42);
 
-/// Run `cycles` consecutive discharge cycles of the same workload with ONE
-/// policy instance (a fresh, fully charged pack each cycle - see
-/// battery::Charger for explicit charge modeling). Learning policies
-/// (CAPMAN) carry their model across cycles, so later cycles start with a
-/// warm MDP - the multi-cycle learning effect.
+/// Deprecated shim over ExperimentRunner::run_cycles.
 std::vector<SimResult> run_multi_cycle(const workload::Trace& trace,
                                        const device::PhoneModel& phone,
                                        const SimConfig& config,
@@ -42,8 +138,9 @@ std::vector<SimResult> run_multi_cycle(const workload::Trace& trace,
 /// Percentage improvement of a over b: 100 * (a - b) / b.
 double improvement_pct(double a, double b);
 
-/// Find a result by policy name (nullptr if absent).
+/// Find a result by policy name, matched case-insensitively (nullptr if
+/// absent). Display names are stable API — see the header comment.
 const SimResult* find_result(const std::vector<SimResult>& results,
-                             const std::string& policy_name);
+                             std::string_view policy_name);
 
 }  // namespace capman::sim

@@ -1,0 +1,254 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace capman::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FaultPlanConfig
+
+bool FaultPlanConfig::any_active() const {
+  return stuck_rate_per_min > 0.0 || latency_jitter_frac > 0.0 ||
+         latency_spike_prob > 0.0 || transient_fail_prob > 0.0 ||
+         droop_prob > 0.0 || soc_bias != 0.0 || soc_noise_stddev > 0.0 ||
+         temp_bias_c != 0.0 || temp_noise_stddev_c > 0.0 ||
+         sensor_dropout_prob > 0.0;
+}
+
+std::vector<std::string> FaultPlanConfig::validate() const {
+  std::vector<std::string> errors;
+  auto require = [&errors](bool ok, const char* message) {
+    if (!ok) errors.emplace_back(message);
+  };
+  require(stuck_rate_per_min >= 0.0,
+          "faults.stuck_rate_per_min must be >= 0");
+  require(stuck_min_duration.value() > 0.0,
+          "faults.stuck_min_duration must be > 0");
+  require(stuck_max_duration.value() >= stuck_min_duration.value(),
+          "faults.stuck_max_duration must be >= stuck_min_duration");
+  require(latency_jitter_frac >= 0.0,
+          "faults.latency_jitter_frac must be >= 0");
+  require(latency_spike_prob >= 0.0 && latency_spike_prob <= 1.0,
+          "faults.latency_spike_prob must be in [0, 1]");
+  require(latency_spike_factor >= 1.0,
+          "faults.latency_spike_factor must be >= 1");
+  require(transient_fail_prob >= 0.0 && transient_fail_prob < 1.0,
+          "faults.transient_fail_prob must be in [0, 1)");
+  require(max_transient_retries >= 0,
+          "faults.max_transient_retries must be >= 0");
+  require(transient_retry_delay.value() > 0.0,
+          "faults.transient_retry_delay must be > 0");
+  require(droop_prob >= 0.0 && droop_prob <= 1.0,
+          "faults.droop_prob must be in [0, 1]");
+  require(droop_ride_through >= 0.0 && droop_ride_through <= 1.0,
+          "faults.droop_ride_through must be in [0, 1]");
+  require(droop_duration.value() >= 0.0,
+          "faults.droop_duration must be >= 0");
+  require(soc_noise_stddev >= 0.0, "faults.soc_noise_stddev must be >= 0");
+  require(temp_noise_stddev_c >= 0.0,
+          "faults.temp_noise_stddev_c must be >= 0");
+  require(sensor_dropout_prob >= 0.0 && sensor_dropout_prob < 1.0,
+          "faults.sensor_dropout_prob must be in [0, 1)");
+  return errors;
+}
+
+// ---------------------------------------------------------------------------
+// FaultySwitchFacility
+
+FaultySwitchFacility::FaultySwitchFacility(
+    const battery::SwitchFacilityConfig& config, const FaultPlanConfig& plan,
+    util::Rng rng, battery::BatterySelection initial)
+    : battery::SwitchFacility(config, initial), plan_(plan), rng_(rng) {
+  // Draw the first stuck-episode arrival up front so episode timing does
+  // not depend on when (or whether) requests happen to arrive.
+  if (plan_.stuck_rate_per_min > 0.0) {
+    next_stuck_start_s_ =
+        rng_.exponential(plan_.stuck_rate_per_min / 60.0);
+  } else {
+    next_stuck_start_s_ = kInf;
+  }
+}
+
+void FaultySwitchFacility::roll_stuck_episodes(double t) {
+  while (t >= next_stuck_start_s_) {
+    const double start = next_stuck_start_s_;
+    const double duration = rng_.uniform(plan_.stuck_min_duration.value(),
+                                         plan_.stuck_max_duration.value());
+    stuck_until_s_ = start + duration;
+    ++counters_.stuck_episodes;
+    counters_.stuck_time_s += duration;
+    // Next arrival counts from the end of this episode (the comparator
+    // cannot re-stick while already stuck).
+    next_stuck_start_s_ =
+        stuck_until_s_ + rng_.exponential(plan_.stuck_rate_per_min / 60.0);
+  }
+}
+
+bool FaultySwitchFacility::stuck_now(util::Seconds now) const {
+  return now.value() < stuck_until_s_;
+}
+
+bool FaultySwitchFacility::attempt(battery::BatterySelection target,
+                                   util::Seconds now, int retries_left) {
+  // Stuck comparator: the request is eaten without a trace — the caller
+  // sees the same "false" an already-satisfied no-op request returns.
+  if (now.value() < stuck_until_s_) {
+    ++counters_.dropped_requests;
+    retry_.reset();  // a stuck board also loses the retry buffer
+    return false;
+  }
+  // Transient glitch: the request is lost, but the board notices and
+  // schedules a bounded retry.
+  if (plan_.transient_fail_prob > 0.0 &&
+      rng_.chance(plan_.transient_fail_prob)) {
+    ++counters_.transient_failures;
+    if (retries_left > 0) {
+      retry_ = PendingRetry{target,
+                            now.value() + plan_.transient_retry_delay.value(),
+                            retries_left};
+    } else {
+      retry_.reset();  // budget exhausted; the request is simply lost
+    }
+    return false;
+  }
+  retry_.reset();  // this attempt got through; nothing left to retry
+  const bool initiated = battery::SwitchFacility::request(target, now);
+  if (initiated && plan_.droop_prob > 0.0 && rng_.chance(plan_.droop_prob)) {
+    ++counters_.droop_episodes;
+    // Droop lasts through the switching transient plus the configured tail.
+    droop_until_s_ = now.value() + config().latency.value() +
+                     plan_.droop_duration.value();
+  }
+  return initiated;
+}
+
+bool FaultySwitchFacility::request(battery::BatterySelection target,
+                                   util::Seconds now) {
+  roll_stuck_episodes(now.value());
+  // No-op requests (already active or already pending toward the target)
+  // must stay no-ops: they consume no RNG and trip no faults, matching the
+  // ideal facility bit for bit.
+  if (target == this->target()) return false;
+  return attempt(target, now, plan_.max_transient_retries);
+}
+
+util::Joules FaultySwitchFacility::advance(util::Seconds now) {
+  roll_stuck_episodes(now.value());
+  if (retry_ && now.value() >= retry_->at_s) {
+    const PendingRetry due = *retry_;
+    retry_.reset();
+    // Skip the retry if a later successful request already satisfied it.
+    if (due.target != this->target()) {
+      ++counters_.transient_retries;
+      attempt(due.target, now, due.attempts_left - 1);
+    }
+  }
+  return battery::SwitchFacility::advance(now);
+}
+
+double FaultySwitchFacility::surge_ride_through(util::Seconds now) const {
+  if (now.value() < droop_until_s_) return plan_.droop_ride_through;
+  return 1.0;
+}
+
+util::Seconds FaultySwitchFacility::switch_latency(util::Seconds now) {
+  double latency = config().latency.value();
+  bool perturbed = false;
+  if (plan_.latency_jitter_frac > 0.0) {
+    // Multiplicative lognormal-ish jitter: never negative, median at the
+    // nominal latency.
+    const double factor =
+        std::exp(rng_.normal(0.0, plan_.latency_jitter_frac));
+    latency *= factor;
+    perturbed = true;
+  }
+  if (plan_.latency_spike_prob > 0.0 &&
+      rng_.chance(plan_.latency_spike_prob)) {
+    latency *= plan_.latency_spike_factor;
+    ++counters_.latency_spikes;
+    perturbed = true;
+  }
+  if (perturbed) ++counters_.jittered_switches;
+  (void)now;
+  return util::Seconds{latency};
+}
+
+// ---------------------------------------------------------------------------
+// SensorChannel
+
+SensorChannel::SensorChannel(double bias, double noise_stddev,
+                             double dropout_prob, double lo, double hi,
+                             util::Rng rng)
+    : bias_(bias),
+      noise_stddev_(noise_stddev),
+      dropout_prob_(dropout_prob),
+      lo_(lo),
+      hi_(hi),
+      rng_(rng) {}
+
+double SensorChannel::read(double true_value) {
+  if (dropout_prob_ > 0.0 && rng_.chance(dropout_prob_) && has_last_) {
+    ++dropouts_;
+    return last_reading_;
+  }
+  double reading = true_value;
+  if (bias_ != 0.0 || noise_stddev_ > 0.0) {
+    reading += bias_;
+    if (noise_stddev_ > 0.0) reading += rng_.normal(0.0, noise_stddev_);
+    reading = std::clamp(reading, lo_, hi_);
+    ++corrupted_;
+  }
+  last_reading_ = reading;
+  has_last_ = true;
+  return reading;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+
+FaultInjector::FaultInjector(const FaultPlanConfig& plan)
+    : plan_(plan),
+      rng_(plan.seed),
+      big_soc_(plan.soc_bias, plan.soc_noise_stddev, plan.sensor_dropout_prob,
+               0.0, 1.0, rng_.split()),
+      little_soc_(plan.soc_bias, plan.soc_noise_stddev,
+                  plan.sensor_dropout_prob, 0.0, 1.0, rng_.split()),
+      hotspot_(plan.temp_bias_c, plan.temp_noise_stddev_c,
+               plan.sensor_dropout_prob, -40.0, 150.0, rng_.split()) {}
+
+std::unique_ptr<battery::SwitchFacility> FaultInjector::make_switch_facility(
+    const battery::SwitchFacilityConfig& config) {
+  auto facility =
+      std::make_unique<FaultySwitchFacility>(config, plan_, rng_.split());
+  facility_ = facility.get();
+  return facility;
+}
+
+FaultStats FaultInjector::collect() const {
+  FaultStats stats;
+  if (facility_ != nullptr) {
+    const auto& c = facility_->counters();
+    stats.stuck_episodes = c.stuck_episodes;
+    stats.stuck_time_s = c.stuck_time_s;
+    stats.dropped_requests = c.dropped_requests;
+    stats.transient_failures = c.transient_failures;
+    stats.transient_retries = c.transient_retries;
+    stats.jittered_switches = c.jittered_switches;
+    stats.latency_spikes = c.latency_spikes;
+    stats.droop_episodes = c.droop_episodes;
+  }
+  stats.sensor_dropouts =
+      big_soc_.dropouts() + little_soc_.dropouts() + hotspot_.dropouts();
+  stats.corrupted_reads = big_soc_.corrupted_reads() +
+                          little_soc_.corrupted_reads() +
+                          hotspot_.corrupted_reads();
+  return stats;
+}
+
+}  // namespace capman::sim

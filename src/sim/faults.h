@@ -1,0 +1,222 @@
+// Fault injection for the actuator and sensing path.
+//
+// The paper's actuator is real hardware — an LM339AD comparator driving
+// MOS tubes from a 20 kHz oscillator, with a supercapacitor smoothing the
+// LITTLE rail — and real hardware degrades: the comparator sticks, the
+// oscillator-latched switch latency jitters, a request is lost in a
+// glitch, the supercap's ride-through droops mid-switch, and fuel-gauge /
+// thermistor readings drift, noise up or drop out. This module injects
+// exactly those failure modes behind the interfaces the rest of the stack
+// already talks to, so SimEngine, battery::DualBatteryPack and the
+// policies need no knowledge of which faults are active:
+//
+//  * FaultPlanConfig  — the seeded schedule of fault episodes.
+//  * FaultySwitchFacility — decorator over battery::SwitchFacility:
+//      - stuck comparator: requests silently dropped for a window
+//        (Poisson arrivals, bounded duration);
+//      - latency jitter/spikes: drawn per flip, still oscillator-quantized
+//        by the base facility;
+//      - transient request failure with bounded, delayed retry;
+//      - supercap droop: reduced surge ride-through during the switching
+//        transient (reported via surge_ride_through()).
+//  * SensorChannel — shim over one scalar sensor: bias, Gaussian noise,
+//    dropout to last-known-good.
+//  * FaultInjector — per-run bundle the engine owns: builds the decorated
+//    facility, shims the sensor reads, and collects FaultStats.
+//
+// Determinism: all draws flow through a util::Rng seeded from
+// FaultPlanConfig::seed — independent of the workload/policy seed — so a
+// fault scenario replays exactly. An all-zero plan never perturbs a run:
+// the decorator and shims are bit-identical pass-throughs (guarded so no
+// arithmetic touches the signal path), which `force_injection_path` lets
+// tests assert.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "battery/switcher.h"
+#include "sim/metrics.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace capman::sim {
+
+struct FaultPlanConfig {
+  // Seed of the fault stream; deliberately distinct from the experiment
+  // seed so fault scenarios replay independently of policy exploration.
+  std::uint64_t seed = 1337;
+
+  // --- Stuck comparator -------------------------------------------------
+  // Episodes arrive as a Poisson process (exponential gaps) at this rate;
+  // during an episode every switch request is silently dropped.
+  double stuck_rate_per_min = 0.0;
+  util::Seconds stuck_min_duration{6.0};
+  util::Seconds stuck_max_duration{15.0};
+
+  // --- Latency jitter ---------------------------------------------------
+  // Per-flip multiplicative jitter (lognormal-ish, stddev as a fraction of
+  // nominal) plus occasional hard spikes; the oscillator still quantizes.
+  double latency_jitter_frac = 0.0;
+  double latency_spike_prob = 0.0;
+  double latency_spike_factor = 10.0;
+
+  // --- Transient request failure ---------------------------------------
+  // A switch-initiating request is lost with this probability; the board
+  // retries it after `transient_retry_delay`, at most
+  // `max_transient_retries` times (bounded retry).
+  double transient_fail_prob = 0.0;
+  int max_transient_retries = 3;
+  util::Seconds transient_retry_delay{0.1};
+
+  // --- Supercapacitor droop --------------------------------------------
+  // With this probability per initiated switch, surge ride-through drops
+  // to `droop_ride_through` until `droop_duration` past completion.
+  double droop_prob = 0.0;
+  double droop_ride_through = 0.3;
+  util::Seconds droop_duration{1.0};
+
+  // --- Sensor corruption -------------------------------------------------
+  double soc_bias = 0.0;             // additive, SoC in [0,1]
+  double soc_noise_stddev = 0.0;     // Gaussian, per read
+  double temp_bias_c = 0.0;          // additive, deg C
+  double temp_noise_stddev_c = 0.0;  // Gaussian, per read
+  double sensor_dropout_prob = 0.0;  // per read -> last-known-good
+
+  // Test hook: route the run through the decorator/shims even when every
+  // fault is zero, to assert the injection path is a perfect pass-through.
+  bool force_injection_path = false;
+
+  /// True when any fault can actually fire (ignores force_injection_path).
+  [[nodiscard]] bool any_active() const;
+  /// True when the engine should build the injection path at all.
+  [[nodiscard]] bool enabled() const {
+    return any_active() || force_injection_path;
+  }
+
+  /// Human-readable configuration errors; empty means valid.
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+/// Decorator over the ideal switch facility; see file comment. Owned by
+/// the DualBatteryPack it is injected into.
+class FaultySwitchFacility final : public battery::SwitchFacility {
+ public:
+  FaultySwitchFacility(const battery::SwitchFacilityConfig& config,
+                       const FaultPlanConfig& plan, util::Rng rng,
+                       battery::BatterySelection initial =
+                           battery::BatterySelection::kBig);
+
+  bool request(battery::BatterySelection target, util::Seconds now) override;
+  util::Joules advance(util::Seconds now) override;
+  [[nodiscard]] double surge_ride_through(util::Seconds now) const override;
+
+  struct Counters {
+    std::size_t stuck_episodes = 0;
+    double stuck_time_s = 0.0;
+    std::size_t dropped_requests = 0;   // eaten by a stuck comparator
+    std::size_t transient_failures = 0; // lost requests (glitch)
+    std::size_t transient_retries = 0;  // board-level re-attempts
+    std::size_t jittered_switches = 0;  // flips with perturbed latency
+    std::size_t latency_spikes = 0;
+    std::size_t droop_episodes = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  /// True while the comparator is inside a stuck episode (for tests).
+  [[nodiscard]] bool stuck_now(util::Seconds now) const;
+
+ protected:
+  util::Seconds switch_latency(util::Seconds now) override;
+
+ private:
+  /// Lazily advance the stuck-episode timeline to time `t`.
+  void roll_stuck_episodes(double t);
+  /// The fault-checked request path shared by fresh requests and retries.
+  /// `retries_left` is the retry budget available if THIS attempt glitches.
+  bool attempt(battery::BatterySelection target, util::Seconds now,
+               int retries_left);
+
+  FaultPlanConfig plan_;
+  util::Rng rng_;
+  Counters counters_;
+
+  double next_stuck_start_s_;
+  double stuck_until_s_ = -1.0;
+
+  struct PendingRetry {
+    battery::BatterySelection target;
+    double at_s = 0.0;
+    int attempts_left = 0;
+  };
+  std::optional<PendingRetry> retry_;
+
+  double droop_until_s_ = -1.0;
+};
+
+/// Shim over one scalar sensor (fuel gauge, thermistor): additive bias,
+/// Gaussian noise, dropout to the last delivered reading, clamped to the
+/// physical range. With all knobs at zero, read() returns its input
+/// untouched (no arithmetic, no RNG draw).
+class SensorChannel {
+ public:
+  SensorChannel(double bias, double noise_stddev, double dropout_prob,
+                double lo, double hi, util::Rng rng);
+
+  double read(double true_value);
+
+  [[nodiscard]] std::size_t dropouts() const { return dropouts_; }
+  [[nodiscard]] std::size_t corrupted_reads() const { return corrupted_; }
+
+ private:
+  double bias_;
+  double noise_stddev_;
+  double dropout_prob_;
+  double lo_;
+  double hi_;
+  util::Rng rng_;
+  double last_reading_ = 0.0;
+  bool has_last_ = false;
+  std::size_t dropouts_ = 0;
+  std::size_t corrupted_ = 0;
+};
+
+/// Per-run bundle of everything the engine needs to inject a FaultPlan.
+/// Lifetime: must outlive the pack only until FaultStats are collected;
+/// the decorated facility itself is owned by the pack.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlanConfig& plan);
+
+  /// Build the decorated switch facility for a dual pack. The returned
+  /// facility is owned by the caller (the pack); the injector keeps a
+  /// non-owning pointer for stats collection, so collect() must be called
+  /// while the pack is still alive.
+  std::unique_ptr<battery::SwitchFacility> make_switch_facility(
+      const battery::SwitchFacilityConfig& config);
+
+  double read_big_soc(double true_value) { return big_soc_.read(true_value); }
+  double read_little_soc(double true_value) {
+    return little_soc_.read(true_value);
+  }
+  double read_hotspot_c(double true_value) {
+    return hotspot_.read(true_value);
+  }
+
+  /// Actuator- and sensor-side fault telemetry accumulated so far.
+  /// Scheduler-side fields (fallback episodes etc.) are filled by the
+  /// engine from the policy's DegradationStats.
+  [[nodiscard]] FaultStats collect() const;
+
+ private:
+  FaultPlanConfig plan_;
+  util::Rng rng_;
+  SensorChannel big_soc_;
+  SensorChannel little_soc_;
+  SensorChannel hotspot_;
+  const FaultySwitchFacility* facility_ = nullptr;  // owned by the pack
+};
+
+}  // namespace capman::sim

@@ -9,6 +9,36 @@
 
 namespace capman::sim {
 
+/// Fault-episode telemetry for one run, populated only when a FaultPlan is
+/// active (all-zero otherwise). Actuator/sensor fields come from the
+/// injection layer (sim/faults.h); the detected_*/fallback_* fields come
+/// from the scheduler's DegradationGuard (core/degradation.h).
+struct FaultStats {
+  std::size_t stuck_episodes = 0;      // comparator stuck windows entered
+  double stuck_time_s = 0.0;           // total stuck dwell
+  std::size_t dropped_requests = 0;    // switch requests eaten while stuck
+  std::size_t transient_failures = 0;  // requests lost to glitches
+  std::size_t transient_retries = 0;   // board-level bounded retries
+  std::size_t jittered_switches = 0;   // flips with perturbed latency
+  std::size_t latency_spikes = 0;
+  std::size_t droop_episodes = 0;      // supercap ride-through droops
+  std::size_t sensor_dropouts = 0;     // reads served last-known-good
+  std::size_t corrupted_reads = 0;     // reads with bias/noise applied
+
+  // Scheduler-side graceful degradation (CAPMAN's DegradationGuard).
+  std::size_t detected_switch_failures = 0;
+  std::size_t fallback_episodes = 0;
+  std::size_t fallback_retries = 0;
+
+  /// True when any fault fired or any degradation response engaged.
+  [[nodiscard]] bool any() const {
+    return stuck_episodes || dropped_requests || transient_failures ||
+           transient_retries || jittered_switches || latency_spikes ||
+           droop_episodes || sensor_dropouts || corrupted_reads ||
+           detected_switch_failures || fallback_episodes || fallback_retries;
+  }
+};
+
 struct SimResult {
   std::string workload;
   std::string policy;
@@ -34,6 +64,8 @@ struct SimResult {
   double little_active_s = 0.0;
   double end_big_soc = 0.0;     // state of charge when the cycle ended
   double end_little_soc = 0.0;  // (stranded charge is the 'rate-capacity' cost)
+
+  FaultStats faults;  // all-zero unless the run had an active FaultPlan
 
   // Sampled series for figure reproduction.
   util::TimeSeries soc_series;          // combined SoC vs time (Fig. 12)

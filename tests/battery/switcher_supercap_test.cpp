@@ -78,6 +78,57 @@ TEST(Switcher, OscillatorQuantizesCompletion) {
   EXPECT_GT(sw.advance(Seconds{0.11}).value(), 0.0);
 }
 
+TEST(Switcher, LatencyAddsAfterOscillatorQuantization) {
+  SwitchFacilityConfig cfg;
+  cfg.oscillator_hz = 10.0;  // 100 ms ticks
+  cfg.latency = Seconds{0.05};
+  SwitchFacility sw{cfg};
+  sw.request(BatterySelection::kLittle, Seconds{0.01});
+  // Next tick at 0.10, plus 50 ms latency: completes at ~0.15.
+  EXPECT_DOUBLE_EQ(sw.advance(Seconds{0.149}).value(), 0.0);
+  EXPECT_GT(sw.advance(Seconds{0.1501}).value(), 0.0);
+  EXPECT_EQ(sw.active(), BatterySelection::kLittle);
+}
+
+TEST(Switcher, AdvanceAtExactLatencyBoundaryCompletes) {
+  SwitchFacilityConfig cfg;
+  cfg.latency = util::milliseconds(1.0);
+  cfg.oscillator_hz = 1000.0;  // 1 ms ticks so the boundary lands exactly
+  SwitchFacility sw{cfg};
+  sw.request(BatterySelection::kLittle, Seconds{0.0});
+  // Request at t=0 quantizes to tick 0; completion is scheduled for
+  // exactly latency. Advancing to that instant (not past it) completes.
+  EXPECT_GT(sw.advance(Seconds{0.001}).value(), 0.0);
+  EXPECT_EQ(sw.active(), BatterySelection::kLittle);
+}
+
+TEST(Switcher, ReRequestDuringPendingKeepsOriginalSchedule) {
+  SwitchFacilityConfig cfg;
+  cfg.latency = Seconds{0.010};
+  SwitchFacility sw{cfg};
+  EXPECT_TRUE(sw.request(BatterySelection::kLittle, Seconds{0.0}));
+  // Re-requesting the already-pending target is a no-op: it neither
+  // initiates a second switch nor pushes the completion time out.
+  EXPECT_FALSE(sw.request(BatterySelection::kLittle, Seconds{0.005}));
+  EXPECT_TRUE(sw.switch_pending());
+  sw.advance(Seconds{0.011});
+  EXPECT_EQ(sw.active(), BatterySelection::kLittle);
+  EXPECT_EQ(sw.switch_count(), 1u);
+  EXPECT_DOUBLE_EQ(sw.total_switch_loss().value(),
+                   SwitchFacilityConfig{}.switch_loss.value());
+}
+
+TEST(Switcher, ConfigValidateAcceptsDefaultsAndCatchesNonsense) {
+  EXPECT_TRUE(SwitchFacilityConfig{}.validate().empty());
+  SwitchFacilityConfig bad;
+  bad.latency = Seconds{-0.001};
+  bad.switch_loss = util::Joules{-1.0};
+  bad.oscillator_hz = 0.0;
+  bad.high_level = util::Volts{0.3};
+  bad.low_level = util::Volts{3.5};  // inverted
+  EXPECT_EQ(bad.validate().size(), 4u);
+}
+
 TEST(Supercap, StartsFull) {
   Supercapacitor sc{util::Farads{2.0}, util::Volts{4.0}, util::Ohms{0.02}};
   EXPECT_NEAR(sc.fill(), 1.0, 1e-12);

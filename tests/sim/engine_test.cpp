@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "sim/experiment.h"
 #include "workload/generators.h"
 
@@ -154,6 +156,105 @@ TEST(Experiment, FindResultByName) {
   results[1].policy = "Dual";
   EXPECT_EQ(find_result(results, "Dual"), &results[1]);
   EXPECT_EQ(find_result(results, "nope"), nullptr);
+}
+
+TEST(Experiment, FindResultIsCaseInsensitive) {
+  std::vector<SimResult> results(2);
+  results[0].policy = "CAPMAN";
+  results[1].policy = "Dual";
+  EXPECT_EQ(find_result(results, "capman"), &results[0]);
+  EXPECT_EQ(find_result(results, "DUAL"), &results[1]);
+  EXPECT_EQ(find_result(results, "dua"), nullptr);  // no prefix matching
+}
+
+// Policy display names are stable API (tables, CSVs and lookups key on
+// them); renaming one is a breaking change and must show up here.
+TEST(Experiment, PolicyNamesAreStable) {
+  EXPECT_STREQ(to_string(PolicyKind::kOracle), "Oracle");
+  EXPECT_STREQ(to_string(PolicyKind::kCapman), "CAPMAN");
+  EXPECT_STREQ(to_string(PolicyKind::kDual), "Dual");
+  EXPECT_STREQ(to_string(PolicyKind::kHeuristic), "Heuristic");
+  EXPECT_STREQ(to_string(PolicyKind::kPractice), "Practice");
+}
+
+TEST(SimConfigValidate, DefaultsAreValid) {
+  EXPECT_TRUE(SimConfig{}.validate().empty());
+}
+
+TEST(SimConfigValidate, ListsEveryProblem) {
+  SimConfig config;
+  config.dt = util::Seconds{-0.05};
+  config.death_grace = util::Seconds{0.0};
+  config.pack_config.switch_config.oscillator_hz = 0.0;
+  config.faults.sensor_dropout_prob = 7.0;
+  const auto errors = config.validate();
+  EXPECT_EQ(errors.size(), 4u);
+}
+
+TEST(SimConfigValidate, EngineConstructionRejectsInvalidConfig) {
+  SimConfig config;
+  config.dt = util::Seconds{0.0};
+  EXPECT_THROW(SimEngine{config}, std::invalid_argument);
+  SimConfig bad_switch;
+  bad_switch.pack_config.switch_config.oscillator_hz = -1.0;
+  EXPECT_THROW(SimEngine{bad_switch}, std::invalid_argument);
+  EXPECT_THROW(
+      (ExperimentRunner{nexus(), {bad_switch, 42, std::nullopt}}),
+      std::invalid_argument);
+}
+
+TEST(ExperimentRunner, CompareMatchesLegacyShim) {
+  SimConfig config;
+  config.max_duration = util::Seconds{120.0};
+  config.record_series = false;
+  const auto trace = video_trace(5);
+
+  ExperimentRunner runner{nexus(), {config, 11, std::nullopt}};
+  const auto comparison = runner.compare(trace);
+  const auto legacy = run_policy_comparison(trace, nexus(), config, 11);
+
+  ASSERT_EQ(comparison.size(), legacy.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    const auto& entry = comparison.entries()[i];
+    EXPECT_EQ(entry.result.policy, legacy[i].policy);
+    EXPECT_DOUBLE_EQ(entry.result.service_time_s, legacy[i].service_time_s);
+    EXPECT_EQ(entry.result.switch_count, legacy[i].switch_count);
+    EXPECT_DOUBLE_EQ(entry.result.energy_delivered_j,
+                     legacy[i].energy_delivered_j);
+  }
+}
+
+TEST(ExperimentRunner, ComparisonResultLookups) {
+  SimConfig config;
+  config.max_duration = util::Seconds{60.0};
+  config.record_series = false;
+  ExperimentRunner runner{nexus(), {config, 1, std::nullopt}};
+  const auto comparison = runner.compare(video_trace());
+
+  EXPECT_EQ(comparison.at(PolicyKind::kCapman).policy, "CAPMAN");
+  ASSERT_NE(comparison.find("practice"), nullptr);  // case-insensitive
+  EXPECT_EQ(comparison.find("practice")->policy, "Practice");
+  EXPECT_EQ(comparison.find("nope"), nullptr);
+
+  ComparisonResult empty;
+  EXPECT_EQ(empty.find(PolicyKind::kOracle), nullptr);
+  EXPECT_THROW(static_cast<void>(empty.at(PolicyKind::kOracle)),
+               std::out_of_range);
+
+  const auto vec = comparison.to_vector();
+  ASSERT_EQ(vec.size(), 5u);
+  EXPECT_EQ(vec[0].policy, "Oracle");  // legacy paper order preserved
+  EXPECT_EQ(vec[4].policy, "Practice");
+}
+
+TEST(ExperimentRunner, RunCyclesKeepsOnePolicyInstance) {
+  SimConfig config;
+  config.max_duration = util::Seconds{60.0};
+  config.record_series = false;
+  ExperimentRunner runner{nexus(), {config, 2, std::nullopt}};
+  const auto cycles = runner.run_cycles(video_trace(), PolicyKind::kCapman, 3);
+  ASSERT_EQ(cycles.size(), 3u);
+  for (const auto& r : cycles) EXPECT_EQ(r.policy, "CAPMAN");
 }
 
 TEST(Experiment, ComparisonRunsAllFivePolicies) {
