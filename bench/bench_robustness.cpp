@@ -2,8 +2,10 @@
 // switch board misbehaves (sim/faults.h). Sweeps the stuck-comparator
 // episode rate across CAPMAN / Dual / Heuristic and reports service time
 // against the fault-free baseline plus the fault and degradation telemetry
-// SimResult::faults carries. A final full-chaos row turns every fault knob
-// on at once for CAPMAN.
+// read back off the run's metrics snapshot (SimResult::metrics, via
+// FaultStats::from_snapshot). A final full-chaos row turns every fault
+// knob on at once for CAPMAN. --csv additionally writes the sweep rows to
+// bench_robustness.csv.
 //
 // CAPMAN's DegradationGuard is armed automatically by ExperimentRunner
 // whenever the fault plan can fire: a switch the facility never latched is
@@ -32,6 +34,7 @@ sim::FaultPlanConfig stuck_plan(double rate_per_min, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const auto seed = bench::seed_from_args(argc, argv);
+  const bool csv = bench::csv_requested(argc, argv);
   const device::PhoneModel phone{device::nexus_profile()};
   const auto trace =
       workload::make_video()->generate(util::Seconds{600.0}, seed);
@@ -55,6 +58,41 @@ int main(int argc, char** argv) {
   util::TextTable table({"scenario", "service [min]", "vs fault-free [%]",
                          "stuck [s]", "dropped req", "detected", "fallbacks",
                          "retries"});
+  std::unique_ptr<util::CsvWriter> csv_out;
+  if (csv) {
+    csv_out = std::make_unique<util::CsvWriter>("bench_robustness.csv");
+    csv_out->header({"rate_per_min", "policy", "service_s", "vs_baseline_pct",
+                     "stuck_s", "dropped_requests", "detected", "fallbacks",
+                     "retries"});
+  }
+  // Fault columns come off the registry snapshot every run carries
+  // (SimResult::metrics) — FaultStats is a view over it, not separate
+  // bookkeeping, and this bench exercises that read path.
+  const auto report = [&](const std::string& scenario, const std::string& rate,
+                          const char* policy, const sim::SimResult& r,
+                          double baseline_s) {
+    const auto faults = sim::FaultStats::from_snapshot(r.metrics);
+    const double vs = sim::improvement_pct(r.service_time_s, baseline_s);
+    table.add_row(scenario,
+                  {r.service_time_s / 60.0, vs, faults.stuck_time_s,
+                   static_cast<double>(faults.dropped_requests),
+                   static_cast<double>(faults.detected_switch_failures),
+                   static_cast<double>(faults.fallback_episodes),
+                   static_cast<double>(faults.fallback_retries)},
+                  1);
+    if (csv_out != nullptr) {
+      csv_out->cell(rate)
+          .cell(policy)
+          .cell(r.service_time_s)
+          .cell(vs)
+          .cell(faults.stuck_time_s)
+          .cell(faults.dropped_requests)
+          .cell(faults.detected_switch_failures)
+          .cell(faults.fallback_episodes)
+          .cell(faults.fallback_retries);
+      csv_out->end_row();
+    }
+  };
   for (const double rate : {0.0, 0.5, 1.0, 2.0}) {
     for (std::size_t i = 0; i < policies.size(); ++i) {
       const auto kind = policies[i];
@@ -66,17 +104,10 @@ int main(int argc, char** argv) {
           stuck_plan(rate, seed + 100 * static_cast<std::uint64_t>(rate * 10));
       const sim::ExperimentRunner runner{phone, options};
       const auto r = runner.run(trace, kind);
-      table.add_row(util::TextTable::format(rate, 1) + "/min  " +
-                        sim::to_string(kind),
-                    {r.service_time_s / 60.0,
-                     sim::improvement_pct(r.service_time_s,
-                                          baseline_service[i]),
-                     r.faults.stuck_time_s,
-                     static_cast<double>(r.faults.dropped_requests),
-                     static_cast<double>(r.faults.detected_switch_failures),
-                     static_cast<double>(r.faults.fallback_episodes),
-                     static_cast<double>(r.faults.fallback_retries)},
-                    1);
+      report(util::TextTable::format(rate, 1) + "/min  " +
+                 sim::to_string(kind),
+             util::TextTable::format(rate, 1), sim::to_string(kind), r,
+             baseline_service[i]);
     }
   }
 
@@ -96,15 +127,7 @@ int main(int argc, char** argv) {
   chaos_options.faults = chaos;
   const sim::ExperimentRunner chaos_runner{phone, chaos_options};
   const auto rc = chaos_runner.run(trace, sim::PolicyKind::kCapman);
-  table.add_row("full chaos  CAPMAN",
-                {rc.service_time_s / 60.0,
-                 sim::improvement_pct(rc.service_time_s, baseline_service[0]),
-                 rc.faults.stuck_time_s,
-                 static_cast<double>(rc.faults.dropped_requests),
-                 static_cast<double>(rc.faults.detected_switch_failures),
-                 static_cast<double>(rc.faults.fallback_episodes),
-                 static_cast<double>(rc.faults.fallback_retries)},
-                1);
+  report("full chaos  CAPMAN", "chaos", "CAPMAN", rc, baseline_service[0]);
   table.print(std::cout);
 
   bench::measured_note(std::cout,

@@ -3,11 +3,18 @@
 //   capman_sim [--workload NAME | --trace FILE.csv] [--policy NAME]
 //              [--phone nexus|honor|lenovo] [--seed N] [--no-tec]
 //              [--fault-stuck RATE] [--dump-trace FILE.csv] [--csv PREFIX]
+//              [--metrics-out F] [--trace-out F] [--spans-out F]
+//              [--verbose-spans] [--timing-metrics] [--threads N]
+//              [--max-minutes M]
 //
 // Runs one discharge cycle and prints the result summary. --trace replays
 // a recorded trace (see workload/trace_io.h for the CSV schema);
 // --dump-trace writes the generated workload out for editing/replay;
-// --csv dumps the SoC/power/temperature series.
+// --csv dumps the SoC/power/temperature series. The telemetry flags
+// (src/obs) write the end-of-run metrics snapshot, the per-decision JSONL
+// trace, and the Chrome trace-event span profile (open in Perfetto); when
+// several policies run, the policy name is inserted before the extension
+// so runs never clobber each other.
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -35,7 +42,30 @@ void usage() {
       "  --fault-stuck R   inject stuck-comparator episodes at R per minute\n"
       "                    (30-90 s each; see sim/faults.h)\n"
       "  --dump-trace FILE write the generated trace as CSV and exit\n"
-      "  --csv PREFIX      dump result series as PREFIX_<policy>.csv\n";
+      "  --csv PREFIX      dump result series as PREFIX_<policy>.csv\n"
+      "  --metrics-out F   write the end-of-run metrics snapshot as JSON\n"
+      "  --trace-out F     write one JSONL record per scheduler decision\n"
+      "  --spans-out F     write a Chrome trace-event span profile\n"
+      "                    (chrome://tracing or https://ui.perfetto.dev)\n"
+      "  --verbose-spans   add per-EMD-solve spans to the profile\n"
+      "  --timing-metrics  publish wall-clock timings into the registry\n"
+      "                    (nondeterministic across runs)\n"
+      "  --threads N       similarity solver threads (default auto)\n"
+      "  --max-minutes M   workload length in minutes (default 10)\n";
+}
+
+/// telemetry.json -> telemetry_CAPMAN.json when several policies run, so
+/// per-policy output files never clobber each other.
+std::string with_policy_suffix(const std::string& path,
+                               const std::string& policy, bool multiple) {
+  if (path.empty() || !multiple) return path;
+  const auto dot = path.rfind('.');
+  const auto slash = path.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + "_" + policy;
+  }
+  return path.substr(0, dot) + "_" + policy + path.substr(dot);
 }
 
 std::unique_ptr<workload::WorkloadGenerator> generator_by_name(
@@ -71,6 +101,13 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   bool tec = true;
   double fault_stuck_rate = 0.0;
+  std::string metrics_out;
+  std::string trace_out;
+  std::string spans_out;
+  bool verbose_spans = false;
+  bool timing_metrics = false;
+  std::size_t threads = 0;
+  double max_minutes = 10.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -86,15 +123,23 @@ int main(int argc, char** argv) {
     else if (arg == "--fault-stuck") fault_stuck_rate = std::stod(next());
     else if (arg == "--dump-trace") dump_path = next();
     else if (arg == "--csv") csv_prefix = next();
+    else if (arg == "--metrics-out") metrics_out = next();
+    else if (arg == "--trace-out") trace_out = next();
+    else if (arg == "--spans-out") spans_out = next();
+    else if (arg == "--verbose-spans") verbose_spans = true;
+    else if (arg == "--timing-metrics") timing_metrics = true;
+    else if (arg == "--threads") threads = std::stoull(next());
+    else if (arg == "--max-minutes") max_minutes = std::stod(next());
     else {
       usage();
       return arg == "--help" || arg == "-h" ? 0 : 1;
     }
   }
 
+  const double trace_seconds = max_minutes * 60.0;
   workload::Trace trace;
   if (!trace_path.empty()) {
-    trace = workload::load_trace_csv(trace_path, 600.0);
+    trace = workload::load_trace_csv(trace_path, trace_seconds);
   } else {
     auto generator = generator_by_name(workload_name);
     if (generator == nullptr) {
@@ -102,7 +147,7 @@ int main(int argc, char** argv) {
       usage();
       return 1;
     }
-    trace = generator->generate(util::Seconds{600.0}, seed);
+    trace = generator->generate(util::Seconds{trace_seconds}, seed);
   }
   if (!dump_path.empty()) {
     workload::save_trace_csv(trace, dump_path);
@@ -115,6 +160,9 @@ int main(int argc, char** argv) {
   sim::RunnerOptions options;
   options.seed = seed;
   options.config.enable_tec = tec;
+  options.capman.similarity_threads = threads;
+  options.config.telemetry.verbose_spans = verbose_spans;
+  options.config.telemetry.timing_metrics = timing_metrics;
   if (fault_stuck_rate > 0.0) {
     sim::FaultPlanConfig plan;
     plan.seed = seed;
@@ -148,10 +196,21 @@ int main(int argc, char** argv) {
   util::TextTable table({"policy", "service [min]", "avg power [mW]",
                          "switches", "max hotspot [C]", "TEC on [%]",
                          "efficiency [%]"});
-  const sim::ExperimentRunner runner{phone, options};
   util::TextTable fault_table({"policy", "stuck [s]", "dropped req",
                                "detected", "fallbacks", "retries"});
+  const bool multi = kinds.size() > 1;
   for (auto kind : kinds) {
+    // One runner per policy so telemetry output files can carry the
+    // policy name when several race on the same trace.
+    sim::RunnerOptions policy_options = options;
+    const std::string policy{sim::to_string(kind)};
+    policy_options.config.telemetry.metrics_json_path =
+        with_policy_suffix(metrics_out, policy, multi);
+    policy_options.config.telemetry.decision_trace_path =
+        with_policy_suffix(trace_out, policy, multi);
+    policy_options.config.telemetry.spans_path =
+        with_policy_suffix(spans_out, policy, multi);
+    const sim::ExperimentRunner runner{phone, policy_options};
     const auto r = runner.run(trace, kind);
     if (fault_stuck_rate > 0.0) {
       fault_table.add_row(

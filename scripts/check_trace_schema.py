@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Validate the telemetry artifacts capman_sim emits (src/obs).
+
+Runs one CAPMAN discharge cycle with every sink enabled, then checks:
+  * the decision trace is JSONL with every schema field present and
+    correctly typed on every record (this file is the schema's source of
+    truth — tests/obs/decision_trace_test.cpp pins the serialised form),
+  * the span profile is a loadable Chrome trace-event file: one JSON
+    object with a traceEvents array, process/thread metadata for both
+    timelines, and at least two distinct ThreadPool worker tracks,
+  * the metrics snapshot is valid JSON whose histograms carry
+    len(bounds)+1 buckets that sum to the observation count.
+
+Wired into CTest as `trace_schema_check`; run manually with:
+
+    scripts/check_trace_schema.py [path/to/capman_sim]
+"""
+
+import json
+import math
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+# field name -> allowed JSON types (None means JSON null is allowed)
+DECISION_SCHEMA = {
+    "seq": (int,),
+    "t_s": (int, float),
+    "policy": (str,),
+    "event": (str,),
+    "param": (int,),
+    "emergency": (bool,),
+    "cpu": (str,),
+    "screen": (str,),
+    "wifi": (str,),
+    "active": (str,),
+    "chosen": (str,),
+    "source": (str, None),
+    "matched_state": (int, None),
+    "q_big": (int, float, None),
+    "q_little": (int, float, None),
+    "switch_requested": (bool,),
+    "switch_accepted": (bool,),
+    "switch_pending": (bool,),
+    "guard_fallback": (bool,),
+    "fault_stuck": (bool,),
+    "big_soc": (int, float),
+    "little_soc": (int, float),
+    "hotspot_c": (int, float),
+    "demand_w": (int, float),
+}
+
+SOURCES = {"exact", "transferred", "fallback", "explored"}
+
+
+def fail(msg):
+    print(f"check_trace_schema: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_type(rec, key, value):
+    allowed = DECISION_SCHEMA[key]
+    if value is None:
+        if None not in allowed:
+            fail(f"record {rec.get('seq')}: {key} is null but must not be")
+        return
+    types = tuple(t for t in allowed if t is not None)
+    # bool is a subclass of int in Python; don't let booleans satisfy
+    # numeric fields or ints satisfy boolean fields.
+    if isinstance(value, bool) != (bool in types):
+        fail(f"record {rec.get('seq')}: {key} has type {type(value).__name__}")
+    if not isinstance(value, types):
+        fail(f"record {rec.get('seq')}: {key} has type {type(value).__name__}")
+
+
+def check_decisions(path):
+    n = 0
+    last_seq = -1
+    with open(path) as f:
+        for line in f:
+            rec = json.loads(line)
+            missing = DECISION_SCHEMA.keys() - rec.keys()
+            extra = rec.keys() - DECISION_SCHEMA.keys()
+            if missing:
+                fail(f"record {rec.get('seq')}: missing fields {sorted(missing)}")
+            if extra:
+                fail(f"record {rec.get('seq')}: unknown fields {sorted(extra)}")
+            for key, value in rec.items():
+                check_type(rec, key, value)
+            if rec["source"] is not None and rec["source"] not in SOURCES:
+                fail(f"record {rec['seq']}: bad source {rec['source']!r}")
+            if rec["seq"] != last_seq + 1:
+                fail(f"seq gap: {last_seq} -> {rec['seq']}")
+            last_seq = rec["seq"]
+            n += 1
+    if n == 0:
+        fail("decision trace is empty")
+    return n
+
+
+def check_spans(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("spans file has no traceEvents array")
+
+    process_names = {}
+    thread_names = {}
+    for e in events:
+        if e.get("ph") == "M" and e.get("name") == "process_name":
+            process_names[e["pid"]] = e["args"]["name"]
+        if e.get("ph") == "M" and e.get("name") == "thread_name":
+            thread_names[(e["pid"], e["tid"])] = e["args"]["name"]
+    if process_names.get(1) != "compute (wall-clock)":
+        fail(f"pid 1 metadata missing/wrong: {process_names}")
+    if process_names.get(2) != "simulation time":
+        fail(f"pid 2 metadata missing/wrong: {process_names}")
+    for track in ("decisions", "switch transients", "fault episodes"):
+        if track not in thread_names.values():
+            fail(f"sim track {track!r} not announced")
+
+    pool_tids = set()
+    for e in events:
+        ph = e.get("ph")
+        if ph == "M":
+            continue
+        if ph not in ("X", "i", "C"):
+            fail(f"unexpected phase {ph!r}")
+        if e.get("pid") not in (1, 2):
+            fail(f"unexpected pid {e.get('pid')}")
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or not math.isfinite(ts) or ts < 0:
+            fail(f"bad ts {ts!r} on {e.get('name')}")
+        if ph == "X" and not isinstance(e.get("dur"), (int, float)):
+            fail(f"complete event {e.get('name')} lacks dur")
+        if ph == "C" and "value" not in e.get("args", {}):
+            fail(f"counter event {e.get('name')} lacks args.value")
+        if (e.get("pid"), e.get("tid")) not in thread_names and e.get("pid") == 1:
+            fail(f"event on unannounced wall track tid {e.get('tid')}")
+        if e.get("cat") == "threadpool":
+            pool_tids.add(e["tid"])
+    if len(pool_tids) < 2:
+        fail(
+            "expected >=2 distinct ThreadPool worker tracks, got "
+            f"{sorted(pool_tids)} (was --threads >= 2 passed?)"
+        )
+    return len(events), len(pool_tids)
+
+
+def check_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for section in ("counters", "gauges", "histograms"):
+        if section not in doc:
+            fail(f"metrics snapshot lacks {section!r}")
+    if not doc["counters"]:
+        fail("metrics snapshot has no counters")
+    for name, h in doc["histograms"].items():
+        if len(h["buckets"]) != len(h["bounds"]) + 1:
+            fail(f"histogram {name}: {len(h['buckets'])} buckets for "
+                 f"{len(h['bounds'])} bounds")
+        if sum(h["buckets"]) != h["count"]:
+            fail(f"histogram {name}: buckets sum != count")
+    return len(doc["counters"])
+
+
+def main():
+    binary = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("examples/capman_sim")
+    if not binary.exists():
+        fail(f"capman_sim binary not found at {binary}")
+
+    with tempfile.TemporaryDirectory(prefix="capman_trace_") as tmp:
+        tmp = Path(tmp)
+        decisions = tmp / "decisions.jsonl"
+        spans = tmp / "spans.json"
+        metrics = tmp / "metrics.json"
+        cmd = [
+            str(binary),
+            "--policy", "capman",
+            "--workload", "video",
+            "--seed", "42",
+            "--max-minutes", "10",
+            "--threads", "2",  # so the span profile shows >=2 pool tracks
+            "--trace-out", str(decisions),
+            "--spans-out", str(spans),
+            "--metrics-out", str(metrics),
+        ]
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+
+        n_dec = check_decisions(decisions)
+        n_ev, n_pool = check_spans(spans)
+        n_ctr = check_metrics(metrics)
+
+    print(
+        f"check_trace_schema: OK ({n_dec} decision records, {n_ev} trace "
+        f"events on {n_pool} pool tracks, {n_ctr} counters)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,9 @@
 #include "battery/switcher.h"
 
 #include <cmath>
+#include <string>
+
+#include "obs/spans.h"
 
 namespace capman::battery {
 
@@ -46,12 +49,22 @@ bool SwitchFacility::request(BatterySelection target, util::Seconds now) {
   const double tick = 1.0 / config_.oscillator_hz;
   const double quantized =
       std::ceil(now.value() / tick) * tick + switch_latency(now).value();
-  pending_ = PendingSwitch{target, util::Seconds{quantized}};
+  pending_ = PendingSwitch{target, util::Seconds{quantized}, now};
   return true;
 }
 
 util::Joules SwitchFacility::advance(util::Seconds now) {
   if (!pending_ || now < pending_->complete_at) return util::Joules{0.0};
+  // One span per completed transient on the simulation-time actuator
+  // track: request time -> comparator latch (Fig. 10's switching window).
+  if (auto* profiler = obs::SpanProfiler::current()) {
+    profiler->sim_complete(
+        pending_->target == BatterySelection::kBig ? "switch->big"
+                                                   : "switch->LITTLE",
+        "actuator", obs::SpanProfiler::kActuatorTrack,
+        pending_->initiated_at.value(),
+        pending_->complete_at.value() - pending_->initiated_at.value());
+  }
   active_ = pending_->target;
   pending_.reset();
   ++switch_count_;

@@ -89,6 +89,7 @@ class SwitchFacility {
   struct PendingSwitch {
     BatterySelection target;
     util::Seconds complete_at;
+    util::Seconds initiated_at;  // request time, for the transient span
   };
 
   SwitchFacilityConfig config_;

@@ -4,6 +4,23 @@
 
 namespace capman::core {
 
+void DegradationStats::publish(obs::MetricsRegistry& registry) const {
+  registry.counter("guard/failures_detected").add(failures_detected);
+  registry.counter("guard/fallback_episodes").add(fallback_episodes);
+  registry.counter("guard/retries").add(retries);
+  registry.gauge("guard/in_fallback").set(in_fallback ? 1.0 : 0.0);
+}
+
+DegradationStats DegradationStats::from_snapshot(
+    const obs::MetricsSnapshot& snap) {
+  DegradationStats stats;
+  stats.failures_detected = snap.counter_or("guard/failures_detected");
+  stats.fallback_episodes = snap.counter_or("guard/fallback_episodes");
+  stats.retries = snap.counter_or("guard/retries");
+  stats.in_fallback = snap.gauge_or("guard/in_fallback") != 0.0;
+  return stats;
+}
+
 DegradationGuard::DegradationGuard(const DegradationConfig& config)
     : config_(config) {}
 

@@ -27,6 +27,7 @@
 #include <optional>
 
 #include "battery/switcher.h"
+#include "obs/metrics.h"
 #include "util/units.h"
 
 namespace capman::core {
@@ -52,6 +53,12 @@ struct DegradationStats {
   std::size_t fallback_episodes = 0;  // times the guard took over
   std::size_t retries = 0;            // backed-off re-requests issued
   bool in_fallback = false;           // currently riding the safe policy
+
+  /// Publish the counters into `registry` under guard/*. Cumulative over a
+  /// run; publish once when the run is over (the engine does).
+  void publish(obs::MetricsRegistry& registry) const;
+  /// View over a registry snapshot (inverse of publish).
+  static DegradationStats from_snapshot(const obs::MetricsSnapshot& snap);
 };
 
 class DegradationGuard {

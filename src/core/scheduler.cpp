@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/spans.h"
+
 namespace capman::core {
 
 namespace {
@@ -13,6 +15,28 @@ std::uint64_t sa_key(std::size_t state_id, std::size_t action_id) {
   return (static_cast<std::uint64_t>(state_id) << 16) | action_id;
 }
 }  // namespace
+
+void DecisionStats::publish(obs::MetricsRegistry& registry) const {
+  registry.counter("scheduler/decisions_exact").add(exact);
+  registry.counter("scheduler/decisions_transferred").add(transferred);
+  registry.counter("scheduler/decisions_fallback").add(fallback);
+  registry.counter("scheduler/decisions_explored").add(explored);
+}
+
+DecisionStats DecisionStats::from_snapshot(const obs::MetricsSnapshot& snap) {
+  DecisionStats stats;
+  stats.exact = snap.counter_or("scheduler/decisions_exact");
+  stats.transferred = snap.counter_or("scheduler/decisions_transferred");
+  stats.fallback = snap.counter_or("scheduler/decisions_fallback");
+  stats.explored = snap.counter_or("scheduler/decisions_explored");
+  return stats;
+}
+
+void OnlineScheduler::bind_metrics(obs::MetricsRegistry* registry,
+                                   bool publish_timings) {
+  metrics_ = registry;
+  publish_timings_ = publish_timings;
+}
 
 OnlineScheduler::OnlineScheduler(const CapmanConfig& config,
                                  std::uint64_t seed)
@@ -24,6 +48,7 @@ OnlineScheduler::OnlineScheduler(const CapmanConfig& config,
 void OnlineScheduler::observe(const Observation& obs) { mdp_.observe(obs); }
 
 double OnlineScheduler::recalibrate() {
+  const obs::ScopedSpan span{"scheduler.recalibrate", "core"};
   const auto start = std::chrono::steady_clock::now();
   graph_ = MdpGraph::from_mdp(mdp_, config_.min_observations);
   SimilarityConfig sim_config;
@@ -35,6 +60,8 @@ double OnlineScheduler::recalibrate() {
   sim_config.num_threads = config_.similarity_threads;
   sim_config.use_emd_cache = config_.similarity_emd_cache;
   sim_config.skip_frozen_pairs = config_.similarity_skip_frozen;
+  sim_config.metrics = metrics_;
+  sim_config.publish_timings = publish_timings_;
   similarity_ = compute_structural_similarity(graph_, sim_config);
 
   ValueIterationConfig vi_config;
@@ -50,7 +77,22 @@ double OnlineScheduler::recalibrate() {
   }
   ++recals_;
   const auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(end - start).count();
+  const double seconds = std::chrono::duration<double>(end - start).count();
+  if (metrics_ != nullptr) {
+    metrics_->counter("scheduler/recalibrations").add();
+    metrics_->counter("scheduler/vi_sweeps").add(values_.iterations);
+    metrics_->gauge("scheduler/graph_states")
+        .set(static_cast<double>(graph_.state_count()));
+    metrics_->gauge("scheduler/graph_actions")
+        .set(static_cast<double>(graph_.action_count()));
+    if (publish_timings_) {
+      metrics_
+          ->histogram("scheduler/recalibrate_ms",
+                      {1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0})
+          .observe(seconds * 1000.0);
+    }
+  }
+  return seconds;
 }
 
 double OnlineScheduler::solved_q(std::size_t state_id,
@@ -60,12 +102,14 @@ double OnlineScheduler::solved_q(std::size_t state_id,
   return values_.action_values[it->second];
 }
 
-double OnlineScheduler::transferred_q(
-    std::size_t state_id, workload::Syscall kind,
-    battery::BatterySelection battery) const {
+double OnlineScheduler::transferred_q(std::size_t state_id,
+                                      workload::Syscall kind,
+                                      battery::BatterySelection battery,
+                                      std::int64_t* matched_state) const {
   const std::size_t query_vertex = graph_.vertex_of(state_id);
   double best_sim = 0.0;
   double best_q = kNaN;
+  std::int64_t best_state = -1;
   // Scan action vertices whose syscall kind and battery match; weight each
   // candidate's Q by the structural similarity between its source state and
   // the query state (exact state match was already handled by solved_q).
@@ -80,9 +124,12 @@ double OnlineScheduler::transferred_q(
     if (sim > best_sim) {
       best_sim = sim;
       best_q = values_.action_values[av];
+      best_state = static_cast<std::int64_t>(graph_.state(a.source).state_id);
     }
   }
-  return best_sim > 0.05 ? best_q : kNaN;
+  if (best_sim <= 0.05) return kNaN;
+  if (matched_state != nullptr) *matched_state = best_state;
+  return best_q;
 }
 
 battery::BatterySelection OnlineScheduler::kind_prior(
@@ -125,8 +172,10 @@ battery::BatterySelection OnlineScheduler::decide(
     battery::BatterySelection current, bool allow_exploration) {
   exploration_ = std::max(config_.exploration_floor,
                           exploration_ * config_.exploration_decay_per_event);
+  last_detail_ = obs::DecisionDetail{};
   if (allow_exploration && rng_.chance(exploration_)) {
     ++stats_.explored;
+    last_detail_.source = obs::DecisionDetail::Source::kExplored;
     return rng_.chance(0.5) ? battery::BatterySelection::kBig
                             : battery::BatterySelection::kLittle;
   }
@@ -140,25 +189,40 @@ battery::BatterySelection OnlineScheduler::decide(
   double q_little = solved_q(sid, keep_little.index());
   if (!std::isnan(q_big) && !std::isnan(q_little)) {
     ++stats_.exact;
+    last_detail_.source = obs::DecisionDetail::Source::kExact;
+    last_detail_.q_big = q_big;
+    last_detail_.q_little = q_little;
     return q_big >= q_little ? battery::BatterySelection::kBig
                              : battery::BatterySelection::kLittle;
   }
 
-  // Similarity transfer for the missing side(s).
+  // Similarity transfer for the missing side(s). The matched state is the
+  // one the chosen side's Q came from (decided below), so remember both.
+  std::int64_t matched_big = -1;
+  std::int64_t matched_little = -1;
   if (std::isnan(q_big)) {
-    q_big = transferred_q(sid, event.kind, battery::BatterySelection::kBig);
+    q_big = transferred_q(sid, event.kind, battery::BatterySelection::kBig,
+                          &matched_big);
   }
   if (std::isnan(q_little)) {
-    q_little =
-        transferred_q(sid, event.kind, battery::BatterySelection::kLittle);
+    q_little = transferred_q(
+        sid, event.kind, battery::BatterySelection::kLittle, &matched_little);
   }
   if (!std::isnan(q_big) && !std::isnan(q_little)) {
     ++stats_.transferred;
-    return q_big >= q_little ? battery::BatterySelection::kBig
-                             : battery::BatterySelection::kLittle;
+    const bool big = q_big >= q_little;
+    last_detail_.source = obs::DecisionDetail::Source::kTransferred;
+    last_detail_.matched_state = big ? matched_big : matched_little;
+    last_detail_.q_big = q_big;
+    last_detail_.q_little = q_little;
+    return big ? battery::BatterySelection::kBig
+               : battery::BatterySelection::kLittle;
   }
 
   ++stats_.fallback;
+  last_detail_.source = obs::DecisionDetail::Source::kFallback;
+  last_detail_.q_big = q_big;        // whichever side resolved, for the
+  last_detail_.q_little = q_little;  // trace; NaN serialises as null
   return kind_prior(event.kind, event.param_bucket);
 }
 

@@ -23,6 +23,7 @@
 #include "core/mdp_graph.h"
 #include "core/similarity.h"
 #include "core/value_iteration.h"
+#include "obs/decision_trace.h"
 #include "util/rng.h"
 
 namespace capman::core {
@@ -35,6 +36,13 @@ struct DecisionStats {
   [[nodiscard]] std::size_t total() const {
     return exact + transferred + fallback + explored;
   }
+
+  /// Publish the counters into `registry` under scheduler/decisions_*.
+  /// The struct is cumulative over a run, so publish once, when the run
+  /// is over (the engine does) — not per decision.
+  void publish(obs::MetricsRegistry& registry) const;
+  /// View over a registry snapshot (inverse of publish).
+  static DecisionStats from_snapshot(const obs::MetricsSnapshot& snap);
 };
 
 class OnlineScheduler {
@@ -71,6 +79,22 @@ class OnlineScheduler {
   [[nodiscard]] double exploration_rate() const { return exploration_; }
   [[nodiscard]] std::size_t recalibration_count() const { return recals_; }
 
+  /// Provenance of the most recent decide() call: which rung of the
+  /// decision ladder answered, the Q estimates it compared, and (for
+  /// similarity transfer) the state whose experience was reused. Feeds the
+  /// decision-trace recorder; valid until the next decide().
+  [[nodiscard]] const obs::DecisionDetail& last_decision_detail() const {
+    return last_detail_;
+  }
+
+  /// Publish solve-side telemetry into `registry` from now on: Algorithm 1
+  /// pair counters per recalibration, value-iteration sweeps, graph sizes.
+  /// `publish_timings` additionally exports wall-clock solve timings (the
+  /// one nondeterministic measurement). nullptr detaches. Never read on
+  /// the decision path — decisions are bit-identical either way.
+  void bind_metrics(obs::MetricsRegistry* registry,
+                    bool publish_timings = false);
+
   /// The syscall-kind prior used as last resort (exposed for tests); the
   /// parameter bucket disambiguates spike-like from sustained calls.
   static battery::BatterySelection kind_prior(workload::Syscall kind,
@@ -81,10 +105,13 @@ class OnlineScheduler {
   [[nodiscard]] double solved_q(std::size_t state_id,
                                 std::size_t action_id) const;
   /// Best similarity-transferred Q estimate for (state, syscall-kind,
-  /// battery), or NaN when nothing transferable exists.
+  /// battery), or NaN when nothing transferable exists. When it answers,
+  /// `matched_state` (if non-null) receives the CapmanState::index() of
+  /// the state whose experience was reused.
   [[nodiscard]] double transferred_q(std::size_t state_id,
                                      workload::Syscall kind,
-                                     battery::BatterySelection battery) const;
+                                     battery::BatterySelection battery,
+                                     std::int64_t* matched_state) const;
 
   CapmanConfig config_;
   util::Rng rng_;
@@ -95,6 +122,9 @@ class OnlineScheduler {
   // (state_id << 16 | action_id) -> action vertex index of the last solve.
   std::unordered_map<std::uint64_t, std::size_t> action_vertex_index_;
   DecisionStats stats_;
+  obs::DecisionDetail last_detail_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  bool publish_timings_ = false;
   double exploration_;
   double last_time_s_ = 0.0;
   std::size_t recals_ = 0;

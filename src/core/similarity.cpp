@@ -10,9 +10,43 @@
 
 #include "math/emd.h"
 #include "math/hausdorff.h"
+#include "obs/spans.h"
 #include "util/thread_pool.h"
 
 namespace capman::core {
+
+void SimilarityStats::publish(obs::MetricsRegistry& registry) const {
+  registry.counter("similarity/solves").add();
+  registry.counter("similarity/action_pairs_total").add(action_pairs_total);
+  registry.counter("similarity/action_pairs_computed")
+      .add(action_pairs_computed);
+  registry.counter("similarity/action_pairs_cached").add(action_pairs_cached);
+  registry.counter("similarity/action_pairs_skipped")
+      .add(action_pairs_skipped);
+  registry.counter("similarity/state_pairs_total").add(state_pairs_total);
+  registry.counter("similarity/state_pairs_computed").add(state_pairs_computed);
+  registry.counter("similarity/state_pairs_skipped").add(state_pairs_skipped);
+  registry.gauge("similarity/threads").set(static_cast<double>(threads_used));
+}
+
+SimilarityStats SimilarityStats::from_snapshot(
+    const obs::MetricsSnapshot& snap) {
+  SimilarityStats stats;
+  stats.action_pairs_total = snap.counter_or("similarity/action_pairs_total");
+  stats.action_pairs_computed =
+      snap.counter_or("similarity/action_pairs_computed");
+  stats.action_pairs_cached = snap.counter_or("similarity/action_pairs_cached");
+  stats.action_pairs_skipped =
+      snap.counter_or("similarity/action_pairs_skipped");
+  stats.state_pairs_total = snap.counter_or("similarity/state_pairs_total");
+  stats.state_pairs_computed =
+      snap.counter_or("similarity/state_pairs_computed");
+  stats.state_pairs_skipped = snap.counter_or("similarity/state_pairs_skipped");
+  stats.threads_used =
+      static_cast<std::size_t>(snap.gauge_or("similarity/threads", 1.0));
+  stats.total_ms = snap.gauge_or("similarity/total_ms", 0.0);
+  return stats;
+}
 
 namespace {
 
@@ -64,14 +98,30 @@ SimilarityResult compute_structural_similarity(
     const MdpGraph& graph, const SimilarityConfig& config) {
   assert(config.c_s > 0.0 && config.c_s <= 1.0);
   assert(config.c_a > 0.0 && config.c_a < 1.0);
+  const obs::ScopedSpan solve_span{"similarity.solve", "core"};
   const std::size_t nv = graph.state_count();
   const std::size_t na = graph.action_count();
+
+  // Publish at every exit so even trivial solves count; the registry is
+  // write-only for the solver — toggling it cannot change a result bit.
+  const auto publish = [&config](const SimilarityResult& r) {
+    if (config.metrics == nullptr) return;
+    r.stats.publish(*config.metrics);
+    if (config.publish_timings) {
+      obs::Histogram& sweeps = config.metrics->histogram(
+          "similarity/sweep_ms",
+          {0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0});
+      for (const double ms : r.stats.iteration_ms) sweeps.observe(ms);
+      config.metrics->gauge("similarity/total_ms").add(r.stats.total_ms);
+    }
+  };
 
   SimilarityResult result;
   result.state_similarity = math::Matrix::identity(std::max<std::size_t>(nv, 1));
   result.action_similarity = math::Matrix::identity(std::max<std::size_t>(na, 1));
   if (nv == 0) {
     result.converged = true;
+    publish(result);
     return result;
   }
 
@@ -118,9 +168,16 @@ SimilarityResult compute_structural_similarity(
   }
 
   util::ThreadPool pool(config.num_threads);
+  pool.bind_metrics(config.metrics);
   const std::size_t workers = pool.worker_count();
   result.stats.threads_used = workers;
   std::vector<WorkerScratch> scratch(workers);
+
+  // Per-EMD-solve spans are opt-in (SpanProfiler verbose mode): at tens of
+  // thousands of microsecond-scale solves per sweep they dominate the
+  // trace file, so the default profile carries only sweep/chunk spans.
+  obs::SpanProfiler* const profiler = obs::SpanProfiler::current();
+  const bool emd_spans = profiler != nullptr && profiler->verbose();
 
   std::vector<EmdCacheEntry> emd_cache;
   if (config.use_emd_cache) emd_cache.resize(action_pairs.size());
@@ -166,6 +223,7 @@ SimilarityResult compute_structural_similarity(
   math::Matrix a_prev;
 
   for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    const obs::ScopedSpan sweep_span{"similarity.sweep", "core"};
     const auto iter_start = std::chrono::steady_clock::now();
     s_prev = s_mat;
     a_prev = a_mat;
@@ -225,10 +283,15 @@ SimilarityResult compute_structural_similarity(
               for (const auto& t : vb.transitions) {
                 sc.pb.mass.push_back(t.probability);
               }
+              const double span_start = emd_spans ? profiler->now_us() : 0.0;
               d_emd = math::earth_movers_distance(
                   sc.pa, sc.pb, [&](std::size_t i, std::size_t j) {
                     return sc.ground[i * tb + j];
                   });
+              if (emd_spans) {
+                profiler->complete("emd.solve", "math", span_start,
+                                   profiler->now_us() - span_start);
+              }
               if (config.use_emd_cache) emd_cache[k].emd = d_emd;
               ++sc.action_computed;
             }
@@ -335,6 +398,7 @@ SimilarityResult compute_structural_similarity(
   assert(s_mat.all_in(0.0, 1.0));
   assert(a_mat.all_in(0.0, 1.0));
   assert(result.stats.consistent());
+  publish(result);
   return result;
 }
 

@@ -34,6 +34,7 @@
 
 #include "core/mdp_graph.h"
 #include "math/matrix.h"
+#include "obs/metrics.h"
 
 namespace capman::core {
 
@@ -58,6 +59,17 @@ struct SimilarityConfig {
   bool skip_frozen_pairs = false;
   // Freeze/wake threshold for skip_frozen_pairs; 0 means epsilon / 4.
   double freeze_threshold = 0.0;
+
+  // Observability (src/obs): when set, the solve publishes its pair
+  // counters into this registry (accumulating across solves) and the
+  // ThreadPool counts its dispatches there too. Never read on the math
+  // path — results are bit-identical with or without a registry.
+  obs::MetricsRegistry* metrics = nullptr;
+  // Additionally publish wall-clock timings (similarity/sweep_ms histogram,
+  // similarity/total_ms gauge). Separate switch because timings are the
+  // one nondeterministic measurement: deterministic snapshots stay
+  // comparable run-to-run when this is off.
+  bool publish_timings = false;
 };
 
 /// Per-solve instrumentation of the similarity engine. Pair counters are
@@ -82,6 +94,15 @@ struct SimilarityStats {
                action_pairs_skipped == action_pairs_total &&
            state_pairs_computed + state_pairs_skipped == state_pairs_total;
   }
+
+  /// Publish the pair counters (and threads gauge) into `registry` under
+  /// the similarity/ prefix, accumulating across solves. Timings are
+  /// excluded here — see SimilarityConfig::publish_timings.
+  void publish(obs::MetricsRegistry& registry) const;
+  /// View over a registry snapshot: reconstructs the counter fields
+  /// (iteration_ms and total_ms are wall-clock and not part of the
+  /// deterministic snapshot contract, so they come back empty/zero).
+  static SimilarityStats from_snapshot(const obs::MetricsSnapshot& snap);
 };
 
 struct SimilarityResult {

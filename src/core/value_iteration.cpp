@@ -4,11 +4,14 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/spans.h"
+
 namespace capman::core {
 
 ValueIterationResult solve_values(const MdpGraph& graph,
                                   const ValueIterationConfig& config) {
   assert(config.rho > 0.0 && config.rho < 1.0);
+  const obs::ScopedSpan span{"vi.solve", "core"};
   const std::size_t nv = graph.state_count();
   const std::size_t na = graph.action_count();
 

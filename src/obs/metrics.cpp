@@ -1,0 +1,150 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace capman::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::scoped_lock lock{mutex_};
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string{name}, std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::scoped_lock lock{mutex_};
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string{name}, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  const std::scoped_lock lock{mutex_};
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string{name},
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  const std::scoped_lock lock{mutex_};
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramValue hv;
+    hv.name = name;
+    hv.bounds = h->bounds();
+    hv.buckets.resize(hv.bounds.size() + 1);
+    for (std::size_t i = 0; i < hv.buckets.size(); ++i) {
+      hv.buckets[i] = h->bucket_count(i);
+    }
+    hv.count = h->count();
+    hv.sum = h->sum();
+    snap.histograms.push_back(std::move(hv));
+  }
+  return snap;
+}
+
+namespace {
+
+template <typename Vec>
+auto find_by_name(const Vec& vec, std::string_view name) {
+  const auto it = std::lower_bound(
+      vec.begin(), vec.end(), name,
+      [](const auto& entry, std::string_view key) { return entry.name < key; });
+  return it != vec.end() && it->name == name ? &*it : nullptr;
+}
+
+}  // namespace
+
+std::uint64_t MetricsSnapshot::counter_or(std::string_view name,
+                                          std::uint64_t fallback) const {
+  const auto* entry = find_by_name(counters, name);
+  return entry != nullptr ? entry->value : fallback;
+}
+
+double MetricsSnapshot::gauge_or(std::string_view name, double fallback) const {
+  const auto* entry = find_by_name(gauges, name);
+  return entry != nullptr ? entry->value : fallback;
+}
+
+const MetricsSnapshot::HistogramValue* MetricsSnapshot::find_histogram(
+    std::string_view name) const {
+  return find_by_name(histograms, name);
+}
+
+void MetricsSnapshot::write_json(std::ostream& out) const {
+  const auto key = [&out](const std::string& name) -> std::ostream& {
+    out << '"';
+    for (const char c : name) {
+      if (c == '"' || c == '\\') out << '\\';
+      out << c;
+    }
+    out << "\":";
+    return out;
+  };
+  out << "{\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i != 0) out << ',';
+    key(counters[i].name) << counters[i].value;
+  }
+  out << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i != 0) out << ',';
+    key(gauges[i].name) << gauges[i].value;
+  }
+  out << "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const auto& h = histograms[i];
+    if (i != 0) out << ',';
+    key(h.name) << "{\"bounds\":[";
+    for (std::size_t j = 0; j < h.bounds.size(); ++j) {
+      if (j != 0) out << ',';
+      out << h.bounds[j];
+    }
+    out << "],\"buckets\":[";
+    for (std::size_t j = 0; j < h.buckets.size(); ++j) {
+      if (j != 0) out << ',';
+      out << h.buckets[j];
+    }
+    out << "],\"count\":" << h.count << ",\"sum\":" << h.sum << '}';
+  }
+  out << "}}";
+}
+
+}  // namespace capman::obs

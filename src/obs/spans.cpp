@@ -1,0 +1,214 @@
+#include "obs/spans.h"
+
+#include <algorithm>
+
+#include "obs/json_append.h"
+
+namespace capman::obs {
+
+namespace {
+
+// Ambient profiler + a process-wide generation so thread-local buffer
+// caches can detect that "their" profiler was torn down and a new one now
+// occupies the same address (pooled threads outlive profilers).
+std::atomic<SpanProfiler*> g_current{nullptr};
+std::atomic<std::uint64_t> g_generation{0};
+
+struct ThreadSlot {
+  std::uint64_t generation = 0;
+  void* buffer = nullptr;  // SpanProfiler::ThreadBuffer*
+};
+thread_local ThreadSlot t_slot;
+thread_local std::string t_label;
+
+}  // namespace
+
+void set_current_thread_label(std::string label) {
+  t_label = std::move(label);
+  // Force re-registration so the new label lands in the active profiler.
+  t_slot = {};
+}
+
+SpanProfiler::SpanProfiler() : SpanProfiler(Options{}) {}
+
+SpanProfiler::SpanProfiler(Options options)
+    : options_(options),
+      generation_(g_generation.fetch_add(1, std::memory_order_relaxed) + 1),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+SpanProfiler::~SpanProfiler() = default;
+
+SpanProfiler* SpanProfiler::current() {
+  return g_current.load(std::memory_order_acquire);
+}
+
+SpanProfiler::Scope::Scope(SpanProfiler& profiler)
+    : previous_(g_current.exchange(&profiler, std::memory_order_acq_rel)) {}
+
+SpanProfiler::Scope::~Scope() {
+  g_current.store(previous_, std::memory_order_release);
+}
+
+double SpanProfiler::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+SpanProfiler::ThreadBuffer& SpanProfiler::local_buffer() {
+  if (t_slot.generation != generation_ || t_slot.buffer == nullptr) {
+    const std::scoped_lock lock{mutex_};
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+    buffer->label = t_label.empty()
+                        ? (buffer->tid == 0 ? std::string{"main"}
+                                            : "thread-" +
+                                                  std::to_string(buffer->tid))
+                        : t_label;
+    buffers_.push_back(std::move(buffer));
+    t_slot = {generation_, buffers_.back().get()};
+  }
+  return *static_cast<ThreadBuffer*>(t_slot.buffer);
+}
+
+void SpanProfiler::complete(const char* name, const char* category,
+                            double start_us, double duration_us) {
+  ThreadBuffer& buf = local_buffer();
+  buf.events.push_back(
+      {name, category, 'X', 1, buf.tid, start_us, duration_us, 0.0});
+}
+
+void SpanProfiler::instant(const char* name, const char* category,
+                           double ts_us) {
+  ThreadBuffer& buf = local_buffer();
+  buf.events.push_back({name, category, 'i', 1, buf.tid, ts_us, 0.0, 0.0});
+}
+
+void SpanProfiler::append_sim(Event event) {
+  const std::scoped_lock lock{mutex_};
+  sim_events_.push_back(event);
+}
+
+void SpanProfiler::sim_complete(const char* name, const char* category,
+                                std::uint32_t track, double start_s,
+                                double duration_s) {
+  append_sim(
+      {name, category, 'X', 2, track, start_s * 1e6, duration_s * 1e6, 0.0});
+}
+
+void SpanProfiler::sim_instant(const char* name, const char* category,
+                               std::uint32_t track, double t_s) {
+  append_sim({name, category, 'i', 2, track, t_s * 1e6, 0.0, 0.0});
+}
+
+void SpanProfiler::sim_counter(const char* name, double t_s, double value) {
+  // Counter tracks live on their own tids above the named sim tracks so
+  // Perfetto renders one lane per counter name.
+  append_sim(
+      {name, "counter", 'C', 2, kFaultTrack + 1, t_s * 1e6, 0.0, value});
+}
+
+std::size_t SpanProfiler::event_count() const {
+  const std::scoped_lock lock{mutex_};
+  std::size_t n = sim_events_.size();
+  for (const auto& buf : buffers_) n += buf->events.size();
+  return n;
+}
+
+namespace {
+
+using detail::append_fixed;
+using detail::append_string;
+using detail::append_u64;
+
+void append_event(std::string& out, const SpanProfiler::Event& e) {
+  out += "{\"name\":";
+  append_string(out, e.name);
+  out += ",\"cat\":";
+  append_string(out, e.category);
+  out += ",\"ph\":\"";
+  out += e.phase;
+  out += "\",\"pid\":";
+  append_u64(out, e.pid);
+  out += ",\"tid\":";
+  append_u64(out, e.tid);
+  out += ",\"ts\":";
+  append_fixed(out, e.ts_us, 3);  // µs with ns resolution
+  if (e.phase == 'X') {
+    out += ",\"dur\":";
+    append_fixed(out, e.dur_us, 3);
+  }
+  if (e.phase == 'i') out += ",\"s\":\"t\"";
+  if (e.phase == 'C') {
+    out += ",\"args\":{\"value\":";
+    append_fixed(out, e.value, 6);
+    out += '}';
+  }
+  out += '}';
+}
+
+void append_metadata(std::string& out, const char* what, std::uint32_t pid,
+                     std::uint32_t tid, std::string_view name, bool with_tid) {
+  out += "{\"name\":\"";
+  out += what;
+  out += "\",\"ph\":\"M\",\"pid\":";
+  append_u64(out, pid);
+  if (with_tid) {
+    out += ",\"tid\":";
+    append_u64(out, tid);
+  }
+  out += ",\"args\":{\"name\":";
+  append_string(out, name);
+  out += "}}";
+}
+
+}  // namespace
+
+void SpanProfiler::write_chrome_trace(std::ostream& out) const {
+  const std::scoped_lock lock{mutex_};
+  std::size_t events = sim_events_.size();
+  for (const auto& buf : buffers_) events += buf->events.size();
+
+  std::string json;
+  json.reserve(128 * (events + buffers_.size() + 8));
+  json += "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) json += ',';
+    first = false;
+  };
+
+  sep();
+  append_metadata(json, "process_name", 1, 0, "compute (wall-clock)", false);
+  sep();
+  append_metadata(json, "process_name", 2, 0, "simulation time", false);
+  for (const auto& buf : buffers_) {
+    sep();
+    append_metadata(json, "thread_name", 1, buf->tid, buf->label, true);
+  }
+  sep();
+  append_metadata(json, "thread_name", 2, kDecisionTrack, "decisions", true);
+  sep();
+  append_metadata(json, "thread_name", 2, kActuatorTrack, "switch transients",
+                  true);
+  sep();
+  append_metadata(json, "thread_name", 2, kFaultTrack, "fault episodes", true);
+  sep();
+  append_metadata(json, "thread_name", 2, kFaultTrack + 1, "sim counters",
+                  true);
+
+  for (const auto& buf : buffers_) {
+    for (const Event& e : buf->events) {
+      sep();
+      append_event(json, e);
+    }
+  }
+  for (const Event& e : sim_events_) {
+    sep();
+    append_event(json, e);
+  }
+  json += "]}";
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+}
+
+}  // namespace capman::obs

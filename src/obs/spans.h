@@ -1,0 +1,167 @@
+// Scoped-span profiler emitting Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing).
+//
+// Two timelines, rendered as two "processes":
+//  * pid 1 "compute (wall-clock)" — RAII spans around the hot paths (EMD
+//    solves, similarity sweeps, value iteration, engine consultations,
+//    scheduler recalibrations), one track per OS thread. ThreadPool
+//    workers feed their own tracks, so a sharded Algorithm 1 sweep shows
+//    up as per-worker chunk spans.
+//  * pid 2 "simulation time" — events whose timestamps are *simulated*
+//    seconds (switch transients, fault episodes, decision instants, SoC /
+//    power counter tracks). Wall and sim time never share a track, so the
+//    two clock domains cannot be misread against each other.
+//
+// Installation is ambient: SpanProfiler::Scope installs the profiler as
+// the process-wide current() for its lifetime, and ScopedSpan is a no-op
+// (one relaxed atomic load) when no profiler is installed — instrumented
+// hot paths cost nothing in un-profiled runs and stay bit-identical.
+//
+// Thread safety: every thread appends to its own buffer (registered under
+// a mutex on first use, with a generation tag so pooled threads re-home
+// after the profiler is swapped); write_chrome_trace() must only run after
+// the instrumented threads quiesced (end of run), which the engine's
+// ownership already guarantees.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace capman::obs {
+
+/// Label attached to the calling thread's track in any profiler it
+/// registers with from now on ("sim-main", "pool-worker-3", ...).
+void set_current_thread_label(std::string label);
+
+class SpanProfiler {
+ public:
+  struct Options {
+    /// Emit per-EMD-solve spans (microsecond scale, high volume); coarse
+    /// chunk/sweep spans are always emitted.
+    bool verbose = false;
+  };
+
+  SpanProfiler();  // default options (gcc disallows `Options options = {}`
+                   // as an in-class default argument for a nested NSDMI type)
+  explicit SpanProfiler(Options options);
+  ~SpanProfiler();
+  SpanProfiler(const SpanProfiler&) = delete;
+  SpanProfiler& operator=(const SpanProfiler&) = delete;
+
+  /// The ambient profiler, or nullptr when none is installed.
+  static SpanProfiler* current();
+
+  /// RAII install/uninstall of the ambient profiler (stacked: restores the
+  /// previously installed one on destruction).
+  class Scope {
+   public:
+    explicit Scope(SpanProfiler& profiler);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    SpanProfiler* previous_;
+  };
+
+  [[nodiscard]] bool verbose() const { return options_.verbose; }
+
+  /// Microseconds since this profiler was constructed (wall clock).
+  [[nodiscard]] double now_us() const;
+
+  // Event names/categories are stored as raw pointers, not copied: pass
+  // string literals (or other static-storage strings) only. This keeps
+  // recording allocation-free — the profiler sits on hot paths where two
+  // heap allocations per event would dominate the measured work.
+
+  // --- wall-clock timeline (pid 1), one track per calling thread --------
+  void complete(const char* name, const char* category, double start_us,
+                double duration_us);
+  void instant(const char* name, const char* category, double ts_us);
+
+  // --- simulation timeline (pid 2), explicit tracks ---------------------
+  /// Well-known sim-time tracks (tid on pid 2).
+  enum SimTrack : std::uint32_t {
+    kDecisionTrack = 0,
+    kActuatorTrack = 1,
+    kFaultTrack = 2,
+  };
+  void sim_complete(const char* name, const char* category,
+                    std::uint32_t track, double start_s, double duration_s);
+  void sim_instant(const char* name, const char* category, std::uint32_t track,
+                   double t_s);
+  /// Counter track (Perfetto renders a value-over-time lane per name).
+  void sim_counter(const char* name, double t_s, double value);
+
+  /// Total events recorded so far (all threads).
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Serialise as {"traceEvents":[...]} with thread/process metadata.
+  /// Call only after instrumented threads have quiesced.
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// One recorded trace event (exposed for the serialiser; treat as
+  /// internal).
+  struct Event {
+    const char* name;      // static storage (see recording contract above)
+    const char* category;
+    char phase;         // 'X' complete, 'i' instant, 'C' counter
+    std::uint32_t pid;  // 1 wall, 2 sim
+    std::uint32_t tid;
+    double ts_us;
+    double dur_us;   // 'X' only
+    double value;    // 'C' only
+  };
+
+ private:
+  struct ThreadBuffer {
+    std::string label;
+    std::uint32_t tid;
+    std::vector<Event> events;
+  };
+
+  ThreadBuffer& local_buffer();
+  void append_sim(Event event);
+
+  Options options_;
+  std::uint64_t generation_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mutex_;  // guards buffers_ registration & sim_events_
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::vector<Event> sim_events_;
+};
+
+/// RAII wall-clock span. Resolves the ambient profiler once at
+/// construction; a null profiler makes both constructor and destructor
+/// trivial.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* category)
+      : name_(name), category_(category), profiler_(SpanProfiler::current()) {
+    if (profiler_ != nullptr) start_us_ = profiler_->now_us();
+  }
+  ~ScopedSpan() {
+    if (profiler_ != nullptr) {
+      profiler_->complete(name_, category_, start_us_,
+                          profiler_->now_us() - start_us_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  SpanProfiler* profiler_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace capman::obs

@@ -1,0 +1,44 @@
+#include "obs/telemetry.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace capman::obs {
+
+Telemetry::Telemetry(const TelemetryConfig& config) : config_(config) {
+  if (config_.decisions_enabled()) {
+    decisions_ =
+        std::make_unique<JsonlDecisionSink>(config_.decision_trace_path);
+  } else {
+    decisions_ = std::make_unique<DecisionSink>();  // null object
+  }
+  if (config_.spans_enabled()) {
+    profiler_ = std::make_unique<SpanProfiler>(
+        SpanProfiler::Options{config_.verbose_spans});
+  }
+}
+
+MetricsSnapshot Telemetry::finish() {
+  MetricsSnapshot snap = registry_.snapshot();
+  if (!config_.metrics_json_path.empty()) {
+    std::ofstream out{config_.metrics_json_path, std::ios::trunc};
+    if (!out) {
+      throw std::runtime_error("Telemetry: cannot open " +
+                               config_.metrics_json_path);
+    }
+    snap.write_json(out);
+    out << '\n';
+  }
+  if (profiler_ != nullptr && !config_.spans_path.empty()) {
+    std::ofstream out{config_.spans_path, std::ios::trunc};
+    if (!out) {
+      throw std::runtime_error("Telemetry: cannot open " + config_.spans_path);
+    }
+    profiler_->write_chrome_trace(out);
+    out << '\n';
+  }
+  decisions_->flush();
+  return snap;
+}
+
+}  // namespace capman::obs

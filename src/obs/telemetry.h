@@ -1,0 +1,79 @@
+// Per-run telemetry bundle: one MetricsRegistry + one decision sink + an
+// optional span profiler, built by the simulation engine from the
+// TelemetryConfig on sim::SimConfig and torn down (files written) at the
+// end of the run.
+//
+// Determinism contract: with every sink disabled (the default config) the
+// bundle is a registry plus null objects — no file I/O, no profiler
+// installed, no RNG, no floating-point work on the simulation path — so a
+// run with default telemetry is bit-identical to a pre-telemetry build.
+// The registry itself is always live: subsystems publish their counters
+// into it and the engine surfaces the final snapshot in
+// sim::SimResult::metrics, which is how the per-subsystem stats structs
+// became views instead of parallel bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/decision_trace.h"
+#include "obs/metrics.h"
+#include "obs/spans.h"
+
+namespace capman::obs {
+
+struct TelemetryConfig {
+  /// End-of-run MetricsSnapshot as JSON ("" = don't write; the snapshot is
+  /// still surfaced in SimResult::metrics either way).
+  std::string metrics_json_path;
+  /// Decision-trace JSONL, one record per scheduler consultation.
+  std::string decision_trace_path;
+  /// Chrome trace-event JSON (chrome://tracing / Perfetto).
+  std::string spans_path;
+  /// Per-EMD-solve spans in addition to the coarse sweep/chunk spans.
+  bool verbose_spans = false;
+  /// Publish wall-clock timing instruments (histograms/gauges) into the
+  /// registry. Off by default so two identical runs produce identical
+  /// snapshots (timings are the one nondeterministic measurement).
+  bool timing_metrics = false;
+
+  [[nodiscard]] bool decisions_enabled() const {
+    return !decision_trace_path.empty();
+  }
+  [[nodiscard]] bool spans_enabled() const { return !spans_path.empty(); }
+  [[nodiscard]] bool any_sink() const {
+    return !metrics_json_path.empty() || decisions_enabled() ||
+           spans_enabled();
+  }
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(const TelemetryConfig& config);
+
+  [[nodiscard]] const TelemetryConfig& config() const { return config_; }
+  [[nodiscard]] MetricsRegistry& registry() { return registry_; }
+  [[nodiscard]] DecisionSink& decisions() { return *decisions_; }
+  /// Null when spans are disabled. The caller (engine) installs it as the
+  /// ambient SpanProfiler for the duration of the run.
+  [[nodiscard]] SpanProfiler* profiler() { return profiler_.get(); }
+  [[nodiscard]] bool timing_metrics() const { return config_.timing_metrics; }
+
+  /// Monotonic decision sequence number within this run.
+  std::uint64_t next_seq() { return seq_++; }
+
+  /// Snapshot the registry and write every configured output file. Call
+  /// once, after instrumented threads quiesced and the ambient profiler
+  /// scope was exited.
+  MetricsSnapshot finish();
+
+ private:
+  TelemetryConfig config_;
+  MetricsRegistry registry_;
+  std::unique_ptr<DecisionSink> decisions_;
+  std::unique_ptr<SpanProfiler> profiler_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace capman::obs

@@ -12,6 +12,7 @@ battery::BatterySelection CapmanPolicy::on_event(
   auto choice = controller_.on_event(event, context.device, context.active,
                                      util::Seconds{context.now_s},
                                      context.emergency);
+  consulted_ = true;
   // Management-facility reserve guard (the learned policy has no
   // state-of-charge in its state space; protection is the actuator's job).
   if (choice == battery::BatterySelection::kLittle &&
@@ -43,6 +44,28 @@ void CapmanPolicy::record_step(util::Joules delivered, util::Joules losses,
 
 util::Watts CapmanPolicy::maintenance(util::Seconds now) {
   return controller_.maintenance(now);
+}
+
+void CapmanPolicy::bind_metrics(obs::MetricsRegistry* registry,
+                                bool publish_timings) {
+  publish_timings_ = publish_timings;
+  controller_.scheduler().bind_metrics(registry, publish_timings);
+}
+
+void CapmanPolicy::publish_metrics(obs::MetricsRegistry& registry) const {
+  controller_.scheduler().decision_stats().publish(registry);
+  guard_.stats().publish(registry);
+  registry.gauge("scheduler/exploration_rate")
+      .set(controller_.scheduler().exploration_rate());
+  if (publish_timings_) {
+    registry.gauge("scheduler/solve_wall_s")
+        .set(controller_.solve_wall_seconds());
+  }
+}
+
+std::optional<obs::DecisionDetail> CapmanPolicy::last_decision_detail() const {
+  if (!consulted_) return std::nullopt;
+  return controller_.scheduler().last_decision_detail();
 }
 
 }  // namespace capman::policy

@@ -36,6 +36,21 @@ class CapmanPolicy final : public BatteryPolicy {
     return guard_.stats();
   }
 
+  /// Threads the registry down to the scheduler (Algorithm 1 pair
+  /// counters, value-iteration sweeps per recalibration).
+  void bind_metrics(obs::MetricsRegistry* registry,
+                    bool publish_timings) override;
+
+  /// Publishes the cumulative decision-ladder counters, the guard
+  /// counters, and (when timings were enabled) the total solve wall time.
+  void publish_metrics(obs::MetricsRegistry& registry) const override;
+
+  /// The scheduler's provenance for the decision the engine just applied.
+  /// Note the *guard or reserve override* may have changed the final cell;
+  /// the detail describes what the learned policy wanted and why.
+  [[nodiscard]] std::optional<obs::DecisionDetail> last_decision_detail()
+      const override;
+
   [[nodiscard]] const core::CapmanController& controller() const {
     return controller_;
   }
@@ -46,6 +61,8 @@ class CapmanPolicy final : public BatteryPolicy {
   // because feasibility gating needs the pack observability (SoCs, demand)
   // that PolicyContext carries and the core controller never sees.
   core::DegradationGuard guard_;
+  bool consulted_ = false;        // last_decision_detail is valid
+  bool publish_timings_ = false;  // remembered from bind_metrics
 };
 
 }  // namespace capman::policy

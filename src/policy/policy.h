@@ -3,11 +3,14 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "battery/pack.h"
 #include "core/degradation.h"
 #include "device/power_state.h"
+#include "obs/decision_trace.h"
+#include "obs/metrics.h"
 #include "util/units.h"
 #include "workload/event.h"
 
@@ -74,6 +77,27 @@ class BatteryPolicy {
   /// engine threads it into sim::FaultStats.
   [[nodiscard]] virtual core::DegradationStats degradation() const {
     return {};
+  }
+
+  /// Attach a metrics registry for the policy's internal machinery (solver
+  /// counters etc.); nullptr detaches. `publish_timings` additionally
+  /// allows wall-clock measurements, which are nondeterministic. Policies
+  /// must never *read* the registry: decisions are bit-identical with or
+  /// without one. Default: no internal telemetry.
+  virtual void bind_metrics(obs::MetricsRegistry* /*registry*/,
+                            bool /*publish_timings*/) {}
+
+  /// One-shot end-of-run publication of the policy's cumulative counters
+  /// (e.g. core::DecisionStats) into `registry`. Called by the engine
+  /// after the last step; default publishes nothing.
+  virtual void publish_metrics(obs::MetricsRegistry& /*registry*/) const {}
+
+  /// Provenance of the most recent on_event() answer for the decision
+  /// trace, or nullopt for policies without decision machinery (or before
+  /// the first consultation reaches it).
+  [[nodiscard]] virtual std::optional<obs::DecisionDetail>
+  last_decision_detail() const {
+    return std::nullopt;
   }
 };
 

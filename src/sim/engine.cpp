@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
+
+#include "obs/spans.h"
 
 namespace capman::sim {
 
@@ -47,6 +50,20 @@ SimResult SimEngine::run(const workload::Trace& trace,
   result.workload = trace.name();
   result.policy = policy.name();
   result.phone = phone.profile().name;
+
+  // Telemetry bundle (src/obs): registry + decision sink + span profiler,
+  // built per run so concurrent engines never share sinks. The profiler is
+  // installed as the ambient SpanProfiler only for the duration of this
+  // run; the policy's registry binding is likewise detached before
+  // returning (run_cycles reuses policy instances across runs).
+  obs::Telemetry telemetry{config_.telemetry};
+  std::optional<obs::SpanProfiler::Scope> profiler_scope;
+  if (telemetry.profiler() != nullptr) {
+    obs::set_current_thread_label("sim-main");
+    profiler_scope.emplace(*telemetry.profiler());
+  }
+  policy.bind_metrics(&telemetry.registry(), telemetry.timing_metrics());
+  obs::DecisionSink& decision_sink = telemetry.decisions();
 
   // Fault injection (sim/faults.h). The injector is only built when the
   // plan is enabled: with no injector the run is byte-for-byte the code
@@ -94,6 +111,19 @@ SimResult SimEngine::run(const workload::Trace& trace,
   util::RunningStats surface_temp_stats;
   double tec_on_s = 0.0;
 
+  // Run counters, published into the registry after the loop (locals keep
+  // the hot loop free of atomics even when telemetry is fully enabled).
+  std::uint64_t steps = 0;
+  std::uint64_t events_fired = 0;
+  std::uint64_t consults = 0;
+  std::uint64_t emergency_consults = 0;
+  std::uint64_t unmet_steps = 0;
+
+  // engine.run is closed by hand (not RAII) so the span lands in the
+  // buffers before Telemetry::finish() serialises the trace below.
+  obs::SpanProfiler* const run_profiler = obs::SpanProfiler::current();
+  const double run_start_us =
+      run_profiler != nullptr ? run_profiler->now_us() : 0.0;
   while (t < config_.max_duration.value()) {
     const bool fired = cursor.advance(t);
     const device::DeviceDemand& demand = cursor.demand_at(t);
@@ -106,6 +136,9 @@ SimResult SimEngine::run(const workload::Trace& trace,
     // helps a policy whose decision logic actually picks the other cell.
     const bool emergency = unmet_s > 0.0 && t - last_consult_s >= 0.2;
     if (fired || emergency) {
+      const obs::ScopedSpan consult_span{"engine.consult", "sim"};
+      if (fired) ++events_fired;
+      ++consults;
       policy::PolicyContext ctx;
       ctx.now_s = t;
       ctx.device = demand.state_vector();
@@ -124,13 +157,55 @@ SimResult SimEngine::run(const workload::Trace& trace,
         ctx.hotspot_c = thermal.cpu_temperature().value();
       }
       ctx.emergency = emergency && !fired;
+      if (ctx.emergency) ++emergency_consults;
       ctx.interval_avg_w = comp.total().value();
       ctx.interval_peak_w = comp.total().value();
       ctx.interval_duration_s = cursor.next_event_time(t) - t;
       ctx.pack = dual;
-      const auto choice = policy.on_event(ctx, cursor.action_at(t));
+      const workload::Action& action = cursor.action_at(t);
+      const auto choice = policy.on_event(ctx, action);
       source->request(choice, util::Seconds{t});
       last_consult_s = t;
+
+      // One decision-trace record per consultation: what the policy saw,
+      // what it chose and why, and what the actuator did with it. Record
+      // assembly is skipped entirely when no sink is attached, so the
+      // disabled path does no string work.
+      if (decision_sink.enabled()) {
+        obs::DecisionRecord rec;
+        rec.seq = telemetry.next_seq();
+        rec.t_s = t;
+        rec.policy = result.policy;
+        rec.event = ctx.emergency ? "rail-monitor"
+                                  : workload::to_string(action.kind);
+        rec.param = static_cast<int>(action.param_bucket);
+        rec.emergency = ctx.emergency;
+        rec.cpu = device::to_string(ctx.device.cpu);
+        rec.screen = device::to_string(ctx.device.screen);
+        rec.wifi = device::to_string(ctx.device.wifi);
+        rec.active = battery::to_string(ctx.active);
+        rec.chosen = battery::to_string(choice);
+        rec.detail = policy.last_decision_detail();
+        rec.switch_requested = choice != ctx.active;
+        if (dual != nullptr) {
+          rec.switch_accepted =
+              rec.switch_requested && dual->switch_facility().target() == choice;
+          rec.switch_pending = dual->switch_facility().switch_pending();
+        }
+        rec.guard_fallback = policy.degradation().in_fallback;
+        rec.fault_stuck =
+            injector != nullptr && injector->stuck_now(util::Seconds{t});
+        rec.big_soc = ctx.big_soc;
+        rec.little_soc = ctx.little_soc;
+        rec.hotspot_c = ctx.hotspot_c;
+        rec.demand_w = ctx.demand_w;
+        decision_sink.record(rec);
+      }
+      if (auto* profiler = obs::SpanProfiler::current()) {
+        profiler->sim_instant(ctx.emergency ? "rail-monitor"
+                                            : workload::to_string(action.kind),
+                              "decision", obs::SpanProfiler::kDecisionTrack, t);
+      }
     }
 
     // Thermal actuation (TEC on/off) from the current hot-spot reading.
@@ -169,8 +244,19 @@ SimResult SimEngine::run(const workload::Trace& trace,
       result.cpu_temp_series.add(t, thermal.cpu_temperature().value());
       result.surface_temp_series.add(t, thermal.surface_temperature().value());
       result.tec_power_series.add(t, tec_power_w);
+      // Mirror the key series onto Perfetto counter tracks (sim timeline),
+      // at the same decimation as the CSV series.
+      if (auto* profiler = obs::SpanProfiler::current()) {
+        profiler->sim_counter("soc", t, source->soc());
+        profiler->sim_counter("power_w", t, load.value());
+        profiler->sim_counter("cpu_temp_c", t,
+                              thermal.cpu_temperature().value());
+      }
       next_sample_s = t + config_.series_period.value();
     }
+
+    ++steps;
+    if (!step.demand_met) ++unmet_steps;
 
     // --- Death conditions ---
     // Leaky integrator: unmet demand accumulates; met demand forgives it
@@ -216,6 +302,35 @@ SimResult SimEngine::run(const workload::Trace& trace,
     result.faults.detected_switch_failures = degradation.failures_detected;
     result.faults.fallback_episodes = degradation.fallback_episodes;
     result.faults.fallback_retries = degradation.retries;
+  }
+
+  // --- Telemetry teardown -------------------------------------------------
+  // Publish the run's cumulative counters into the registry, then snapshot
+  // it (writing any configured output files) and surface the snapshot on
+  // the result. Publication order does not matter: snapshots are sorted.
+  obs::MetricsRegistry& registry = telemetry.registry();
+  registry.counter("engine/steps").add(steps);
+  registry.counter("engine/events_fired").add(events_fired);
+  registry.counter("engine/consults").add(consults);
+  registry.counter("engine/emergency_consults").add(emergency_consults);
+  registry.counter("engine/unmet_steps").add(unmet_steps);
+  registry.counter("switch/count").add(result.switch_count);
+  registry.gauge("switch/big_active_s").set(result.big_active_s);
+  registry.gauge("switch/little_active_s").set(result.little_active_s);
+  if (injector) result.faults.publish(registry);
+  policy.publish_metrics(registry);
+  if (run_profiler != nullptr) {
+    run_profiler->complete("engine.run", "sim", run_start_us,
+                           run_profiler->now_us() - run_start_us);
+    registry.counter("engine/trace_events").add(run_profiler->event_count());
+  }
+  policy.bind_metrics(nullptr, false);
+  profiler_scope.reset();  // uninstall before serialising the trace
+  result.metrics = telemetry.finish();
+  if (injector) {
+    // Round-trip through the snapshot: FaultStats is a view over the
+    // registry, and reconstructing it here keeps that contract honest.
+    result.faults = FaultStats::from_snapshot(result.metrics);
   }
   return result;
 }

@@ -10,6 +10,7 @@
 
 #include "battery/pack.h"
 #include "device/phone.h"
+#include "obs/telemetry.h"
 #include "policy/policy.h"
 #include "sim/faults.h"
 #include "sim/metrics.h"
@@ -49,6 +50,13 @@ struct SimConfig {
   // engine then runs the ideal path and produces bit-identical results to
   // a fault-free build.
   FaultPlanConfig faults{};
+
+  // Telemetry sinks (src/obs): decision-trace JSONL, Chrome-trace spans,
+  // metrics JSON. All off by default; the deterministic registry snapshot
+  // still lands in SimResult::metrics, and runs with everything disabled
+  // are bit-identical to a telemetry-free build
+  // (tests/sim/telemetry_test.cpp).
+  obs::TelemetryConfig telemetry{};
 
   /// Human-readable configuration errors; empty means the config is valid.
   /// Checks this struct plus the nested switch-facility and fault plans.

@@ -24,14 +24,13 @@ bool iequals(std::string_view a, std::string_view b) {
 }
 
 std::unique_ptr<policy::BatteryPolicy> build_policy_impl(
-    PolicyKind kind, std::uint64_t seed,
+    PolicyKind kind, std::uint64_t seed, const core::CapmanConfig& capman,
     const core::DegradationConfig& resilience) {
   switch (kind) {
     case PolicyKind::kOracle:
       return std::make_unique<policy::OraclePolicy>();
     case PolicyKind::kCapman:
-      return std::make_unique<policy::CapmanPolicy>(core::CapmanConfig{}, seed,
-                                                    resilience);
+      return std::make_unique<policy::CapmanPolicy>(capman, seed, resilience);
     case PolicyKind::kDual:
       return std::make_unique<policy::DualPolicy>();
     case PolicyKind::kHeuristic:
@@ -112,6 +111,7 @@ ExperimentRunner::ExperimentRunner(device::PhoneModel phone,
                                    RunnerOptions options)
     : phone_(std::move(phone)),
       seed_(options.seed),
+      capman_(options.capman),
       engine_(merge_options(options)) {}
 
 std::unique_ptr<policy::BatteryPolicy> ExperimentRunner::build_policy(
@@ -122,7 +122,7 @@ std::unique_ptr<policy::BatteryPolicy> ExperimentRunner::build_policy(
   // cannot supply, and a watchdog would misread that as actuator failure
   // (and perturb the bit-identical baseline).
   resilience.enabled = config().faults.any_active();
-  return build_policy_impl(kind, seed_, resilience);
+  return build_policy_impl(kind, seed_, capman_, resilience);
 }
 
 SimResult ExperimentRunner::run(const workload::Trace& trace,
@@ -161,7 +161,8 @@ std::vector<SimResult> ExperimentRunner::run_cycles(
 
 std::unique_ptr<policy::BatteryPolicy> make_policy(PolicyKind kind,
                                                    std::uint64_t seed) {
-  return build_policy_impl(kind, seed, core::DegradationConfig{});
+  return build_policy_impl(kind, seed, core::CapmanConfig{},
+                           core::DegradationConfig{});
 }
 
 std::vector<SimResult> run_policy_comparison(const workload::Trace& trace,

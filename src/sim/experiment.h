@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/config.h"
 #include "device/phone.h"
 #include "policy/policy.h"
 #include "sim/engine.h"
@@ -67,6 +68,10 @@ struct RunnerOptions {
   /// When set, overrides config.faults — the convenient way to attach a
   /// fault plan to an otherwise default config.
   std::optional<FaultPlanConfig> faults;
+  /// Learning configuration for the CAPMAN policies this runner builds
+  /// (similarity thread count, exploration schedule, ...). Defaults match
+  /// the paper's setup.
+  core::CapmanConfig capman{};
 };
 
 /// The redesigned experiment front door (see header comment). One runner
@@ -110,6 +115,7 @@ class ExperimentRunner {
  private:
   device::PhoneModel phone_;
   std::uint64_t seed_;
+  core::CapmanConfig capman_;
   SimEngine engine_;
 };
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/spans.h"
+
 namespace capman::sim {
 
 namespace {
@@ -83,6 +85,12 @@ void FaultySwitchFacility::roll_stuck_episodes(double t) {
     stuck_until_s_ = start + duration;
     ++counters_.stuck_episodes;
     counters_.stuck_time_s += duration;
+    // Episode window on the simulation-time fault track; the schedule is
+    // pre-drawn, so the whole window is known the moment it is entered.
+    if (auto* profiler = obs::SpanProfiler::current()) {
+      profiler->sim_complete("comparator stuck", "fault",
+                             obs::SpanProfiler::kFaultTrack, start, duration);
+    }
     // Next arrival counts from the end of this episode (the comparator
     // cannot re-stick while already stuck).
     next_stuck_start_s_ =
@@ -124,6 +132,11 @@ bool FaultySwitchFacility::attempt(battery::BatterySelection target,
     // Droop lasts through the switching transient plus the configured tail.
     droop_until_s_ = now.value() + config().latency.value() +
                      plan_.droop_duration.value();
+    if (auto* profiler = obs::SpanProfiler::current()) {
+      profiler->sim_complete("supercap droop", "fault",
+                             obs::SpanProfiler::kFaultTrack, now.value(),
+                             droop_until_s_ - now.value());
+    }
   }
   return initiated;
 }

@@ -205,6 +205,12 @@ class FaultInjector {
     return hotspot_.read(true_value);
   }
 
+  /// True while the decorated comparator is inside a stuck episode (for
+  /// the decision-trace recorder's fault_stuck field).
+  [[nodiscard]] bool stuck_now(util::Seconds now) const {
+    return facility_ != nullptr && facility_->stuck_now(now);
+  }
+
   /// Actuator- and sensor-side fault telemetry accumulated so far.
   /// Scheduler-side fields (fallback episodes etc.) are filled by the
   /// engine from the policy's DegradationStats.

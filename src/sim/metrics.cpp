@@ -1,0 +1,41 @@
+#include "sim/metrics.h"
+
+namespace capman::sim {
+
+void FaultStats::publish(obs::MetricsRegistry& registry) const {
+  registry.counter("faults/stuck_episodes").add(stuck_episodes);
+  registry.gauge("faults/stuck_time_s").add(stuck_time_s);
+  registry.counter("faults/dropped_requests").add(dropped_requests);
+  registry.counter("faults/transient_failures").add(transient_failures);
+  registry.counter("faults/transient_retries").add(transient_retries);
+  registry.counter("faults/jittered_switches").add(jittered_switches);
+  registry.counter("faults/latency_spikes").add(latency_spikes);
+  registry.counter("faults/droop_episodes").add(droop_episodes);
+  registry.counter("faults/sensor_dropouts").add(sensor_dropouts);
+  registry.counter("faults/corrupted_reads").add(corrupted_reads);
+  registry.counter("faults/detected_switch_failures")
+      .add(detected_switch_failures);
+  registry.counter("faults/fallback_episodes").add(fallback_episodes);
+  registry.counter("faults/fallback_retries").add(fallback_retries);
+}
+
+FaultStats FaultStats::from_snapshot(const obs::MetricsSnapshot& snap) {
+  FaultStats stats;
+  stats.stuck_episodes = snap.counter_or("faults/stuck_episodes");
+  stats.stuck_time_s = snap.gauge_or("faults/stuck_time_s");
+  stats.dropped_requests = snap.counter_or("faults/dropped_requests");
+  stats.transient_failures = snap.counter_or("faults/transient_failures");
+  stats.transient_retries = snap.counter_or("faults/transient_retries");
+  stats.jittered_switches = snap.counter_or("faults/jittered_switches");
+  stats.latency_spikes = snap.counter_or("faults/latency_spikes");
+  stats.droop_episodes = snap.counter_or("faults/droop_episodes");
+  stats.sensor_dropouts = snap.counter_or("faults/sensor_dropouts");
+  stats.corrupted_reads = snap.counter_or("faults/corrupted_reads");
+  stats.detected_switch_failures =
+      snap.counter_or("faults/detected_switch_failures");
+  stats.fallback_episodes = snap.counter_or("faults/fallback_episodes");
+  stats.fallback_retries = snap.counter_or("faults/fallback_retries");
+  return stats;
+}
+
+}  // namespace capman::sim

@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/stats.h"
 
 namespace capman::sim {
@@ -37,6 +38,14 @@ struct FaultStats {
            droop_episodes || sensor_dropouts || corrupted_reads ||
            detected_switch_failures || fallback_episodes || fallback_retries;
   }
+
+  /// Publish the counters into `registry` under faults/*. Cumulative over
+  /// a run; publish once, when the run is over (the engine does).
+  void publish(obs::MetricsRegistry& registry) const;
+  /// View over a registry snapshot (inverse of publish). Lets downstream
+  /// consumers (bench_robustness) read fault telemetry off
+  /// SimResult::metrics instead of a parallel struct.
+  static FaultStats from_snapshot(const obs::MetricsSnapshot& snap);
 };
 
 struct SimResult {
@@ -66,6 +75,13 @@ struct SimResult {
   double end_little_soc = 0.0;  // (stranded charge is the 'rate-capacity' cost)
 
   FaultStats faults;  // all-zero unless the run had an active FaultPlan
+
+  /// Deterministic end-of-run registry snapshot (src/obs): decision-ladder
+  /// counters, Algorithm 1 pair counters, switch/fault/guard counters,
+  /// engine step counts. Always populated (the registry is cheap); wall-
+  /// clock timings appear only when TelemetryConfig::timing_metrics asked
+  /// for them.
+  obs::MetricsSnapshot metrics;
 
   // Sampled series for figure reproduction.
   util::TimeSeries soc_series;          // combined SoC vs time (Fig. 12)

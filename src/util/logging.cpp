@@ -1,8 +1,38 @@
 #include "util/logging.h"
 
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <functional>
 #include <iostream>
+#include <thread>
 
 namespace capman::util {
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lowered;
+  lowered.reserve(name.size());
+  for (const char c : name) {
+    lowered.push_back(static_cast<char>(std::tolower(
+        static_cast<unsigned char>(c))));
+  }
+  if (lowered == "debug") return LogLevel::kDebug;
+  if (lowered == "info") return LogLevel::kInfo;
+  if (lowered == "warn" || lowered == "warning") return LogLevel::kWarn;
+  if (lowered == "error") return LogLevel::kError;
+  if (lowered == "off" || lowered == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+Logger::Logger() {
+  if (const char* env = std::getenv("CAPMAN_LOG")) {
+    if (const auto level = parse_log_level(env)) {
+      level_.store(*level, std::memory_order_relaxed);
+    }
+  }
+}
 
 Logger& Logger::instance() {
   static Logger logger;
@@ -12,10 +42,30 @@ Logger& Logger::instance() {
 void Logger::write(LogLevel level, std::string_view component,
                    std::string_view msg) {
   static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
-  std::scoped_lock lock{mutex_};
+
+  // Wall-clock HH:MM:SS.mmm — enough to line log output up with a span
+  // trace; the date would only be noise in bench/CTest logs.
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  localtime_r(&secs, &tm);
+  char stamp[16];
+  std::snprintf(stamp, sizeof(stamp), "%02d:%02d:%02d.%03d", tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+
+  // Short stable id for the writing thread (full std::thread::id values
+  // are unwieldy 15-digit handles).
+  const std::size_t tid =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % 100000;
+
+  const std::scoped_lock lock{mutex_};
   std::ostream& out = sink_ != nullptr ? *sink_ : std::clog;
-  out << '[' << kNames[static_cast<int>(level)] << "] " << component << ": "
-      << msg << '\n';
+  out << '[' << stamp << "] [" << kNames[static_cast<int>(level)] << "] [tid "
+      << tid << "] " << component << ": " << msg << '\n';
 }
 
 }  // namespace capman::util

@@ -1,8 +1,19 @@
 // Leveled logging. Kept deliberately small: the simulator is the product,
-// logging is plumbing. Thread-safe at the sink level (single mutexed write).
+// logging is plumbing. Thread-safe end to end: the level is an atomic (it
+// is read unsynchronized from ThreadPool workers while the main thread may
+// call set_level), the sink write is mutexed, and every line carries a
+// wall-clock timestamp plus the writing thread's id.
+//
+// The initial level comes from the CAPMAN_LOG environment variable
+// (debug | info | warn | error | off, case-insensitive), parsed once at
+// first Logger::instance() use, so benches and CTest runs can raise
+// verbosity without code changes; unset or unparseable values keep the
+// kWarn default.
 #pragma once
 
+#include <atomic>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <string_view>
@@ -11,19 +22,27 @@ namespace capman::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+/// Parse a CAPMAN_LOG-style level name (case-insensitive); nullopt when
+/// the name is not one of debug/info/warn/error/off.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
 class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
   void set_sink(std::ostream* sink) { sink_ = sink; }
 
   void write(LogLevel level, std::string_view component, std::string_view msg);
 
  private:
-  Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
+  Logger();  // applies CAPMAN_LOG
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
   std::ostream* sink_ = nullptr;  // nullptr -> std::clog
   std::mutex mutex_;
 };

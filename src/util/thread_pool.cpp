@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/spans.h"
+
 namespace capman::util {
 
 std::size_t resolve_thread_count(std::size_t requested) {
@@ -25,12 +28,35 @@ ThreadPool::~ThreadPool() {
     stopping_ = true;
   }
   work_ready_.notify_all();
-  // jthread joins on destruction.
+  // Join here rather than via ~jthread: members are destroyed in reverse
+  // declaration order, so mutex_ and the condition variables would die
+  // before threads_ joins — and a worker whose final work_done_ signal is
+  // still in flight (the caller's wait can return as soon as pending_ hits
+  // zero) would touch them after destruction.
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::bind_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    dispatch_counter_.store(nullptr, std::memory_order_release);
+    chunk_counter_.store(nullptr, std::memory_order_release);
+    return;
+  }
+  dispatch_counter_.store(&registry->counter("threadpool/parallel_for"),
+                          std::memory_order_release);
+  chunk_counter_.store(&registry->counter("threadpool/chunks"),
+                       std::memory_order_release);
 }
 
 void ThreadPool::parallel_for(
     std::size_t total,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (auto* counter = dispatch_counter_.load(std::memory_order_acquire)) {
+    counter->add();
+  }
+  if (auto* counter = chunk_counter_.load(std::memory_order_acquire)) {
+    counter->add(workers_);
+  }
   // Fixed partition: chunk w covers [w*q + min(w,r), ...) where
   // q = total / workers, r = total % workers — the first r chunks get one
   // extra index. Purely arithmetic, so identical across runs.
@@ -40,6 +66,7 @@ void ThreadPool::parallel_for(
     return w * q + std::min(w, r);
   };
   if (workers_ == 1) {
+    const obs::ScopedSpan span{"pool.chunk", "threadpool"};
     body(0, total, 0);
     return;
   }
@@ -51,13 +78,17 @@ void ThreadPool::parallel_for(
     ++generation_;
   }
   work_ready_.notify_all();
-  body(chunk_begin(0), chunk_begin(1), 0);  // caller runs chunk 0 inline
+  {
+    const obs::ScopedSpan span{"pool.chunk", "threadpool"};
+    body(chunk_begin(0), chunk_begin(1), 0);  // caller runs chunk 0 inline
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   work_done_.wait(lock, [this] { return pending_ == 0; });
   task_ = nullptr;
 }
 
 void ThreadPool::worker_loop(std::size_t worker) {
+  obs::set_current_thread_label("pool-worker-" + std::to_string(worker));
   std::uint64_t seen_generation = 0;
   while (true) {
     const std::function<void(std::size_t, std::size_t, std::size_t)>* task;
@@ -76,7 +107,10 @@ void ThreadPool::worker_loop(std::size_t worker) {
     const std::size_t r = total % workers_;
     const std::size_t begin = worker * q + std::min(worker, r);
     const std::size_t end = (worker + 1) * q + std::min(worker + 1, r);
-    (*task)(begin, end, worker);
+    {
+      const obs::ScopedSpan span{"pool.chunk", "threadpool"};
+      (*task)(begin, end, worker);
+    }
     bool last = false;
     {
       const std::lock_guard<std::mutex> lock(mutex_);

@@ -12,14 +12,27 @@
 // that writes only to locations owned by its indices therefore produces
 // bit-identical memory contents for every worker count (including the
 // inline single-threaded path).
+//
+// Observability: workers label their tracks in the ambient
+// obs::SpanProfiler ("pool-worker-N") and every executed chunk emits a
+// `pool.chunk` span, so a profiled Algorithm 1 sweep renders one lane per
+// worker in Perfetto. bind_metrics() attaches registry counters
+// (threadpool/parallel_for, threadpool/chunks) that count dispatches; both
+// hooks are no-ops when no profiler/registry is installed.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+namespace capman::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace capman::obs
 
 namespace capman::util {
 
@@ -38,6 +51,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   [[nodiscard]] std::size_t worker_count() const { return workers_; }
+
+  /// Publish dispatch counters into `registry` from now on (nullptr
+  /// detaches). The handles are resolved once; per-call cost is two
+  /// relaxed atomic increments.
+  void bind_metrics(obs::MetricsRegistry* registry);
 
   /// Runs `body(begin, end, worker)` for `worker_count()` contiguous
   /// chunks covering [0, total) and blocks until all chunks finished.
@@ -67,6 +85,11 @@ class ThreadPool {
   std::size_t task_total_ = 0;
   const std::function<void(std::size_t, std::size_t, std::size_t)>* task_ =
       nullptr;
+
+  // Registry handles (stable for the registry's lifetime); null when no
+  // registry is bound.
+  std::atomic<obs::Counter*> dispatch_counter_{nullptr};
+  std::atomic<obs::Counter*> chunk_counter_{nullptr};
 };
 
 }  // namespace capman::util

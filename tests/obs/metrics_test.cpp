@@ -1,0 +1,135 @@
+// MetricsRegistry: exactness under concurrent writers, histogram bucket
+// edge semantics, and deterministic snapshot ordering — the properties the
+// stats-struct views (DecisionStats, FaultStats, ...) and the JSON
+// exporter depend on.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace capman::obs {
+namespace {
+
+TEST(MetricsRegistryTest, ConcurrentCounterIncrementsSumExactly) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&registry] {
+      // Resolve the handle through the registry every time on purpose:
+      // registration is the only locked path and must stay correct under
+      // contention too.
+      Counter& c = registry.counter("test/increments");
+      for (std::uint64_t n = 0; n < kPerThread; ++n) c.add();
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(registry.counter("test/increments").value(),
+            kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, ConcurrentGaugeAddIsLossless) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&registry] {
+      Gauge& g = registry.gauge("test/accumulated");
+      for (int n = 0; n < kPerThread; ++n) g.add(0.5);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // 0.5 is exactly representable, so the CAS loop must not lose a single
+  // contribution.
+  EXPECT_DOUBLE_EQ(registry.gauge("test/accumulated").value(),
+                   0.5 * kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketEdges) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test/latency", {1.0, 10.0, 100.0});
+
+  h.observe(0.5);    // <= 1       -> bucket 0
+  h.observe(1.0);    // == bound   -> bucket 0 (bounds are inclusive)
+  h.observe(1.0001); //            -> bucket 1
+  h.observe(10.0);   //            -> bucket 1
+  h.observe(100.0);  //            -> bucket 2
+  h.observe(1e6);    // > last     -> overflow bucket 3
+
+  ASSERT_EQ(h.bounds().size(), 3u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 100.0 + 1e6);
+}
+
+TEST(MetricsRegistryTest, HistogramReregistrationKeepsOriginalBounds) {
+  MetricsRegistry registry;
+  Histogram& first = registry.histogram("test/h", {1.0, 2.0});
+  Histogram& again = registry.histogram("test/h", {99.0});
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(again.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndOrderIndependent) {
+  // Feed two registries the same values in different registration orders;
+  // snapshots (and their JSON) must be identical.
+  MetricsRegistry a;
+  a.counter("z/last").add(3);
+  a.counter("a/first").add(1);
+  a.gauge("m/mid").set(2.5);
+  a.histogram("h/one", {1.0}).observe(0.5);
+
+  MetricsRegistry b;
+  b.histogram("h/one", {1.0}).observe(0.5);
+  b.gauge("m/mid").set(2.5);
+  b.counter("a/first").add(1);
+  b.counter("z/last").add(3);
+
+  const MetricsSnapshot sa = a.snapshot();
+  const MetricsSnapshot sb = b.snapshot();
+
+  ASSERT_EQ(sa.counters.size(), 2u);
+  EXPECT_EQ(sa.counters[0].name, "a/first");
+  EXPECT_EQ(sa.counters[1].name, "z/last");
+
+  std::ostringstream ja;
+  std::ostringstream jb;
+  sa.write_json(ja);
+  sb.write_json(jb);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+TEST(MetricsSnapshotTest, LookupHelpers) {
+  MetricsRegistry registry;
+  registry.counter("engine/steps").add(42);
+  registry.gauge("switch/big_active_s").set(12.5);
+  registry.histogram("similarity/sweep_ms", {1.0, 10.0}).observe(3.0);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_or("engine/steps"), 42u);
+  EXPECT_EQ(snap.counter_or("engine/absent", 7), 7u);
+  EXPECT_DOUBLE_EQ(snap.gauge_or("switch/big_active_s"), 12.5);
+  EXPECT_DOUBLE_EQ(snap.gauge_or("absent", -1.0), -1.0);
+
+  const auto* h = snap.find_histogram("similarity/sweep_ms");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->buckets.size(), h->bounds.size() + 1);
+  EXPECT_EQ(h->count, 1u);
+  EXPECT_EQ(snap.find_histogram("absent"), nullptr);
+}
+
+}  // namespace
+}  // namespace capman::obs

@@ -1,0 +1,172 @@
+// End-to-end telemetry contracts on real engine runs:
+//  * enabling the decision-trace recorder (and the span profiler) leaves
+//    every simulated quantity bit-identical to a sink-free run,
+//  * the metrics snapshot a run carries is populated, consistent with the
+//    summary stats, and reproducible run-to-run,
+//  * FaultStats/DecisionStats views reconstruct exactly from the snapshot.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/engine.h"
+#include "sim/experiment.h"
+#include "workload/generators.h"
+
+namespace capman::sim {
+namespace {
+
+device::PhoneModel nexus() {
+  return device::PhoneModel{device::nexus_profile()};
+}
+
+workload::Trace video_trace(std::uint64_t seed = 7) {
+  return workload::make_video()->generate(util::Seconds{600.0}, seed);
+}
+
+/// Everything simulated must match bit for bit; telemetry artifacts
+/// (snapshot contents, trace files) are allowed to differ.
+void expect_bit_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.service_time_s, b.service_time_s);
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_EQ(a.died_of_brownout, b.died_of_brownout);
+  EXPECT_EQ(a.energy_delivered_j, b.energy_delivered_j);
+  EXPECT_EQ(a.energy_lost_j, b.energy_lost_j);
+  EXPECT_EQ(a.tec_energy_j, b.tec_energy_j);
+  EXPECT_EQ(a.avg_power_w, b.avg_power_w);
+  EXPECT_EQ(a.avg_cpu_temp_c, b.avg_cpu_temp_c);
+  EXPECT_EQ(a.max_cpu_temp_c, b.max_cpu_temp_c);
+  EXPECT_EQ(a.switch_count, b.switch_count);
+  EXPECT_EQ(a.big_active_s, b.big_active_s);
+  EXPECT_EQ(a.little_active_s, b.little_active_s);
+  EXPECT_EQ(a.end_big_soc, b.end_big_soc);
+  EXPECT_EQ(a.end_little_soc, b.end_little_soc);
+  ASSERT_EQ(a.soc_series.size(), b.soc_series.size());
+  for (std::size_t i = 0; i < a.soc_series.size(); ++i) {
+    EXPECT_EQ(a.soc_series.value_at(i), b.soc_series.value_at(i));
+    EXPECT_EQ(a.power_series.value_at(i), b.power_series.value_at(i));
+    EXPECT_EQ(a.cpu_temp_series.value_at(i), b.cpu_temp_series.value_at(i));
+  }
+}
+
+TEST(TelemetryTest, DecisionTracingIsBitIdentical) {
+  const auto trace = video_trace();
+
+  RunnerOptions plain;
+  plain.seed = 11;
+  plain.config.max_duration = util::Seconds{900.0};
+  const ExperimentRunner baseline{nexus(), plain};
+  const auto r0 = baseline.run(trace, PolicyKind::kCapman);
+
+  RunnerOptions traced = plain;
+  const std::string path = "telemetry_test_decisions.jsonl";
+  traced.config.telemetry.decision_trace_path = path;
+  const ExperimentRunner recorder{nexus(), traced};
+  const auto r1 = recorder.run(trace, PolicyKind::kCapman);
+
+  expect_bit_identical(r0, r1);
+
+  // The sink actually recorded: one line per consultation.
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::size_t lines = 0;
+  for (std::string line; std::getline(in, line);) ++lines;
+  in.close();
+  std::remove(path.c_str());
+  EXPECT_EQ(lines, r1.metrics.counter_or("engine/consults"));
+  EXPECT_GT(lines, 0u);
+}
+
+TEST(TelemetryTest, SpanProfilingIsBitIdentical) {
+  const auto trace = video_trace();
+
+  RunnerOptions plain;
+  plain.seed = 11;
+  plain.config.max_duration = util::Seconds{600.0};
+  const ExperimentRunner baseline{nexus(), plain};
+  const auto r0 = baseline.run(trace, PolicyKind::kCapman);
+
+  RunnerOptions profiled = plain;
+  const std::string path = "telemetry_test_spans.json";
+  profiled.config.telemetry.spans_path = path;
+  const ExperimentRunner profiler{nexus(), profiled};
+  const auto r1 = profiler.run(trace, PolicyKind::kCapman);
+
+  expect_bit_identical(r0, r1);
+  std::remove(path.c_str());
+
+  // Only the profiled run counts its trace events.
+  EXPECT_EQ(r0.metrics.counter_or("engine/trace_events"), 0u);
+  EXPECT_GT(r1.metrics.counter_or("engine/trace_events"), 0u);
+}
+
+TEST(TelemetryTest, SnapshotIsPopulatedAndConsistent) {
+  RunnerOptions options;
+  options.seed = 3;
+  options.config.max_duration = util::Seconds{600.0};
+  const ExperimentRunner runner{nexus(), options};
+  const auto r = runner.run(video_trace(), PolicyKind::kCapman);
+
+  const auto& m = r.metrics;
+  EXPECT_FALSE(m.empty());
+  EXPECT_GT(m.counter_or("engine/steps"), 0u);
+  EXPECT_GT(m.counter_or("engine/consults"), 0u);
+  EXPECT_EQ(m.counter_or("switch/count"), r.switch_count);
+  EXPECT_DOUBLE_EQ(m.gauge_or("switch/big_active_s"), r.big_active_s);
+  EXPECT_DOUBLE_EQ(m.gauge_or("switch/little_active_s"), r.little_active_s);
+
+  // CAPMAN publishes its decision ladder; the branch counters add up to
+  // the number of consultations the scheduler answered.
+  const std::uint64_t ladder = m.counter_or("scheduler/decisions_exact") +
+                               m.counter_or("scheduler/decisions_transferred") +
+                               m.counter_or("scheduler/decisions_fallback") +
+                               m.counter_or("scheduler/decisions_explored");
+  EXPECT_GT(ladder, 0u);
+  EXPECT_GT(m.counter_or("scheduler/recalibrations"), 0u);
+  EXPECT_GT(m.counter_or("similarity/state_pairs_total"), 0u);
+}
+
+TEST(TelemetryTest, SnapshotIsReproducibleAcrossRuns) {
+  RunnerOptions options;
+  options.seed = 5;
+  options.config.max_duration = util::Seconds{600.0};
+  const ExperimentRunner runner{nexus(), options};
+
+  const auto r1 = runner.run(video_trace(), PolicyKind::kCapman);
+  const auto r2 = runner.run(video_trace(), PolicyKind::kCapman);
+
+  std::ostringstream j1;
+  std::ostringstream j2;
+  r1.metrics.write_json(j1);
+  r2.metrics.write_json(j2);
+  EXPECT_EQ(j1.str(), j2.str());
+}
+
+TEST(TelemetryTest, FaultStatsRoundTripThroughSnapshot) {
+  FaultPlanConfig plan;
+  plan.seed = 9;
+  plan.stuck_rate_per_min = 2.0;
+  plan.stuck_min_duration = util::Seconds{30.0};
+  plan.stuck_max_duration = util::Seconds{60.0};
+
+  RunnerOptions options;
+  options.seed = 9;
+  options.config.max_duration = util::Seconds{600.0};
+  options.faults = plan;
+  const ExperimentRunner runner{nexus(), options};
+  const auto r = runner.run(video_trace(), PolicyKind::kCapman);
+
+  const FaultStats views = FaultStats::from_snapshot(r.metrics);
+  EXPECT_EQ(views.stuck_episodes, r.faults.stuck_episodes);
+  EXPECT_EQ(views.dropped_requests, r.faults.dropped_requests);
+  EXPECT_EQ(views.detected_switch_failures, r.faults.detected_switch_failures);
+  EXPECT_EQ(views.fallback_episodes, r.faults.fallback_episodes);
+  EXPECT_EQ(views.fallback_retries, r.faults.fallback_retries);
+  EXPECT_DOUBLE_EQ(views.stuck_time_s, r.faults.stuck_time_s);
+  EXPECT_GT(views.stuck_episodes, 0u);
+}
+
+}  // namespace
+}  // namespace capman::sim

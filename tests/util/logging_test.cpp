@@ -1,0 +1,109 @@
+// Logger: level parsing (CAPMAN_LOG), line format (timestamp, level,
+// thread id), level filtering, and a concurrent-writers smoke test (the
+// sink mutex must keep lines whole).
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace capman::util {
+namespace {
+
+/// Restores the singleton's level and sink on scope exit so tests don't
+/// perturb each other (the Logger is process-global).
+class LoggerGuard {
+ public:
+  LoggerGuard() : saved_level_(Logger::instance().level()) {}
+  ~LoggerGuard() {
+    Logger::instance().set_level(saved_level_);
+    Logger::instance().set_sink(nullptr);
+  }
+
+ private:
+  LogLevel saved_level_;
+};
+
+TEST(LogLevelTest, ParseKnownNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+}
+
+TEST(LoggerTest, LineCarriesTimestampLevelAndThreadId) {
+  LoggerGuard guard;
+  std::ostringstream sink;
+  Logger::instance().set_sink(&sink);
+  Logger::instance().set_level(LogLevel::kDebug);
+
+  log_info("engine", "step ", 42);
+
+  // [HH:MM:SS.mmm] [INFO] [tid NNNNN] engine: step 42
+  const std::regex line_re(
+      R"(\[\d{2}:\d{2}:\d{2}\.\d{3}\] \[INFO\] \[tid \d+\] engine: step 42\n)");
+  EXPECT_TRUE(std::regex_match(sink.str(), line_re)) << sink.str();
+}
+
+TEST(LoggerTest, LevelFiltersLowerSeverities) {
+  LoggerGuard guard;
+  std::ostringstream sink;
+  Logger::instance().set_sink(&sink);
+  Logger::instance().set_level(LogLevel::kWarn);
+
+  log_debug("t", "dropped");
+  log_info("t", "dropped");
+  log_warn("t", "kept-warn");
+  log_error("t", "kept-error");
+
+  const std::string out = sink.str();
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+  EXPECT_NE(out.find("kept-warn"), std::string::npos);
+  EXPECT_NE(out.find("kept-error"), std::string::npos);
+
+  Logger::instance().set_level(LogLevel::kOff);
+  log_error("t", "silenced");
+  EXPECT_EQ(sink.str().find("silenced"), std::string::npos);
+}
+
+TEST(LoggerTest, ConcurrentWritersKeepLinesWhole) {
+  LoggerGuard guard;
+  std::ostringstream sink;
+  Logger::instance().set_sink(&sink);
+  Logger::instance().set_level(LogLevel::kInfo);
+
+  constexpr int kThreads = 4;
+  constexpr int kLines = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        log_info("worker", "t", t, " line ", i, " end");
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // Every line must be intact: starts with a timestamp bracket, ends with
+  // "end", and the total count matches.
+  std::istringstream lines{sink.str()};
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.front(), '[') << line;
+    EXPECT_EQ(line.substr(line.size() - 3), "end") << line;
+    ++n;
+  }
+  EXPECT_EQ(n, kThreads * kLines);
+}
+
+}  // namespace
+}  // namespace capman::util
