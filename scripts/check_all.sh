@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# One-shot QA pipeline: every repository check in sequence with a summary
+# table. Usage:
+#
+#   scripts/check_all.sh [build-dir]       # default: build
+#
+# Checks that need missing tooling (clang-tidy, clang-format) report SKIP
+# rather than FAIL — the same exit-77 convention the CTest registrations
+# use. Exits non-zero iff at least one check FAILed.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+names=()
+results=()
+times=()
+failures=0
+
+run_check() {
+  # run_check <name> <command...>
+  local name="$1"
+  shift
+  local start end status
+  echo "==> $name"
+  start=$(date +%s)
+  "$@"
+  status=$?
+  end=$(date +%s)
+  names+=("$name")
+  times+=("$((end - start))s")
+  if [ "$status" -eq 0 ]; then
+    results+=("PASS")
+  elif [ "$status" -eq 77 ]; then
+    results+=("SKIP")
+  else
+    results+=("FAIL")
+    failures=$((failures + 1))
+  fi
+}
+
+run_check docs            "$repo_root/scripts/check_docs.sh"
+run_check format          "$repo_root/scripts/check_format.sh"
+run_check capman-lint     python3 "$repo_root/scripts/capman_lint.py" \
+                          --root "$repo_root" --rules L1,L2,L3,L4
+run_check lint-selftest   python3 "$repo_root/scripts/test_capman_lint.py"
+run_check headers         python3 "$repo_root/scripts/capman_lint.py" \
+                          --root "$repo_root" --rules L5
+run_check clang-tidy      "$repo_root/scripts/check_tidy.sh" "$build_dir"
+run_check schema-selftest python3 \
+                          "$repo_root/scripts/check_trace_schema.py" \
+                          --self-test
+run_check asan            "$repo_root/scripts/check_asan.sh"
+run_check tsan            "$repo_root/scripts/check_tsan.sh"
+
+echo
+echo "================ check_all summary ================"
+printf '%-18s %-6s %s\n' "check" "result" "time"
+printf '%-18s %-6s %s\n' "-----" "------" "----"
+for i in "${!names[@]}"; do
+  printf '%-18s %-6s %s\n' "${names[$i]}" "${results[$i]}" "${times[$i]}"
+done
+echo "==================================================="
+
+if [ "$failures" -ne 0 ]; then
+  echo "check_all: $failures check(s) FAILED" >&2
+  exit 1
+fi
+echo "check_all: all checks passed (or skipped for missing tooling)"

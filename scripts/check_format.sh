@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Style check: clang-format --dry-run over src/, tests/, bench/ and
+# examples/ against the repo-root .clang-format. Advisory for now — run by
+# scripts/check_all.sh but deliberately NOT registered as a CTest gate
+# (the tree predates the profile; see DESIGN.md §11). Run manually with:
+#
+#   scripts/check_format.sh            # check only
+#   scripts/check_format.sh --fix      # rewrite files in place
+#
+# Exits 77 (CTest SKIP_RETURN_CODE convention) when clang-format is not
+# installed.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+mode="${1:-}"
+
+fmt="$(command -v clang-format || true)"
+if [ -z "$fmt" ]; then
+  echo "check_format: clang-format not found; skipping" >&2
+  exit 77
+fi
+
+mapfile -t files < <(find "$repo_root/src" "$repo_root/tests" \
+                          "$repo_root/bench" "$repo_root/examples" \
+                          \( -name '*.cpp' -o -name '*.h' \) | sort)
+
+if [ "$mode" = "--fix" ]; then
+  "$fmt" -i --style=file "${files[@]}"
+  echo "check_format: reformatted ${#files[@]} files"
+  exit 0
+fi
+
+if ! "$fmt" --dry-run --Werror --style=file "${files[@]}" 2>/dev/null; then
+  echo "check_format: formatting drift detected" \
+       "(scripts/check_format.sh --fix to apply)" >&2
+  exit 1
+fi
+echo "check_format: clean (${#files[@]} files)"

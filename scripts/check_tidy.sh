@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: .clang-tidy at the repo root) over every
+# src/**/*.cpp translation unit. Wired into CTest as `clang_tidy_check`;
+# run manually with:
+#
+#   scripts/check_tidy.sh [build-dir]      # default: build
+#
+# Needs a compile_commands.json in the build directory (the top-level
+# CMakeLists exports one). Exits 77 — the CTest SKIP_RETURN_CODE — when
+# clang-tidy is not installed, so environments without clang tooling skip
+# instead of fail.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+tidy="$(command -v clang-tidy || true)"
+if [ -z "$tidy" ]; then
+  echo "check_tidy: clang-tidy not found; skipping" >&2
+  exit 77
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "check_tidy: $build_dir/compile_commands.json missing;" \
+       "configure with cmake first" >&2
+  exit 1
+fi
+
+mapfile -t sources < <(find "$repo_root/src" -name '*.cpp' | sort)
+echo "check_tidy: linting ${#sources[@]} translation units"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+status=0
+printf '%s\n' "${sources[@]}" |
+  xargs -P "$jobs" -n 4 "$tidy" -p "$build_dir" --quiet || status=1
+
+if [ "$status" -ne 0 ]; then
+  echo "check_tidy: clang-tidy reported findings" >&2
+  exit 1
+fi
+echo "check_tidy: clean"

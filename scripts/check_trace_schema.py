@@ -11,9 +11,14 @@ Runs one CAPMAN discharge cycle with every sink enabled, then checks:
   * the metrics snapshot is valid JSON whose histograms carry
     len(bounds)+1 buckets that sum to the observation count.
 
+Every artifact is also checked for *unknown top-level keys*: a key the
+schema does not list fails the run, so silently-added output fields force
+a schema (and doc) update here first.
+
 Wired into CTest as `trace_schema_check`; run manually with:
 
     scripts/check_trace_schema.py [path/to/capman_sim]
+    scripts/check_trace_schema.py --self-test   # fixture accept/reject run
 """
 
 import json
@@ -52,6 +57,10 @@ DECISION_SCHEMA = {
 }
 
 SOURCES = {"exact", "transferred", "fallback", "explored"}
+
+# Exhaustive top-level keys of each artifact; anything else is a failure.
+SPANS_TOP_LEVEL = {"traceEvents"}
+METRICS_TOP_LEVEL = {"counters", "gauges", "histograms"}
 
 
 def fail(msg):
@@ -102,6 +111,9 @@ def check_decisions(path):
 def check_spans(path):
     with open(path) as f:
         doc = json.load(f)
+    unknown = doc.keys() - SPANS_TOP_LEVEL
+    if unknown:
+        fail(f"spans file has unknown top-level keys {sorted(unknown)}")
     events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:
         fail("spans file has no traceEvents array")
@@ -152,6 +164,9 @@ def check_spans(path):
 def check_metrics(path):
     with open(path) as f:
         doc = json.load(f)
+    unknown = doc.keys() - METRICS_TOP_LEVEL
+    if unknown:
+        fail(f"metrics snapshot has unknown top-level keys {sorted(unknown)}")
     for section in ("counters", "gauges", "histograms"):
         if section not in doc:
             fail(f"metrics snapshot lacks {section!r}")
@@ -166,7 +181,135 @@ def check_metrics(path):
     return len(doc["counters"])
 
 
+def _valid_decision_record(seq=0):
+    return {
+        "seq": seq, "t_s": 0.5 * seq, "policy": "CAPMAN", "event": "launch",
+        "param": 3, "emergency": False, "cpu": "idle", "screen": "on",
+        "wifi": "off", "active": "big", "chosen": "little",
+        "source": "exact", "matched_state": 7, "q_big": -1.25,
+        "q_little": -0.5, "switch_requested": True, "switch_accepted": True,
+        "switch_pending": False, "guard_fallback": False,
+        "fault_stuck": False, "big_soc": 0.9, "little_soc": 0.8,
+        "hotspot_c": 38.5, "demand_w": 1.5,
+    }
+
+
+def _valid_spans_doc():
+    meta = [
+        {"ph": "M", "name": "process_name", "pid": 1, "tid": 0,
+         "args": {"name": "compute (wall-clock)"}},
+        {"ph": "M", "name": "process_name", "pid": 2, "tid": 0,
+         "args": {"name": "simulation time"}},
+        {"ph": "M", "name": "thread_name", "pid": 1, "tid": 100,
+         "args": {"name": "pool-0"}},
+        {"ph": "M", "name": "thread_name", "pid": 1, "tid": 101,
+         "args": {"name": "pool-1"}},
+        {"ph": "M", "name": "thread_name", "pid": 2, "tid": 1,
+         "args": {"name": "decisions"}},
+        {"ph": "M", "name": "thread_name", "pid": 2, "tid": 2,
+         "args": {"name": "switch transients"}},
+        {"ph": "M", "name": "thread_name", "pid": 2, "tid": 3,
+         "args": {"name": "fault episodes"}},
+    ]
+    work = [
+        {"ph": "X", "name": "chunk", "cat": "threadpool", "pid": 1,
+         "tid": 100, "ts": 0.0, "dur": 5.0},
+        {"ph": "X", "name": "chunk", "cat": "threadpool", "pid": 1,
+         "tid": 101, "ts": 1.0, "dur": 4.0},
+    ]
+    return {"traceEvents": meta + work}
+
+
+def _valid_metrics_doc():
+    return {
+        "counters": {"engine/consults": 3},
+        "gauges": {"similarity/threads": 2.0},
+        "histograms": {
+            "similarity/sweep_ms": {"bounds": [1.0, 10.0],
+                                    "buckets": [2, 1, 0], "count": 3},
+        },
+    }
+
+
+def self_test():
+    """Fixture accept/reject run (CTest: trace_schema_selftest).
+
+    Every checker must accept its minimal valid artifact and reject the
+    seeded mutations — including the unknown-top-level-key path.
+    """
+    def expect(label, fn, should_pass):
+        try:
+            fn()
+            ok = True
+        except SystemExit:
+            ok = False
+        if ok != should_pass:
+            print(f"check_trace_schema self-test: FAIL: {label} "
+                  f"{'passed' if ok else 'failed'} unexpectedly",
+                  file=sys.stderr)
+            sys.exit(1)
+        print(f"  ok: {label} {'accepted' if should_pass else 'rejected'}")
+
+    with tempfile.TemporaryDirectory(prefix="capman_schema_fix_") as tmp:
+        tmp = Path(tmp)
+
+        def write_jsonl(name, records):
+            path = tmp / name
+            path.write_text("".join(json.dumps(r) + "\n" for r in records))
+            return path
+
+        def write_doc(name, doc):
+            path = tmp / name
+            path.write_text(json.dumps(doc))
+            return path
+
+        good = write_jsonl("good.jsonl", [_valid_decision_record(i)
+                                          for i in range(3)])
+        expect("valid decision trace", lambda: check_decisions(good), True)
+
+        extra_rec = _valid_decision_record()
+        extra_rec["debug_note"] = "?"
+        bad = write_jsonl("extra_field.jsonl", [extra_rec])
+        expect("decision record with unknown field",
+               lambda: check_decisions(bad), False)
+
+        missing_rec = _valid_decision_record()
+        del missing_rec["chosen"]
+        bad = write_jsonl("missing_field.jsonl", [missing_rec])
+        expect("decision record with missing field",
+               lambda: check_decisions(bad), False)
+
+        good = write_doc("spans.json", _valid_spans_doc())
+        expect("valid span profile", lambda: check_spans(good), True)
+
+        extra_doc = _valid_spans_doc()
+        extra_doc["metadata"] = {"tool": "???"}
+        bad = write_doc("spans_extra.json", extra_doc)
+        expect("span profile with unknown top-level key",
+               lambda: check_spans(bad), False)
+
+        good = write_doc("metrics.json", _valid_metrics_doc())
+        expect("valid metrics snapshot", lambda: check_metrics(good), True)
+
+        extra_doc = _valid_metrics_doc()
+        extra_doc["timings"] = {}
+        bad = write_doc("metrics_extra.json", extra_doc)
+        expect("metrics snapshot with unknown top-level key",
+               lambda: check_metrics(bad), False)
+
+        broken_doc = _valid_metrics_doc()
+        broken_doc["histograms"]["similarity/sweep_ms"]["buckets"] = [1, 1, 0]
+        bad = write_doc("metrics_buckets.json", broken_doc)
+        expect("metrics histogram with inconsistent buckets",
+               lambda: check_metrics(bad), False)
+
+    print("check_trace_schema: self-test OK")
+
+
 def main():
+    if len(sys.argv) > 1 and sys.argv[1] == "--self-test":
+        self_test()
+        return
     binary = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("examples/capman_sim")
     if not binary.exists():
         fail(f"capman_sim binary not found at {binary}")

@@ -1,0 +1,381 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/capman_lint.py.
+
+Pytest-style test functions over synthetic fixture trees: every rule has at
+least one positive fixture (a seeded violation the linter must catch) and
+one negative fixture (clean or suppressed code it must stay quiet on).
+Runs standalone (`python3 scripts/test_capman_lint.py`) or under pytest;
+wired into CTest as `capman_lint_selftest`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+os.environ["CAPMAN_LINT_NO_LIBCLANG"] = "1"  # pin the regex backend
+
+import capman_lint as cl  # noqa: E402
+
+LINT = Path(__file__).resolve().parent / "capman_lint.py"
+
+
+def lint_tree(files: dict[str, str], rules: str) -> list[cl.Finding]:
+    """Write `files` (relpath -> contents) into a temp root and lint it."""
+    with tempfile.TemporaryDirectory(prefix="capman_lint_fix_") as tmp:
+        root = Path(tmp)
+        for rel, text in files.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+        findings, _ = cl.run_lint(root, [root / "src"],
+                                  cl._parse_rule_list(rules))
+        return findings
+
+
+def rules_hit(findings: list[cl.Finding]) -> set[str]:
+    return {f.rule for f in findings}
+
+
+# ---------------------------------------------------------------------------
+# L1 determinism
+
+def test_l1_positive_rand_and_wall_clock():
+    findings = lint_tree({
+        "src/core/bad.cpp": (
+            "#include <cstdlib>\n"
+            "int draw() { return std::rand(); }\n"
+            "double now() {\n"
+            "  return std::chrono::steady_clock::now().time_since_epoch()"
+            ".count();\n"
+            "}\n"),
+    }, "L1")
+    assert rules_hit(findings) == {"determinism"}, findings
+    assert len(findings) == 2, findings
+    assert findings[0].line == 2
+
+
+def test_l1_positive_random_header():
+    findings = lint_tree({
+        "src/policy/bad.cpp": "#include <random>\nstd::mt19937 gen;\n",
+    }, "L1")
+    assert len(findings) == 2, findings  # the include and the engine
+
+
+def test_l1_negative_outside_scope_and_suppressed():
+    findings = lint_tree({
+        # util/ is outside the determinism scope (it IS the RNG home).
+        "src/util/rng_impl.cpp": "int f() { return std::rand(); }\n",
+        # Declared instrumentation is fine.
+        "src/core/timed.cpp": (
+            "void f() {\n"
+            "  // capman-lint: allow(determinism)\n"
+            "  auto t = std::chrono::steady_clock::now();\n"
+            "  (void)t;\n"
+            "}\n"),
+        # Randomness through the project RNG is the sanctioned path.
+        "src/core/good.cpp": (
+            "#include \"util/rng.h\"\n"
+            "double f(capman::util::Rng& rng) { return rng.uniform(); }\n"),
+    }, "L1")
+    assert findings == [], findings
+
+
+def test_l1_negative_identifier_containing_rand():
+    findings = lint_tree({
+        "src/core/ok.cpp": ("int operand(int x) { return x; }\n"
+                            "int g() { return operand(3); }\n"),
+    }, "L1")
+    assert findings == [], findings
+
+
+# ---------------------------------------------------------------------------
+# L2 ordered-output
+
+def test_l2_positive_unordered_iteration_into_csv():
+    src = (
+        "#include <unordered_map>\n"
+        "struct CsvWriter { void write_row(int, int); };\n"
+        "struct Emitter {\n"
+        "  std::unordered_map<int, int> cells_;\n"
+        "  void dump(CsvWriter& csv) {\n"
+        "    for (const auto& [k, v] : cells_) {\n"
+        "      csv.write_row(k, v);\n"
+        "    }\n"
+        "  }\n"
+        "};\n")
+    findings = lint_tree({"src/obs/emit.cpp": src}, "L2")
+    assert rules_hit(findings) == {"ordered-output"}, findings
+    assert findings[0].line == 6, findings
+
+
+def test_l2_negative_suppressed_sorted_or_not_output():
+    suppressed = (
+        "#include <unordered_map>\n"
+        "struct CsvWriter { void write_row(int, int); };\n"
+        "struct Emitter {\n"
+        "  std::unordered_map<int, int> cells_;\n"
+        "  void dump(CsvWriter& csv) {\n"
+        "    // capman-lint: allow(ordered-output)\n"
+        "    for (const auto& [k, v] : cells_) {\n"
+        "      csv.write_row(k, v);\n"
+        "    }\n"
+        "  }\n"
+        "};\n")
+    sorted_first = (
+        "#include <algorithm>\n"
+        "#include <unordered_map>\n"
+        "#include <vector>\n"
+        "struct CsvWriter { void write_row(int, int); };\n"
+        "struct Emitter {\n"
+        "  std::unordered_map<int, int> cells_;\n"
+        "  void dump(CsvWriter& csv) {\n"
+        "    std::vector<std::pair<int, int>> rows(cells_.begin(),"
+        " cells_.end());\n"
+        "    std::sort(rows.begin(), rows.end());\n"
+        "    for (const auto& [k, v] : rows) csv.write_row(k, v);\n"
+        "  }\n"
+        "};\n")
+    not_output = (
+        "#include <unordered_map>\n"
+        "struct Counter {\n"
+        "  std::unordered_map<int, int> cells_;\n"
+        "  int total() {\n"
+        "    int sum = 0;\n"
+        "    for (const auto& [k, v] : cells_) sum += v;\n"
+        "    return sum;\n"
+        "  }\n"
+        "};\n")
+    findings = lint_tree({
+        "src/obs/suppressed.cpp": suppressed,
+        "src/obs/sorted.cpp": sorted_first,
+        "src/obs/counter.cpp": not_output,
+    }, "L2")
+    assert findings == [], findings
+
+
+# ---------------------------------------------------------------------------
+# L3 config-validate
+
+def test_l3_positive_missing_validate():
+    findings = lint_tree({
+        "src/core/foo.h": "struct FooConfig { int x = 1; };\n",
+    }, "L3")
+    assert rules_hit(findings) == {"config-validate"}, findings
+    assert "declares no" in findings[0].message
+
+
+def test_l3_positive_unreachable_validate():
+    findings = lint_tree({
+        "src/core/foo.h": (
+            "#include <string>\n#include <vector>\n"
+            "struct FooConfig {\n"
+            "  int x = 1;\n"
+            "  [[nodiscard]] std::vector<std::string> validate() const;\n"
+            "};\n"),
+        "src/core/foo.cpp": (
+            "#include \"core/foo.h\"\n"
+            "std::vector<std::string> FooConfig::validate() const {"
+            " return {}; }\n"),
+    }, "L3")
+    assert len(findings) == 1, findings
+    assert "unreachable" in findings[0].message
+
+
+def test_l3_negative_validated_from_ctor_and_chained():
+    # BarConfig is validated by the owning engine ctor; FooConfig is nested
+    # and validated from BarConfig::validate() — both reachable.
+    findings = lint_tree({
+        "src/core/foo.h": (
+            "#include <string>\n#include <vector>\n"
+            "struct FooConfig {\n"
+            "  int x = 1;\n"
+            "  [[nodiscard]] std::vector<std::string> validate() const;\n"
+            "};\n"
+            "struct BarConfig {\n"
+            "  FooConfig foo{};\n"
+            "  [[nodiscard]] std::vector<std::string> validate() const;\n"
+            "};\n"
+            "class Engine {\n"
+            " public:\n"
+            "  explicit Engine(const BarConfig& config);\n"
+            " private:\n"
+            "  BarConfig config_;\n"
+            "};\n"),
+        "src/core/foo.cpp": (
+            "#include \"core/foo.h\"\n"
+            "std::vector<std::string> FooConfig::validate() const {"
+            " return {}; }\n"
+            "std::vector<std::string> BarConfig::validate() const {\n"
+            "  return foo.validate();\n"
+            "}\n"
+            "Engine::Engine(const BarConfig& config) : config_(config) {\n"
+            "  auto errors = config_.validate();\n"
+            "  (void)errors;\n"
+            "}\n"),
+    }, "L3")
+    assert findings == [], findings
+
+
+def test_l3_negative_suppressed_struct():
+    findings = lint_tree({
+        "src/core/foo.h": (
+            "// capman-lint: allow(config-validate)\n"
+            "struct LegacyConfig { int x = 1; };\n"),
+    }, "L3")
+    assert findings == [], findings
+
+
+# ---------------------------------------------------------------------------
+# L4 float-compare
+
+def test_l4_positive_literal_and_declared_double():
+    findings = lint_tree({
+        "src/core/cmp.cpp": (
+            "bool f(double x) { return x == 1.0; }\n"
+            "bool g(double lhs, double rhs) { return lhs != rhs; }\n"),
+    }, "L4")
+    assert rules_hit(findings) == {"float-compare"}, findings
+    assert [f.line for f in findings] == [1, 2], findings
+
+
+def test_l4_negative_ints_suppression_and_shadowing():
+    findings = lint_tree({
+        "src/core/ok.cpp": (
+            "#include <cstddef>\n"
+            "double v = 1.0;\n"                      # file-scope double v
+            "bool f(std::size_t u, std::size_t n) {\n"
+            "  for (std::size_t v = 0; v < n; ++v) {\n"
+            "    if (u == v) return true;\n"         # nearest decl: size_t
+            "  }\n"
+            "  return false;\n"
+            "}\n"
+            "bool g(double x) {\n"
+            "  return x == 0.0;  // capman-lint: allow(float-compare)\n"
+            "}\n"
+            "bool h(const int* p) { return p != nullptr; }\n"),
+        # tests/ are exempt by rule definition (paths under src only are
+        # linted here, so place the file under src and allow-file it).
+        "src/core/exempt.cpp": (
+            "// capman-lint: allow-file(float-compare)\n"
+            "bool t(double x) { return x == 2.5; }\n"),
+    }, "L4")
+    assert findings == [], findings
+
+
+def test_l4_negative_string_and_comment_contents():
+    findings = lint_tree({
+        "src/core/strings.cpp": (
+            "#include <string>\n"
+            "// not flagged: x == 1.0 in a comment\n"
+            "bool f(const std::string& s) { return s == \"pi == 3.14\"; }\n"
+            "double tick = 20'000.0;  // digit separator must not break "
+            "the lexer\n"
+            "bool g(int a) { return a == 3; }\n"),
+    }, "L4")
+    assert findings == [], findings
+
+
+# ---------------------------------------------------------------------------
+# L5 header-hygiene
+
+def _have_compiler() -> bool:
+    return cl.find_compiler(None) is not None
+
+
+def test_l5_positive_non_self_contained_header():
+    if not _have_compiler():
+        print("  (skipped: no C++ compiler)")
+        return
+    findings = lint_tree({
+        # Uses std::vector without including <vector>: a TU with only this
+        # include must fail.
+        "src/core/broken.h": ("#pragma once\n"
+                              "inline std::vector<int> make() {"
+                              " return {}; }\n"),
+    }, "L5")
+    assert rules_hit(findings) == {"header-hygiene"}, findings
+    assert "self-contained" in findings[0].message
+
+
+def test_l5_negative_self_contained_and_suppressed():
+    if not _have_compiler():
+        print("  (skipped: no C++ compiler)")
+        return
+    findings = lint_tree({
+        "src/core/good.h": ("#pragma once\n"
+                            "#include <vector>\n"
+                            "inline std::vector<int> make() {"
+                            " return {}; }\n"),
+        "src/core/x_macros.h": ("// capman-lint: allow-file(header-hygiene)\n"
+                                "FOO(undefined_macro)\n"),
+    }, "L5")
+    assert findings == [], findings
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+
+def test_cli_json_output_and_exit_codes():
+    with tempfile.TemporaryDirectory(prefix="capman_lint_cli_") as tmp:
+        root = Path(tmp)
+        bad = root / "src" / "core"
+        bad.mkdir(parents=True)
+        (bad / "bad.cpp").write_text("int f() { return std::rand(); }\n")
+        proc = subprocess.run(
+            [sys.executable, str(LINT), "--root", str(root), "--rules",
+             "L1,L4", "--json"],
+            capture_output=True, text=True)
+        assert proc.returncode == cl.EXIT_FINDINGS, proc.stderr
+        doc = json.loads(proc.stdout)
+        assert doc["counts"] == {"determinism": 1}, doc
+        assert doc["findings"][0]["path"] == "src/core/bad.cpp"
+        assert doc["findings"][0]["lnum"] == "L1"
+
+        (bad / "bad.cpp").write_text("int f() { return 4; }\n")
+        proc = subprocess.run(
+            [sys.executable, str(LINT), "--root", str(root), "--rules",
+             "L1,L4"], capture_output=True, text=True)
+        assert proc.returncode == cl.EXIT_CLEAN, proc.stdout
+
+        proc = subprocess.run(
+            [sys.executable, str(LINT), "--root", str(root), "--rules",
+             "no-such-rule"], capture_output=True, text=True)
+        assert proc.returncode == cl.EXIT_USAGE
+
+
+def test_suppression_parsing():
+    sf = cl.SourceFile(Path("x.cpp"), "x.cpp", (
+        "int a;  // capman-lint: allow(determinism, float-compare)\n"
+        "// capman-lint: allow(ordered-output)\n"
+        "int b;\n"
+        "// capman-lint: allow-file(header-hygiene)\n"))
+    assert sf.allowed("determinism", 1)
+    assert sf.allowed("float-compare", 1)
+    assert not sf.allowed("determinism", 2)
+    assert sf.allowed("ordered-output", 3)  # bare comment covers next line
+    assert sf.allowed("header-hygiene", 999)  # file-wide
+
+
+def main() -> int:
+    tests = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    failures = 0
+    for name, fn in tests:
+        try:
+            fn()
+            print(f"PASS {name}")
+        except AssertionError as exc:
+            failures += 1
+            print(f"FAIL {name}: {exc}")
+    print(f"test_capman_lint: {len(tests) - failures}/{len(tests)} passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

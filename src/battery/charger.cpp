@@ -1,14 +1,36 @@
 #include "battery/charger.h"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
 
 namespace capman::battery {
 
+std::vector<std::string> ChargerConfig::validate() const {
+  std::vector<std::string> errors;
+  if (!(cc_c_rate > 0.0)) {
+    errors.push_back("cc_c_rate must be > 0");
+  }
+  if (!(cv_headroom_v >= 0.0)) {
+    errors.push_back("cv_headroom_v must be >= 0");
+  }
+  if (!(cutoff_c_rate > 0.0 && cutoff_c_rate < cc_c_rate)) {
+    errors.push_back("cutoff_c_rate must be in (0, cc_c_rate)");
+  }
+  if (!(efficiency > 0.0 && efficiency <= 1.0)) {
+    errors.push_back("efficiency must be in (0, 1]");
+  }
+  return errors;
+}
+
 Charger::Charger(const ChargerConfig& config) : config_(config) {
-  assert(config_.cc_c_rate > 0.0);
-  assert(config_.cutoff_c_rate > 0.0 &&
-         config_.cutoff_c_rate < config_.cc_c_rate);
+  const auto errors = config_.validate();
+  if (!errors.empty()) {
+    std::string message = "invalid ChargerConfig:";
+    for (const auto& error : errors) {
+      message += "\n  - " + error;
+    }
+    throw std::invalid_argument(message);
+  }
 }
 
 ChargeStepResult Charger::step(Cell& cell, util::Seconds dt) const {

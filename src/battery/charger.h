@@ -9,6 +9,9 @@
 // below the cutoff.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "battery/cell.h"
 #include "battery/pack.h"
 #include "util/units.h"
@@ -20,6 +23,10 @@ struct ChargerConfig {
   double cv_headroom_v = 0.05;     // CV setpoint = full-charge OCV - this
   double cutoff_c_rate = 0.05;     // taper ends below this C-rate
   double efficiency = 0.95;        // wall-to-cell charge efficiency
+
+  /// Human-readable configuration errors; empty means valid. Checked by
+  /// the Charger constructor (throws std::invalid_argument).
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 struct ChargeStepResult {

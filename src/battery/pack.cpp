@@ -35,6 +35,32 @@ PackStepResult SingleBatteryPack::step(util::Watts load, util::Seconds dt,
 
 // ---- DualBatteryPack ----------------------------------------------------
 
+std::vector<std::string> DualPackConfig::validate() const {
+  std::vector<std::string> errors;
+  if (!(big_capacity_mah > 0.0)) {
+    errors.push_back("big_capacity_mah must be > 0");
+  }
+  if (!(little_capacity_mah > 0.0)) {
+    errors.push_back("little_capacity_mah must be > 0");
+  }
+  if (!(supercap_capacitance.value() > 0.0)) {
+    errors.push_back("supercap_capacitance must be > 0");
+  }
+  if (!(supercap_voltage.value() > 0.0)) {
+    errors.push_back("supercap_voltage must be > 0");
+  }
+  if (!(supercap_esr.value() >= 0.0)) {
+    errors.push_back("supercap_esr must be >= 0");
+  }
+  if (!(baseline_tau.value() > 0.0)) {
+    errors.push_back("baseline_tau must be > 0");
+  }
+  for (auto& error : switch_config.validate()) {
+    errors.push_back("switch_config: " + error);
+  }
+  return errors;
+}
+
 DualBatteryPack::DualBatteryPack(const DualPackConfig& config)
     : DualBatteryPack(config, nullptr) {}
 

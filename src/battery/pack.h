@@ -10,6 +10,8 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "battery/cell.h"
 #include "battery/supercap.h"
@@ -96,6 +98,11 @@ struct DualPackConfig {
   util::Ohms supercap_esr = util::Ohms{0.02};
   // EWMA time constant for the smoothed baseline the supercap maintains.
   util::Seconds baseline_tau = util::Seconds{2.0};
+
+  /// Human-readable configuration errors; empty means valid. Covers the
+  /// nested switch-facility config ("switch_config: " prefix);
+  /// sim::SimConfig::validate() aggregates these under "pack_config.".
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 /// big.LITTLE pack: the CAPMAN prototype hardware.

@@ -10,18 +10,18 @@ namespace capman::battery {
 std::vector<std::string> SwitchFacilityConfig::validate() const {
   std::vector<std::string> errors;
   if (!(latency.value() >= 0.0)) {
-    errors.push_back("switch latency must be >= 0");
+    errors.push_back("latency (switch latency) must be >= 0");
   }
   if (!(switch_loss.value() >= 0.0)) {
-    errors.push_back("per-switch loss must be >= 0");
+    errors.push_back("switch_loss (per-switch loss) must be >= 0");
   }
   if (!(oscillator_hz > 0.0)) {
-    errors.push_back("oscillator frequency must be > 0");
+    errors.push_back("oscillator_hz (oscillator frequency) must be > 0");
   }
   if (!(high_level.value() > low_level.value())) {
     errors.push_back(
-        "comparator high level must exceed low level (big vs LITTLE must be "
-        "distinguishable)");
+        "high_level must exceed low_level (big vs LITTLE must be "
+        "distinguishable by the comparator)");
   }
   return errors;
 }

@@ -2,10 +2,15 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "util/units.h"
 
 namespace capman::core {
+
+struct SimilarityConfig;
+struct ValueIterationConfig;
 
 struct CapmanConfig {
   // Discount factor rho: the competitiveness knob of the paper's
@@ -60,6 +65,19 @@ struct CapmanConfig {
   // CPU power charged for maintaining the MDP representation (the reason
   // CAPMAN ties with Dual/Heuristic on stationary Geekbench, Fig. 12a).
   util::Watts maintenance_power = util::milliwatts(25.0);
+
+  /// The similarity-engine view of this config (Algorithm 1 knobs).
+  /// Runtime bindings (metrics registry, timing switch) stay at the call
+  /// site — see OnlineScheduler::recalibrate().
+  [[nodiscard]] SimilarityConfig similarity_config() const;
+  /// The Bellman-solver view of this config (Eq. 6-9 knobs).
+  [[nodiscard]] ValueIterationConfig value_iteration_config() const;
+
+  /// Human-readable configuration errors; empty means valid. Checks this
+  /// struct's own knobs and the derived similarity / value-iteration
+  /// configs. Checked by the CapmanController constructor (throws
+  /// std::invalid_argument).
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 }  // namespace capman::core

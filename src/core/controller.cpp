@@ -1,6 +1,7 @@
 #include "core/controller.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace capman::core {
 
@@ -17,7 +18,16 @@ CapmanController::CapmanController(const CapmanConfig& config,
     : config_(config),
       scheduler_(config, seed),
       next_recalibration_s_(config.recalibration_interval.value()),
-      recal_interval_s_(config.recalibration_interval.value()) {}
+      recal_interval_s_(config.recalibration_interval.value()) {
+  const auto errors = config_.validate();
+  if (!errors.empty()) {
+    std::string message = "invalid CapmanConfig:";
+    for (const auto& error : errors) {
+      message += "\n  - " + error;
+    }
+    throw std::invalid_argument(message);
+  }
+}
 
 battery::BatterySelection CapmanController::on_event(
     const workload::Action& event, const device::DeviceStateVector& device,

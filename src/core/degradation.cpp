@@ -1,8 +1,26 @@
 #include "core/degradation.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace capman::core {
+
+std::vector<std::string> DegradationConfig::validate() const {
+  std::vector<std::string> errors;
+  if (!(detect_after.value() > 0.0)) {
+    errors.push_back("detect_after must be > 0");
+  }
+  if (!(retry_initial.value() > 0.0)) {
+    errors.push_back("retry_initial must be > 0");
+  }
+  if (!(retry_backoff >= 1.0)) {
+    errors.push_back("retry_backoff must be >= 1");
+  }
+  if (!(retry_max >= retry_initial)) {
+    errors.push_back("retry_max must be >= retry_initial");
+  }
+  return errors;
+}
 
 void DegradationStats::publish(obs::MetricsRegistry& registry) const {
   registry.counter("guard/failures_detected").add(failures_detected);
@@ -17,12 +35,24 @@ DegradationStats DegradationStats::from_snapshot(
   stats.failures_detected = snap.counter_or("guard/failures_detected");
   stats.fallback_episodes = snap.counter_or("guard/fallback_episodes");
   stats.retries = snap.counter_or("guard/retries");
+  // The gauge encodes a bool as exactly 0.0 or 1.0; exact compare is the
+  // correct decoding.  capman-lint: allow(float-compare)
   stats.in_fallback = snap.gauge_or("guard/in_fallback") != 0.0;
   return stats;
 }
 
 DegradationGuard::DegradationGuard(const DegradationConfig& config)
-    : config_(config) {}
+    : config_(config) {
+  if (!config_.enabled) return;  // disabled guard never reads its knobs
+  const auto errors = config_.validate();
+  if (!errors.empty()) {
+    std::string message = "invalid DegradationConfig:";
+    for (const auto& error : errors) {
+      message += "\n  - " + error;
+    }
+    throw std::invalid_argument(message);
+  }
+}
 
 battery::BatterySelection DegradationGuard::filter(
     util::Seconds now, battery::BatterySelection observed,

@@ -25,6 +25,8 @@
 
 #include <cstddef>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "battery/switcher.h"
 #include "obs/metrics.h"
@@ -41,10 +43,10 @@ struct DegradationConfig {
   double retry_backoff = 2.0;
   util::Seconds retry_max{16.0};
 
-  [[nodiscard]] bool valid() const {
-    return detect_after.value() > 0.0 && retry_initial.value() > 0.0 &&
-           retry_backoff >= 1.0 && retry_max >= retry_initial;
-  }
+  /// Human-readable configuration errors; empty means valid. Checked by
+  /// the DegradationGuard constructor (throws std::invalid_argument when
+  /// the guard is enabled).
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 /// Telemetry of the guard; threaded into sim::FaultStats by the engine.

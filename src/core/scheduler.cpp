@@ -49,25 +49,16 @@ void OnlineScheduler::observe(const Observation& obs) { mdp_.observe(obs); }
 
 double OnlineScheduler::recalibrate() {
   const obs::ScopedSpan span{"scheduler.recalibrate", "core"};
+  // Declared instrumentation: wall time is only reported, never read back
+  // into the decision path.  capman-lint: allow(determinism)
   const auto start = std::chrono::steady_clock::now();
   graph_ = MdpGraph::from_mdp(mdp_, config_.min_observations);
-  SimilarityConfig sim_config;
-  sim_config.c_s = config_.c_s;
-  sim_config.c_a = config_.c_a;
-  sim_config.epsilon = config_.epsilon;
-  sim_config.max_iterations = config_.max_iterations;
-  sim_config.absorbing_distance = config_.absorbing_distance;
-  sim_config.num_threads = config_.similarity_threads;
-  sim_config.use_emd_cache = config_.similarity_emd_cache;
-  sim_config.skip_frozen_pairs = config_.similarity_skip_frozen;
+  SimilarityConfig sim_config = config_.similarity_config();
   sim_config.metrics = metrics_;
   sim_config.publish_timings = publish_timings_;
   similarity_ = compute_structural_similarity(graph_, sim_config);
 
-  ValueIterationConfig vi_config;
-  vi_config.rho = config_.rho;
-  vi_config.epsilon = 1e-9;
-  values_ = solve_values(graph_, vi_config);
+  values_ = solve_values(graph_, config_.value_iteration_config());
 
   action_vertex_index_.clear();
   for (std::size_t av = 0; av < graph_.action_count(); ++av) {
@@ -76,6 +67,7 @@ double OnlineScheduler::recalibrate() {
                                 a.action_id)] = av;
   }
   ++recals_;
+  // capman-lint: allow(determinism)
   const auto end = std::chrono::steady_clock::now();
   const double seconds = std::chrono::duration<double>(end - start).count();
   if (metrics_ != nullptr) {

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/mdp_graph.h"
@@ -70,6 +71,10 @@ struct SimilarityConfig {
   // one nondeterministic measurement: deterministic snapshots stay
   // comparable run-to-run when this is off.
   bool publish_timings = false;
+
+  /// Human-readable configuration errors; empty means valid. Reached from
+  /// CapmanConfig::validate() via CapmanConfig::similarity_config().
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 /// Per-solve instrumentation of the similarity engine. Pair counters are

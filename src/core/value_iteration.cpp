@@ -8,6 +8,20 @@
 
 namespace capman::core {
 
+std::vector<std::string> ValueIterationConfig::validate() const {
+  std::vector<std::string> errors;
+  if (!(rho > 0.0 && rho < 1.0)) {
+    errors.push_back("rho must be in (0, 1)");
+  }
+  if (!(epsilon > 0.0)) {
+    errors.push_back("epsilon must be > 0");
+  }
+  if (!(max_iterations > 0)) {
+    errors.push_back("max_iterations must be > 0");
+  }
+  return errors;
+}
+
 ValueIterationResult solve_values(const MdpGraph& graph,
                                   const ValueIterationConfig& config) {
   assert(config.rho > 0.0 && config.rho < 1.0);

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/mdp_graph.h"
@@ -16,6 +17,10 @@ struct ValueIterationConfig {
   double rho = 0.8;      // discount factor
   double epsilon = 1e-9;
   std::size_t max_iterations = 100000;
+
+  /// Human-readable configuration errors; empty means valid. Reached from
+  /// CapmanConfig::validate() via CapmanConfig::value_iteration_config().
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 struct ValueIterationResult {

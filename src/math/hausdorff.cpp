@@ -13,6 +13,8 @@ double directed_hausdorff(std::size_t size_a, std::size_t size_b,
     double best = d(i, 0);
     for (std::size_t j = 1; j < size_b; ++j) {
       best = std::min(best, d(i, j));
+      // Early exit on an exact zero distance (the floor of the min scan);
+      // a tolerance would change results.  capman-lint: allow(float-compare)
       if (best == 0.0) break;
     }
     worst = std::max(worst, best);

@@ -137,8 +137,15 @@ struct MetricsSnapshot {
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
+  // Non-copyable AND non-movable: instrument handles (Counter&/Gauge&/
+  // Histogram&) returned below alias registry-owned storage, and
+  // subsystems hold them across the registry's lifetime — a move would
+  // silently dangle every bound instrument. Locked in by
+  // tests/util/type_traits_test.
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+  MetricsRegistry(MetricsRegistry&&) = delete;
+  MetricsRegistry& operator=(MetricsRegistry&&) = delete;
 
   /// Instrument by name, created on first use; the reference stays valid
   /// for the registry's lifetime. Re-registering a histogram name with

@@ -1,9 +1,35 @@
 #include "obs/telemetry.h"
 
+#include <cstddef>
 #include <fstream>
 #include <stdexcept>
 
 namespace capman::obs {
+
+std::vector<std::string> TelemetryConfig::validate() const {
+  std::vector<std::string> errors;
+  if (verbose_spans && !spans_enabled()) {
+    errors.push_back("verbose_spans requires spans_path to be set");
+  }
+  // Each enabled sink writes (and truncates) its own file; two sinks
+  // sharing a path would silently clobber each other.
+  const struct {
+    const char* name;
+    const std::string& path;
+  } sinks[] = {{"metrics_json_path", metrics_json_path},
+               {"decision_trace_path", decision_trace_path},
+               {"spans_path", spans_path}};
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      if (!sinks[i].path.empty() && sinks[i].path == sinks[j].path) {
+        errors.push_back(std::string(sinks[i].name) + " and " +
+                         sinks[j].name + " must not share a file (" +
+                         sinks[i].path + ")");
+      }
+    }
+  }
+  return errors;
+}
 
 Telemetry::Telemetry(const TelemetryConfig& config) : config_(config) {
   if (config_.decisions_enabled()) {

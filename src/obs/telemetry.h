@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "obs/decision_trace.h"
 #include "obs/metrics.h"
@@ -46,6 +47,10 @@ struct TelemetryConfig {
     return !metrics_json_path.empty() || decisions_enabled() ||
            spans_enabled();
   }
+
+  /// Human-readable configuration errors; empty means valid. Aggregated by
+  /// sim::SimConfig::validate() under "telemetry.".
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 class Telemetry {

@@ -2,8 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace capman::policy {
+
+std::vector<std::string> OracleConfig::validate() const {
+  std::vector<std::string> errors;
+  if (!(little_reserve_soc >= 0.0 && little_reserve_soc < 1.0)) {
+    errors.push_back("little_reserve_soc must be in [0, 1)");
+  }
+  if (!(scarcity_weight >= 0.0)) {
+    errors.push_back("scarcity_weight must be >= 0");
+  }
+  if (!(lookahead_cap_s > 0.0)) {
+    errors.push_back("lookahead_cap_s must be > 0");
+  }
+  return errors;
+}
+
+OraclePolicy::OraclePolicy(const OracleConfig& config) : config_(config) {
+  const auto errors = config_.validate();
+  if (!errors.empty()) {
+    std::string message = "invalid OracleConfig:";
+    for (const auto& error : errors) {
+      message += "\n  - " + error;
+    }
+    throw std::invalid_argument(message);
+  }
+}
 
 double OraclePolicy::interval_cost(battery::Cell cell, double avg_w,
                                    double peak_w, double duration_s) const {

@@ -11,6 +11,9 @@
 // in practice, which is the role the paper's Oracle plays.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "policy/policy.h"
 
 namespace capman::policy {
@@ -19,11 +22,15 @@ struct OracleConfig {
   double little_reserve_soc = 0.06;  // keep LITTLE above this for surges
   double scarcity_weight = 1.0;      // how strongly scarcity is penalized
   double lookahead_cap_s = 10.0;     // cap on simulated lookahead horizon
+
+  /// Human-readable configuration errors; empty means valid. Checked by
+  /// the OraclePolicy constructor (throws std::invalid_argument).
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 class OraclePolicy final : public BatteryPolicy {
  public:
-  explicit OraclePolicy(const OracleConfig& config = {}) : config_(config) {}
+  explicit OraclePolicy(const OracleConfig& config = {});
 
   [[nodiscard]] std::string name() const override { return "Oracle"; }
   battery::BatterySelection on_event(const PolicyContext& context,

@@ -18,13 +18,18 @@ std::vector<std::string> SimConfig::validate() const {
   require(max_duration.value() > 0.0, "max_duration must be > 0");
   require(death_grace.value() > 0.0, "death_grace must be > 0");
   require(series_period.value() > 0.0, "series_period must be > 0");
-  require(pack_config.big_capacity_mah > 0.0,
-          "pack_config.big_capacity_mah must be > 0");
-  require(pack_config.little_capacity_mah > 0.0,
-          "pack_config.little_capacity_mah must be > 0");
   require(practice_capacity_mah > 0.0, "practice_capacity_mah must be > 0");
-  for (auto& error : pack_config.switch_config.validate()) {
-    errors.push_back("pack_config.switch_config: " + error);
+  for (auto& error : pack_config.validate()) {
+    errors.push_back("pack_config." + error);
+  }
+  for (auto& error : thermal_config.validate()) {
+    errors.push_back("thermal_config." + error);
+  }
+  for (auto& error : cooling_config.validate()) {
+    errors.push_back("cooling_config." + error);
+  }
+  for (auto& error : telemetry.validate()) {
+    errors.push_back("telemetry." + error);
   }
   for (auto& error : faults.validate()) {
     errors.push_back(std::move(error));

@@ -85,6 +85,15 @@ class ExperimentRunner {
   explicit ExperimentRunner(device::PhoneModel phone,
                             RunnerOptions options = {});
 
+  // Non-copyable AND non-movable: the runner is the stable owner of the
+  // engine (and thereby the validated config) for a whole experiment;
+  // every call site constructs it in place. Locked in by
+  // tests/util/type_traits_test.
+  ExperimentRunner(const ExperimentRunner&) = delete;
+  ExperimentRunner& operator=(const ExperimentRunner&) = delete;
+  ExperimentRunner(ExperimentRunner&&) = delete;
+  ExperimentRunner& operator=(ExperimentRunner&&) = delete;
+
   /// Fresh policy instance of `kind` wired to this runner's seed; CAPMAN
   /// additionally gets its DegradationGuard armed when the fault plan can
   /// actually fire (graceful degradation is pointless — and would perturb

@@ -18,7 +18,11 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 bool FaultPlanConfig::any_active() const {
   return stuck_rate_per_min > 0.0 || latency_jitter_frac > 0.0 ||
          latency_spike_prob > 0.0 || transient_fail_prob > 0.0 ||
+         // The biases default to exactly 0.0 ("fault disabled"); comparing
+         // against the sentinel is intentional.
+         // capman-lint: allow(float-compare)
          droop_prob > 0.0 || soc_bias != 0.0 || soc_noise_stddev > 0.0 ||
+         // capman-lint: allow(float-compare)
          temp_bias_c != 0.0 || temp_noise_stddev_c > 0.0 ||
          sensor_dropout_prob > 0.0;
 }
@@ -211,6 +215,8 @@ double SensorChannel::read(double true_value) {
     return last_reading_;
   }
   double reading = true_value;
+  // Exact-0.0 sentinel: an untouched channel must stay byte-identical to
+  // the no-fault path.  capman-lint: allow(float-compare)
   if (bias_ != 0.0 || noise_stddev_ > 0.0) {
     reading += bias_;
     if (noise_stddev_ > 0.0) reading += rng_.normal(0.0, noise_stddev_);

@@ -1,9 +1,31 @@
 #include "thermal/controller.h"
 
+#include <stdexcept>
+
 namespace capman::thermal {
 
+std::vector<std::string> CoolingControllerConfig::validate() const {
+  std::vector<std::string> errors;
+  if (!(threshold.value() > -273.15)) {
+    errors.push_back("threshold must be above absolute zero");
+  }
+  if (!(hysteresis.value() >= 0.0)) {
+    errors.push_back("hysteresis must be >= 0");
+  }
+  return errors;
+}
+
 CoolingController::CoolingController(const CoolingControllerConfig& config)
-    : config_(config) {}
+    : config_(config) {
+  const auto errors = config_.validate();
+  if (!errors.empty()) {
+    std::string message = "invalid CoolingControllerConfig:";
+    for (const auto& error : errors) {
+      message += "\n  - " + error;
+    }
+    throw std::invalid_argument(message);
+  }
+}
 
 bool CoolingController::update(PhoneThermal& thermal) {
   const util::Celsius hot_spot = thermal.cpu_temperature();

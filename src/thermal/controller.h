@@ -3,6 +3,9 @@
 // Section IV). A hysteresis band prevents relay chatter.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "thermal/phone_thermal.h"
 #include "util/units.h"
 
@@ -11,6 +14,11 @@ namespace capman::thermal {
 struct CoolingControllerConfig {
   util::Celsius threshold{45.0};
   util::KelvinDiff hysteresis{2.0};  // turn off below threshold - hysteresis
+
+  /// Human-readable configuration errors; empty means valid. Checked by
+  /// the CoolingController constructor and aggregated by
+  /// sim::SimConfig::validate() under "cooling_config.".
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 class CoolingController {

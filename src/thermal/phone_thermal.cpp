@@ -2,6 +2,25 @@
 
 namespace capman::thermal {
 
+std::vector<std::string> PhoneThermalConfig::validate() const {
+  std::vector<std::string> errors;
+  auto require = [&errors](bool ok, const char* message) {
+    if (!ok) errors.emplace_back(message);
+  };
+  require(ambient.value() > -273.15, "ambient must be above absolute zero");
+  require(cpu_capacity > 0.0, "cpu_capacity must be > 0");
+  require(board_capacity > 0.0, "board_capacity must be > 0");
+  require(battery_capacity > 0.0, "battery_capacity must be > 0");
+  require(surface_capacity > 0.0, "surface_capacity must be > 0");
+  require(cpu_board >= 0.0, "cpu_board must be >= 0");
+  require(cpu_surface >= 0.0, "cpu_surface must be >= 0");
+  require(board_surface >= 0.0, "board_surface must be >= 0");
+  require(battery_board >= 0.0, "battery_board must be >= 0");
+  require(battery_surface >= 0.0, "battery_surface must be >= 0");
+  require(surface_ambient >= 0.0, "surface_ambient must be >= 0");
+  return errors;
+}
+
 PhoneThermal::PhoneThermal(const PhoneThermalConfig& config,
                            const TecParams& tec_params)
     : tec_(tec_params) {

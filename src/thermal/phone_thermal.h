@@ -4,6 +4,9 @@
 // guards).
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "thermal/network.h"
 #include "thermal/tec.h"
 #include "util/units.h"
@@ -27,6 +30,10 @@ struct PhoneThermalConfig {
   double battery_board = 0.20;
   double battery_surface = 0.15;
   double surface_ambient = 0.30;
+
+  /// Human-readable configuration errors; empty means valid. Aggregated by
+  /// sim::SimConfig::validate() under "thermal_config.".
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 /// The phone's thermal network plus the TEC mounted across CPU (cold side)

@@ -88,6 +88,8 @@ double Rng::pareto(double xm, double alpha) {
 
 std::uint64_t Rng::zipf(std::uint64_t n, double s) {
   assert(n > 0);
+  // Cache key for the memoised CDF: rebuild on any parameter change, so an
+  // exact compare is what we want.  capman-lint: allow(float-compare)
   if (zipf_n_ != n || zipf_s_ != s) {
     zipf_cdf_.resize(n);
     double sum = 0.0;

@@ -47,8 +47,13 @@ class ThreadPool {
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
+  // Non-copyable AND non-movable: workers capture `this` (queue mutex,
+  // condition variables), so a moved-from pool would leave threads
+  // spinning on a dead object. Locked in by tests/util/type_traits_test.
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
+  ThreadPool(ThreadPool&&) = delete;
+  ThreadPool& operator=(ThreadPool&&) = delete;
 
   [[nodiscard]] std::size_t worker_count() const { return workers_; }
 

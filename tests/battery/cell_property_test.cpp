@@ -123,8 +123,8 @@ TEST_P(ChemistrySweep, ChargeDischargeRoundTripLosesEnergy) {
 
 INSTANTIATE_TEST_SUITE_P(AllChemistries, ChemistrySweep,
                          ::testing::ValuesIn(all_chemistries()),
-                         [](const auto& info) {
-                           return std::string{to_string(info.param)};
+                         [](const auto& param_info) {
+                           return std::string{to_string(param_info.param)};
                          });
 
 struct LoadCase {

@@ -19,6 +19,20 @@ Cell drained_cell(Chemistry chem, double mah, double watts, double seconds) {
   return cell;
 }
 
+TEST(Charger, ConfigValidateNamesTheInvalidField) {
+  EXPECT_TRUE(ChargerConfig{}.validate().empty());
+  ChargerConfig bad;
+  bad.cc_c_rate = 0.0;
+  bad.efficiency = 1.5;
+  const auto errors = bad.validate();
+  // cc_c_rate = 0 also invalidates the cutoff < cc_c_rate relation.
+  ASSERT_EQ(errors.size(), 3u);
+  EXPECT_NE(errors[0].find("cc_c_rate"), std::string::npos);
+  EXPECT_NE(errors[1].find("cutoff_c_rate"), std::string::npos);
+  EXPECT_NE(errors[2].find("efficiency"), std::string::npos);
+  EXPECT_THROW(Charger{bad}, std::invalid_argument);
+}
+
 TEST(Charger, FullCellIsDoneImmediately) {
   Cell cell{Chemistry::kNCA, 1000.0};
   Charger charger;

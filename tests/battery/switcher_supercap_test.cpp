@@ -129,6 +129,30 @@ TEST(Switcher, ConfigValidateAcceptsDefaultsAndCatchesNonsense) {
   EXPECT_EQ(bad.validate().size(), 4u);
 }
 
+TEST(Switcher, ValidationErrorsNameTheInvalidField) {
+  // L3 contract: each message carries the exact member name so an engine
+  // constructor throw is actionable without reading switcher.cpp.
+  const auto sole_error_mentions = [](void (*mutate)(SwitchFacilityConfig&),
+                                      const char* field) {
+    SwitchFacilityConfig config;
+    mutate(config);
+    const auto errors = config.validate();
+    EXPECT_EQ(errors.size(), 1u) << field;
+    return !errors.empty() &&
+           errors.front().find(field) != std::string::npos;
+  };
+  EXPECT_TRUE(sole_error_mentions(
+      [](auto& c) { c.latency = Seconds{-0.001}; }, "latency"));
+  EXPECT_TRUE(sole_error_mentions(
+      [](auto& c) { c.switch_loss = util::Joules{-1.0}; }, "switch_loss"));
+  EXPECT_TRUE(sole_error_mentions(
+      [](auto& c) { c.oscillator_hz = 0.0; }, "oscillator_hz"));
+  EXPECT_TRUE(sole_error_mentions(
+      [](auto& c) { c.high_level = c.low_level; }, "high_level"));
+  EXPECT_TRUE(sole_error_mentions(
+      [](auto& c) { c.high_level = c.low_level; }, "low_level"));
+}
+
 TEST(Supercap, StartsFull) {
   Supercapacitor sc{util::Farads{2.0}, util::Volts{4.0}, util::Ohms{0.02}};
   EXPECT_NEAR(sc.fill(), 1.0, 1e-12);

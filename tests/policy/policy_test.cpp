@@ -78,6 +78,18 @@ TEST(Heuristic, ProtectsEmptyLittle) {
             BatterySelection::kBig);
 }
 
+TEST(Oracle, ConfigValidateNamesTheInvalidField) {
+  EXPECT_TRUE(OracleConfig{}.validate().empty());
+  OracleConfig bad;
+  bad.little_reserve_soc = 1.0;
+  bad.lookahead_cap_s = 0.0;
+  const auto errors = bad.validate();
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_NE(errors[0].find("little_reserve_soc"), std::string::npos);
+  EXPECT_NE(errors[1].find("lookahead_cap_s"), std::string::npos);
+  EXPECT_THROW(OraclePolicy{bad}, std::invalid_argument);
+}
+
 TEST(Oracle, DefaultsToBigWithoutPack) {
   OraclePolicy p;
   EXPECT_EQ(p.on_event(context_with(1.0), Action{}), BatterySelection::kBig);

@@ -191,6 +191,40 @@ TEST(SimConfigValidate, ListsEveryProblem) {
   EXPECT_EQ(errors.size(), 4u);
 }
 
+TEST(SimConfigValidate, AggregatesNestedConfigsWithPathPrefixes) {
+  // Every nested *Config is reachable from SimConfig::validate() (the L3
+  // lint contract) and each error is prefixed with the member path.
+  SimConfig config;
+  config.pack_config.baseline_tau = util::Seconds{0.0};
+  config.pack_config.switch_config.oscillator_hz = 0.0;
+  config.thermal_config.cpu_capacity = -1.0;
+  config.cooling_config.hysteresis = util::KelvinDiff{-1.0};
+  config.telemetry.verbose_spans = true;  // without spans_path
+  const auto errors = config.validate();
+  ASSERT_EQ(errors.size(), 5u);
+  const auto has = [&errors](const std::string& needle) {
+    for (const auto& e : errors) {
+      if (e.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("pack_config.baseline_tau"));
+  EXPECT_TRUE(has("pack_config.switch_config: oscillator_hz"));
+  EXPECT_TRUE(has("thermal_config.cpu_capacity"));
+  EXPECT_TRUE(has("cooling_config.hysteresis"));
+  EXPECT_TRUE(has("telemetry.verbose_spans"));
+}
+
+TEST(SimConfigValidate, TelemetrySinksMustNotShareAFile) {
+  SimConfig config;
+  config.telemetry.decision_trace_path = "same.out";
+  config.telemetry.spans_path = "same.out";
+  const auto errors = config.validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors.front().find("decision_trace_path"), std::string::npos);
+  EXPECT_NE(errors.front().find("spans_path"), std::string::npos);
+}
+
 TEST(SimConfigValidate, EngineConstructionRejectsInvalidConfig) {
   SimConfig config;
   config.dt = util::Seconds{0.0};

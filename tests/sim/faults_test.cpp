@@ -76,6 +76,35 @@ TEST(FaultPlan, ValidateCatchesMalformedKnobs) {
   EXPECT_GE(errors.size(), 6u);
 }
 
+TEST(FaultPlan, ValidationErrorsNameTheInvalidField) {
+  // The L3 contract (DESIGN.md §11): every validation message must carry
+  // the exact member name, so an engine-ctor throw is actionable without
+  // grepping the source.
+  const auto errors_mention = [](void (*mutate)(FaultPlanConfig&),
+                                 const char* field) {
+    FaultPlanConfig plan;
+    mutate(plan);
+    const auto errors = plan.validate();
+    EXPECT_EQ(errors.size(), 1u) << field;
+    return !errors.empty() &&
+           errors.front().find(field) != std::string::npos;
+  };
+  EXPECT_TRUE(errors_mention([](auto& p) { p.stuck_rate_per_min = -1.0; },
+                             "stuck_rate_per_min"));
+  EXPECT_TRUE(errors_mention([](auto& p) { p.stuck_min_duration = Seconds{0.0}; },
+                             "stuck_min_duration"));
+  EXPECT_TRUE(errors_mention([](auto& p) { p.latency_spike_prob = 2.0; },
+                             "latency_spike_prob"));
+  EXPECT_TRUE(errors_mention([](auto& p) { p.transient_fail_prob = 1.0; },
+                             "transient_fail_prob"));
+  EXPECT_TRUE(errors_mention([](auto& p) { p.droop_ride_through = -0.2; },
+                             "droop_ride_through"));
+  EXPECT_TRUE(errors_mention([](auto& p) { p.soc_noise_stddev = -0.1; },
+                             "soc_noise_stddev"));
+  EXPECT_TRUE(errors_mention([](auto& p) { p.sensor_dropout_prob = 1.0; },
+                             "sensor_dropout_prob"));
+}
+
 // ---------------------------------------------------------------------------
 // FaultySwitchFacility
 
