@@ -53,6 +53,18 @@ run_check schema-selftest python3 \
 run_check asan            "$repo_root/scripts/check_asan.sh"
 run_check tsan            "$repo_root/scripts/check_tsan.sh"
 
+# Small-fleet smoke: the FleetRunner bit-identity contract on 10^3
+# devices (bench_fleet_scaling --smoke; exit 77 = constrained machine).
+fleet_smoke() {
+  local bench="$build_dir/bench/bench_fleet_scaling"
+  if [[ ! -x "$bench" ]]; then
+    echo "fleet-smoke: $bench not built; run cmake --build $build_dir first" >&2
+    return 1
+  fi
+  "$bench" --smoke
+}
+run_check fleet-smoke     fleet_smoke
+
 echo
 echo "================ check_all summary ================"
 printf '%-18s %-6s %s\n' "check" "result" "time"

@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# Fails when a benchmark binary is missing from the per-figure reproduction
-# guide: every bench/bench_*.cpp target must be mentioned (as its target
-# name, e.g. `bench_fig06_tec`) in EXPERIMENTS.md. Wired into CTest as the
-# `docs_check` test; run manually with scripts/check_docs.sh.
+# Docs drift gates, wired into CTest as the `docs_check` test; run
+# manually with scripts/check_docs.sh. Two checks:
+#
+#  1. Every bench/bench_*.cpp target must be mentioned (as its target
+#     name, e.g. `bench_fig06_tec`) in the EXPERIMENTS.md reproduction
+#     guide.
+#  2. docs/FLEET.md must exist, be linked from README.md, and document
+#     every public type of the FleetRunner API (each struct/class/enum
+#     name declared in src/sim/fleet.h must appear in the doc) — so the
+#     operator guide fails the build when the API drifts.
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -22,8 +28,30 @@ for src in "$repo_root"/bench/bench_*.cpp; do
   fi
 done
 
+# --- FLEET.md stays in lockstep with the public FleetRunner API ---------
+fleet_doc="$repo_root/docs/FLEET.md"
+fleet_header="$repo_root/src/sim/fleet.h"
+
+if [[ ! -f "$fleet_doc" ]]; then
+  echo "check_docs: docs/FLEET.md not found (the FleetRunner operator guide is mandatory)" >&2
+  missing=$((missing + 1))
+else
+  if ! grep -q "docs/FLEET.md" "$repo_root/README.md"; then
+    echo "check_docs: README.md does not link docs/FLEET.md" >&2
+    missing=$((missing + 1))
+  fi
+  # Every public type declared in fleet.h must appear in FLEET.md.
+  while IFS= read -r symbol; do
+    if ! grep -q "$symbol" "$fleet_doc"; then
+      echo "check_docs: fleet API type '$symbol' (src/sim/fleet.h) is not documented in docs/FLEET.md" >&2
+      missing=$((missing + 1))
+    fi
+  done < <(sed -n -E 's/^(struct|class|enum class) ([A-Za-z0-9_]+).*/\2/p' \
+             "$fleet_header" | sort -u)
+fi
+
 if [[ $missing -gt 0 ]]; then
-  echo "check_docs: $missing undocumented benchmark target(s); add a section to EXPERIMENTS.md" >&2
+  echo "check_docs: $missing doc drift problem(s); update EXPERIMENTS.md / docs/FLEET.md" >&2
   exit 1
 fi
-echo "check_docs: every bench target is documented in EXPERIMENTS.md"
+echo "check_docs: every bench target is documented and docs/FLEET.md covers the fleet API"

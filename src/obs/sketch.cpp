@@ -1,0 +1,102 @@
+#include "obs/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace capman::obs {
+
+namespace {
+// Observations below this floor count as exact zeros: log-buckets cannot
+// represent 0, and fleet metrics this small (sub-nanosecond lifetimes,
+// sub-nano-degree temperatures) are indistinguishable from it.
+constexpr double kZeroFloor = 1e-9;
+}  // namespace
+
+QuantileSketch::QuantileSketch(double relative_error)
+    : alpha_(relative_error),
+      gamma_((1.0 + relative_error) / (1.0 - relative_error)),
+      inv_log_gamma_(1.0 / std::log(gamma_)) {
+  if (!(relative_error > 0.0) || !(relative_error < 1.0)) {
+    throw std::invalid_argument(
+        "QuantileSketch relative_error must be in (0, 1)");
+  }
+}
+
+std::int32_t QuantileSketch::bucket_index(double v) const {
+  // Bucket i holds (gamma^(i-1), gamma^i]; ceil keeps the bound one-sided
+  // so bucket_value() (the geometric midpoint) is within alpha of v.
+  return static_cast<std::int32_t>(std::ceil(std::log(v) * inv_log_gamma_));
+}
+
+double QuantileSketch::bucket_value(std::int32_t index) const {
+  // Midpoint of (gamma^(i-1), gamma^i] in the relative-error metric.
+  return 2.0 * std::pow(gamma_, index) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::observe(double v) {
+  if (v < 0.0 || std::isnan(v)) {
+    throw std::invalid_argument(
+        "QuantileSketch::observe requires a non-negative value");
+  }
+  if (!has_extremes_) {
+    min_ = max_ = v;
+    has_extremes_ = true;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  if (v < kZeroFloor) {
+    ++zero_count_;
+    return;
+  }
+  ++buckets_[bucket_index(v)];
+  ++count_;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.alpha_ < alpha_ || other.alpha_ > alpha_) {
+    throw std::invalid_argument(
+        "QuantileSketch::merge requires identical relative_error");
+  }
+  for (const auto& [index, n] : other.buckets_) buckets_[index] += n;
+  zero_count_ += other.zero_count_;
+  count_ += other.count_;
+  if (other.has_extremes_) {
+    if (!has_extremes_) {
+      min_ = other.min_;
+      max_ = other.max_;
+      has_extremes_ = true;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max();
+  // Rank of the q-quantile in the observation multiset (nearest-rank).
+  const auto total = count();
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total - 1));
+  if (rank < zero_count_) return 0.0;
+  std::uint64_t cumulative = zero_count_;
+  for (const auto& [index, n] : buckets_) {
+    cumulative += n;
+    if (rank < cumulative) {
+      // Clamp to the exact extremes so estimates never leave the observed
+      // range (the top bucket's midpoint can overshoot max).
+      return std::clamp(bucket_value(index), min_, max_);
+    }
+  }
+  return max();
+}
+
+double QuantileSketch::min() const { return has_extremes_ ? min_ : 0.0; }
+
+double QuantileSketch::max() const { return has_extremes_ ? max_ : 0.0; }
+
+}  // namespace capman::obs

@@ -1,0 +1,77 @@
+// Mergeable fixed-accuracy quantile sketch for fleet-scale aggregation.
+//
+// A DDSketch-style log-bucketed sketch: every observation lands in the
+// bucket whose geometric bounds contain it, so any quantile estimate
+// carries a guaranteed *relative* error bound (quantile() returns a value
+// within `relative_error` of a true sample value at that rank). Memory is
+// O(log(max/min) / relative_error) buckets regardless of how many values
+// stream through — the property that keeps a million-device fleet run
+// flat per device where exact percentiles would not be.
+//
+// Determinism contract (what sim::FleetRunner leans on):
+//  * bucket indices are a pure function of the value, so the bucket
+//    multiset after observing a set of values is independent of
+//    observation order;
+//  * merge() adds integer bucket counts and takes exact min/max — merging
+//    per-shard sketches in any grouping yields bit-identical state to one
+//    sketch observing every value;
+//  * there is deliberately NO floating-point running sum inside (sums are
+//    order-sensitive; keep them in the caller, quantized, if needed).
+//
+// Values <= 0 (a device with zero switches, say) are counted exactly in a
+// dedicated bucket; negative values are not supported (std::invalid_
+// argument) — every fleet metric sketched so far is non-negative.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace capman::obs {
+
+class QuantileSketch {
+ public:
+  /// `relative_error` in (0, 1): the guaranteed bound on
+  /// |estimate - true| / true for any quantile of the positive values.
+  /// Throws std::invalid_argument outside that range.
+  explicit QuantileSketch(double relative_error = 0.01);
+
+  /// Record one value. Requires v >= 0 (throws std::invalid_argument);
+  /// values below the resolution floor (1e-9) count as exact zeros.
+  void observe(double v);
+
+  /// Fold `other` into this sketch. Requires identical relative_error
+  /// (throws std::invalid_argument): sketches merge bucket-for-bucket.
+  void merge(const QuantileSketch& other);
+
+  /// Estimate the q-quantile (q in [0, 1], clamped) of everything
+  /// observed; 0.0 when empty. q = 0 / q = 1 return the exact min / max.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t count() const { return zero_count_ + count_; }
+  /// Exact smallest / largest observation (0.0 when empty).
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double relative_error() const { return alpha_; }
+  [[nodiscard]] bool empty() const { return count() == 0; }
+  /// Number of live buckets (the memory footprint, for budget tests).
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  [[nodiscard]] std::int32_t bucket_index(double v) const;
+  [[nodiscard]] double bucket_value(std::int32_t index) const;
+
+  double alpha_;          // guaranteed relative error
+  double gamma_;          // bucket growth factor (1 + a) / (1 - a)
+  double inv_log_gamma_;  // 1 / ln(gamma), cached for bucket_index
+  // Sorted map so iteration (quantile walks) is deterministic and ordered
+  // by value. uint64 counts: merges are exact integer additions.
+  std::map<std::int32_t, std::uint64_t> buckets_;
+  std::uint64_t zero_count_ = 0;  // observations below the resolution floor
+  std::uint64_t count_ = 0;       // positive observations
+  double min_ = 0.0;              // exact extremes (order-independent)
+  double max_ = 0.0;
+  bool has_extremes_ = false;
+};
+
+}  // namespace capman::obs

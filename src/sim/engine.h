@@ -65,7 +65,7 @@ struct SimConfig {
 
 /// The testbed. Stateless between runs: every run() builds a fresh pack,
 /// thermal stack and metrics pipeline from the config, so one engine can
-/// race many policies on the same trace (sim::run_policy_comparison).
+/// race many policies on the same trace (sim::ExperimentRunner::compare).
 class SimEngine {
  public:
   /// Throws std::invalid_argument listing every problem when

@@ -156,32 +156,6 @@ std::vector<SimResult> ExperimentRunner::run_cycles(
   return results;
 }
 
-// ---------------------------------------------------------------------------
-// Legacy shims
-
-std::unique_ptr<policy::BatteryPolicy> make_policy(PolicyKind kind,
-                                                   std::uint64_t seed) {
-  return build_policy_impl(kind, seed, core::CapmanConfig{},
-                           core::DegradationConfig{});
-}
-
-std::vector<SimResult> run_policy_comparison(const workload::Trace& trace,
-                                             const device::PhoneModel& phone,
-                                             const SimConfig& config,
-                                             std::uint64_t seed) {
-  ExperimentRunner runner{phone, {config, seed, std::nullopt}};
-  return runner.compare(trace).to_vector();
-}
-
-std::vector<SimResult> run_multi_cycle(const workload::Trace& trace,
-                                       const device::PhoneModel& phone,
-                                       const SimConfig& config,
-                                       PolicyKind kind, std::size_t cycles,
-                                       std::uint64_t seed) {
-  ExperimentRunner runner{phone, {config, seed, std::nullopt}};
-  return runner.run_cycles(trace, kind, cycles);
-}
-
 double improvement_pct(double a, double b) {
   return b > 0.0 ? 100.0 * (a - b) / b : 0.0;
 }

@@ -3,9 +3,9 @@
 // ExperimentRunner is the front door: it owns the simulation configuration,
 // the phone model, an explicit seed and an optional fault plan, and runs
 // single policies, the paper's five-way comparison, or multi-cycle learning
-// runs. The legacy free functions (make_policy, run_policy_comparison,
-// run_multi_cycle) are kept as thin shims over the runner for older call
-// sites; new code should construct an ExperimentRunner.
+// runs. All call sites construct an ExperimentRunner (the pre-PR-2 free
+// functions are gone); sim::FleetRunner scales the same front door to whole
+// device populations.
 //
 // Policy display names ("Oracle", "CAPMAN", "Dual", "Heuristic",
 // "Practice") are a stable API: tables, CSV headers and find() lookups key
@@ -127,28 +127,6 @@ class ExperimentRunner {
   core::CapmanConfig capman_;
   SimEngine engine_;
 };
-
-// ---------------------------------------------------------------------------
-// Legacy shims. Deprecated: construct an ExperimentRunner instead. Kept as
-// plain functions (not [[deprecated]]) so existing out-of-tree callers
-// build warning-free while they migrate.
-
-/// Deprecated shim over ExperimentRunner::build_policy (guard always off).
-std::unique_ptr<policy::BatteryPolicy> make_policy(PolicyKind kind,
-                                                   std::uint64_t seed = 42);
-
-/// Deprecated shim over ExperimentRunner::compare().to_vector().
-std::vector<SimResult> run_policy_comparison(const workload::Trace& trace,
-                                             const device::PhoneModel& phone,
-                                             const SimConfig& config,
-                                             std::uint64_t seed = 42);
-
-/// Deprecated shim over ExperimentRunner::run_cycles.
-std::vector<SimResult> run_multi_cycle(const workload::Trace& trace,
-                                       const device::PhoneModel& phone,
-                                       const SimConfig& config,
-                                       PolicyKind kind, std::size_t cycles,
-                                       std::uint64_t seed = 42);
 
 /// Percentage improvement of a over b: 100 * (a - b) / b.
 double improvement_pct(double a, double b);

@@ -1,0 +1,511 @@
+#include "sim/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "device/phone.h"
+#include "obs/metrics.h"
+#include "util/sharding.h"
+#include "util/thread_pool.h"
+#include "workload/generators.h"
+
+namespace capman::sim {
+
+const char* to_string(FleetPhone phone) {
+  switch (phone) {
+    case FleetPhone::kNexus: return "nexus";
+    case FleetPhone::kHonor: return "honor";
+    case FleetPhone::kLenovo: return "lenovo";
+  }
+  return "?";
+}
+
+const char* to_string(FleetWorkload workload) {
+  switch (workload) {
+    case FleetWorkload::kGeekbench: return "geekbench";
+    case FleetWorkload::kPcmark: return "pcmark";
+    case FleetWorkload::kVideo: return "video";
+    case FleetWorkload::kLocalVideo: return "localvideo";
+    case FleetWorkload::kIdleScreenOn: return "idle";
+    case FleetWorkload::kEtaStatic: return "eta";
+    case FleetWorkload::kScreenToggle: return "toggle";
+  }
+  return "?";
+}
+
+namespace {
+
+device::PhoneProfile profile_for(FleetPhone phone) {
+  switch (phone) {
+    case FleetPhone::kNexus: return device::nexus_profile();
+    case FleetPhone::kHonor: return device::honor_profile();
+    case FleetPhone::kLenovo: return device::lenovo_profile();
+  }
+  return device::nexus_profile();
+}
+
+std::unique_ptr<workload::WorkloadGenerator> make_generator(
+    const PopulationSpec::WorkloadChoice& choice) {
+  switch (choice.workload) {
+    case FleetWorkload::kGeekbench: return workload::make_geekbench();
+    case FleetWorkload::kPcmark: return workload::make_pcmark();
+    case FleetWorkload::kVideo: return workload::make_video();
+    case FleetWorkload::kLocalVideo: return workload::make_local_video();
+    case FleetWorkload::kIdleScreenOn: return workload::make_idle_screen_on();
+    case FleetWorkload::kEtaStatic:
+      return workload::make_eta_static(choice.eta);
+    case FleetWorkload::kScreenToggle:
+      return workload::make_screen_toggle(choice.toggle_period);
+  }
+  return workload::make_video();
+}
+
+/// Weighted pick: walk the cumulative weights with one uniform draw.
+/// validate() guarantees a positive total, so the walk always lands.
+template <typename Choice>
+const Choice& pick_weighted(const std::vector<Choice>& choices,
+                            util::Rng& rng) {
+  double total = 0.0;
+  for (const auto& choice : choices) total += std::max(choice.weight, 0.0);
+  double x = rng.uniform(0.0, total);
+  for (const auto& choice : choices) {
+    const double w = std::max(choice.weight, 0.0);
+    if (x < w) return choice;
+    x -= w;
+  }
+  return choices.back();
+}
+
+/// splitmix64 finalizer (the mixing half of the generator seeding
+/// util::Rng): full-avalanche, so consecutive device ids land on
+/// statistically independent seeds.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Domain-separation salts so the sampling stream, the trace/policy seed
+// and the fault stream of one device never alias.
+constexpr std::uint64_t kSampleSalt = 0xF1EE75A117ULL;
+constexpr std::uint64_t kFaultSalt = 0xFA0175EEDULL;
+
+std::uint64_t quantize_u64(double value, double scale) {
+  return static_cast<std::uint64_t>(std::llround(std::max(value, 0.0) * scale));
+}
+
+/// Sketches reject negatives; fleet metrics are non-negative by
+/// construction, but clamp defensively so a pathological run cannot
+/// throw inside a worker thread.
+double non_negative(double value) { return std::max(value, 0.0); }
+
+void check_weighted(const char* field, std::size_t size, double max_weight,
+                    double min_weight,
+                    std::vector<std::string>& errors) {
+  if (size == 0) {
+    errors.emplace_back(std::string{field} + " must not be empty");
+    return;
+  }
+  if (min_weight < 0.0) {
+    errors.emplace_back(std::string{field} + " weights must be >= 0");
+  }
+  if (!(max_weight > 0.0)) {
+    errors.emplace_back(std::string{field} +
+                        " needs at least one positive weight");
+  }
+}
+
+template <typename Choice>
+void check_choices(const char* field, const std::vector<Choice>& choices,
+                   std::vector<std::string>& errors) {
+  double max_weight = 0.0;
+  double min_weight = 0.0;
+  for (const auto& choice : choices) {
+    max_weight = std::max(max_weight, choice.weight);
+    min_weight = std::min(min_weight, choice.weight);
+  }
+  check_weighted(field, choices.size(), max_weight, min_weight, errors);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Validation
+
+std::vector<std::string> PopulationSpec::validate() const {
+  std::vector<std::string> errors;
+  auto require = [&errors](bool ok, const char* message) {
+    if (!ok) errors.emplace_back(message);
+  };
+  check_choices("big_chemistries", big_chemistries, errors);
+  check_choices("little_chemistries", little_chemistries, errors);
+  check_choices("workloads", workloads, errors);
+  check_choices("phones", phones, errors);
+  require(big_capacity_mah_lo > 0.0, "big_capacity_mah_lo must be > 0");
+  require(big_capacity_mah_hi >= big_capacity_mah_lo,
+          "big_capacity_mah_hi must be >= big_capacity_mah_lo");
+  require(little_capacity_mah_lo > 0.0,
+          "little_capacity_mah_lo must be > 0");
+  require(little_capacity_mah_hi >= little_capacity_mah_lo,
+          "little_capacity_mah_hi must be >= little_capacity_mah_lo");
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const auto& choice = workloads[i];
+    if (choice.eta < 0.0 || choice.eta > 1.0) {
+      errors.push_back("workloads[" + std::to_string(i) +
+                       "].eta must be in [0, 1]");
+    }
+    if (!(choice.toggle_period.value() > 0.0)) {
+      errors.push_back("workloads[" + std::to_string(i) +
+                       "].toggle_period must be > 0");
+    }
+  }
+  require(ambient_lo.value() > -273.15,
+          "ambient_lo must be above absolute zero");
+  require(ambient_hi.value() >= ambient_lo.value(),
+          "ambient_hi must be >= ambient_lo");
+  require(trace_horizon.value() > 0.0, "trace_horizon must be > 0");
+  require(fault_fraction >= 0.0 && fault_fraction <= 1.0,
+          "fault_fraction must be in [0, 1]");
+  for (auto& error : fault_template.validate()) {
+    errors.push_back("fault_template." + error);
+  }
+  return errors;
+}
+
+std::vector<std::string> FleetConfig::validate() const {
+  std::vector<std::string> errors;
+  auto require = [&errors](bool ok, const char* message) {
+    if (!ok) errors.emplace_back(message);
+  };
+  require(device_count > 0, "device_count must be > 0");
+  if (shard_count != 0) {
+    require(shard_count <= device_count,
+            "shard_count must be <= device_count (0 = auto)");
+    require(shard_count <= 4096, "shard_count must be <= 4096");
+  }
+  require(!policies.empty(), "policies must not be empty");
+  bool repeated = false;
+  for (std::size_t i = 0; i < policies.size() && !repeated; ++i) {
+    for (std::size_t j = i + 1; j < policies.size(); ++j) {
+      if (policies[i] == policies[j]) {
+        repeated = true;
+        break;
+      }
+    }
+  }
+  require(!repeated, "policies must not repeat a PolicyKind");
+  require(sketch_relative_error > 0.0 && sketch_relative_error < 1.0,
+          "sketch_relative_error must be in (0, 1)");
+  require(!base.faults.enabled(),
+          "base.faults must be inactive; sample fleet faults via "
+          "population.fault_fraction and fault_template");
+  for (auto& error : population.validate()) {
+    errors.push_back("population." + error);
+  }
+  for (auto& error : base.validate()) {
+    errors.push_back("base." + error);
+  }
+  for (auto& error : capman.validate()) {
+    errors.push_back("capman." + error);
+  }
+  return errors;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregates
+
+void PolicyAggregate::add(const SimResult& result, bool faulty) {
+  ++devices;
+  if (result.died_of_brownout) ++brownouts;
+  if (result.truncated) ++truncated;
+  switch_total += result.switch_count;
+  if (faulty) ++faulty_devices;
+  fault_fallbacks += result.faults.fallback_episodes;
+  fault_dropped_requests += result.faults.dropped_requests;
+  lifetime_us += quantize_u64(result.service_time_s, 1e6);
+  max_temp_mc += std::llround(result.max_cpu_temp_c * 1e3);
+  energy_delivered_mj += quantize_u64(result.energy_delivered_j, 1e3);
+  lifetime_s_sketch.observe(non_negative(result.service_time_s));
+  max_temp_c_sketch.observe(non_negative(result.max_cpu_temp_c));
+  switches_sketch.observe(static_cast<double>(result.switch_count));
+}
+
+void PolicyAggregate::merge(const PolicyAggregate& other) {
+  devices += other.devices;
+  brownouts += other.brownouts;
+  truncated += other.truncated;
+  switch_total += other.switch_total;
+  faulty_devices += other.faulty_devices;
+  fault_fallbacks += other.fault_fallbacks;
+  fault_dropped_requests += other.fault_dropped_requests;
+  lifetime_us += other.lifetime_us;
+  max_temp_mc += other.max_temp_mc;
+  energy_delivered_mj += other.energy_delivered_mj;
+  lifetime_s_sketch.merge(other.lifetime_s_sketch);
+  max_temp_c_sketch.merge(other.max_temp_c_sketch);
+  switches_sketch.merge(other.switches_sketch);
+}
+
+double PolicyAggregate::mean_lifetime_s() const {
+  return devices > 0
+             ? static_cast<double>(lifetime_us) / 1e6 /
+                   static_cast<double>(devices)
+             : 0.0;
+}
+
+double PolicyAggregate::mean_max_temp_c() const {
+  return devices > 0
+             ? static_cast<double>(max_temp_mc) / 1e3 /
+                   static_cast<double>(devices)
+             : 0.0;
+}
+
+double PolicyAggregate::mean_energy_j() const {
+  return devices > 0
+             ? static_cast<double>(energy_delivered_mj) / 1e3 /
+                   static_cast<double>(devices)
+             : 0.0;
+}
+
+double PolicyAggregate::mean_switches() const {
+  return devices > 0 ? static_cast<double>(switch_total) /
+                           static_cast<double>(devices)
+                     : 0.0;
+}
+
+double PolicyAggregate::brownout_fraction() const {
+  return devices > 0 ? static_cast<double>(brownouts) /
+                           static_cast<double>(devices)
+                     : 0.0;
+}
+
+const PolicyAggregate* FleetResult::find(PolicyKind kind) const {
+  for (const auto& aggregate : policies) {
+    if (aggregate.kind == kind) return &aggregate;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// FleetRunner
+
+FleetRunner::FleetRunner(FleetConfig config) : config_(std::move(config)) {
+  const auto errors = config_.validate();
+  if (!errors.empty()) {
+    std::string message = "invalid FleetConfig:";
+    for (const auto& error : errors) {
+      message += "\n  - " + error;
+    }
+    throw std::invalid_argument(message);
+  }
+  shards_ = util::resolve_shard_count(config_.shard_count,
+                                      config_.device_count);
+  threads_ = util::resolve_thread_count(config_.threads);
+}
+
+std::uint64_t FleetRunner::device_seed(std::uint64_t fleet_seed,
+                                       std::uint64_t device_id) {
+  return mix64(fleet_seed ^ mix64(device_id));
+}
+
+DeviceSpec FleetRunner::sample_device(const PopulationSpec& spec,
+                                      std::uint64_t fleet_seed,
+                                      std::uint64_t device_id) {
+  DeviceSpec device;
+  device.device_id = device_id;
+  device.seed = device_seed(fleet_seed, device_id);
+  device.fault_seed = mix64(device.seed ^ kFaultSalt);
+  // One dedicated sampling stream per device, domain-separated from the
+  // trace/policy seed. Draw order is part of the determinism contract:
+  // phone, big chemistry, big capacity, little chemistry, little
+  // capacity, workload, ambient, fault coin.
+  util::Rng rng{mix64(device.seed ^ kSampleSalt)};
+  device.phone = pick_weighted(spec.phones, rng).phone;
+  device.big_chemistry = pick_weighted(spec.big_chemistries, rng).chemistry;
+  device.big_capacity_mah =
+      rng.uniform(spec.big_capacity_mah_lo, spec.big_capacity_mah_hi);
+  device.little_chemistry =
+      pick_weighted(spec.little_chemistries, rng).chemistry;
+  device.little_capacity_mah =
+      rng.uniform(spec.little_capacity_mah_lo, spec.little_capacity_mah_hi);
+  device.workload = pick_weighted(spec.workloads, rng);
+  device.ambient =
+      util::Celsius{rng.uniform(spec.ambient_lo.value(),
+                                spec.ambient_hi.value())};
+  device.faulty = spec.fault_fraction > 0.0 && rng.chance(spec.fault_fraction);
+  return device;
+}
+
+namespace {
+
+/// Worker-private accumulation for one shard; merged in shard order.
+struct ShardState {
+  std::vector<PolicyAggregate> policies;
+  std::uint64_t engine_steps = 0;
+};
+
+PolicyAggregate make_aggregate(PolicyKind kind, double relative_error) {
+  PolicyAggregate aggregate;
+  aggregate.kind = kind;
+  aggregate.lifetime_s_sketch = obs::QuantileSketch{relative_error};
+  aggregate.max_temp_c_sketch = obs::QuantileSketch{relative_error};
+  aggregate.switches_sketch = obs::QuantileSketch{relative_error};
+  return aggregate;
+}
+
+std::string shard_instrument(std::size_t shard, const char* suffix) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "fleet/shard/%04zu/%s", shard,
+                suffix);
+  return buffer;
+}
+
+void publish_sketch(obs::MetricsRegistry& registry, const std::string& prefix,
+                    const obs::QuantileSketch& sketch) {
+  registry.gauge(prefix + "/p50").set(sketch.quantile(0.50));
+  registry.gauge(prefix + "/p90").set(sketch.quantile(0.90));
+  registry.gauge(prefix + "/p99").set(sketch.quantile(0.99));
+  registry.gauge(prefix + "/min").set(sketch.min());
+  registry.gauge(prefix + "/max").set(sketch.max());
+}
+
+/// Serialise the merged aggregates into the fleet/* instruments. Runs on
+/// the calling thread after the parallel phase, so registration order —
+/// and therefore the snapshot — is deterministic.
+void publish_fleet(obs::MetricsRegistry& registry, const FleetResult& result) {
+  registry.counter("fleet/devices").add(result.device_count);
+  registry.counter("fleet/shards").add(result.shard_count);
+  registry.counter("fleet/steps").add(result.total_engine_steps);
+  for (const auto& aggregate : result.policies) {
+    const std::string prefix = std::string{"fleet/"} + to_string(aggregate.kind);
+    registry.counter(prefix + "/devices").add(aggregate.devices);
+    registry.counter(prefix + "/brownouts").add(aggregate.brownouts);
+    registry.counter(prefix + "/truncated").add(aggregate.truncated);
+    registry.counter(prefix + "/switches").add(aggregate.switch_total);
+    registry.counter(prefix + "/faulty_devices").add(aggregate.faulty_devices);
+    registry.counter(prefix + "/fault_fallbacks")
+        .add(aggregate.fault_fallbacks);
+    registry.counter(prefix + "/fault_dropped_requests")
+        .add(aggregate.fault_dropped_requests);
+    registry.gauge(prefix + "/lifetime_s/mean").set(aggregate.mean_lifetime_s());
+    publish_sketch(registry, prefix + "/lifetime_s",
+                   aggregate.lifetime_s_sketch);
+    registry.gauge(prefix + "/max_temp_c/mean")
+        .set(aggregate.mean_max_temp_c());
+    publish_sketch(registry, prefix + "/max_temp_c",
+                   aggregate.max_temp_c_sketch);
+    registry.gauge(prefix + "/switches/mean").set(aggregate.mean_switches());
+    publish_sketch(registry, prefix + "/switches", aggregate.switches_sketch);
+    registry.gauge(prefix + "/energy_j/mean").set(aggregate.mean_energy_j());
+    registry.gauge(prefix + "/brownout_fraction")
+        .set(aggregate.brownout_fraction());
+  }
+  for (const auto& shard : result.shards) {
+    registry.counter(shard_instrument(shard.shard, "devices"))
+        .add(shard.device_end - shard.device_begin);
+    registry.counter(shard_instrument(shard.shard, "steps"))
+        .add(shard.engine_steps);
+  }
+}
+
+}  // namespace
+
+FleetResult FleetRunner::run() const {
+  const util::ShardPlan plan{config_.device_count, shards_};
+
+  std::vector<ShardState> states(shards_);
+  for (auto& state : states) {
+    state.policies.reserve(config_.policies.size());
+    for (PolicyKind kind : config_.policies) {
+      state.policies.push_back(
+          make_aggregate(kind, config_.sketch_relative_error));
+    }
+  }
+
+  // The per-device loop. Every input below is a pure function of
+  // (config, device id); workers touch only the shard states they own.
+  auto run_device = [this](std::uint64_t device_id, ShardState& state) {
+    const DeviceSpec spec =
+        sample_device(config_.population, config_.seed, device_id);
+
+    SimConfig device_config = config_.base;
+    // Fleets aggregate, they do not trace: per-device series and file
+    // sinks would be O(devices) memory and I/O, so both are forced off.
+    device_config.record_series = false;
+    device_config.telemetry = obs::TelemetryConfig{};
+    device_config.pack_config.big_chemistry = spec.big_chemistry;
+    device_config.pack_config.big_capacity_mah = spec.big_capacity_mah;
+    device_config.pack_config.little_chemistry = spec.little_chemistry;
+    device_config.pack_config.little_capacity_mah = spec.little_capacity_mah;
+    // The Practice phone carries the same total capacity in one stock
+    // cell, so the single-pack baseline stays comparable per device.
+    device_config.practice_capacity_mah =
+        spec.big_capacity_mah + spec.little_capacity_mah;
+    device_config.thermal_config.ambient = spec.ambient;
+    device_config.faults = FaultPlanConfig{};
+    if (spec.faulty) {
+      device_config.faults = config_.population.fault_template;
+      device_config.faults.seed = spec.fault_seed;
+    }
+
+    device::PhoneModel phone{profile_for(spec.phone)};
+    const workload::Trace trace =
+        make_generator(spec.workload)
+            ->generate(config_.population.trace_horizon, spec.seed);
+
+    const ExperimentRunner runner{
+        std::move(phone),
+        {device_config, spec.seed, std::nullopt, config_.capman}};
+    for (std::size_t i = 0; i < config_.policies.size(); ++i) {
+      const SimResult result = runner.run(trace, config_.policies[i]);
+      state.policies[i].add(result, spec.faulty);
+      state.engine_steps += result.metrics.counter_or("engine/steps");
+    }
+  };
+
+  util::ThreadPool pool{threads_};
+  pool.parallel_for(shards_, [&](std::size_t begin, std::size_t end,
+                                 std::size_t /*worker*/) {
+    for (std::size_t shard = begin; shard < end; ++shard) {
+      const util::ShardRange range = plan.range(shard);
+      for (std::size_t device = range.begin; device < range.end; ++device) {
+        run_device(device, states[shard]);
+      }
+    }
+  });
+
+  FleetResult result;
+  result.device_count = config_.device_count;
+  result.shard_count = shards_;
+  result.threads = threads_;
+  result.seed = config_.seed;
+  result.policies.reserve(config_.policies.size());
+  for (PolicyKind kind : config_.policies) {
+    result.policies.push_back(
+        make_aggregate(kind, config_.sketch_relative_error));
+  }
+  result.shards.reserve(shards_);
+  // Left-fold in shard-index order: with contiguous shard ranges this is
+  // exactly the device order 0..N-1, the anchor of the cross-shard-count
+  // bit-identity contract.
+  for (std::size_t shard = 0; shard < shards_; ++shard) {
+    const util::ShardRange range = plan.range(shard);
+    for (std::size_t i = 0; i < result.policies.size(); ++i) {
+      result.policies[i].merge(states[shard].policies[i]);
+    }
+    result.shards.push_back(
+        {shard, range.begin, range.end, states[shard].engine_steps});
+    result.total_engine_steps += states[shard].engine_steps;
+  }
+
+  obs::MetricsRegistry registry;
+  publish_fleet(registry, result);
+  result.metrics = registry.snapshot();
+  return result;
+}
+
+}  // namespace capman::sim

@@ -1,0 +1,31 @@
+#include "util/sharding.h"
+
+#include <algorithm>
+
+namespace capman::util {
+
+std::size_t resolve_shard_count(std::size_t requested, std::size_t total) {
+  if (requested != 0) return std::max<std::size_t>(requested, 1);
+  return std::max<std::size_t>(std::min<std::size_t>(total, 64), 1);
+}
+
+ShardPlan::ShardPlan(std::size_t total, std::size_t shard_count)
+    : total_(total), shards_(std::max<std::size_t>(shard_count, 1)) {}
+
+ShardRange ShardPlan::range(std::size_t shard) const {
+  const std::size_t q = total_ / shards_;
+  const std::size_t r = total_ % shards_;
+  return {shard * q + std::min(shard, r),
+          (shard + 1) * q + std::min(shard + 1, r)};
+}
+
+std::size_t ShardPlan::shard_of(std::size_t item) const {
+  const std::size_t q = total_ / shards_;
+  const std::size_t r = total_ % shards_;
+  // The first r shards hold q + 1 items each and tile [0, r * (q + 1)).
+  if (q == 0) return item;  // more shards than items: shard i = item i
+  if (item < r * (q + 1)) return item / (q + 1);
+  return r + (item - r * (q + 1)) / q;
+}
+
+}  // namespace capman::util

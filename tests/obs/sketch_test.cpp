@@ -1,0 +1,155 @@
+#include "obs/sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace capman::obs {
+namespace {
+
+TEST(QuantileSketch, EmptySketchReturnsZeros) {
+  const QuantileSketch sketch;
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.min(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 0.0);
+}
+
+TEST(QuantileSketch, RejectsBadRelativeError) {
+  EXPECT_THROW(QuantileSketch{0.0}, std::invalid_argument);
+  EXPECT_THROW(QuantileSketch{1.0}, std::invalid_argument);
+  EXPECT_THROW(QuantileSketch{-0.1}, std::invalid_argument);
+}
+
+TEST(QuantileSketch, RejectsNegativeAndNaN) {
+  QuantileSketch sketch;
+  EXPECT_THROW(sketch.observe(-1.0), std::invalid_argument);
+  EXPECT_THROW(sketch.observe(std::nan("")), std::invalid_argument);
+}
+
+TEST(QuantileSketch, ExactMinMaxAndCount) {
+  QuantileSketch sketch;
+  for (double v : {5.0, 1.0, 9.5, 3.25, 0.0}) sketch.observe(v);
+  EXPECT_EQ(sketch.count(), 5u);
+  EXPECT_DOUBLE_EQ(sketch.min(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 9.5);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), 9.5);
+}
+
+TEST(QuantileSketch, RelativeErrorBoundHolds) {
+  // 10k values spanning four decades; every quantile estimate must land
+  // within alpha (relative) of the true nearest-rank sample.
+  const double alpha = 0.02;
+  QuantileSketch sketch{alpha};
+  std::vector<double> values;
+  double v = 0.01;
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(v);
+    sketch.observe(v);
+    v *= 1.001;  // geometric ramp: 0.01 .. ~0.01 * e^10
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1));
+    const double truth = values[rank];
+    const double estimate = sketch.quantile(q);
+    EXPECT_NEAR(estimate, truth, alpha * truth * 1.5) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, ZerosAreCountedExactly) {
+  QuantileSketch sketch;
+  for (int i = 0; i < 10; ++i) sketch.observe(0.0);
+  sketch.observe(100.0);
+  EXPECT_EQ(sketch.count(), 11u);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), 100.0);
+}
+
+TEST(QuantileSketch, ObservationOrderDoesNotMatter) {
+  std::vector<double> values;
+  for (int i = 1; i <= 500; ++i) values.push_back(0.1 * i);
+  QuantileSketch forward, backward;
+  for (double x : values) forward.observe(x);
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    backward.observe(*it);
+  }
+  for (double q : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(forward.quantile(q), backward.quantile(q)) << q;
+  }
+  EXPECT_EQ(forward.bucket_count(), backward.bucket_count());
+}
+
+// The fleet contract: merging per-shard sketches in any grouping is
+// bit-identical to one sketch observing every value.
+TEST(QuantileSketch, MergeEqualsSingleSketchForAnyPartition) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(0.5 + 0.037 * i + (i % 7 == 0 ? 0.0 : 3.1));
+  }
+  QuantileSketch whole;
+  for (double x : values) whole.observe(x);
+
+  for (std::size_t parts : {2u, 3u, 8u}) {
+    std::vector<QuantileSketch> shards(parts);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      shards[i % parts].observe(values[i]);
+    }
+    QuantileSketch merged;
+    for (const auto& shard : shards) merged.merge(shard);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+    EXPECT_EQ(merged.bucket_count(), whole.bucket_count());
+    for (double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+      EXPECT_DOUBLE_EQ(merged.quantile(q), whole.quantile(q))
+          << parts << " parts, q=" << q;
+    }
+  }
+}
+
+TEST(QuantileSketch, MergeRequiresIdenticalRelativeError) {
+  QuantileSketch a{0.01};
+  const QuantileSketch b{0.02};
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(QuantileSketch, MergeIntoEmptyAdoptsExtremes) {
+  QuantileSketch a, b;
+  b.observe(2.0);
+  b.observe(8.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 8.0);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(QuantileSketch, MemoryStaysLogarithmic) {
+  // A million observations over six decades: bucket count stays bounded
+  // by O(log(max/min)/alpha), nowhere near the observation count.
+  QuantileSketch sketch{0.01};
+  double v = 1e-3;
+  for (int i = 0; i < 100000; ++i) {
+    sketch.observe(v);
+    v = v * 1.0002;
+  }
+  EXPECT_EQ(sketch.count(), 100000u);
+  EXPECT_LT(sketch.bucket_count(), 2000u);
+}
+
+TEST(QuantileSketch, QuantileIsClampedToObservedRange) {
+  QuantileSketch sketch{0.05};
+  sketch.observe(10.0);
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(sketch.quantile(q), 10.0) << q;
+  }
+}
+
+}  // namespace
+}  // namespace capman::obs

@@ -16,6 +16,15 @@ workload::Trace video_trace(std::uint64_t seed = 7) {
   return workload::make_video()->generate(util::Seconds{600.0}, seed);
 }
 
+// Fresh policy of `kind` wired to `seed` via a throwaway runner (the
+// replacement for the removed make_policy shim).
+std::unique_ptr<policy::BatteryPolicy> make_test_policy(PolicyKind kind,
+                                                        std::uint64_t seed = 42) {
+  RunnerOptions options;
+  options.seed = seed;
+  return ExperimentRunner{nexus(), options}.build_policy(kind);
+}
+
 TEST(SimEngine, TruncatesAtMaxDuration) {
   // A sleeping phone outlives any short budget.
   workload::TraceBuilder tb{"sleep"};
@@ -26,7 +35,7 @@ TEST(SimEngine, TruncatesAtMaxDuration) {
   SimConfig config;
   config.max_duration = util::Seconds{120.0};
   SimEngine engine{config};
-  auto policy = make_policy(PolicyKind::kDual);
+  auto policy = make_test_policy(PolicyKind::kDual);
   const auto r = engine.run(trace, *policy, nexus());
   EXPECT_TRUE(r.truncated);
   EXPECT_NEAR(r.service_time_s, 120.0, 1.0);
@@ -37,7 +46,7 @@ TEST(SimEngine, PracticeRunsOnSinglePack) {
   SimConfig config;
   config.max_duration = util::Seconds{300.0};
   SimEngine engine{config};
-  auto policy = make_policy(PolicyKind::kPractice);
+  auto policy = make_test_policy(PolicyKind::kPractice);
   const auto r = engine.run(video_trace(), *policy, nexus());
   EXPECT_EQ(r.switch_count, 0u);
   EXPECT_DOUBLE_EQ(r.little_active_s, 0.0);
@@ -50,7 +59,7 @@ TEST(SimEngine, SeriesAreRecordedAndOrdered) {
   config.max_duration = util::Seconds{120.0};
   config.series_period = util::Seconds{1.0};
   SimEngine engine{config};
-  auto policy = make_policy(PolicyKind::kDual);
+  auto policy = make_test_policy(PolicyKind::kDual);
   const auto r = engine.run(video_trace(), *policy, nexus());
   EXPECT_GT(r.soc_series.size(), 50u);
   EXPECT_EQ(r.soc_series.size(), r.power_series.size());
@@ -66,7 +75,7 @@ TEST(SimEngine, RecordSeriesOffKeepsSeriesEmpty) {
   config.max_duration = util::Seconds{60.0};
   config.record_series = false;
   SimEngine engine{config};
-  auto policy = make_policy(PolicyKind::kDual);
+  auto policy = make_test_policy(PolicyKind::kDual);
   const auto r = engine.run(video_trace(), *policy, nexus());
   EXPECT_TRUE(r.soc_series.empty());
 }
@@ -75,7 +84,7 @@ TEST(SimEngine, EnergyConservationAgainstPackCapacity) {
   // Delivered + lost can never exceed the pack's initial chemical energy.
   SimConfig config;
   SimEngine engine{config};
-  auto policy = make_policy(PolicyKind::kDual);
+  auto policy = make_test_policy(PolicyKind::kDual);
   const auto r = engine.run(video_trace(), *policy, nexus());
   battery::DualBatteryPack fresh{config.pack_config};
   EXPECT_LE(r.energy_delivered_j + r.energy_lost_j,
@@ -87,8 +96,8 @@ TEST(SimEngine, DeterministicForSameSeed) {
   SimConfig config;
   config.max_duration = util::Seconds{900.0};
   SimEngine engine{config};
-  auto a = make_policy(PolicyKind::kCapman, 9);
-  auto b = make_policy(PolicyKind::kCapman, 9);
+  auto a = make_test_policy(PolicyKind::kCapman, 9);
+  auto b = make_test_policy(PolicyKind::kCapman, 9);
   const auto ra = engine.run(video_trace(3), *a, nexus());
   const auto rb = engine.run(video_trace(3), *b, nexus());
   EXPECT_DOUBLE_EQ(ra.service_time_s, rb.service_time_s);
@@ -101,7 +110,7 @@ TEST(SimEngine, TecDisabledNeverDrawsTecPower) {
   config.enable_tec = false;
   config.max_duration = util::Seconds{600.0};
   SimEngine engine{config};
-  auto policy = make_policy(PolicyKind::kDual);
+  auto policy = make_test_policy(PolicyKind::kDual);
   const auto r = engine.run(
       workload::make_geekbench()->generate(util::Seconds{600.0}, 7), *policy,
       nexus());
@@ -113,7 +122,7 @@ TEST(SimEngine, TecEngagesOnHotWorkload) {
   SimConfig config;
   config.max_duration = util::Seconds{1800.0};
   SimEngine engine{config};
-  auto policy = make_policy(PolicyKind::kDual);
+  auto policy = make_test_policy(PolicyKind::kDual);
   const auto r = engine.run(
       workload::make_geekbench()->generate(util::Seconds{600.0}, 7), *policy,
       nexus());
@@ -128,7 +137,7 @@ TEST(SimEngine, ResultMetadataFilled) {
   SimConfig config;
   config.max_duration = util::Seconds{30.0};
   SimEngine engine{config};
-  auto policy = make_policy(PolicyKind::kOracle);
+  auto policy = make_test_policy(PolicyKind::kOracle);
   const auto r = engine.run(video_trace(), *policy, nexus());
   EXPECT_EQ(r.workload, "Video");
   EXPECT_EQ(r.policy, "Oracle");
@@ -138,7 +147,7 @@ TEST(SimEngine, ResultMetadataFilled) {
 
 TEST(Experiment, AllPolicyKindsConstruct) {
   for (auto kind : all_policy_kinds()) {
-    auto policy = make_policy(kind);
+    auto policy = make_test_policy(kind);
     ASSERT_NE(policy, nullptr);
     EXPECT_EQ(policy->name(), to_string(kind));
   }
@@ -237,24 +246,26 @@ TEST(SimConfigValidate, EngineConstructionRejectsInvalidConfig) {
       std::invalid_argument);
 }
 
-TEST(ExperimentRunner, CompareMatchesLegacyShim) {
+TEST(ExperimentRunner, CompareIsDeterministic) {
   SimConfig config;
   config.max_duration = util::Seconds{120.0};
   config.record_series = false;
   const auto trace = video_trace(5);
 
-  ExperimentRunner runner{nexus(), {config, 11, std::nullopt}};
-  const auto comparison = runner.compare(trace);
-  const auto legacy = run_policy_comparison(trace, nexus(), config, 11);
+  ExperimentRunner first{nexus(), {config, 11, std::nullopt}};
+  ExperimentRunner second{nexus(), {config, 11, std::nullopt}};
+  const auto a = first.compare(trace);
+  const auto b = second.compare(trace);
 
-  ASSERT_EQ(comparison.size(), legacy.size());
-  for (std::size_t i = 0; i < legacy.size(); ++i) {
-    const auto& entry = comparison.entries()[i];
-    EXPECT_EQ(entry.result.policy, legacy[i].policy);
-    EXPECT_DOUBLE_EQ(entry.result.service_time_s, legacy[i].service_time_s);
-    EXPECT_EQ(entry.result.switch_count, legacy[i].switch_count);
-    EXPECT_DOUBLE_EQ(entry.result.energy_delivered_j,
-                     legacy[i].energy_delivered_j);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& ea = a.entries()[i];
+    const auto& eb = b.entries()[i];
+    EXPECT_EQ(ea.result.policy, eb.result.policy);
+    EXPECT_DOUBLE_EQ(ea.result.service_time_s, eb.result.service_time_s);
+    EXPECT_EQ(ea.result.switch_count, eb.result.switch_count);
+    EXPECT_DOUBLE_EQ(ea.result.energy_delivered_j,
+                     eb.result.energy_delivered_j);
   }
 }
 
@@ -296,7 +307,8 @@ TEST(Experiment, ComparisonRunsAllFivePolicies) {
   config.max_duration = util::Seconds{60.0};
   config.record_series = false;
   const auto results =
-      run_policy_comparison(video_trace(), nexus(), config, 1);
+      ExperimentRunner{nexus(), {config, 1, std::nullopt}}.compare(video_trace())
+          .to_vector();
   ASSERT_EQ(results.size(), 5u);
   EXPECT_EQ(results[0].policy, "Oracle");
   EXPECT_EQ(results[4].policy, "Practice");

@@ -1,0 +1,323 @@
+// FleetRunner determinism suite: pins every clause of the contract in
+// src/sim/fleet.h — seed-only device sampling, bit-identical aggregates
+// across thread AND shard counts, and the PR-4 field-naming convention of
+// FleetConfig::validate().
+#include "sim/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace capman::sim {
+namespace {
+
+// A fleet small and short enough for unit tests: tiny cells (devices die
+// in minutes of simulated time), coarse dt, short trace horizon.
+FleetConfig small_fleet(std::size_t devices, std::size_t shards = 0,
+                        std::size_t threads = 1) {
+  FleetConfig config;
+  config.device_count = devices;
+  config.shard_count = shards;
+  config.threads = threads;
+  config.seed = 7;
+  config.base.dt = util::Seconds{0.25};
+  config.base.max_duration = util::hours(2.0);
+  config.base.record_series = false;
+  config.population.big_capacity_mah_lo = 500.0;
+  config.population.big_capacity_mah_hi = 800.0;
+  config.population.little_capacity_mah_lo = 200.0;
+  config.population.little_capacity_mah_hi = 350.0;
+  config.population.trace_horizon = util::Seconds{120.0};
+  return config;
+}
+
+std::string snapshot_json(const obs::MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  snapshot.write_json(out);
+  return out.str();
+}
+
+bool has_error(const std::vector<std::string>& errors,
+               const std::string& needle) {
+  return std::any_of(errors.begin(), errors.end(),
+                     [&needle](const std::string& e) {
+                       return e.find(needle) != std::string::npos;
+                     });
+}
+
+TEST(FleetConfigValidate, DefaultsAreValid) {
+  EXPECT_TRUE(FleetConfig{}.validate().empty());
+  EXPECT_TRUE(PopulationSpec{}.validate().empty());
+}
+
+TEST(FleetConfigValidate, FieldMessagesAreLocked) {
+  FleetConfig config;
+  config.device_count = 0;
+  config.sketch_relative_error = 1.5;
+  config.policies.clear();
+  auto errors = config.validate();
+  EXPECT_TRUE(has_error(errors, "device_count must be > 0"));
+  EXPECT_TRUE(has_error(errors, "policies must not be empty"));
+  EXPECT_TRUE(
+      has_error(errors, "sketch_relative_error must be in (0, 1)"));
+}
+
+TEST(FleetConfigValidate, ShardCountBounds) {
+  FleetConfig config;
+  config.device_count = 8;
+  config.shard_count = 9;
+  EXPECT_TRUE(has_error(config.validate(),
+                        "shard_count must be <= device_count (0 = auto)"));
+  config.device_count = 100000;
+  config.shard_count = 5000;
+  EXPECT_TRUE(has_error(config.validate(), "shard_count must be <= 4096"));
+  config.shard_count = 0;  // auto is always legal
+  EXPECT_TRUE(config.validate().empty());
+}
+
+TEST(FleetConfigValidate, RepeatedPoliciesRejected) {
+  FleetConfig config;
+  config.policies = {PolicyKind::kDual, PolicyKind::kDual};
+  EXPECT_TRUE(
+      has_error(config.validate(), "policies must not repeat a PolicyKind"));
+}
+
+TEST(FleetConfigValidate, BaseFaultPlansAreRejected) {
+  FleetConfig config;
+  config.base.faults.stuck_rate_per_min = 1.0;
+  EXPECT_TRUE(has_error(
+      config.validate(),
+      "base.faults must be inactive; sample fleet faults via "
+      "population.fault_fraction and fault_template"));
+}
+
+TEST(FleetConfigValidate, NestedErrorsCarryPathPrefixes) {
+  FleetConfig config;
+  config.base.dt = util::Seconds{0.0};
+  config.population.fault_fraction = 2.0;
+  config.population.ambient_hi = util::Celsius{-10.0};
+  auto errors = config.validate();
+  EXPECT_TRUE(has_error(errors, "base.dt must be > 0"));
+  EXPECT_TRUE(
+      has_error(errors, "population.fault_fraction must be in [0, 1]"));
+  EXPECT_TRUE(
+      has_error(errors, "population.ambient_hi must be >= ambient_lo"));
+}
+
+TEST(PopulationSpecValidate, WeightedChoiceMessages) {
+  PopulationSpec spec;
+  spec.phones.clear();
+  spec.workloads[0].weight = -1.0;
+  spec.big_chemistries = {{battery::Chemistry::kNCA, 0.0}};
+  spec.big_capacity_mah_lo = 0.0;
+  spec.workloads[2].eta = 1.5;
+  auto errors = spec.validate();
+  EXPECT_TRUE(has_error(errors, "phones must not be empty"));
+  EXPECT_TRUE(has_error(errors, "workloads weights must be >= 0"));
+  EXPECT_TRUE(
+      has_error(errors, "big_chemistries needs at least one positive weight"));
+  EXPECT_TRUE(has_error(errors, "big_capacity_mah_lo must be > 0"));
+  EXPECT_TRUE(has_error(errors, "workloads[2].eta must be in [0, 1]"));
+}
+
+TEST(FleetRunner, CtorThrowsListingEveryProblem) {
+  FleetConfig config;
+  config.device_count = 0;
+  config.policies.clear();
+  try {
+    FleetRunner runner{config};
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("invalid FleetConfig:"), std::string::npos);
+    EXPECT_NE(message.find("device_count must be > 0"), std::string::npos);
+    EXPECT_NE(message.find("policies must not be empty"), std::string::npos);
+  }
+}
+
+TEST(FleetRunner, DeviceSeedIsPureAndSpreads) {
+  EXPECT_EQ(FleetRunner::device_seed(7, 3), FleetRunner::device_seed(7, 3));
+  EXPECT_NE(FleetRunner::device_seed(7, 3), FleetRunner::device_seed(7, 4));
+  EXPECT_NE(FleetRunner::device_seed(7, 3), FleetRunner::device_seed(8, 3));
+}
+
+TEST(FleetRunner, SampleDeviceIsDeterministicAndInRange) {
+  const PopulationSpec spec;
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    const DeviceSpec a = FleetRunner::sample_device(spec, 42, id);
+    const DeviceSpec b = FleetRunner::sample_device(spec, 42, id);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.phone, b.phone);
+    EXPECT_DOUBLE_EQ(a.big_capacity_mah, b.big_capacity_mah);
+    EXPECT_DOUBLE_EQ(a.ambient.value(), b.ambient.value());
+    EXPECT_GE(a.big_capacity_mah, spec.big_capacity_mah_lo);
+    EXPECT_LT(a.big_capacity_mah, spec.big_capacity_mah_hi);
+    EXPECT_GE(a.little_capacity_mah, spec.little_capacity_mah_lo);
+    EXPECT_LT(a.little_capacity_mah, spec.little_capacity_mah_hi);
+    EXPECT_GE(a.ambient.value(), spec.ambient_lo.value());
+    EXPECT_LT(a.ambient.value(), spec.ambient_hi.value());
+    EXPECT_FALSE(a.faulty);  // fault_fraction defaults to 0
+  }
+}
+
+TEST(FleetRunner, ZeroWeightChoicesAreNeverSampled) {
+  PopulationSpec spec;
+  spec.phones = {{FleetPhone::kNexus, 1.0}, {FleetPhone::kHonor, 0.0}};
+  spec.big_chemistries = {{battery::Chemistry::kNMC, 1.0},
+                          {battery::Chemistry::kNCA, 0.0}};
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    const DeviceSpec device = FleetRunner::sample_device(spec, 1, id);
+    EXPECT_EQ(device.phone, FleetPhone::kNexus);
+    EXPECT_EQ(device.big_chemistry, battery::Chemistry::kNMC);
+  }
+}
+
+TEST(FleetRunner, PopulationIsActuallyHeterogeneous) {
+  const PopulationSpec spec;
+  bool phones_differ = false, capacities_differ = false;
+  const DeviceSpec first = FleetRunner::sample_device(spec, 42, 0);
+  for (std::uint64_t id = 1; id < 50; ++id) {
+    const DeviceSpec device = FleetRunner::sample_device(spec, 42, id);
+    phones_differ |= device.phone != first.phone;
+    capacities_differ |= device.big_capacity_mah < first.big_capacity_mah ||
+                         device.big_capacity_mah > first.big_capacity_mah;
+  }
+  EXPECT_TRUE(phones_differ);
+  EXPECT_TRUE(capacities_differ);
+}
+
+TEST(FleetRunner, ResolvesAutoShardAndThreadCounts) {
+  const FleetRunner runner{small_fleet(10)};
+  EXPECT_EQ(runner.shard_count(), 10u);  // min(devices, 64)
+  EXPECT_GE(runner.thread_count(), 1u);
+}
+
+TEST(FleetRunner, RunProducesCoherentAggregates) {
+  const FleetRunner runner{small_fleet(8, 4)};
+  const FleetResult result = runner.run();
+
+  EXPECT_EQ(result.device_count, 8u);
+  EXPECT_EQ(result.shard_count, 4u);
+  ASSERT_EQ(result.policies.size(), 2u);
+  for (const auto& aggregate : result.policies) {
+    EXPECT_EQ(aggregate.devices, 8u);
+    EXPECT_EQ(aggregate.lifetime_s_sketch.count(), 8u);
+    EXPECT_GT(aggregate.mean_lifetime_s(), 0.0);
+    EXPECT_GT(aggregate.mean_energy_j(), 0.0);
+    EXPECT_GT(aggregate.mean_max_temp_c(), 10.0);
+    EXPECT_LE(aggregate.lifetime_s_sketch.min(),
+              aggregate.mean_lifetime_s());
+    EXPECT_LE(aggregate.mean_lifetime_s(),
+              aggregate.lifetime_s_sketch.max() + 1e-9);
+  }
+
+  // Shard ranges tile [0, device_count) and steps roll up.
+  ASSERT_EQ(result.shards.size(), 4u);
+  std::size_t expected_begin = 0;
+  std::uint64_t steps = 0;
+  for (const auto& shard : result.shards) {
+    EXPECT_EQ(shard.device_begin, expected_begin);
+    expected_begin = shard.device_end;
+    steps += shard.engine_steps;
+  }
+  EXPECT_EQ(expected_begin, 8u);
+  EXPECT_EQ(steps, result.total_engine_steps);
+  EXPECT_GT(steps, 0u);
+
+  // Lookup and registry mapping.
+  ASSERT_NE(result.find(PolicyKind::kDual), nullptr);
+  EXPECT_EQ(result.find(PolicyKind::kOracle), nullptr);
+  EXPECT_EQ(result.metrics.counter_or("fleet/devices"), 8u);
+  EXPECT_EQ(result.metrics.counter_or("fleet/shards"), 4u);
+  EXPECT_EQ(result.metrics.counter_or("fleet/steps"),
+            result.total_engine_steps);
+  EXPECT_EQ(result.metrics.counter_or("fleet/Dual/devices"), 8u);
+  EXPECT_EQ(result.metrics.counter_or("fleet/shard/0000/devices"), 2u);
+  EXPECT_GT(result.metrics.gauge_or("fleet/Dual/lifetime_s/mean"), 0.0);
+}
+
+// The headline contract: thread count never changes anything observable.
+TEST(FleetRunner, BitIdenticalAcrossThreadCounts) {
+  const FleetResult r1 = FleetRunner{small_fleet(12, 6, 1)}.run();
+  const FleetResult r2 = FleetRunner{small_fleet(12, 6, 2)}.run();
+  const FleetResult r8 = FleetRunner{small_fleet(12, 6, 8)}.run();
+  const std::string json1 = snapshot_json(r1.metrics);
+  EXPECT_EQ(json1, snapshot_json(r2.metrics));
+  EXPECT_EQ(json1, snapshot_json(r8.metrics));
+  EXPECT_EQ(r1.total_engine_steps, r8.total_engine_steps);
+}
+
+// And shard count only changes the fleet/shard/* breakdown — the merged
+// policy aggregates are bit-identical because merges are integer folds.
+TEST(FleetRunner, PolicyAggregatesIdenticalAcrossShardCounts) {
+  const FleetResult base = FleetRunner{small_fleet(12, 1, 2)}.run();
+  for (std::size_t shards : {3u, 6u, 12u}) {
+    const FleetResult other = FleetRunner{small_fleet(12, shards, 2)}.run();
+    ASSERT_EQ(other.policies.size(), base.policies.size());
+    for (std::size_t i = 0; i < base.policies.size(); ++i) {
+      const auto& a = base.policies[i];
+      const auto& b = other.policies[i];
+      EXPECT_EQ(a.kind, b.kind);
+      EXPECT_EQ(a.devices, b.devices);
+      EXPECT_EQ(a.brownouts, b.brownouts);
+      EXPECT_EQ(a.truncated, b.truncated);
+      EXPECT_EQ(a.switch_total, b.switch_total);
+      EXPECT_EQ(a.lifetime_us, b.lifetime_us);
+      EXPECT_EQ(a.max_temp_mc, b.max_temp_mc);
+      EXPECT_EQ(a.energy_delivered_mj, b.energy_delivered_mj);
+      EXPECT_EQ(a.lifetime_s_sketch.count(), b.lifetime_s_sketch.count());
+      for (double q : {0.0, 0.5, 0.9, 1.0}) {
+        EXPECT_DOUBLE_EQ(a.lifetime_s_sketch.quantile(q),
+                         b.lifetime_s_sketch.quantile(q))
+            << shards << " shards, q=" << q;
+      }
+    }
+  }
+}
+
+TEST(FleetRunner, RepeatedRunsAreBitIdentical) {
+  const FleetRunner runner{small_fleet(6, 3, 2)};
+  EXPECT_EQ(snapshot_json(runner.run().metrics),
+            snapshot_json(runner.run().metrics));
+}
+
+TEST(FleetRunner, DifferentSeedsChangeTheFleet) {
+  FleetConfig a = small_fleet(8, 4);
+  FleetConfig b = small_fleet(8, 4);
+  b.seed = 8;
+  EXPECT_NE(snapshot_json(FleetRunner{a}.run().metrics),
+            snapshot_json(FleetRunner{b}.run().metrics));
+}
+
+TEST(FleetRunner, FaultFractionSamplesFaultyDevices) {
+  FleetConfig config = small_fleet(6, 3);
+  config.population.fault_fraction = 1.0;
+  config.population.fault_template.stuck_rate_per_min = 2.0;
+  const FleetResult result = FleetRunner{config}.run();
+  for (const auto& aggregate : result.policies) {
+    EXPECT_EQ(aggregate.faulty_devices, 6u);
+  }
+  // Per-device fault seeds differ even though the template is shared.
+  const DeviceSpec d0 =
+      FleetRunner::sample_device(config.population, config.seed, 0);
+  const DeviceSpec d1 =
+      FleetRunner::sample_device(config.population, config.seed, 1);
+  EXPECT_TRUE(d0.faulty);
+  EXPECT_TRUE(d1.faulty);
+  EXPECT_NE(d0.fault_seed, d1.fault_seed);
+}
+
+TEST(FleetRunner, EnumNamesAreStable) {
+  EXPECT_STREQ(to_string(FleetPhone::kNexus), "nexus");
+  EXPECT_STREQ(to_string(FleetPhone::kHonor), "honor");
+  EXPECT_STREQ(to_string(FleetPhone::kLenovo), "lenovo");
+  EXPECT_STREQ(to_string(FleetWorkload::kGeekbench), "geekbench");
+  EXPECT_STREQ(to_string(FleetWorkload::kEtaStatic), "eta");
+  EXPECT_STREQ(to_string(FleetWorkload::kScreenToggle), "toggle");
+}
+
+}  // namespace
+}  // namespace capman::sim

@@ -18,7 +18,18 @@ device::PhoneModel nexus() { return device::PhoneModel{device::nexus_profile()};
 std::vector<SimResult> run_suite(const workload::Trace& trace) {
   SimConfig config;
   config.record_series = false;
-  return run_policy_comparison(trace, nexus(), config, kSeed);
+  return ExperimentRunner{nexus(), {config, kSeed, std::nullopt}}
+      .compare(trace)
+      .to_vector();
+}
+
+// Fresh policy of `kind` wired to `seed` via a throwaway runner (the
+// replacement for the removed make_policy shim).
+std::unique_ptr<policy::BatteryPolicy> make_test_policy(PolicyKind kind,
+                                                        std::uint64_t seed) {
+  RunnerOptions options;
+  options.seed = seed;
+  return ExperimentRunner{nexus(), options}.build_policy(kind);
 }
 
 double minutes(const std::vector<SimResult>& results, const char* name) {
@@ -115,7 +126,7 @@ TEST(Integration, HotWorkloadStaysNearThreshold) {
   SimConfig config;
   config.record_series = false;
   SimEngine engine{config};
-  auto policy = make_policy(PolicyKind::kCapman, kSeed);
+  auto policy = make_test_policy(PolicyKind::kCapman, kSeed);
   const auto r = engine.run(trace, *policy, nexus());
   EXPECT_GT(r.tec_on_fraction, 0.3);
   EXPECT_LT(r.avg_cpu_temp_c, 47.5);
@@ -123,7 +134,7 @@ TEST(Integration, HotWorkloadStaysNearThreshold) {
   SimConfig no_tec;
   no_tec.enable_tec = false;
   no_tec.record_series = false;
-  auto policy2 = make_policy(PolicyKind::kCapman, kSeed);
+  auto policy2 = make_test_policy(PolicyKind::kCapman, kSeed);
   const auto r2 = SimEngine{no_tec}.run(trace, *policy2, nexus());
   EXPECT_GT(r2.max_cpu_temp_c, r.max_cpu_temp_c + 1.0);
 }
@@ -137,8 +148,8 @@ TEST_P(SeedSweepTest, MixedOrderingHoldsAcrossSeeds) {
   SimConfig config;
   config.record_series = false;
   SimEngine engine{config};
-  auto capman = make_policy(PolicyKind::kCapman, GetParam());
-  auto practice = make_policy(PolicyKind::kPractice, GetParam());
+  auto capman = make_test_policy(PolicyKind::kCapman, GetParam());
+  auto practice = make_test_policy(PolicyKind::kPractice, GetParam());
   const double t_capman =
       engine.run(trace, *capman, nexus()).service_time_s;
   const double t_practice =
@@ -157,8 +168,8 @@ TEST(Integration, LearningPersistsAcrossChargeCycles) {
       workload::make_pcmark()->generate(util::Seconds{600.0}, kSeed);
   SimConfig config;
   config.record_series = false;
-  const auto cycles =
-      run_multi_cycle(trace, nexus(), config, PolicyKind::kCapman, 3, kSeed);
+  const auto cycles = ExperimentRunner{nexus(), {config, kSeed, std::nullopt}}
+                          .run_cycles(trace, PolicyKind::kCapman, 3);
   ASSERT_EQ(cycles.size(), 3u);
   const double first = cycles[0].service_time_s;
   double best_warm = 0.0;
@@ -175,8 +186,8 @@ TEST(Integration, MultiCycleStaticPolicyIsStable) {
       workload::make_video()->generate(util::Seconds{600.0}, kSeed);
   SimConfig config;
   config.record_series = false;
-  const auto cycles =
-      run_multi_cycle(trace, nexus(), config, PolicyKind::kDual, 2, kSeed);
+  const auto cycles = ExperimentRunner{nexus(), {config, kSeed, std::nullopt}}
+                          .run_cycles(trace, PolicyKind::kDual, 2);
   ASSERT_EQ(cycles.size(), 2u);
   EXPECT_NEAR(cycles[0].service_time_s, cycles[1].service_time_s,
               0.02 * cycles[0].service_time_s);

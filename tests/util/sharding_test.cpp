@@ -1,0 +1,109 @@
+#include "util/sharding.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace capman::util {
+namespace {
+
+TEST(ResolveShardCount, ExplicitRequestWins) {
+  EXPECT_EQ(resolve_shard_count(7, 1000), 7u);
+  EXPECT_EQ(resolve_shard_count(1, 1), 1u);
+  EXPECT_EQ(resolve_shard_count(4096, 10), 4096u);  // legal, surplus empty
+}
+
+TEST(ResolveShardCount, AutoIsMinTotal64AtLeastOne) {
+  EXPECT_EQ(resolve_shard_count(0, 1000), 64u);
+  EXPECT_EQ(resolve_shard_count(0, 10), 10u);
+  EXPECT_EQ(resolve_shard_count(0, 0), 1u);
+  EXPECT_EQ(resolve_shard_count(0, 64), 64u);
+  EXPECT_EQ(resolve_shard_count(0, 65), 64u);
+}
+
+TEST(ShardPlan, RangesTileTotalInOrder) {
+  for (std::size_t total : {0u, 1u, 7u, 64u, 100u, 1001u}) {
+    for (std::size_t shards : {1u, 2u, 3u, 7u, 64u}) {
+      const ShardPlan plan{total, shards};
+      std::size_t expected_begin = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const auto range = plan.range(s);
+        EXPECT_EQ(range.begin, expected_begin) << total << "/" << shards;
+        EXPECT_LE(range.begin, range.end);
+        expected_begin = range.end;
+      }
+      EXPECT_EQ(expected_begin, total) << total << "/" << shards;
+    }
+  }
+}
+
+TEST(ShardPlan, SizesDifferByAtMostOne) {
+  const ShardPlan plan{1001, 64};
+  std::size_t lo = 1001, hi = 0;
+  for (std::size_t s = 0; s < 64; ++s) {
+    lo = std::min(lo, plan.range(s).size());
+    hi = std::max(hi, plan.range(s).size());
+  }
+  EXPECT_EQ(lo, 15u);
+  EXPECT_EQ(hi, 16u);
+}
+
+TEST(ShardPlan, ShardOfIsTheInverseOfRange) {
+  for (std::size_t total : {1u, 7u, 64u, 100u, 1001u}) {
+    for (std::size_t shards : {1u, 2u, 3u, 7u, 64u, 200u}) {
+      const ShardPlan plan{total, shards};
+      for (std::size_t item = 0; item < total; ++item) {
+        const std::size_t shard = plan.shard_of(item);
+        const auto range = plan.range(shard);
+        EXPECT_GE(item, range.begin) << total << "/" << shards;
+        EXPECT_LT(item, range.end) << total << "/" << shards;
+      }
+    }
+  }
+}
+
+TEST(ShardPlan, ZeroShardCountClampsToOne) {
+  const ShardPlan plan{10, 0};
+  EXPECT_EQ(plan.shard_count(), 1u);
+  EXPECT_EQ(plan.range(0).begin, 0u);
+  EXPECT_EQ(plan.range(0).end, 10u);
+}
+
+TEST(ShardPlan, MoreShardsThanItemsLeavesSurplusEmpty) {
+  const ShardPlan plan{3, 8};
+  EXPECT_EQ(plan.range(0).size(), 1u);
+  EXPECT_EQ(plan.range(2).size(), 1u);
+  EXPECT_TRUE(plan.range(3).empty());
+  EXPECT_TRUE(plan.range(7).empty());
+  EXPECT_EQ(plan.shard_of(2), 2u);
+}
+
+TEST(ShardRange, SizeAndEmpty) {
+  EXPECT_EQ((ShardRange{3, 7}.size()), 4u);
+  EXPECT_FALSE((ShardRange{3, 7}.empty()));
+  EXPECT_TRUE((ShardRange{5, 5}.empty()));
+}
+
+// The keystone: shard contents depend only on (total, shard_count), so a
+// consumer merging shard-local state in shard order visits items exactly
+// as a single [0, total) loop would — the fleet determinism contract.
+TEST(ShardPlan, MergeOrderEqualsLinearOrderForAnyShardCount) {
+  const std::size_t total = 137;
+  std::vector<std::size_t> linear;
+  for (std::size_t i = 0; i < total; ++i) linear.push_back(i);
+  for (std::size_t shards : {1u, 2u, 5u, 64u, 137u}) {
+    const ShardPlan plan{total, shards};
+    std::vector<std::size_t> folded;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const auto range = plan.range(s);
+      for (std::size_t i = range.begin; i < range.end; ++i) {
+        folded.push_back(i);
+      }
+    }
+    EXPECT_EQ(folded, linear) << shards << " shards";
+  }
+}
+
+}  // namespace
+}  // namespace capman::util

@@ -8,12 +8,14 @@
 
 #include "obs/metrics.h"
 #include "sim/experiment.h"
+#include "sim/fleet.h"
 #include "util/thread_pool.h"
 
 namespace {
 
 using capman::obs::MetricsRegistry;
 using capman::sim::ExperimentRunner;
+using capman::sim::FleetRunner;
 using capman::util::ThreadPool;
 
 // util::ThreadPool: workers capture `this` and block on the pool's mutex /
@@ -38,6 +40,13 @@ static_assert(!std::is_copy_constructible_v<ExperimentRunner>);
 static_assert(!std::is_copy_assignable_v<ExperimentRunner>);
 static_assert(!std::is_move_constructible_v<ExperimentRunner>);
 static_assert(!std::is_move_assignable_v<ExperimentRunner>);
+
+// sim::FleetRunner: stable owner of the validated fleet configuration,
+// mirroring ExperimentRunner.
+static_assert(!std::is_copy_constructible_v<FleetRunner>);
+static_assert(!std::is_copy_assignable_v<FleetRunner>);
+static_assert(!std::is_move_constructible_v<FleetRunner>);
+static_assert(!std::is_move_assignable_v<FleetRunner>);
 
 // The instruments themselves stay pinned too: a Counter that moved out of
 // its registry slot would detach every subsystem holding the reference.
