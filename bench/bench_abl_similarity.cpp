@@ -42,11 +42,14 @@ void BM_IndexedDecision(benchmark::State& state) {
                                       device::ScreenState::kOn,
                                       device::WifiState::kAccess};
   const workload::Action event{workload::Syscall::kNetRecvStart, 7};
-  auto current = battery::BatterySelection::kBig;
+  core::DecideRequest req;
+  req.event = event;
+  req.device = dev;
+  req.current = battery::BatterySelection::kBig;
+  req.allow_exploration = false;
   double t = 1e6;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        ctl.scheduler().decide(event, dev, current, false));
+    benchmark::DoNotOptimize(ctl.scheduler().decide(req));
     t += 1.0;
   }
 }

@@ -1,0 +1,180 @@
+// Budget sweeps (EXPERIMENTS.md "Budget sweeps"): what the
+// PowerBudgetArbiter (core/power_budget.h) buys and what it costs. For a
+// grid of base budgets, ambient temperatures and cap methods the harness
+// runs CAPMAN (learning the budget level jointly) on the hot Geekbench
+// trace and reports the skin-temperature envelope above ambient, the
+// energy efficiency, the shed energy and the arbiter telemetry.
+//
+// The headline claim the smoke gate pins: a sensible budget tightens the
+// skin-temperature envelope by 10-20% while giving up at most 5% energy
+// efficiency.
+//
+// Modes:
+//   (default)   full sweep table
+//   --smoke     bounded acceptance check (capped envelope <= 0.90x
+//               uncapped, efficiency >= 0.95x uncapped); exits 77
+//               ("skipped") on machines with <2 hardware threads, in
+//               keeping with the other smoke gates
+//   --csv       dump bench_power_budget.csv (one row per sweep run)
+//   --seed N    override the workload/policy seed
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.h"
+#include "workload/generators.h"
+
+using namespace capman;
+
+namespace {
+
+constexpr int kSkipExitCode = 77;  // CTest SKIP_RETURN_CODE convention
+
+struct SweepPoint {
+  double budget_mw = 0.0;  // 0 = arbiter disabled (baseline)
+  core::CapMethod method = core::CapMethod::kRelax;
+  double ambient_c = 26.0;
+};
+
+sim::SimResult run_point(const SweepPoint& point, std::uint64_t seed,
+                         double sim_minutes) {
+  const device::PhoneModel phone{device::nexus_profile()};
+  sim::RunnerOptions options;
+  options.seed = seed;
+  options.config.record_series = false;
+  options.config.max_duration = util::Seconds{sim_minutes * 60.0};
+  options.config.thermal_config.ambient = util::Celsius{point.ambient_c};
+  if (point.budget_mw > 0.0) {
+    options.config.budget.enabled = true;
+    options.config.budget.base_budget_mw = point.budget_mw;
+    options.config.budget.cap_method = point.method;
+    options.capman.learn_budget = true;
+  }
+  const sim::ExperimentRunner runner{phone, options};
+  const auto trace =
+      workload::make_geekbench()->generate(util::Seconds{600.0}, seed);
+  return runner.run(trace, sim::PolicyKind::kCapman);
+}
+
+double envelope_k(const sim::SimResult& r, double ambient_c) {
+  return r.max_surface_temp_c - ambient_c;
+}
+
+int run_smoke(std::uint64_t seed) {
+  if (std::thread::hardware_concurrency() < 2) {
+    std::cout << "power_budget smoke: <2 hardware threads, skipping\n";
+    return kSkipExitCode;
+  }
+  const double minutes = 45.0;
+  const double ambient = 26.0;
+  const SweepPoint uncapped_point{0.0, core::CapMethod::kRelax, ambient};
+  const SweepPoint capped_point{3000.0, core::CapMethod::kRelax, ambient};
+  const auto uncapped = run_point(uncapped_point, seed, minutes);
+  const auto capped = run_point(capped_point, seed, minutes);
+
+  const double envelope_uncapped = envelope_k(uncapped, ambient);
+  const double envelope_capped = envelope_k(capped, ambient);
+  const double envelope_ratio =
+      envelope_uncapped > 0.0 ? envelope_capped / envelope_uncapped : 1.0;
+  const double efficiency_ratio = uncapped.efficiency() > 0.0
+                                      ? capped.efficiency() / uncapped.efficiency()
+                                      : 1.0;
+
+  std::cout << "power_budget smoke (seed " << seed << ", "
+            << capped_point.budget_mw << " mW relax vs uncapped)\n"
+            << "  envelope above ambient: " << envelope_capped << " K vs "
+            << envelope_uncapped << " K (ratio " << envelope_ratio << ")\n"
+            << "  efficiency: " << capped.efficiency() * 100.0 << "% vs "
+            << uncapped.efficiency() * 100.0 << "% (ratio "
+            << efficiency_ratio << ")\n"
+            << "  rebudgets " << capped.budget_rebudgets << ", shed "
+            << capped.budget_shed_j << " J, TEC vetoes "
+            << capped.budget_tec_vetoes << "\n";
+
+  bool ok = true;
+  if (envelope_ratio > 0.90) {
+    std::cout << "FAIL: capped envelope ratio " << envelope_ratio
+              << " exceeds 0.90\n";
+    ok = false;
+  }
+  if (efficiency_ratio < 0.95) {
+    std::cout << "FAIL: capped efficiency ratio " << efficiency_ratio
+              << " below 0.95\n";
+    ok = false;
+  }
+  if (capped.budget_rebudgets == 0) {
+    std::cout << "FAIL: arbiter never rebudgeted\n";
+    ok = false;
+  }
+  if (ok) std::cout << "power_budget smoke: PASS\n";
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto seed = bench::seed_from_args(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string{argv[i]} == "--smoke") return run_smoke(seed);
+  }
+  const bool csv = bench::csv_requested(argc, argv);
+
+  std::vector<SweepPoint> points;
+  for (double ambient : {26.0, 32.0}) {
+    points.push_back({0.0, core::CapMethod::kRelax, ambient});
+    for (double budget : {4400.0, 3600.0, 3000.0, 2400.0}) {
+      for (auto method : {core::CapMethod::kRelax, core::CapMethod::kStatic}) {
+        points.push_back({budget, method, ambient});
+      }
+    }
+  }
+
+  util::print_section(std::cout,
+                      "Budget sweeps - skin envelope vs efficiency (CAPMAN, "
+                      "Geekbench)");
+  util::TextTable table({"budget", "ambient [C]", "avg power [mW]",
+                         "max skin [C]", "envelope [K]", "efficiency [%]",
+                         "shed [J]", "rebudgets", "TEC vetoes"});
+  std::unique_ptr<util::CsvWriter> out;
+  if (csv) {
+    out = std::make_unique<util::CsvWriter>("bench_power_budget.csv");
+    out->header({"budget_mw", "method", "ambient_c", "avg_power_mw",
+                 "max_skin_c", "envelope_k", "efficiency", "shed_j",
+                 "rebudgets", "tec_vetoes"});
+  }
+  for (const auto& point : points) {
+    const auto r = run_point(point, seed, 45.0);
+    const std::string label =
+        point.budget_mw > 0.0
+            ? std::to_string(static_cast<int>(point.budget_mw)) + " " +
+                  core::to_string(point.method)
+            : "uncapped";
+    table.add_row(label,
+                  {point.ambient_c, r.avg_power_w * 1000.0,
+                   r.max_surface_temp_c, envelope_k(r, point.ambient_c),
+                   r.efficiency() * 100.0, r.budget_shed_j,
+                   static_cast<double>(r.budget_rebudgets),
+                   static_cast<double>(r.budget_tec_vetoes)},
+                  1);
+    if (out != nullptr) {
+      out->row({point.budget_mw, point.budget_mw > 0.0
+                                     ? static_cast<double>(point.method)
+                                     : -1.0,
+                point.ambient_c, r.avg_power_w * 1000.0,
+                r.max_surface_temp_c, envelope_k(r, point.ambient_c),
+                r.efficiency(), r.budget_shed_j,
+                static_cast<double>(r.budget_rebudgets),
+                static_cast<double>(r.budget_tec_vetoes)});
+    }
+  }
+  table.print(std::cout);
+  bench::measured_note(
+      std::cout,
+      "mid-table budgets (~3000 mW) tighten the skin envelope 10-20% below "
+      "the uncapped run at <=5% efficiency cost; kStatic gives up a little "
+      "more than kRelax for the same base budget (worst-case margin).");
+  return 0;
+}

@@ -29,6 +29,8 @@ struct Options {
   std::size_t threads = 0;
   std::uint64_t seed = 42;
   double fault_fraction = 0.0;
+  double budget_mw = 0.0;
+  std::string cap_method = "relax";
   std::vector<sim::PolicyKind> policies{sim::PolicyKind::kDual,
                                         sim::PolicyKind::kHeuristic};
   bool json = false;
@@ -75,6 +77,15 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.seed = std::stoull(value());
     } else if (arg == "--fault-fraction") {
       options.fault_fraction = std::stod(value());
+    } else if (arg == "--budget-mw") {
+      options.budget_mw = std::stod(value());
+    } else if (arg == "--cap-method") {
+      options.cap_method = value();
+      if (options.cap_method != "relax" && options.cap_method != "static") {
+        std::cerr << "unknown cap method '" << options.cap_method
+                  << "' (expected relax or static)\n";
+        return false;
+      }
     } else if (arg == "--policies") {
       if (!parse_policies(value(), options.policies)) return false;
     } else if (arg == "--json") {
@@ -84,7 +95,9 @@ bool parse_args(int argc, char** argv, Options& options) {
                 << "usage: capman_fleet [--devices N] [--seed S] "
                    "[--threads T] [--shards K]\n"
                 << "                    [--policies dual,heuristic] "
-                   "[--fault-fraction F] [--json]\n";
+                   "[--fault-fraction F] [--json]\n"
+                << "                    [--budget-mw B] "
+                   "[--cap-method relax|static]\n";
       return false;
     }
   }
@@ -113,6 +126,14 @@ sim::FleetConfig fleet_config(const Options& options) {
   if (options.fault_fraction > 0.0) {
     // A mild actuator fault template: occasional stuck switches.
     config.population.fault_template.stuck_rate_per_min = 0.5;
+  }
+  if (options.budget_mw > 0.0) {
+    config.base.budget.enabled = true;
+    config.base.budget.base_budget_mw = options.budget_mw;
+    config.base.budget.cap_method = options.cap_method == "static"
+                                        ? core::CapMethod::kStatic
+                                        : core::CapMethod::kRelax;
+    config.capman.learn_budget = true;
   }
   return config;
 }

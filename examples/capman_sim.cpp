@@ -41,6 +41,11 @@ void usage() {
       "  --no-tec          disable the thermoelectric cooler\n"
       "  --fault-stuck R   inject stuck-comparator episodes at R per minute\n"
       "                    (30-90 s each; see sim/faults.h)\n"
+      "  --budget-mw B     enable the power-budget arbiter with a base\n"
+      "                    budget of B mW (core/power_budget.h); CAPMAN\n"
+      "                    additionally learns the budget level jointly\n"
+      "  --cap-method M    relax (voltage comparator, rebudget on sag) or\n"
+      "                    static (worst-case margin); default relax\n"
       "  --dump-trace FILE write the generated trace as CSV and exit\n"
       "  --csv PREFIX      dump result series as PREFIX_<policy>.csv\n"
       "  --metrics-out F   write the end-of-run metrics snapshot as JSON\n"
@@ -101,6 +106,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   bool tec = true;
   double fault_stuck_rate = 0.0;
+  double budget_mw = 0.0;
+  std::string cap_method = "relax";
   std::string metrics_out;
   std::string trace_out;
   std::string spans_out;
@@ -121,6 +128,8 @@ int main(int argc, char** argv) {
     else if (arg == "--seed") seed = std::stoull(next());
     else if (arg == "--no-tec") tec = false;
     else if (arg == "--fault-stuck") fault_stuck_rate = std::stod(next());
+    else if (arg == "--budget-mw") budget_mw = std::stod(next());
+    else if (arg == "--cap-method") cap_method = next();
     else if (arg == "--dump-trace") dump_path = next();
     else if (arg == "--csv") csv_prefix = next();
     else if (arg == "--metrics-out") metrics_out = next();
@@ -170,6 +179,21 @@ int main(int argc, char** argv) {
     plan.stuck_min_duration = util::Seconds{30.0};
     plan.stuck_max_duration = util::Seconds{90.0};
     options.faults = plan;
+  }
+  if (cap_method != "relax" && cap_method != "static") {
+    std::cerr << "unknown cap method '" << cap_method << "'\n";
+    usage();
+    return 1;
+  }
+  if (budget_mw > 0.0) {
+    options.config.budget.enabled = true;
+    options.config.budget.base_budget_mw = budget_mw;
+    options.config.budget.cap_method = cap_method == "static"
+                                           ? core::CapMethod::kStatic
+                                           : core::CapMethod::kRelax;
+    // With an arbiter present, CAPMAN learns the budget level jointly
+    // with the battery selection.
+    options.capman.learn_budget = true;
   }
 
   std::vector<sim::PolicyKind> kinds;

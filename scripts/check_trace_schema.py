@@ -54,6 +54,27 @@ DECISION_SCHEMA = {
     "little_soc": (int, float),
     "hotspot_c": (int, float),
     "demand_w": (int, float),
+    "budget_level": (int,),
+    "granted_mw": (int, float),
+}
+
+# core::BudgetLevel: 0 = full, 1 = balanced, 2 = eco.
+BUDGET_LEVELS = {0, 1, 2}
+
+# Metric keys the PowerBudgetArbiter must publish when enabled.
+ARBITER_COUNTERS = {
+    "arbiter/rebudgets",
+    "arbiter/voltage_triggers",
+    "arbiter/cooling_rebudgets",
+    "arbiter/throttled_steps",
+    "arbiter/tec_vetoes",
+}
+ARBITER_GAUGES = {
+    "arbiter/budget_mw",
+    "arbiter/granted_mw",
+    "arbiter/min_granted_mw",
+    "arbiter/shed_j",
+    "arbiter/avg_budget_mw",
 }
 
 SOURCES = {"exact", "transferred", "fallback", "explored"}
@@ -99,6 +120,9 @@ def check_decisions(path):
                 check_type(rec, key, value)
             if rec["source"] is not None and rec["source"] not in SOURCES:
                 fail(f"record {rec['seq']}: bad source {rec['source']!r}")
+            if rec["budget_level"] not in BUDGET_LEVELS:
+                fail(f"record {rec['seq']}: bad budget_level "
+                     f"{rec['budget_level']!r}")
             if rec["seq"] != last_seq + 1:
                 fail(f"seq gap: {last_seq} -> {rec['seq']}")
             last_seq = rec["seq"]
@@ -190,7 +214,8 @@ def _valid_decision_record(seq=0):
         "q_little": -0.5, "switch_requested": True, "switch_accepted": True,
         "switch_pending": False, "guard_fallback": False,
         "fault_stuck": False, "big_soc": 0.9, "little_soc": 0.8,
-        "hotspot_c": 38.5, "demand_w": 1.5,
+        "hotspot_c": 38.5, "demand_w": 1.5, "budget_level": 0,
+        "granted_mw": 3450.0,
     }
 
 
@@ -279,6 +304,12 @@ def self_test():
         expect("decision record with missing field",
                lambda: check_decisions(bad), False)
 
+        bad_level_rec = _valid_decision_record()
+        bad_level_rec["budget_level"] = 5
+        bad = write_jsonl("bad_budget_level.jsonl", [bad_level_rec])
+        expect("decision record with out-of-range budget_level",
+               lambda: check_decisions(bad), False)
+
         good = write_doc("spans.json", _valid_spans_doc())
         expect("valid span profile", lambda: check_spans(good), True)
 
@@ -336,9 +367,46 @@ def main():
         n_ev, n_pool = check_spans(spans)
         n_ctr = check_metrics(metrics)
 
+        # Second run with the power-budget arbiter enabled: the decision
+        # trace must still satisfy the schema and the metrics snapshot must
+        # carry every arbiter/* key the arbiter is contracted to publish.
+        b_decisions = tmp / "decisions_budget.jsonl"
+        b_metrics = tmp / "metrics_budget.json"
+        cmd = [
+            str(binary),
+            "--policy", "capman",
+            "--workload", "video",
+            "--seed", "42",
+            "--max-minutes", "10",
+            "--budget-mw", "4000",
+            "--trace-out", str(b_decisions),
+            "--metrics-out", str(b_metrics),
+        ]
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        n_bdec = check_decisions(b_decisions)
+        with open(b_metrics) as f:
+            doc = json.load(f)
+        missing = ARBITER_COUNTERS - doc["counters"].keys()
+        if missing:
+            fail(f"arbiter run lacks counters {sorted(missing)}")
+        missing = ARBITER_GAUGES - doc["gauges"].keys()
+        if missing:
+            fail(f"arbiter run lacks gauges {sorted(missing)}")
+        if doc["counters"]["arbiter/rebudgets"] <= 0:
+            fail("arbiter run recorded no rebudgets")
+        granted_seen = False
+        with open(b_decisions) as f:
+            for line in f:
+                if json.loads(line)["granted_mw"] > 0:
+                    granted_seen = True
+                    break
+        if not granted_seen:
+            fail("arbiter run never recorded a granted budget")
+
     print(
         f"check_trace_schema: OK ({n_dec} decision records, {n_ev} trace "
-        f"events on {n_pool} pool tracks, {n_ctr} counters)"
+        f"events on {n_pool} pool tracks, {n_ctr} counters; arbiter run "
+        f"{n_bdec} records)"
     )
 
 

@@ -1,0 +1,33 @@
+// Voluntary power-budget posture: the third MDP action dimension.
+//
+// The PowerBudgetArbiter (core/power_budget.h) derives the physical budget
+// from battery and thermal state; the *level* is the scheduler's voluntary
+// stance on top of it — how much of the derived budget the device asks to
+// spend. With CapmanConfig::learn_budget the level is chosen jointly with
+// the battery selection, so CAPMAN learns when running leaner pays off
+// (cooler skin, shallower V-edges) and when it merely costs service.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace capman::core {
+
+enum class BudgetLevel : std::uint8_t {
+  kFull = 0,      // spend the whole derived budget
+  kBalanced = 1,  // spend a configured fraction (default 80%)
+  kEco = 2,       // spend the lean fraction (default 60%)
+};
+
+inline constexpr std::size_t kBudgetLevelCount = 3;
+
+[[nodiscard]] constexpr const char* to_string(BudgetLevel level) {
+  switch (level) {
+    case BudgetLevel::kFull: return "full";
+    case BudgetLevel::kBalanced: return "balanced";
+    case BudgetLevel::kEco: return "eco";
+  }
+  return "?";
+}
+
+}  // namespace capman::core

@@ -66,6 +66,13 @@ struct CapmanConfig {
   // CAPMAN ties with Dual/Heuristic on stationary Geekbench, Fig. 12a).
   util::Watts maintenance_power = util::milliwatts(25.0);
 
+  // Learn the power-budget level jointly with the battery selection: the
+  // action space grows from syscall x battery to syscall x battery x
+  // BudgetLevel and decide() returns the level of the winning action.
+  // Off by default — the decision path is then bit-identical to the
+  // pre-budget scheduler and the MDP allocates only the kFull plane.
+  bool learn_budget = false;
+
   /// The similarity-engine view of this config (Algorithm 1 knobs).
   /// Runtime bindings (metrics registry, timing switch) stay at the call
   /// site — see OnlineScheduler::recalibrate().

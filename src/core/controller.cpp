@@ -31,7 +31,8 @@ CapmanController::CapmanController(const CapmanConfig& config,
 
 battery::BatterySelection CapmanController::on_event(
     const workload::Action& event, const device::DeviceStateVector& device,
-    battery::BatterySelection current, util::Seconds now, bool emergency) {
+    battery::BatterySelection current, util::Seconds now, bool emergency,
+    BudgetLevel granted) {
   // Close the previous interval and learn from it.
   const CapmanState arrived{device, current};
   if (auto obs = profiler_.close_interval(arrived)) {
@@ -39,13 +40,25 @@ battery::BatterySelection CapmanController::on_event(
   }
 
   scheduler_.advance_time(now.value());
-  battery::BatterySelection choice =
-      scheduler_.decide(event, device, current, /*allow_exploration=*/!emergency);
-  if (emergency && choice == current) {
-    // The rail is sagging under the current cell; staying put means dying.
-    choice = current == battery::BatterySelection::kBig
-                 ? battery::BatterySelection::kLittle
-                 : battery::BatterySelection::kBig;
+  DecideRequest req;
+  req.event = event;
+  req.device = device;
+  req.current = current;
+  req.budget = granted;
+  req.allow_exploration = !emergency;
+  const DecideResult decision = scheduler_.decide(req);
+  battery::BatterySelection choice = decision.battery;
+  BudgetLevel budget = decision.budget;
+  if (emergency) {
+    if (choice == current) {
+      // The rail is sagging under the current cell; staying put means dying.
+      choice = current == battery::BatterySelection::kBig
+                   ? battery::BatterySelection::kLittle
+                   : battery::BatterySelection::kBig;
+    }
+    // Comparator-relax semantics: a tripped comparator drops the budget to
+    // the lean level until a calm consultation raises it again.
+    if (config_.learn_budget) budget = BudgetLevel::kEco;
   }
   // Dwell control: honor the minimum time between voluntary switches
   // (except in emergencies).
@@ -54,9 +67,14 @@ battery::BatterySelection CapmanController::on_event(
     choice = current;
   }
   if (choice != current) last_switch_s_ = now.value();
+  last_budget_level_ = budget;
 
-  profiler_.begin_interval(CapmanState{device, choice},
-                           DecisionAction{event, choice});
+  // Without budget learning the MDP only allocates the level-kFull plane,
+  // so the recorded action must stay inside it.
+  profiler_.begin_interval(
+      CapmanState{device, choice},
+      DecisionAction{event, choice,
+                     config_.learn_budget ? budget : BudgetLevel::kFull});
   return choice;
 }
 

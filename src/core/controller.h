@@ -21,12 +21,24 @@ class CapmanController {
   CapmanController(const CapmanConfig& config, std::uint64_t seed);
 
   /// Decide the battery for the interval opened by `event`. Emergency
-  /// consultations (rail monitor) never explore and bypass dwell control.
+  /// consultations (rail monitor) never explore and bypass dwell control;
+  /// with budget learning they also force BudgetLevel::kEco — the
+  /// comparator tripping *is* the signal the budget was too optimistic.
+  /// `granted` is the arbiter's level currently in force (kFull when no
+  /// arbiter runs).
   battery::BatterySelection on_event(const workload::Action& event,
                                      const device::DeviceStateVector& device,
                                      battery::BatterySelection current,
                                      util::Seconds now,
-                                     bool emergency = false);
+                                     bool emergency = false,
+                                     BudgetLevel granted = BudgetLevel::kFull);
+
+  /// Budget level the scheduler chose at the last on_event (kFull before
+  /// the first consultation). The policy surfaces this as its preferred
+  /// level for the arbiter's next rebudget.
+  [[nodiscard]] BudgetLevel last_budget_level() const {
+    return last_budget_level_;
+  }
 
   /// Account one simulation step of the open interval.
   void record_step(util::Joules delivered, util::Joules losses,
@@ -51,6 +63,7 @@ class CapmanController {
   double recal_interval_s_;
   double last_switch_s_ = -1e9;
   double solve_seconds_ = 0.0;
+  BudgetLevel last_budget_level_ = BudgetLevel::kFull;
 };
 
 }  // namespace capman::core

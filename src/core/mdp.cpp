@@ -6,24 +6,30 @@
 namespace capman::core {
 
 std::string to_string(const DecisionAction& a) {
-  return workload::to_string(a.syscall) + "/" +
-         std::string{battery::to_string(a.battery)};
+  std::string out = workload::to_string(a.syscall) + "/" +
+                    std::string{battery::to_string(a.battery)};
+  if (a.budget != BudgetLevel::kFull) {
+    out += "/";
+    out += to_string(a.budget);
+  }
+  return out;
 }
 
-Mdp::Mdp(double recency_decay)
+Mdp::Mdp(double recency_decay, std::size_t action_count)
     : recency_decay_(recency_decay),
-      counts_(state_space_size() * decision_action_space_size() *
-                  state_space_size(),
-              0.0),
+      action_count_(action_count),
+      counts_(state_space_size() * action_count * state_space_size(), 0.0),
       reward_sums_(counts_.size(), 0.0),
-      sa_counts_(state_space_size() * decision_action_space_size(), 0.0),
+      sa_counts_(state_space_size() * action_count, 0.0),
       state_seen_(state_space_size(), 0) {
   assert(recency_decay_ > 0.0 && recency_decay_ <= 1.0);
+  assert(action_count_ > 0 && action_count_ <= decision_action_space_size());
 }
 
 void Mdp::observe(const Observation& obs) {
   assert(obs.state < state_space_size());
   assert(obs.next_state < state_space_size());
+  assert(obs.action.index() < action_count_);
   assert(obs.reward >= 0.0 && obs.reward <= 1.0);
   const std::size_t a = obs.action.index();
   if (recency_decay_ < 1.0) {
@@ -89,7 +95,7 @@ std::vector<std::size_t> Mdp::visited_states() const {
 std::vector<std::size_t> Mdp::observed_actions(std::size_t s,
                                                double min_count) const {
   std::vector<std::size_t> out;
-  for (std::size_t a = 0; a < decision_action_space_size(); ++a) {
+  for (std::size_t a = 0; a < action_count_; ++a) {
     if (sa_counts_[flat_sa(s, a)] >= min_count) out.push_back(a);
   }
   return out;

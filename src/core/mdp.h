@@ -2,8 +2,9 @@
 //
 // States: combined device-power/battery states (core/state.h).
 // Actions: a decision action pairs the system call that fired (the
-// environment's move) with the battery selection CAPMAN answers with (the
-// controllable move). Transition and reward statistics are estimated
+// environment's move) with the battery selection CAPMAN answers with and,
+// when budget learning is on, the voluntary power-budget level (both
+// controllable moves). Transition and reward statistics are estimated
 // online from observations; rewards are normalized energy efficiencies in
 // [0, 1] (the paper: "the reward is a function of a normalized variable in
 // [0,1]").
@@ -15,31 +16,45 @@
 #include <vector>
 
 #include "battery/switcher.h"
+#include "core/budget_level.h"
 #include "core/state.h"
 #include "workload/event.h"
 
 namespace capman::core {
 
+/// The (syscall, battery) plane of the action space. The budget level is
+/// the major index digit, so level-kFull actions occupy exactly the
+/// indices the pre-budget encoding used: schedulers that never leave
+/// kFull draw identical indices (and identical random numbers) as before
+/// the budget dimension existed — the bit-identity contract.
+inline constexpr std::size_t base_decision_action_space_size() {
+  return workload::action_space_size() * 2;
+}
+
 struct DecisionAction {
   workload::Action syscall;
   battery::BatterySelection battery = battery::BatterySelection::kBig;
+  BudgetLevel budget = BudgetLevel::kFull;
 
   friend bool operator==(const DecisionAction&,
                          const DecisionAction&) = default;
 
   [[nodiscard]] std::size_t index() const {
-    return syscall.index() * 2 +
+    return static_cast<std::size_t>(budget) * base_decision_action_space_size() +
+           syscall.index() * 2 +
            (battery == battery::BatterySelection::kLittle ? 1 : 0);
   }
   static DecisionAction from_index(std::size_t index) {
-    return {workload::Action::from_index(index / 2),
-            (index % 2 == 1) ? battery::BatterySelection::kLittle
-                             : battery::BatterySelection::kBig};
+    const std::size_t base = index % base_decision_action_space_size();
+    return {workload::Action::from_index(base / 2),
+            (base % 2 == 1) ? battery::BatterySelection::kLittle
+                            : battery::BatterySelection::kBig,
+            static_cast<BudgetLevel>(index / base_decision_action_space_size())};
   }
 };
 
 inline constexpr std::size_t decision_action_space_size() {
-  return workload::action_space_size() * 2;
+  return base_decision_action_space_size() * kBudgetLevelCount;
 }
 
 std::string to_string(const DecisionAction& a);
@@ -51,16 +66,22 @@ struct Observation {
   double reward;            // [0, 1]
 };
 
-/// Dense transition/reward statistics over the full (48 x 400 x 48) space.
+/// Dense transition/reward statistics over the (48 x A x 48) space.
 ///
 /// `recency_decay` < 1 turns the statistics into exponentially weighted
 /// windows: each new observation of a (state, action) pair first scales the
 /// pair's existing evidence by the decay. The runtime scheduler uses this
 /// so stale rewards (e.g. "big handled this fine" from when the cell was
 /// full) fade once reality changes; 1.0 keeps plain arithmetic statistics.
+///
+/// `action_count` sizes the action axis: schedulers without budget
+/// learning allocate only the base (syscall x battery) plane — the dense
+/// arrays triple otherwise, which matters at fleet scale. Observations
+/// must stay inside the allocated plane (asserted).
 class Mdp {
  public:
-  explicit Mdp(double recency_decay = 1.0);
+  explicit Mdp(double recency_decay = 1.0,
+               std::size_t action_count = decision_action_space_size());
 
   void observe(const Observation& obs);
 
@@ -88,16 +109,19 @@ class Mdp {
 
   void clear();
 
+  [[nodiscard]] std::size_t action_count() const { return action_count_; }
+
  private:
   [[nodiscard]] std::size_t flat(std::size_t s, std::size_t a,
                                  std::size_t next) const {
-    return (s * decision_action_space_size() + a) * state_space_size() + next;
+    return (s * action_count_ + a) * state_space_size() + next;
   }
   [[nodiscard]] std::size_t flat_sa(std::size_t s, std::size_t a) const {
-    return s * decision_action_space_size() + a;
+    return s * action_count_ + a;
   }
 
   double recency_decay_;
+  std::size_t action_count_;
   std::vector<double> counts_;       // (s, a, next), decayed
   std::vector<double> reward_sums_;  // (s, a, next), decayed
   std::vector<double> sa_counts_;    // (s, a), decayed

@@ -1,0 +1,279 @@
+#include "core/power_budget.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace capman::core {
+
+const char* to_string(CapMethod method) {
+  switch (method) {
+    case CapMethod::kRelax: return "relax";
+    case CapMethod::kStatic: return "static";
+  }
+  return "?";
+}
+
+double CorecapSplit::cap_for(device::ConsumerKind kind) const {
+  switch (kind) {
+    case device::ConsumerKind::kCpu: return cpu_mw;
+    case device::ConsumerKind::kScreen: return screen_mw;
+    case device::ConsumerKind::kWifi: return wifi_mw;
+    case device::ConsumerKind::kTec: return tec_mw;
+  }
+  return 0.0;
+}
+
+std::vector<CorecapRow> default_corecap_table() {
+  // budget     cpu-priority {cpu, screen, wifi, tec}
+  //            cooling-priority {cpu, screen, wifi, tec}
+  return {
+      {1000.0,
+       {620.0, 205.0, 120.0, 0.0},
+       {420.0, 205.0, 120.0, 200.0}},
+      {1800.0,
+       {1150.0, 320.0, 250.0, 0.0},
+       {520.0, 205.0, 150.0, 900.0}},
+      {2800.0,
+       {1700.0, 500.0, 500.0, 0.0},
+       {620.0, 240.0, 170.0, 1700.0}},
+      {3600.0,
+       {1950.0, 700.0, 850.0, 0.0},
+       {900.0, 450.0, 500.0, 1700.0}},
+      {4400.0,
+       {2050.0, 900.0, 1350.0, 100.0},
+       {1250.0, 650.0, 800.0, 1700.0}},
+      {5400.0,
+       {2050.0, 1040.0, 2080.0, 230.0},
+       {1650.0, 900.0, 1150.0, 1700.0}},
+  };
+}
+
+namespace {
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+void validate_split(const CorecapRow& row, const CorecapSplit& split,
+                    const CorecapSplit* previous, std::size_t index,
+                    const char* name, std::vector<std::string>& errors) {
+  const std::string where = "corecaps[" + std::to_string(index) + "]." + name;
+  if (split.cpu_mw < 0.0 || split.screen_mw < 0.0 || split.wifi_mw < 0.0 ||
+      split.tec_mw < 0.0) {
+    errors.push_back(where + " caps must be >= 0");
+  }
+  if (split.total() > row.budget_mw) {
+    errors.push_back(where + " caps must sum to <= budget_mw");
+  }
+  if (previous != nullptr &&
+      (split.cpu_mw < previous->cpu_mw || split.screen_mw < previous->screen_mw ||
+       split.wifi_mw < previous->wifi_mw || split.tec_mw < previous->tec_mw)) {
+    errors.push_back(where + " caps must be non-decreasing across rows");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> PowerBudgetArbiterConfig::validate() const {
+  std::vector<std::string> errors;
+  auto require = [&errors](bool ok, const char* message) {
+    if (!ok) errors.emplace_back(message);
+  };
+  require(base_budget_mw > 0.0, "base_budget_mw must be > 0");
+  require(min_budget_mw > 0.0 && min_budget_mw <= base_budget_mw,
+          "min_budget_mw must be > 0 and <= base_budget_mw");
+  require(soc_floor >= 0.0 && soc_floor < 1.0, "soc_floor must be in [0, 1)");
+  require(soc_knee > soc_floor && soc_knee <= 1.0,
+          "soc_knee must be in (soc_floor, 1]");
+  require(rail_min_v > 0.0, "rail_min_v must be > 0");
+  require(nominal_v > rail_min_v, "nominal_v must be > rail_min_v");
+  require(rebudget_trigger_v >= rail_min_v,
+          "rebudget_trigger_v must be >= rail_min_v");
+  require(min_rebudget_gap_s > 0.0, "min_rebudget_gap_s must be > 0");
+  require(supercap_margin_fill > 0.0 && supercap_margin_fill <= 1.0,
+          "supercap_margin_fill must be in (0, 1]");
+  require(skin_soft_c < skin_hard_c, "skin_soft_c must be < skin_hard_c");
+  require(cell_soft_c < cell_hard_c, "cell_soft_c must be < cell_hard_c");
+  require(static_margin > 0.0 && static_margin <= 1.0,
+          "static_margin must be in (0, 1]");
+  require(cooling_priority_hotspot_c > 0.0,
+          "cooling_priority_hotspot_c must be > 0");
+  bool fractions_ok = true;
+  for (std::size_t i = 0; i < level_fraction.size(); ++i) {
+    if (level_fraction[i] <= 0.0 || level_fraction[i] > 1.0) {
+      fractions_ok = false;
+    }
+    if (i > 0 && level_fraction[i] > level_fraction[i - 1]) {
+      fractions_ok = false;
+    }
+  }
+  require(fractions_ok,
+          "level_fraction values must be in (0, 1] and non-increasing");
+  if (corecaps.empty()) {
+    errors.emplace_back("corecaps must not be empty");
+    return errors;
+  }
+  for (std::size_t i = 0; i < corecaps.size(); ++i) {
+    const CorecapRow& row = corecaps[i];
+    if (row.budget_mw <= 0.0 ||
+        (i > 0 && row.budget_mw <= corecaps[i - 1].budget_mw)) {
+      errors.push_back("corecaps[" + std::to_string(i) +
+                       "].budget_mw must be > 0 and strictly increasing");
+    }
+    const CorecapRow* prev = i > 0 ? &corecaps[i - 1] : nullptr;
+    validate_split(row, row.cpu_priority,
+                   prev != nullptr ? &prev->cpu_priority : nullptr, i,
+                   "cpu_priority", errors);
+    validate_split(row, row.cooling_priority,
+                   prev != nullptr ? &prev->cooling_priority : nullptr, i,
+                   "cooling_priority", errors);
+  }
+  return errors;
+}
+
+PowerBudgetArbiter::PowerBudgetArbiter(const PowerBudgetArbiterConfig& config)
+    : config_(config) {
+  const auto errors = config_.validate();
+  if (!errors.empty()) {
+    std::string message = "invalid PowerBudgetArbiterConfig:";
+    for (const auto& error : errors) {
+      message += "\n  - " + error;
+    }
+    throw std::invalid_argument(message);
+  }
+}
+
+double PowerBudgetArbiter::derive_budget_mw(const BudgetInputs& in) const {
+  const double soc = in.active == battery::BatterySelection::kBig
+                         ? in.big_soc
+                         : in.little_soc;
+  const double soc_factor =
+      clamp01((soc - config_.soc_floor) / (config_.soc_knee - config_.soc_floor));
+  // Comparator-less boards cannot read the live rail: kStatic takes its
+  // worst-case margin in rebudget() instead of a voltage factor here.
+  double volt_factor = 1.0;
+  if (config_.cap_method == CapMethod::kRelax) {
+    volt_factor = clamp01((in.rail_v - config_.rail_min_v) /
+                          (config_.nominal_v - config_.rail_min_v));
+  }
+  const double cap_factor =
+      clamp01(in.supercap_fill / config_.supercap_margin_fill);
+  const double skin_factor =
+      1.0 - clamp01((in.skin_c - config_.skin_soft_c) /
+                    (config_.skin_hard_c - config_.skin_soft_c));
+  const double cell_factor =
+      1.0 - clamp01((in.cell_c - config_.cell_soft_c) /
+                    (config_.cell_hard_c - config_.cell_soft_c));
+  // The tightest constraint rules; multiplying would over-derate when
+  // several factors dip together.
+  const double headroom = std::min(
+      {soc_factor, volt_factor, cap_factor, skin_factor, cell_factor});
+  return std::max(config_.min_budget_mw, headroom * config_.base_budget_mw);
+}
+
+const CorecapRow& PowerBudgetArbiter::row_for(double effective_mw,
+                                              std::size_t* index) const {
+  // Highest row whose activation budget fits; below the first row the
+  // first row's caps apply and the shed loop trims them to the budget.
+  std::size_t chosen = 0;
+  for (std::size_t i = 0; i < config_.corecaps.size(); ++i) {
+    if (config_.corecaps[i].budget_mw <= effective_mw) chosen = i;
+  }
+  if (index != nullptr) *index = chosen;
+  return config_.corecaps[chosen];
+}
+
+BudgetGrant PowerBudgetArbiter::rebudget(
+    const BudgetInputs& in, BudgetLevel level,
+    std::span<device::PowerConsumer* const> consumers) {
+  BudgetGrant grant;
+  grant.level = level;
+  grant.derived_mw = derive_budget_mw(in);
+  double effective =
+      grant.derived_mw * config_.level_fraction[static_cast<std::size_t>(level)];
+  if (config_.cap_method == CapMethod::kStatic) {
+    effective *= config_.static_margin;
+  }
+  effective = std::max(effective, config_.min_budget_mw);
+  grant.effective_mw = effective;
+  grant.cooling_priority = in.hotspot_c > config_.cooling_priority_hotspot_c;
+
+  const CorecapRow& row = row_for(effective, &grant.row);
+  const CorecapSplit& split =
+      grant.cooling_priority ? row.cooling_priority : row.cpu_priority;
+
+  struct Slot {
+    device::PowerConsumer* consumer = nullptr;
+    device::ConsumerCapability cap;
+    double target = 0.0;
+    int priority = 0;
+  };
+  std::array<Slot, device::kConsumerKindCount> slots;
+  std::size_t count = 0;
+  double total = 0.0;
+  for (device::PowerConsumer* consumer : consumers) {
+    if (consumer == nullptr || count >= slots.size()) continue;
+    Slot& slot = slots[count++];
+    slot.consumer = consumer;
+    slot.cap = consumer->capability();
+    slot.target = std::clamp(split.cap_for(consumer->kind()),
+                             slot.cap.min_draw_mw, slot.cap.max_draw_mw);
+    slot.priority = slot.cap.shed_priority;
+    // Cooling-priority rows shed the CPU before the TEC: a hot die buys
+    // its cooler with its own cycles.
+    if (grant.cooling_priority) {
+      if (consumer->kind() == device::ConsumerKind::kCpu) slot.priority = 2;
+      if (consumer->kind() == device::ConsumerKind::kTec) slot.priority = 3;
+    }
+    total += slot.target;
+  }
+
+  // FastCap-style fair trim: shed the deficit in priority order, never
+  // below a consumer's floor. When the floors alone exceed the budget the
+  // grant honestly reports granted_mw > effective_mw (zero-headroom case).
+  double deficit = total - effective;
+  if (deficit > 0.0) {
+    std::array<std::size_t, device::kConsumerKindCount> order{};
+    for (std::size_t i = 0; i < count; ++i) order[i] = i;
+    std::sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(count),
+              [&slots](std::size_t a, std::size_t b) {
+                if (slots[a].priority != slots[b].priority) {
+                  return slots[a].priority < slots[b].priority;
+                }
+                return slots[a].consumer->kind() < slots[b].consumer->kind();
+              });
+    for (std::size_t i = 0; i < count && deficit > 0.0; ++i) {
+      Slot& slot = slots[order[i]];
+      const double reducible = slot.target - slot.cap.min_draw_mw;
+      const double take = std::min(deficit, reducible);
+      slot.target -= take;
+      deficit -= take;
+    }
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const double granted = slots[i].consumer->apply_cap(slots[i].target);
+    grant.by_kind[static_cast<std::size_t>(slots[i].consumer->kind())] =
+        granted;
+    grant.granted_mw += granted;
+  }
+
+  ++rebudgets_;
+  if (grant.cooling_priority) ++cooling_rebudgets_;
+  if (!any_grant_ || grant.granted_mw < min_granted_mw_) {
+    min_granted_mw_ = grant.granted_mw;
+    any_grant_ = true;
+  }
+  last_ = grant;
+  return grant;
+}
+
+void PowerBudgetArbiter::publish_metrics(obs::MetricsRegistry& registry) const {
+  registry.counter("arbiter/rebudgets").add(rebudgets_);
+  registry.counter("arbiter/voltage_triggers").add(voltage_triggers_);
+  registry.counter("arbiter/cooling_rebudgets").add(cooling_rebudgets_);
+  registry.gauge("arbiter/budget_mw").set(last_.derived_mw);
+  registry.gauge("arbiter/granted_mw").set(last_.granted_mw);
+  registry.gauge("arbiter/min_granted_mw").set(min_granted_mw_);
+}
+
+}  // namespace capman::core

@@ -1,0 +1,204 @@
+// core::PowerBudgetArbiter — system-EDP-style dynamic power capping.
+//
+// Closes the ROADMAP's "System-EDP-style dynamic power-budget arbiter"
+// item, modeled on SNIPPETS.md Snippet 1 (nvidia sysedp dynamic capping)
+// with FastCap-style fair trimming (PAPERS.md). The arbiter:
+//
+//  1. derives a total milliwatt budget from battery state — state of
+//     charge of the active cell, rail-voltage headroom, supercapacitor
+//     margin — and from skin/cell temperature (the tightest constraint
+//     rules: the headroom factor is the minimum over all deratings);
+//  2. scales it by the voluntary BudgetLevel fraction (the MDP action
+//     dimension, core/budget_level.h);
+//  3. picks a corecap row (highest row whose activation budget fits) and
+//     applies its per-consumer caps — the CPU-priority split normally,
+//     the cooling-priority split when the hot spot runs hot;
+//  4. trims any residual deficit off the consumers in shed-priority order
+//     down to their capability floors, then hands each consumer its cap
+//     via PowerConsumer::apply_cap.
+//
+// Two cap methods, after the sysedp binding:
+//  * kRelax  — the board has a voltage comparator, so the budget may use
+//              the live rail voltage optimistically and re-budget when
+//              the comparator trips (the engine triggers on rail sag);
+//  * kStatic — comparator-less boards must assume the worst case up
+//              front: live voltage is ignored and a static margin is
+//              shaved off every budget.
+//
+// Everything here is pure arithmetic over its inputs — no clocks, no
+// randomness — so arbiter-enabled runs stay bit-identical across threads
+// and shards (the fleet gate asserts this).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "battery/switcher.h"
+#include "core/budget_level.h"
+#include "device/power_consumer.h"
+#include "obs/instrumented.h"
+
+namespace capman::core {
+
+enum class CapMethod : std::uint8_t {
+  kRelax = 0,   // voltage comparator present: optimistic, rebudget on sag
+  kStatic = 1,  // comparator-less: worst-case static margin, no rebudget
+};
+
+const char* to_string(CapMethod method);
+
+/// Per-consumer milliwatt caps of one corecap row.
+struct CorecapSplit {
+  double cpu_mw = 0.0;
+  double screen_mw = 0.0;
+  double wifi_mw = 0.0;
+  double tec_mw = 0.0;
+
+  [[nodiscard]] double total() const {
+    return cpu_mw + screen_mw + wifi_mw + tec_mw;
+  }
+  [[nodiscard]] double cap_for(device::ConsumerKind kind) const;
+};
+
+/// One corecap-table row: activates when the effective budget reaches
+/// budget_mw; carries a CPU-priority and a cooling-priority cap split
+/// (each split's caps must sum to at most budget_mw — validated — which
+/// is what makes grants monotone in the budget).
+struct CorecapRow {
+  double budget_mw = 0.0;
+  CorecapSplit cpu_priority;
+  CorecapSplit cooling_priority;
+};
+
+/// The default table, tuned for the Nexus-class Table II/III models: rows
+/// from survival (sub-watt) to unconstrained (every consumer near its
+/// model maximum). Cooling-priority splits reach the TEC's rated draw by
+/// the third row so a hot die can always buy its cooler before its cycles.
+[[nodiscard]] std::vector<CorecapRow> default_corecap_table();
+
+struct PowerBudgetArbiterConfig {
+  bool enabled = false;
+  CapMethod cap_method = CapMethod::kRelax;
+
+  // Budget range: base at full headroom, floor when every derate bites.
+  double base_budget_mw = 5400.0;
+  double min_budget_mw = 900.0;
+
+  // State-of-charge derating of the active cell: no derate above the
+  // knee, linear derate between knee and floor, floored below.
+  double soc_floor = 0.10;
+  double soc_knee = 0.40;
+
+  // Rail-voltage headroom (kRelax only: comparator-less boards cannot
+  // read the live rail).
+  double rail_min_v = 3.30;
+  double nominal_v = 3.90;
+  // Comparator trip point: rail below this triggers a rebudget (kRelax).
+  double rebudget_trigger_v = 3.55;
+  double min_rebudget_gap_s = 0.5;
+
+  // Supercapacitor margin: full headroom at or above this fill fraction.
+  double supercap_margin_fill = 0.35;
+
+  // Thermal derating: linear between soft and hard limits (skin is the
+  // 45 C envelope the paper guards; the cell protects chemistry).
+  double skin_soft_c = 37.0;
+  double skin_hard_c = 45.0;
+  double cell_soft_c = 40.0;
+  double cell_hard_c = 55.0;
+
+  // kStatic worst-case margin multiplier on every effective budget.
+  double static_margin = 0.85;
+
+  // Voluntary spend fraction per BudgetLevel (full, balanced, eco).
+  std::array<double, kBudgetLevelCount> level_fraction{1.0, 0.8, 0.6};
+
+  // Cooling-priority rows engage above this hot-spot temperature.
+  double cooling_priority_hotspot_c = 43.0;
+
+  std::vector<CorecapRow> corecaps = default_corecap_table();
+
+  /// Human-readable configuration errors; empty means valid. Aggregated
+  /// by sim::SimConfig::validate() under "budget."; checked by the
+  /// PowerBudgetArbiter constructor (throws std::invalid_argument).
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+/// Everything the arbiter reads when deriving a budget. The engine fills
+/// it from ground truth (the arbiter models the management facility's own
+/// hardware — fuel gauge, comparator — not the policy's sensor view).
+struct BudgetInputs {
+  double big_soc = 1.0;
+  double little_soc = 1.0;
+  battery::BatterySelection active = battery::BatterySelection::kBig;
+  double rail_v = 3.9;
+  double supercap_fill = 1.0;
+  double skin_c = 26.0;
+  double cell_c = 26.0;
+  double hotspot_c = 26.0;
+};
+
+/// The outcome of one rebudget.
+struct BudgetGrant {
+  double derived_mw = 0.0;    // budget before level scaling / margin
+  double effective_mw = 0.0;  // after level fraction and cap method
+  double granted_mw = 0.0;    // sum of consumer grants (may exceed
+                              // effective_mw when floors dominate)
+  BudgetLevel level = BudgetLevel::kFull;
+  bool cooling_priority = false;
+  std::size_t row = 0;  // index of the corecap row applied
+  std::array<double, device::kConsumerKindCount> by_kind{};
+};
+
+class PowerBudgetArbiter : public obs::Instrumented {
+ public:
+  /// Throws std::invalid_argument listing every problem when
+  /// `config.validate()` is non-empty.
+  explicit PowerBudgetArbiter(const PowerBudgetArbiterConfig& config);
+
+  /// The total budget the battery/thermal state supports right now, in
+  /// [min_budget_mw, base_budget_mw]. Pure: no state is touched.
+  [[nodiscard]] double derive_budget_mw(const BudgetInputs& in) const;
+
+  /// Full rebudget: derive, scale by `level`, pick the corecap row, trim
+  /// to the effective budget in shed-priority order, and hand each
+  /// consumer its cap via apply_cap. Consumers not present in `consumers`
+  /// simply keep their previous caps.
+  BudgetGrant rebudget(const BudgetInputs& in, BudgetLevel level,
+                       std::span<device::PowerConsumer* const> consumers);
+
+  /// Note a comparator trip (kRelax); the engine calls this before the
+  /// sag-triggered rebudget so telemetry separates the trigger kinds.
+  void note_voltage_trigger() { ++voltage_triggers_; }
+
+  [[nodiscard]] const BudgetGrant& last_grant() const { return last_; }
+  [[nodiscard]] std::size_t rebudget_count() const { return rebudgets_; }
+  [[nodiscard]] std::size_t voltage_trigger_count() const {
+    return voltage_triggers_;
+  }
+  [[nodiscard]] const PowerBudgetArbiterConfig& config() const {
+    return config_;
+  }
+
+  /// Publishes arbiter/* counters and gauges (rebudgets, voltage
+  /// triggers, cooling-priority engagements, last/min granted budget).
+  void publish_metrics(obs::MetricsRegistry& registry) const override;
+
+ private:
+  [[nodiscard]] const CorecapRow& row_for(double effective_mw,
+                                          std::size_t* index) const;
+
+  PowerBudgetArbiterConfig config_;
+  BudgetGrant last_;
+  std::size_t rebudgets_ = 0;
+  std::size_t voltage_triggers_ = 0;
+  std::size_t cooling_rebudgets_ = 0;
+  double min_granted_mw_ = 0.0;
+  bool any_grant_ = false;
+};
+
+}  // namespace capman::core

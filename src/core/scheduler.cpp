@@ -32,17 +32,15 @@ DecisionStats DecisionStats::from_snapshot(const obs::MetricsSnapshot& snap) {
   return stats;
 }
 
-void OnlineScheduler::bind_metrics(obs::MetricsRegistry* registry,
-                                   bool publish_timings) {
-  metrics_ = registry;
-  publish_timings_ = publish_timings;
-}
-
 OnlineScheduler::OnlineScheduler(const CapmanConfig& config,
                                  std::uint64_t seed)
     : config_(config),
       rng_(seed),
-      mdp_(config.recency_decay),
+      // Without budget learning only the level-kFull plane is reachable;
+      // allocating just that plane keeps fleet-scale memory flat.
+      mdp_(config.recency_decay, config.learn_budget
+                                     ? decision_action_space_size()
+                                     : base_decision_action_space_size()),
       exploration_(config.exploration_initial) {}
 
 void OnlineScheduler::observe(const Observation& obs) { mdp_.observe(obs); }
@@ -54,8 +52,8 @@ double OnlineScheduler::recalibrate() {
   const auto start = std::chrono::steady_clock::now();
   graph_ = MdpGraph::from_mdp(mdp_, config_.min_observations);
   SimilarityConfig sim_config = config_.similarity_config();
-  sim_config.metrics = metrics_;
-  sim_config.publish_timings = publish_timings_;
+  sim_config.metrics = metrics();
+  sim_config.publish_timings = publish_timings();
   similarity_ = compute_structural_similarity(graph_, sim_config);
 
   values_ = solve_values(graph_, config_.value_iteration_config());
@@ -70,15 +68,15 @@ double OnlineScheduler::recalibrate() {
   // capman-lint: allow(determinism)
   const auto end = std::chrono::steady_clock::now();
   const double seconds = std::chrono::duration<double>(end - start).count();
-  if (metrics_ != nullptr) {
-    metrics_->counter("scheduler/recalibrations").add();
-    metrics_->counter("scheduler/vi_sweeps").add(values_.iterations);
-    metrics_->gauge("scheduler/graph_states")
+  if (metrics() != nullptr) {
+    metrics()->counter("scheduler/recalibrations").add();
+    metrics()->counter("scheduler/vi_sweeps").add(values_.iterations);
+    metrics()->gauge("scheduler/graph_states")
         .set(static_cast<double>(graph_.state_count()));
-    metrics_->gauge("scheduler/graph_actions")
+    metrics()->gauge("scheduler/graph_actions")
         .set(static_cast<double>(graph_.action_count()));
-    if (publish_timings_) {
-      metrics_
+    if (publish_timings()) {
+      metrics()
           ->histogram("scheduler/recalibrate_ms",
                       {1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0})
           .observe(seconds * 1000.0);
@@ -94,17 +92,41 @@ double OnlineScheduler::solved_q(std::size_t state_id,
   return values_.action_values[it->second];
 }
 
+double OnlineScheduler::best_q_over_levels(std::size_t state_id,
+                                           const workload::Action& event,
+                                           battery::BatterySelection battery,
+                                           BudgetLevel* best_level) const {
+  const std::size_t levels = config_.learn_budget ? kBudgetLevelCount : 1;
+  double best_q = kNaN;
+  BudgetLevel level = BudgetLevel::kFull;
+  // Ascending level order + strict improvement: ties break toward the
+  // higher budget (kFull first), the conservative default.
+  for (std::size_t l = 0; l < levels; ++l) {
+    const DecisionAction action{event, battery, static_cast<BudgetLevel>(l)};
+    const double q = solved_q(state_id, action.index());
+    if (!std::isnan(q) && (std::isnan(best_q) || q > best_q)) {
+      best_q = q;
+      level = static_cast<BudgetLevel>(l);
+    }
+  }
+  if (best_level != nullptr) *best_level = level;
+  return best_q;
+}
+
 double OnlineScheduler::transferred_q(std::size_t state_id,
                                       workload::Syscall kind,
                                       battery::BatterySelection battery,
-                                      std::int64_t* matched_state) const {
+                                      std::int64_t* matched_state,
+                                      BudgetLevel* matched_level) const {
   const std::size_t query_vertex = graph_.vertex_of(state_id);
   double best_sim = 0.0;
   double best_q = kNaN;
   std::int64_t best_state = -1;
+  BudgetLevel best_level = BudgetLevel::kFull;
   // Scan action vertices whose syscall kind and battery match; weight each
   // candidate's Q by the structural similarity between its source state and
   // the query state (exact state match was already handled by solved_q).
+  // Budget levels transfer freely: the matched action's level rides along.
   for (std::size_t av = 0; av < graph_.action_count(); ++av) {
     const auto& a = graph_.action(av);
     const DecisionAction da = DecisionAction::from_index(a.action_id);
@@ -117,10 +139,12 @@ double OnlineScheduler::transferred_q(std::size_t state_id,
       best_sim = sim;
       best_q = values_.action_values[av];
       best_state = static_cast<std::int64_t>(graph_.state(a.source).state_id);
+      best_level = da.budget;
     }
   }
   if (best_sim <= 0.05) return kNaN;
   if (matched_state != nullptr) *matched_state = best_state;
+  if (matched_level != nullptr) *matched_level = best_level;
   return best_q;
 }
 
@@ -159,33 +183,50 @@ void OnlineScheduler::advance_time(double now_s) {
   }
 }
 
-battery::BatterySelection OnlineScheduler::decide(
-    const workload::Action& event, const device::DeviceStateVector& dev,
-    battery::BatterySelection current, bool allow_exploration) {
+DecideResult OnlineScheduler::decide(const DecideRequest& req) {
   exploration_ = std::max(config_.exploration_floor,
                           exploration_ * config_.exploration_decay_per_event);
   last_detail_ = obs::DecisionDetail{};
-  if (allow_exploration && rng_.chance(exploration_)) {
+  // Without budget learning the level axis collapses to kFull: the ladder
+  // below then touches exactly the pre-budget action indices and draws
+  // exactly the pre-budget random numbers (bit-identity contract); the
+  // result simply echoes the level in force.
+  const BudgetLevel keep_level =
+      config_.learn_budget ? req.budget : BudgetLevel::kFull;
+  if (req.allow_exploration && rng_.chance(exploration_)) {
     ++stats_.explored;
     last_detail_.source = obs::DecisionDetail::Source::kExplored;
-    return rng_.chance(0.5) ? battery::BatterySelection::kBig
-                            : battery::BatterySelection::kLittle;
+    DecideResult out;
+    out.battery = rng_.chance(0.5) ? battery::BatterySelection::kBig
+                                   : battery::BatterySelection::kLittle;
+    out.budget = config_.learn_budget
+                     ? static_cast<BudgetLevel>(
+                           rng_.uniform_index(kBudgetLevelCount))
+                     : req.budget;
+    return out;
   }
 
-  const CapmanState state{dev, current};
+  const CapmanState state{req.device, req.current};
   const std::size_t sid = state.index();
-  const DecisionAction keep_big{event, battery::BatterySelection::kBig};
-  const DecisionAction keep_little{event, battery::BatterySelection::kLittle};
 
-  double q_big = solved_q(sid, keep_big.index());
-  double q_little = solved_q(sid, keep_little.index());
+  BudgetLevel level_big = keep_level;
+  BudgetLevel level_little = keep_level;
+  double q_big = best_q_over_levels(sid, req.event,
+                                    battery::BatterySelection::kBig,
+                                    &level_big);
+  double q_little = best_q_over_levels(sid, req.event,
+                                       battery::BatterySelection::kLittle,
+                                       &level_little);
   if (!std::isnan(q_big) && !std::isnan(q_little)) {
     ++stats_.exact;
     last_detail_.source = obs::DecisionDetail::Source::kExact;
     last_detail_.q_big = q_big;
     last_detail_.q_little = q_little;
-    return q_big >= q_little ? battery::BatterySelection::kBig
-                             : battery::BatterySelection::kLittle;
+    const bool big = q_big >= q_little;
+    return {big ? battery::BatterySelection::kBig
+                : battery::BatterySelection::kLittle,
+            config_.learn_budget ? (big ? level_big : level_little)
+                                 : req.budget};
   }
 
   // Similarity transfer for the missing side(s). The matched state is the
@@ -193,12 +234,14 @@ battery::BatterySelection OnlineScheduler::decide(
   std::int64_t matched_big = -1;
   std::int64_t matched_little = -1;
   if (std::isnan(q_big)) {
-    q_big = transferred_q(sid, event.kind, battery::BatterySelection::kBig,
-                          &matched_big);
+    q_big = transferred_q(sid, req.event.kind,
+                          battery::BatterySelection::kBig, &matched_big,
+                          &level_big);
   }
   if (std::isnan(q_little)) {
-    q_little = transferred_q(
-        sid, event.kind, battery::BatterySelection::kLittle, &matched_little);
+    q_little = transferred_q(sid, req.event.kind,
+                             battery::BatterySelection::kLittle,
+                             &matched_little, &level_little);
   }
   if (!std::isnan(q_big) && !std::isnan(q_little)) {
     ++stats_.transferred;
@@ -207,15 +250,19 @@ battery::BatterySelection OnlineScheduler::decide(
     last_detail_.matched_state = big ? matched_big : matched_little;
     last_detail_.q_big = q_big;
     last_detail_.q_little = q_little;
-    return big ? battery::BatterySelection::kBig
-               : battery::BatterySelection::kLittle;
+    return {big ? battery::BatterySelection::kBig
+                : battery::BatterySelection::kLittle,
+            config_.learn_budget ? (big ? level_big : level_little)
+                                 : req.budget};
   }
 
   ++stats_.fallback;
   last_detail_.source = obs::DecisionDetail::Source::kFallback;
   last_detail_.q_big = q_big;        // whichever side resolved, for the
   last_detail_.q_little = q_little;  // trace; NaN serialises as null
-  return kind_prior(event.kind, event.param_bucket);
+  // No experience to rate a voluntary derate either: keep the level in
+  // force rather than guessing.
+  return {kind_prior(req.event.kind, req.event.param_bucket), req.budget};
 }
 
 }  // namespace capman::core

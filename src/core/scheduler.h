@@ -24,9 +24,33 @@
 #include "core/similarity.h"
 #include "core/value_iteration.h"
 #include "obs/decision_trace.h"
+#include "obs/instrumented.h"
 #include "util/rng.h"
 
 namespace capman::core {
+
+/// One scheduler consultation. Grew out of decide()'s positional argument
+/// list: every new observable (the granted budget level, tomorrow's
+/// whatever) lands here instead of at every call site.
+struct DecideRequest {
+  workload::Action event;
+  device::DeviceStateVector device;
+  battery::BatterySelection current = battery::BatterySelection::kBig;
+  /// Budget level currently in force (what the arbiter granted last);
+  /// ignored for indexing unless CapmanConfig::learn_budget is set.
+  BudgetLevel budget = BudgetLevel::kFull;
+  /// False for emergency (rail-monitor) consultations: a sagging rail is
+  /// no time to experiment.
+  bool allow_exploration = true;
+};
+
+/// The scheduler's answer: the cell for the coming interval plus the
+/// voluntary budget level to ask the arbiter for. Without budget learning
+/// the level simply echoes the request.
+struct DecideResult {
+  battery::BatterySelection battery = battery::BatterySelection::kBig;
+  BudgetLevel budget = BudgetLevel::kFull;
+};
 
 struct DecisionStats {
   std::size_t exact = 0;        // answered from solved Q-values
@@ -45,21 +69,19 @@ struct DecisionStats {
   static DecisionStats from_snapshot(const obs::MetricsSnapshot& snap);
 };
 
-class OnlineScheduler {
+class OnlineScheduler : public obs::Instrumented {
  public:
   OnlineScheduler(const CapmanConfig& config, std::uint64_t seed);
 
   /// Feed one completed interval observation into the learned MDP.
   void observe(const Observation& obs);
 
-  /// Battery decision for syscall `event` arriving in device state `dev`
-  /// while `current` battery is active. `allow_exploration` is false for
-  /// emergency (rail-monitor) consultations: a sagging rail is no time to
-  /// experiment.
-  battery::BatterySelection decide(const workload::Action& event,
-                                   const device::DeviceStateVector& dev,
-                                   battery::BatterySelection current,
-                                   bool allow_exploration = true);
+  /// Decision for the consultation described by `req`. Without budget
+  /// learning this runs the pre-budget ladder bit-identically (level-kFull
+  /// action indices, same RNG draws) and echoes req.budget; with
+  /// CapmanConfig::learn_budget the Q comparison additionally ranges over
+  /// budget levels and the result carries the level of the winning action.
+  DecideResult decide(const DecideRequest& req);
 
   /// Advance the exploration schedule to simulation time `now` (seconds).
   void advance_time(double now_s);
@@ -87,13 +109,10 @@ class OnlineScheduler {
     return last_detail_;
   }
 
-  /// Publish solve-side telemetry into `registry` from now on: Algorithm 1
-  /// pair counters per recalibration, value-iteration sweeps, graph sizes.
-  /// `publish_timings` additionally exports wall-clock solve timings (the
-  /// one nondeterministic measurement). nullptr detaches. Never read on
-  /// the decision path — decisions are bit-identical either way.
-  void bind_metrics(obs::MetricsRegistry* registry,
-                    bool publish_timings = false);
+  // bind_metrics (obs::Instrumented) attaches solve-side telemetry:
+  // Algorithm 1 pair counters per recalibration, value-iteration sweeps,
+  // graph sizes; publish_timings additionally exports wall-clock solve
+  // timings (the one nondeterministic measurement).
 
   /// The syscall-kind prior used as last resort (exposed for tests); the
   /// parameter bucket disambiguates spike-like from sustained calls.
@@ -104,14 +123,24 @@ class OnlineScheduler {
   /// Q-value of (state_id, action_id) from the last solve, or NaN.
   [[nodiscard]] double solved_q(std::size_t state_id,
                                 std::size_t action_id) const;
+  /// Best solved Q for (state, syscall, battery) over the budget levels
+  /// the scheduler may pick (just kFull without budget learning), or NaN.
+  /// `best_level` (if non-null) receives the winning level; ties break
+  /// toward the higher budget (lower level index).
+  [[nodiscard]] double best_q_over_levels(std::size_t state_id,
+                                          const workload::Action& event,
+                                          battery::BatterySelection battery,
+                                          BudgetLevel* best_level) const;
   /// Best similarity-transferred Q estimate for (state, syscall-kind,
   /// battery), or NaN when nothing transferable exists. When it answers,
   /// `matched_state` (if non-null) receives the CapmanState::index() of
-  /// the state whose experience was reused.
+  /// the state whose experience was reused, and `matched_level` the
+  /// budget level of the matched action.
   [[nodiscard]] double transferred_q(std::size_t state_id,
                                      workload::Syscall kind,
                                      battery::BatterySelection battery,
-                                     std::int64_t* matched_state) const;
+                                     std::int64_t* matched_state,
+                                     BudgetLevel* matched_level) const;
 
   CapmanConfig config_;
   util::Rng rng_;
@@ -123,8 +152,6 @@ class OnlineScheduler {
   std::unordered_map<std::uint64_t, std::size_t> action_vertex_index_;
   DecisionStats stats_;
   obs::DecisionDetail last_detail_;
-  obs::MetricsRegistry* metrics_ = nullptr;
-  bool publish_timings_ = false;
   double exploration_;
   double last_time_s_ = 0.0;
   std::size_t recals_ = 0;

@@ -31,6 +31,7 @@ WifiParams scaled_wifi(double scale) {
   w.c_low_mw *= scale;
   w.gamma_high_mw *= scale;
   w.c_high_mw *= scale;
+  w.send_premium_mw *= scale;
   return w;
 }
 

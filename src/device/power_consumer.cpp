@@ -1,0 +1,160 @@
+#include "device/power_consumer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace capman::device {
+
+const char* to_string(ConsumerKind kind) {
+  switch (kind) {
+    case ConsumerKind::kCpu: return "cpu";
+    case ConsumerKind::kScreen: return "screen";
+    case ConsumerKind::kWifi: return "wifi";
+    case ConsumerKind::kTec: return "tec";
+  }
+  return "?";
+}
+
+double quantize_cap(double budget_mw, const ConsumerCapability& cap) {
+  // A budget covering the worst case grants it exactly: flooring it to the
+  // quantum would derate an uncapped consumer (max_draw need not be a
+  // quantum multiple).
+  if (budget_mw >= cap.max_draw_mw) return cap.max_draw_mw;
+  double granted = budget_mw;
+  if (cap.quantum_mw > 0.0) {
+    granted = std::floor(granted / cap.quantum_mw) * cap.quantum_mw;
+  }
+  return std::clamp(granted, cap.min_draw_mw, cap.max_draw_mw);
+}
+
+// ---------------------------------------------------------------- CPU ---
+
+CpuPowerConsumer::CpuPowerConsumer(const CpuModel& model) : model_(&model) {
+  apply_cap(capability().max_draw_mw);  // start uncapped
+}
+
+ConsumerCapability CpuPowerConsumer::capability() const {
+  const CpuParams& p = model_->params();
+  ConsumerCapability cap;
+  const double gamma_low =
+      p.gamma_mw_per_util.empty() ? 0.0 : p.gamma_mw_per_util.front();
+  const double gamma_high =
+      p.gamma_mw_per_util.empty() ? 0.0 : p.gamma_mw_per_util.back();
+  cap.min_draw_mw = gamma_low * kMinUtil + p.c0_base_mw;
+  cap.max_draw_mw = gamma_high * 100.0 + p.c0_base_mw;
+  cap.quantum_mw = 25.0;
+  cap.shed_priority = 3;  // the workhorse sheds last (CPU-priority rows)
+  return cap;
+}
+
+double CpuPowerConsumer::apply_cap(double budget_mw) {
+  const ConsumerCapability cap = capability();
+  granted_mw_ = quantize_cap(budget_mw, cap);
+  const CpuParams& p = model_->params();
+  // Big-cluster ceiling: largest frequency level whose full-utilization
+  // draw fits the grant (gamma is monotone in the frequency index).
+  freq_cap_ = 0;
+  bool fits = false;
+  for (std::size_t f = 0; f < p.gamma_mw_per_util.size(); ++f) {
+    if (p.gamma_mw_per_util[f] * 100.0 + p.c0_base_mw <= granted_mw_) {
+      freq_cap_ = f;
+      fits = true;
+    }
+  }
+  if (fits || p.gamma_mw_per_util.empty()) {
+    util_cap_ = 100.0;
+  } else {
+    // Even the lowest frequency cannot run flat out: LITTLE-cluster
+    // utilization ceiling carries the remainder of the derate.
+    util_cap_ = std::clamp(
+        (granted_mw_ - p.c0_base_mw) / p.gamma_mw_per_util.front(), kMinUtil,
+        100.0);
+  }
+  return granted_mw_;
+}
+
+void CpuPowerConsumer::shape(DeviceDemand& demand) const {
+  if (demand.cpu != CpuState::kC0) return;  // idle states are uncappable
+  demand.freq_index = std::min(demand.freq_index, freq_cap_);
+  demand.utilization = std::min(demand.utilization, util_cap_);
+}
+
+// ------------------------------------------------------------- Screen ---
+
+ScreenPowerConsumer::ScreenPowerConsumer(const ScreenModel& model)
+    : model_(&model) {
+  apply_cap(capability().max_draw_mw);
+}
+
+ConsumerCapability ScreenPowerConsumer::capability() const {
+  const ScreenParams& p = model_->params();
+  const double alpha = (p.alpha_b_mw_per_level + p.alpha_w_mw_per_level) / 2.0;
+  ConsumerCapability cap;
+  cap.min_draw_mw = p.c_screen_mw;  // on, brightness 0
+  cap.max_draw_mw = alpha * 255.0 + p.c_screen_mw;
+  cap.quantum_mw = 10.0;
+  cap.shed_priority = 1;
+  return cap;
+}
+
+double ScreenPowerConsumer::apply_cap(double budget_mw) {
+  const ConsumerCapability cap = capability();
+  granted_mw_ = quantize_cap(budget_mw, cap);
+  const ScreenParams& p = model_->params();
+  const double alpha = (p.alpha_b_mw_per_level + p.alpha_w_mw_per_level) / 2.0;
+  brightness_cap_ =
+      alpha > 0.0
+          ? std::clamp((granted_mw_ - p.c_screen_mw) / alpha, 0.0, 255.0)
+          : 255.0;
+  return granted_mw_;
+}
+
+void ScreenPowerConsumer::shape(DeviceDemand& demand) const {
+  if (demand.screen != ScreenState::kOn) return;
+  demand.brightness = std::min(demand.brightness, brightness_cap_);
+}
+
+// --------------------------------------------------------------- WiFi ---
+
+WifiPowerConsumer::WifiPowerConsumer(const WifiModel& model) : model_(&model) {
+  apply_cap(capability().max_draw_mw);
+}
+
+ConsumerCapability WifiPowerConsumer::capability() const {
+  const WifiParams& p = model_->params();
+  ConsumerCapability cap;
+  // A Send state pays the fixed premium even at rate 0, so the honest
+  // floor (and every rate inversion below) budgets for the worst case.
+  cap.min_draw_mw = p.c_low_mw + p.send_premium_mw;
+  cap.max_draw_mw =
+      p.gamma_high_mw * kMaxPacketRate + p.c_high_mw + p.send_premium_mw;
+  cap.quantum_mw = 10.0;
+  cap.shed_priority = 0;  // traffic queues; it sheds first
+  return cap;
+}
+
+double WifiPowerConsumer::apply_cap(double budget_mw) {
+  const ConsumerCapability cap = capability();
+  granted_mw_ = quantize_cap(budget_mw, cap);
+  const WifiParams& p = model_->params();
+  // Invert the piecewise-linear rate/power model at the granted level,
+  // net of the worst-case send premium. The two segments meet at the
+  // threshold rate, so picking the segment by the knee power keeps the
+  // inverse continuous.
+  const double available_mw = granted_mw_ - p.send_premium_mw;
+  const double knee_mw = p.gamma_low_mw * p.threshold + p.c_low_mw;
+  double rate = 0.0;
+  if (available_mw >= knee_mw && p.gamma_high_mw > 0.0) {
+    rate = (available_mw - p.c_high_mw) / p.gamma_high_mw;
+  } else if (p.gamma_low_mw > 0.0) {
+    rate = (available_mw - p.c_low_mw) / p.gamma_low_mw;
+  }
+  rate_cap_ = std::clamp(rate, 0.0, kMaxPacketRate);
+  return granted_mw_;
+}
+
+void WifiPowerConsumer::shape(DeviceDemand& demand) const {
+  demand.packet_rate = std::min(demand.packet_rate, rate_cap_);
+}
+
+}  // namespace capman::device

@@ -1,0 +1,160 @@
+// The unified power-consumer surface of the device layer.
+//
+// Modeled on the sysedp dynamic-capping discipline (SNIPPETS.md Snippet 1):
+// an arbiter hands each consumer a milliwatt cap, the consumer reports what
+// it can shed (its capability) and returns the level it actually granted —
+// quantized to its cap granularity and never below its floor. The concrete
+// consumers wrap the Table II power models and additionally know how to
+// *shape* a DeviceDemand so the modeled draw fits the granted cap:
+// frequency caps for the big cluster plus a utilization ceiling for the
+// LITTLE cluster (CpuPowerConsumer), a brightness ceiling
+// (ScreenPowerConsumer), and packet-rate throttling (WifiPowerConsumer).
+// The TEC driver implements the same interface from the thermal side
+// (thermal/tec_consumer.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "device/cpu.h"
+#include "device/phone.h"
+#include "device/screen.h"
+#include "device/wifi.h"
+
+namespace capman::device {
+
+enum class ConsumerKind : std::uint8_t {
+  kCpu = 0,
+  kScreen = 1,
+  kWifi = 2,
+  kTec = 3,
+};
+
+inline constexpr std::size_t kConsumerKindCount = 4;
+
+const char* to_string(ConsumerKind kind);
+
+/// What a consumer tells the arbiter about itself before any cap is set.
+struct ConsumerCapability {
+  double min_draw_mw = 0.0;  // floor: the consumer cannot shed below this
+  double max_draw_mw = 0.0;  // worst-case unconstrained draw
+  double quantum_mw = 1.0;   // cap granularity; grants are floor-quantized
+  // Shed order under deficit: lower sheds first (FastCap-style fair
+  // trimming). The arbiter may reorder CPU vs TEC per its priority row.
+  int shed_priority = 0;
+};
+
+/// Floor-quantize `budget_mw` to the capability quantum, then clamp into
+/// [min_draw_mw, max_draw_mw]. This is the one quantization rule every
+/// consumer applies, exposed so the arbiter and tests agree with it.
+[[nodiscard]] double quantize_cap(double budget_mw,
+                                  const ConsumerCapability& cap);
+
+/// One cappable device subsystem. apply_cap() is the only mutating entry:
+/// it stores the granted level and derives whatever internal ceilings the
+/// consumer needs so a later shape() call fits demand under the grant.
+class PowerConsumer {
+ public:
+  virtual ~PowerConsumer() = default;
+
+  [[nodiscard]] virtual ConsumerKind kind() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual ConsumerCapability capability() const = 0;
+
+  /// Apply a cap of `budget_mw`; returns the granted level (quantized to
+  /// the capability quantum, clamped into [min_draw, max_draw]).
+  virtual double apply_cap(double budget_mw) = 0;
+
+  /// The level the last apply_cap() granted (max_draw before any cap).
+  [[nodiscard]] virtual double granted_mw() const = 0;
+
+  /// Shape `demand` so this consumer's modeled draw fits the granted cap.
+  /// Default: no-op (consumers that do not act through DeviceDemand).
+  virtual void shape(DeviceDemand& /*demand*/) const {}
+};
+
+/// CPU under a cap: big/LITTLE per-cluster ceilings. The frequency cap
+/// constrains the big cluster (largest gamma level whose full-utilization
+/// draw fits the grant); when even the lowest frequency cannot fit, the
+/// LITTLE-cluster utilization ceiling takes over down to kMinUtil.
+class CpuPowerConsumer final : public PowerConsumer {
+ public:
+  explicit CpuPowerConsumer(const CpuModel& model);
+
+  /// Utilization floor: capping below this would stall the device rather
+  /// than slow it (the arbiter's job is derating, not shutdown).
+  static constexpr double kMinUtil = 10.0;
+
+  [[nodiscard]] ConsumerKind kind() const override {
+    return ConsumerKind::kCpu;
+  }
+  [[nodiscard]] const char* name() const override { return "cpu"; }
+  [[nodiscard]] ConsumerCapability capability() const override;
+  double apply_cap(double budget_mw) override;
+  [[nodiscard]] double granted_mw() const override { return granted_mw_; }
+  void shape(DeviceDemand& demand) const override;
+
+  /// Ceilings derived by the last apply_cap (exposed for tests).
+  [[nodiscard]] std::size_t freq_cap() const { return freq_cap_; }
+  [[nodiscard]] double util_cap() const { return util_cap_; }
+
+ private:
+  const CpuModel* model_;
+  double granted_mw_ = 0.0;
+  std::size_t freq_cap_ = 0;
+  double util_cap_ = 100.0;
+};
+
+/// Screen under a cap: a brightness ceiling. The cap never turns the
+/// screen off (that is a UX decision, not a power one), so the floor is
+/// the panel's brightness-zero draw.
+class ScreenPowerConsumer final : public PowerConsumer {
+ public:
+  explicit ScreenPowerConsumer(const ScreenModel& model);
+
+  [[nodiscard]] ConsumerKind kind() const override {
+    return ConsumerKind::kScreen;
+  }
+  [[nodiscard]] const char* name() const override { return "screen"; }
+  [[nodiscard]] ConsumerCapability capability() const override;
+  double apply_cap(double budget_mw) override;
+  [[nodiscard]] double granted_mw() const override { return granted_mw_; }
+  void shape(DeviceDemand& demand) const override;
+
+  [[nodiscard]] double brightness_cap() const { return brightness_cap_; }
+
+ private:
+  const ScreenModel* model_;
+  double granted_mw_ = 0.0;
+  double brightness_cap_ = 255.0;
+};
+
+/// WiFi under a cap: a packet-rate ceiling, inverted through the paper's
+/// piecewise-linear rate/power model. Sheds first (traffic is the most
+/// elastic load: packets queue, pixels and cycles do not).
+class WifiPowerConsumer final : public PowerConsumer {
+ public:
+  explicit WifiPowerConsumer(const WifiModel& model);
+
+  /// Reference peak packet rate (≈ kB/s) defining max_draw_mw; the trace
+  /// generators stay well under it.
+  static constexpr double kMaxPacketRate = 400.0;
+
+  [[nodiscard]] ConsumerKind kind() const override {
+    return ConsumerKind::kWifi;
+  }
+  [[nodiscard]] const char* name() const override { return "wifi"; }
+  [[nodiscard]] ConsumerCapability capability() const override;
+  double apply_cap(double budget_mw) override;
+  [[nodiscard]] double granted_mw() const override { return granted_mw_; }
+  void shape(DeviceDemand& demand) const override;
+
+  [[nodiscard]] double rate_cap() const { return rate_cap_; }
+
+ private:
+  const WifiModel* model_;
+  double granted_mw_ = 0.0;
+  double rate_cap_ = kMaxPacketRate;
+};
+
+}  // namespace capman::device

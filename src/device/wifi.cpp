@@ -10,9 +10,8 @@ util::Watts WifiModel::power(WifiState state, double packet_rate) const {
   const double mw = p <= params_.threshold
                         ? params_.gamma_low_mw * p + params_.c_low_mw
                         : params_.gamma_high_mw * p + params_.c_high_mw;
-  // Sending costs a fixed premium over receiving at the same rate
-  // (Table III: Send 1548 mW vs Access 1284 mW).
-  const double premium = state == WifiState::kSend ? 264.0 : 0.0;
+  const double premium =
+      state == WifiState::kSend ? params_.send_premium_mw : 0.0;
   return util::milliwatts(mw + premium);
 }
 

@@ -16,6 +16,9 @@ struct WifiParams {
   double gamma_high_mw = 2.64;   // mW per unit above threshold
   double c_high_mw = 1020.0;
   double threshold = 100.0;      // packet-rate units (≈ kB/s)
+  // Fixed premium of sending over receiving at the same rate (Table III:
+  // Send 1548 mW vs Access 1284 mW).
+  double send_premium_mw = 264.0;
 };
 
 class WifiModel {

@@ -88,6 +88,10 @@ void append_json_line(std::string& out, const DecisionRecord& rec) {
   append_fixed(out, rec.hotspot_c, 3);
   out += ",\"demand_w\":";
   append_fixed(out, rec.demand_w, 4);
+  out += ",\"budget_level\":";
+  append_i64(out, rec.budget_level);
+  out += ",\"granted_mw\":";
+  append_fixed(out, rec.granted_mw, 1);
   out += "}\n";
 }
 

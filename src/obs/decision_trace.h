@@ -21,6 +21,9 @@
 //   guard_fallback, fault_stuck                        — degradation state
 //   big_soc, little_soc, hotspot_c, demand_w           — sensor readings
 //       as the policy observed them (post fault-injection)
+//   budget_level, granted_mw                           — power-budget
+//       arbiter state in force at the consultation (0 / kFull and 0.0
+//       when no arbiter runs)
 #pragma once
 
 #include <cstdint>
@@ -75,6 +78,9 @@ struct DecisionRecord {
   double little_soc = 0.0;
   double hotspot_c = 0.0;
   double demand_w = 0.0;
+
+  int budget_level = 0;     // core::BudgetLevel in force (0 = full)
+  double granted_mw = 0.0;  // arbiter's total grant; 0 without an arbiter
 };
 
 /// Record sink interface. The null object (base class) drops everything;

@@ -1,0 +1,47 @@
+// obs::Instrumented: the shared attach/publish telemetry contract.
+//
+// Several components grew the same pair of hooks independently (the
+// scheduler, the battery policies, now the power-budget arbiter): attach a
+// MetricsRegistry for incremental counters, publish cumulative totals once
+// at the end of a run. This mixin is that contract in one place.
+//
+// The determinism rule rides along: a bound registry is write-only.
+// Components must never *read* it back — behaviour is bit-identical with
+// or without a registry attached (capman-lint L1 guards the substrate).
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace capman::obs {
+
+/// Mixin for components with attachable telemetry. The default
+/// bind_metrics stores the registry for subclasses to reach through the
+/// protected accessors; the default publish_metrics publishes nothing.
+class Instrumented {
+ public:
+  virtual ~Instrumented() = default;
+
+  /// Attach `registry` for the component's internal machinery; nullptr
+  /// detaches. `publish_timings` additionally allows wall-clock
+  /// measurements, which are nondeterministic and therefore opt-in.
+  virtual void bind_metrics(MetricsRegistry* registry,
+                            bool publish_timings = false) {
+    metrics_ = registry;
+    publish_timings_ = publish_timings;
+  }
+
+  /// One-shot end-of-run publication of the component's cumulative
+  /// counters into `registry` (called by the engine after the last step).
+  virtual void publish_metrics(MetricsRegistry& /*registry*/) const {}
+
+ protected:
+  /// The bound registry (nullptr when detached). Write-only by contract.
+  [[nodiscard]] MetricsRegistry* metrics() const { return metrics_; }
+  [[nodiscard]] bool publish_timings() const { return publish_timings_; }
+
+ private:
+  MetricsRegistry* metrics_ = nullptr;
+  bool publish_timings_ = false;
+};
+
+}  // namespace capman::obs

@@ -11,7 +11,7 @@ battery::BatterySelection CapmanPolicy::on_event(
     const PolicyContext& context, const workload::Action& event) {
   auto choice = controller_.on_event(event, context.device, context.active,
                                      util::Seconds{context.now_s},
-                                     context.emergency);
+                                     context.emergency, context.budget_level);
   consulted_ = true;
   // Management-facility reserve guard (the learned policy has no
   // state-of-charge in its state space; protection is the actuator's job).
@@ -48,7 +48,7 @@ util::Watts CapmanPolicy::maintenance(util::Seconds now) {
 
 void CapmanPolicy::bind_metrics(obs::MetricsRegistry* registry,
                                 bool publish_timings) {
-  publish_timings_ = publish_timings;
+  Instrumented::bind_metrics(registry, publish_timings);
   controller_.scheduler().bind_metrics(registry, publish_timings);
 }
 
@@ -57,7 +57,7 @@ void CapmanPolicy::publish_metrics(obs::MetricsRegistry& registry) const {
   guard_.stats().publish(registry);
   registry.gauge("scheduler/exploration_rate")
       .set(controller_.scheduler().exploration_rate());
-  if (publish_timings_) {
+  if (publish_timings()) {
     registry.gauge("scheduler/solve_wall_s")
         .set(controller_.solve_wall_seconds());
   }

@@ -36,6 +36,12 @@ class CapmanPolicy final : public BatteryPolicy {
     return guard_.stats();
   }
 
+  /// The budget level the scheduler's winning action carried at the last
+  /// consultation (kFull unless CapmanConfig::learn_budget is set).
+  [[nodiscard]] core::BudgetLevel preferred_budget_level() const override {
+    return controller_.last_budget_level();
+  }
+
   /// Threads the registry down to the scheduler (Algorithm 1 pair
   /// counters, value-iteration sweeps per recalibration).
   void bind_metrics(obs::MetricsRegistry* registry,
@@ -61,8 +67,7 @@ class CapmanPolicy final : public BatteryPolicy {
   // because feasibility gating needs the pack observability (SoCs, demand)
   // that PolicyContext carries and the core controller never sees.
   core::DegradationGuard guard_;
-  bool consulted_ = false;        // last_decision_detail is valid
-  bool publish_timings_ = false;  // remembered from bind_metrics
+  bool consulted_ = false;  // last_decision_detail is valid
 };
 
 }  // namespace capman::policy

@@ -7,9 +7,11 @@
 #include <string>
 
 #include "battery/pack.h"
+#include "core/budget_level.h"
 #include "core/degradation.h"
 #include "device/power_state.h"
 #include "obs/decision_trace.h"
+#include "obs/instrumented.h"
 #include "obs/metrics.h"
 #include "util/units.h"
 #include "workload/event.h"
@@ -32,6 +34,11 @@ struct PolicyContext {
   // True when this consultation was triggered by the rail monitor (the
   // previous step's demand went unmet), not by a trace event.
   bool emergency = false;
+  // Power-budget arbiter observables (zero / kFull when no arbiter runs):
+  // the total mW the arbiter granted at its last rebudget and the budget
+  // level currently in force.
+  double granted_budget_mw = 0.0;
+  core::BudgetLevel budget_level = core::BudgetLevel::kFull;
 
   // Clairvoyant fields, filled by the engine from the (known) trace. Only
   // the offline Oracle may read them; online policies must ignore them.
@@ -46,10 +53,13 @@ struct PolicyContext {
 /// on every trace event and on every rail emergency, applies the returned
 /// selection to the switch facility, and feeds accounting back through
 /// record_step/maintenance.
-class BatteryPolicy {
+/// Policies inherit obs::Instrumented: bind_metrics attaches a registry
+/// for internal machinery (solver counters etc.) and publish_metrics is
+/// the one-shot end-of-run publication the engine triggers after the last
+/// step. Policies must never *read* the registry: decisions are
+/// bit-identical with or without one.
+class BatteryPolicy : public obs::Instrumented {
  public:
-  virtual ~BatteryPolicy() = default;
-
   /// Display name used in tables and series files ("CAPMAN", "Dual", ...).
   [[nodiscard]] virtual std::string name() const = 0;
 
@@ -79,18 +89,12 @@ class BatteryPolicy {
     return {};
   }
 
-  /// Attach a metrics registry for the policy's internal machinery (solver
-  /// counters etc.); nullptr detaches. `publish_timings` additionally
-  /// allows wall-clock measurements, which are nondeterministic. Policies
-  /// must never *read* the registry: decisions are bit-identical with or
-  /// without one. Default: no internal telemetry.
-  virtual void bind_metrics(obs::MetricsRegistry* /*registry*/,
-                            bool /*publish_timings*/) {}
-
-  /// One-shot end-of-run publication of the policy's cumulative counters
-  /// (e.g. core::DecisionStats) into `registry`. Called by the engine
-  /// after the last step; default publishes nothing.
-  virtual void publish_metrics(obs::MetricsRegistry& /*registry*/) const {}
+  /// Budget level the policy would like the arbiter to enforce next
+  /// (consulted after every on_event). Non-learning policies accept
+  /// whatever the arbiter derives (kFull = no voluntary derate).
+  [[nodiscard]] virtual core::BudgetLevel preferred_budget_level() const {
+    return core::BudgetLevel::kFull;
+  }
 
   /// Provenance of the most recent on_event() answer for the decision
   /// trace, or nullopt for policies without decision machinery (or before

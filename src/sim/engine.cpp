@@ -1,13 +1,42 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <optional>
 #include <stdexcept>
 
+#include "device/power_consumer.h"
 #include "obs/spans.h"
+#include "thermal/tec_consumer.h"
 
 namespace capman::sim {
+
+namespace {
+
+// Consumers + arbiter for one run, built only when the budget plan is
+// enabled: without a rig the loop below is byte-for-byte the pre-arbiter
+// code path, so disabled configs are bit-identical by construction (the
+// same discipline FaultInjector follows).
+struct ArbiterRig {
+  ArbiterRig(const core::PowerBudgetArbiterConfig& config,
+             const device::PhoneModel& phone, const thermal::Tec& tec_model)
+      : cpu(phone.cpu()),
+        screen(phone.screen()),
+        wifi(phone.wifi()),
+        tec(tec_model),
+        arbiter(config) {}
+
+  device::CpuPowerConsumer cpu;
+  device::ScreenPowerConsumer screen;
+  device::WifiPowerConsumer wifi;
+  thermal::TecPowerConsumer tec;
+  std::array<device::PowerConsumer*, device::kConsumerKindCount> consumers{
+      &cpu, &screen, &wifi, &tec};
+  core::PowerBudgetArbiter arbiter;
+};
+
+}  // namespace
 
 std::vector<std::string> SimConfig::validate() const {
   std::vector<std::string> errors;
@@ -30,6 +59,9 @@ std::vector<std::string> SimConfig::validate() const {
   }
   for (auto& error : telemetry.validate()) {
     errors.push_back("telemetry." + error);
+  }
+  for (auto& error : budget.validate()) {
+    errors.push_back("budget." + error);
   }
   for (auto& error : faults.validate()) {
     errors.push_back(std::move(error));
@@ -104,6 +136,35 @@ SimResult SimEngine::run(const workload::Trace& trace,
   thermal::CoolingController cooling{config_.cooling_config};
   workload::TraceCursor cursor{trace};
 
+  // Power-budget arbiter (core/power_budget.h). The arbiter models the
+  // management facility's own hardware (fuel gauge, comparator, thermistor
+  // next to the pack), so it reads ground truth, never the policy's
+  // possibly-corrupted sensor view.
+  std::unique_ptr<ArbiterRig> rig;
+  double last_rail_v = config_.budget.nominal_v;
+  double last_rebudget_s = 0.0;
+  core::BudgetLevel budget_level = core::BudgetLevel::kFull;
+  double sum_budget_x_dt = 0.0;
+  double shed_j = 0.0;
+  std::uint64_t throttled_steps = 0;
+  std::uint64_t tec_vetoes = 0;
+  const auto budget_inputs = [&]() {
+    core::BudgetInputs in;
+    in.big_soc = source->big_soc();
+    in.little_soc = source->little_soc();
+    in.active = source->active();
+    in.rail_v = last_rail_v;
+    in.supercap_fill = dual != nullptr ? dual->supercap().fill() : 1.0;
+    in.skin_c = thermal.surface_temperature().value();
+    in.cell_c = thermal.battery_temperature().value();
+    in.hotspot_c = thermal.cpu_temperature().value();
+    return in;
+  };
+  if (config_.budget.enabled) {
+    rig = std::make_unique<ArbiterRig>(config_.budget, phone, thermal.tec());
+    rig->arbiter.rebudget(budget_inputs(), budget_level, rig->consumers);
+  }
+
   const double dt_s = config_.dt.value();
   const util::Seconds dt = config_.dt;
   double t = 0.0;
@@ -132,7 +193,27 @@ SimResult SimEngine::run(const workload::Trace& trace,
   while (t < config_.max_duration.value()) {
     const bool fired = cursor.advance(t);
     const device::DeviceDemand& demand = cursor.demand_at(t);
-    const device::ComponentPower comp = phone.power(demand);
+    // Budget shaping: each consumer trims its slice of the raw demand
+    // under the cap it was granted; the raw-minus-shaped draw is the shed
+    // power (user-visible throttling the budget bought safety with).
+    device::DeviceDemand shaped;
+    const device::DeviceDemand* served = &demand;
+    if (rig) {
+      shaped = demand;
+      rig->cpu.shape(shaped);
+      rig->screen.shape(shaped);
+      rig->wifi.shape(shaped);
+      served = &shaped;
+    }
+    const device::ComponentPower comp = phone.power(*served);
+    if (rig) {
+      const double shed_w =
+          phone.power(demand).total().value() - comp.total().value();
+      if (shed_w > 1e-12) {
+        ++throttled_steps;
+        shed_j += shed_w * dt_s;
+      }
+    }
 
     // The policy is consulted on every trace event; additionally, the rail
     // monitor (comparator input) triggers an emergency consultation when
@@ -167,10 +248,22 @@ SimResult SimEngine::run(const workload::Trace& trace,
       ctx.interval_peak_w = comp.total().value();
       ctx.interval_duration_s = cursor.next_event_time(t) - t;
       ctx.pack = dual;
+      if (rig) {
+        ctx.granted_budget_mw = rig->arbiter.last_grant().granted_mw;
+        ctx.budget_level = budget_level;
+      }
       const workload::Action& action = cursor.action_at(t);
       const auto choice = policy.on_event(ctx, action);
       source->request(choice, util::Seconds{t});
       last_consult_s = t;
+      if (rig) {
+        // Every consultation re-arbitrates: the policy's preferred level
+        // (learned, for CAPMAN with learn_budget) meets the battery and
+        // thermal reality the arbiter derives the budget from.
+        budget_level = policy.preferred_budget_level();
+        rig->arbiter.rebudget(budget_inputs(), budget_level, rig->consumers);
+        last_rebudget_s = t;
+      }
 
       // One decision-trace record per consultation: what the policy saw,
       // what it chose and why, and what the actuator did with it. Record
@@ -204,6 +297,10 @@ SimResult SimEngine::run(const workload::Trace& trace,
         rec.little_soc = ctx.little_soc;
         rec.hotspot_c = ctx.hotspot_c;
         rec.demand_w = ctx.demand_w;
+        if (rig) {
+          rec.budget_level = static_cast<int>(budget_level);
+          rec.granted_mw = rig->arbiter.last_grant().granted_mw;
+        }
         decision_sink.record(rec);
       }
       if (auto* profiler = obs::SpanProfiler::current()) {
@@ -216,6 +313,12 @@ SimResult SimEngine::run(const workload::Trace& trace,
     // Thermal actuation (TEC on/off) from the current hot-spot reading.
     if (config_.enable_tec) {
       cooling.update(thermal);
+      // The TEC runs at rated current or not at all, so the budget gates
+      // it: a grant below the worst-case draw vetoes the turn-on.
+      if (rig && thermal.tec().is_on() && !rig->tec.allows_on()) {
+        thermal.tec().turn_off();
+        ++tec_vetoes;
+      }
     } else {
       thermal.tec().turn_off();
     }
@@ -226,6 +329,20 @@ SimResult SimEngine::run(const workload::Trace& trace,
 
     const auto step = source->step(load, dt, util::Seconds{t});
     policy.record_step(step.delivered, step.losses, step.demand_met);
+    if (rig) {
+      last_rail_v = step.rail_voltage.value();
+      // Comparator-relax rebudget: the sagging rail is the comparator
+      // tripping, so the optimistic voltage factor gets re-derived (rate
+      // limited; comparator-less kStatic boards cannot see the rail).
+      if (config_.budget.cap_method == core::CapMethod::kRelax &&
+          last_rail_v < config_.budget.rebudget_trigger_v &&
+          t - last_rebudget_s >= config_.budget.min_rebudget_gap_s) {
+        rig->arbiter.note_voltage_trigger();
+        rig->arbiter.rebudget(budget_inputs(), budget_level, rig->consumers);
+        last_rebudget_s = t;
+      }
+      sum_budget_x_dt += rig->arbiter.last_grant().effective_mw * dt_s;
+    }
 
     // Thermal integration; CPU node carries compute + policy maintenance,
     // board carries screen/WiFi dissipation, battery carries its losses.
@@ -323,6 +440,18 @@ SimResult SimEngine::run(const workload::Trace& trace,
   registry.gauge("switch/big_active_s").set(result.big_active_s);
   registry.gauge("switch/little_active_s").set(result.little_active_s);
   if (injector) result.faults.publish(registry);
+  if (rig) {
+    result.avg_budget_mw = t > 0.0 ? sum_budget_x_dt / t : 0.0;
+    result.budget_shed_j = shed_j;
+    result.budget_throttled_steps = throttled_steps;
+    result.budget_rebudgets = rig->arbiter.rebudget_count();
+    result.budget_tec_vetoes = tec_vetoes;
+    registry.counter("arbiter/throttled_steps").add(throttled_steps);
+    registry.counter("arbiter/tec_vetoes").add(tec_vetoes);
+    registry.gauge("arbiter/shed_j").set(shed_j);
+    registry.gauge("arbiter/avg_budget_mw").set(result.avg_budget_mw);
+    rig->arbiter.publish_metrics(registry);
+  }
   policy.publish_metrics(registry);
   if (run_profiler != nullptr) {
     run_profiler->complete("engine.run", "sim", run_start_us,

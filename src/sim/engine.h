@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "battery/pack.h"
+#include "core/power_budget.h"
 #include "device/phone.h"
 #include "obs/telemetry.h"
 #include "policy/policy.h"
@@ -50,6 +51,11 @@ struct SimConfig {
   // engine then runs the ideal path and produces bit-identical results to
   // a fault-free build.
   FaultPlanConfig faults{};
+
+  // Power-budget arbiter (core/power_budget.h). Disabled by default: the
+  // engine then never builds consumers or shapes demand, so runs are
+  // bit-identical to the pre-arbiter engine.
+  core::PowerBudgetArbiterConfig budget{};
 
   // Telemetry sinks (src/obs): decision-trace JSONL, Chrome-trace spans,
   // metrics JSON. All off by default; the deterministic registry snapshot

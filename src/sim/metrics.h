@@ -68,6 +68,15 @@ struct SimResult {
   double avg_surface_temp_c = 0.0;
   double max_surface_temp_c = 0.0;
 
+  // Power-budget arbiter telemetry (all zero when SimConfig::budget is
+  // disabled). "Shed" is demand power the caps refused to serve;
+  // throttled steps are steps where any shedding happened at all.
+  double avg_budget_mw = 0.0;           // time-weighted effective budget
+  double budget_shed_j = 0.0;           // energy trimmed off the demand
+  std::size_t budget_throttled_steps = 0;
+  std::size_t budget_rebudgets = 0;     // arbiter redistribution count
+  std::size_t budget_tec_vetoes = 0;    // TEC turn-ons refused by the grant
+
   std::size_t switch_count = 0;
   double big_active_s = 0.0;
   double little_active_s = 0.0;

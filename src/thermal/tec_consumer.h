@@ -1,0 +1,45 @@
+// The TEC driver as a device::PowerConsumer.
+//
+// The TEC is an on/off actuator at its rated current (thermal/tec.h), so
+// capping it is a gate, not a dial: the grant either covers the worst-case
+// electric draw of a rated-current run or the engine must veto turning the
+// element on. The reference draw uses a conservative hot/cold temperature
+// difference so a grant that "allows on" stays sufficient while the
+// element pulls the die down.
+#pragma once
+
+#include "device/power_consumer.h"
+#include "thermal/tec.h"
+
+namespace capman::thermal {
+
+class TecPowerConsumer final : public device::PowerConsumer {
+ public:
+  explicit TecPowerConsumer(const Tec& tec);
+
+  /// Worst-case side temperature difference assumed for the reference
+  /// electric draw (the TEC's own dT ceiling is close to this).
+  static constexpr double kReferenceDeltaK = 30.0;
+
+  [[nodiscard]] device::ConsumerKind kind() const override {
+    return device::ConsumerKind::kTec;
+  }
+  [[nodiscard]] const char* name() const override { return "tec"; }
+  [[nodiscard]] device::ConsumerCapability capability() const override;
+  double apply_cap(double budget_mw) override;
+  [[nodiscard]] double granted_mw() const override { return granted_mw_; }
+  // shape(): inherited no-op — the TEC is gated by the engine via
+  // allows_on(), it does not act through DeviceDemand.
+
+  /// Worst-case electric power of a rated-current run, in mW.
+  [[nodiscard]] double reference_draw_mw() const;
+
+  /// Whether the current grant covers running the TEC at rated current.
+  [[nodiscard]] bool allows_on() const;
+
+ private:
+  const Tec* tec_;
+  double granted_mw_ = 0.0;
+};
+
+}  // namespace capman::thermal

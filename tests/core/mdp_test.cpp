@@ -38,8 +38,24 @@ TEST(DecisionAction, IndexRoundTrip) {
   }
 }
 
-TEST(DecisionAction, SpaceSizeIs400) {
-  EXPECT_EQ(decision_action_space_size(), 400u);
+TEST(DecisionAction, SpaceSizes) {
+  // 200 syscall actions x 2 batteries = 400 base actions; x 3 budget
+  // levels = 1200 in the full (learn_budget) space.
+  EXPECT_EQ(base_decision_action_space_size(), 400u);
+  EXPECT_EQ(decision_action_space_size(), 1200u);
+}
+
+TEST(DecisionAction, BudgetIndexingIsBudgetMajor) {
+  // Level-kFull actions occupy exactly the pre-budget indices [0, 400):
+  // that is the bit-identity guarantee for non-learning schedulers.
+  const DecisionAction full{Action{Syscall::kCpuBurst, 3},
+                            BatterySelection::kBig, BudgetLevel::kFull};
+  EXPECT_LT(full.index(), base_decision_action_space_size());
+  DecisionAction eco = full;
+  eco.budget = BudgetLevel::kEco;
+  EXPECT_EQ(eco.index(),
+            full.index() + 2 * base_decision_action_space_size());
+  EXPECT_NE(to_string(full), to_string(eco));
 }
 
 Observation make_obs(std::size_t s, Syscall kind, BatterySelection b,

@@ -80,6 +80,18 @@ DeviceStateVector busy_state() {
   return {CpuState::kC0, ScreenState::kOn, WifiState::kIdle};
 }
 
+// Positional-argument convenience over the DecideRequest consultation
+// struct, for tests that only care about the battery answer.
+BatterySelection decide(OnlineScheduler& sched, const Action& event,
+                        const DeviceStateVector& dev,
+                        BatterySelection current) {
+  DecideRequest req;
+  req.event = event;
+  req.device = dev;
+  req.current = current;
+  return sched.decide(req).battery;
+}
+
 Observation obs_for(const DeviceStateVector& dev, Syscall kind,
                     BatterySelection b, double reward) {
   Observation obs;
@@ -144,8 +156,8 @@ TEST(Scheduler, KindPriorRoutesSurgesToLittle) {
 TEST(Scheduler, FallsBackToPriorWithoutExperience) {
   OnlineScheduler sched{no_exploration_config(), 1};
   sched.recalibrate();
-  const auto choice = sched.decide(Action{Syscall::kScreenWake, 0},
-                                   busy_state(), BatterySelection::kBig);
+  const auto choice = decide(sched, Action{Syscall::kScreenWake, 0},
+                             busy_state(), BatterySelection::kBig);
   EXPECT_EQ(choice, BatterySelection::kLittle);
   EXPECT_EQ(sched.decision_stats().fallback, 1u);
 }
@@ -162,8 +174,8 @@ TEST(Scheduler, LearnsFromRewards) {
   }
   sched.recalibrate();
   // Decision queried from the big-battery state (what the phone is on now).
-  const auto choice = sched.decide(Action{Syscall::kCpuBurst, 0}, dev,
-                                   BatterySelection::kBig);
+  const auto choice = decide(sched, Action{Syscall::kCpuBurst, 0}, dev,
+                             BatterySelection::kBig);
   EXPECT_EQ(choice, BatterySelection::kLittle);
   EXPECT_GE(sched.decision_stats().exact + sched.decision_stats().transferred,
             1u);
@@ -179,8 +191,8 @@ TEST(Scheduler, PrefersBigWhenBigEarnsMore) {
                           BatterySelection::kLittle, 0.60));
   }
   sched.recalibrate();
-  EXPECT_EQ(sched.decide(Action{Syscall::kVideoFrame, 0}, dev,
-                         BatterySelection::kBig),
+  EXPECT_EQ(decide(sched, Action{Syscall::kVideoFrame, 0}, dev,
+                   BatterySelection::kBig),
             BatterySelection::kBig);
 }
 
@@ -198,8 +210,8 @@ TEST(Scheduler, SimilarityTransferAcrossStates) {
   sched.recalibrate();
   const DeviceStateVector unseen{CpuState::kC0, ScreenState::kOn,
                                  WifiState::kSend};
-  const auto choice = sched.decide(Action{Syscall::kNetRecvStart, 0}, unseen,
-                                   BatterySelection::kBig);
+  const auto choice = decide(sched, Action{Syscall::kNetRecvStart, 0}, unseen,
+                             BatterySelection::kBig);
   EXPECT_EQ(choice, BatterySelection::kLittle);
   EXPECT_GE(sched.decision_stats().transferred, 1u);
 }
@@ -211,11 +223,51 @@ TEST(Scheduler, ExplorationDecays) {
   cfg.exploration_floor = 0.01;
   OnlineScheduler sched{cfg, 7};
   for (int i = 0; i < 200; ++i) {
-    sched.decide(Action{Syscall::kCpuBurst, 0}, busy_state(),
-                 BatterySelection::kBig);
+    decide(sched, Action{Syscall::kCpuBurst, 0}, busy_state(),
+           BatterySelection::kBig);
   }
   EXPECT_NEAR(sched.exploration_rate(), 0.01, 1e-9);
   EXPECT_GT(sched.decision_stats().explored, 0u);
+}
+
+TEST(Scheduler, BudgetLevelEchoedWithoutLearning) {
+  OnlineScheduler sched{no_exploration_config(), 1};
+  // Non-learning schedulers allocate only the level-kFull action plane.
+  EXPECT_EQ(sched.mdp().action_count(), base_decision_action_space_size());
+  DecideRequest req;
+  req.event = Action{Syscall::kScreenWake, 0};
+  req.device = busy_state();
+  req.current = BatterySelection::kBig;
+  req.budget = BudgetLevel::kBalanced;
+  EXPECT_EQ(sched.decide(req).budget, BudgetLevel::kBalanced);
+}
+
+TEST(Scheduler, LearnsBudgetLevelJointly) {
+  CapmanConfig cfg = no_exploration_config();
+  cfg.learn_budget = true;
+  OnlineScheduler sched{cfg, 1};
+  EXPECT_EQ(sched.mdp().action_count(), decision_action_space_size());
+  const auto dev = busy_state();
+  // The eco-budget variant of the big-battery action earns clearly better
+  // rewards (the voluntary derate pays off in this regime).
+  for (int i = 0; i < 10; ++i) {
+    Observation eco =
+        obs_for(dev, Syscall::kCpuBurst, BatterySelection::kBig, 0.9);
+    eco.action.budget = BudgetLevel::kEco;
+    sched.observe(eco);
+    sched.observe(
+        obs_for(dev, Syscall::kCpuBurst, BatterySelection::kBig, 0.4));
+    sched.observe(
+        obs_for(dev, Syscall::kCpuBurst, BatterySelection::kLittle, 0.3));
+  }
+  sched.recalibrate();
+  DecideRequest req;
+  req.event = Action{Syscall::kCpuBurst, 0};
+  req.device = dev;
+  req.current = BatterySelection::kBig;
+  const DecideResult result = sched.decide(req);
+  EXPECT_EQ(result.battery, BatterySelection::kBig);
+  EXPECT_EQ(result.budget, BudgetLevel::kEco);
 }
 
 TEST(Scheduler, RecalibrationCountsAndTiming) {
@@ -249,6 +301,18 @@ TEST(Controller, DwellLimitSuppressesRapidSwitching) {
   const auto third = ctl.on_event(Action{Syscall::kVideoFrame, 0},
                                   busy_state(), first, Seconds{2.0});
   EXPECT_EQ(third, BatterySelection::kBig);
+}
+
+TEST(Controller, EmergencyForcesEcoBudgetWhenLearning) {
+  CapmanConfig cfg = no_exploration_config();
+  cfg.learn_budget = true;
+  CapmanController ctl{cfg, 3};
+  EXPECT_EQ(ctl.last_budget_level(), BudgetLevel::kFull);
+  ctl.on_event(Action{Syscall::kScreenWake, 0}, busy_state(),
+               BatterySelection::kBig, Seconds{1.0}, /*emergency=*/true,
+               BudgetLevel::kFull);
+  // The comparator tripping is the signal the budget was too optimistic.
+  EXPECT_EQ(ctl.last_budget_level(), BudgetLevel::kEco);
 }
 
 TEST(Controller, MaintenanceChargesConstantPowerAndRecalibrates) {

@@ -1,0 +1,206 @@
+// The PowerConsumer surface: capability reporting, the shared cap
+// quantization rule, and — the property the arbiter leans on — that after
+// shape() the Table II model draw of each consumer fits its granted cap.
+#include "device/power_consumer.h"
+
+#include <gtest/gtest.h>
+
+#include "thermal/tec_consumer.h"
+
+namespace capman::device {
+namespace {
+
+PhoneProfile profile() { return nexus_profile(); }
+
+TEST(QuantizeCap, FloorsToQuantumThenClamps) {
+  ConsumerCapability cap;
+  cap.min_draw_mw = 50.0;
+  cap.max_draw_mw = 500.0;
+  cap.quantum_mw = 25.0;
+  EXPECT_DOUBLE_EQ(quantize_cap(130.0, cap), 125.0);
+  EXPECT_DOUBLE_EQ(quantize_cap(125.0, cap), 125.0);
+  EXPECT_DOUBLE_EQ(quantize_cap(10.0, cap), 50.0);     // below floor
+  EXPECT_DOUBLE_EQ(quantize_cap(9999.0, cap), 500.0);  // above ceiling
+}
+
+TEST(QuantizeCap, ZeroQuantumSkipsQuantization) {
+  ConsumerCapability cap;
+  cap.min_draw_mw = 0.0;
+  cap.max_draw_mw = 100.0;
+  cap.quantum_mw = 0.0;
+  EXPECT_DOUBLE_EQ(quantize_cap(33.3, cap), 33.3);
+}
+
+TEST(ConsumerKindNames, CoverEveryKind) {
+  EXPECT_STREQ(to_string(ConsumerKind::kCpu), "cpu");
+  EXPECT_STREQ(to_string(ConsumerKind::kScreen), "screen");
+  EXPECT_STREQ(to_string(ConsumerKind::kWifi), "wifi");
+  EXPECT_STREQ(to_string(ConsumerKind::kTec), "tec");
+}
+
+// ---------------------------------------------------------------- CPU ---
+
+TEST(CpuPowerConsumer, StartsUncapped) {
+  const CpuModel model{profile().cpu};
+  CpuPowerConsumer cpu{model};
+  const auto cap = cpu.capability();
+  EXPECT_DOUBLE_EQ(cpu.granted_mw(), cap.max_draw_mw);
+  EXPECT_DOUBLE_EQ(cpu.util_cap(), 100.0);
+  EXPECT_EQ(cpu.freq_cap(), model.params().gamma_mw_per_util.size() - 1);
+}
+
+TEST(CpuPowerConsumer, CapabilitySpansTableII) {
+  const CpuModel model{profile().cpu};
+  const CpuPowerConsumer cpu{model};
+  const auto cap = cpu.capability();
+  const auto& p = model.params();
+  EXPECT_DOUBLE_EQ(cap.max_draw_mw,
+                   p.gamma_mw_per_util.back() * 100.0 + p.c0_base_mw);
+  EXPECT_DOUBLE_EQ(cap.min_draw_mw,
+                   p.gamma_mw_per_util.front() * CpuPowerConsumer::kMinUtil +
+                       p.c0_base_mw);
+  EXPECT_LT(cap.min_draw_mw, cap.max_draw_mw);
+}
+
+TEST(CpuPowerConsumer, ShapedDrawFitsGrant) {
+  const CpuModel model{profile().cpu};
+  CpuPowerConsumer cpu{model};
+  const auto cap = cpu.capability();
+  DeviceDemand demand;
+  demand.cpu = CpuState::kC0;
+  demand.utilization = 100.0;
+  demand.freq_index = model.params().gamma_mw_per_util.size() - 1;
+  for (double budget : {cap.max_draw_mw, 1500.0, 900.0, 500.0,
+                        cap.min_draw_mw, 0.0}) {
+    const double granted = cpu.apply_cap(budget);
+    DeviceDemand shaped = demand;
+    cpu.shape(shaped);
+    const double draw_mw = util::to_milliwatts(
+        model.power(shaped.cpu, shaped.utilization, shaped.freq_index));
+    EXPECT_LE(draw_mw, granted + 1e-9)
+        << "budget " << budget << " granted " << granted;
+    EXPECT_GE(granted, cap.min_draw_mw);
+  }
+}
+
+TEST(CpuPowerConsumer, LowGrantFallsBackToUtilizationCeiling) {
+  const CpuModel model{profile().cpu};
+  CpuPowerConsumer cpu{model};
+  cpu.apply_cap(cpu.capability().min_draw_mw);
+  EXPECT_EQ(cpu.freq_cap(), 0u);
+  EXPECT_LT(cpu.util_cap(), 100.0);
+  EXPECT_GE(cpu.util_cap(), CpuPowerConsumer::kMinUtil);
+}
+
+TEST(CpuPowerConsumer, IdleStatesAreNotShaped) {
+  const CpuModel model{profile().cpu};
+  CpuPowerConsumer cpu{model};
+  cpu.apply_cap(cpu.capability().min_draw_mw);
+  DeviceDemand demand;
+  demand.cpu = CpuState::kSleep;
+  demand.utilization = 80.0;
+  demand.freq_index = 2;
+  DeviceDemand shaped = demand;
+  cpu.shape(shaped);
+  EXPECT_DOUBLE_EQ(shaped.utilization, demand.utilization);
+  EXPECT_EQ(shaped.freq_index, demand.freq_index);
+}
+
+// ------------------------------------------------------------- Screen ---
+
+TEST(ScreenPowerConsumer, ShapedDrawFitsGrant) {
+  const ScreenModel model{profile().screen};
+  ScreenPowerConsumer screen{model};
+  const auto cap = screen.capability();
+  DeviceDemand demand;
+  demand.screen = ScreenState::kOn;
+  demand.brightness = 255.0;
+  for (double budget :
+       {cap.max_draw_mw, cap.max_draw_mw / 2.0, cap.min_draw_mw, 0.0}) {
+    const double granted = screen.apply_cap(budget);
+    DeviceDemand shaped = demand;
+    screen.shape(shaped);
+    // The panel's two alphas straddle the capability's mean alpha, so
+    // allow the black/white asymmetry as slack.
+    const auto& p = model.params();
+    const double slack =
+        std::abs(p.alpha_b_mw_per_level - p.alpha_w_mw_per_level) * 255.0;
+    const double draw_mw =
+        util::to_milliwatts(model.power(shaped.screen, shaped.brightness));
+    EXPECT_LE(draw_mw, granted + slack + 1e-9);
+  }
+}
+
+TEST(ScreenPowerConsumer, CapNeverTurnsScreenOff) {
+  const ScreenModel model{profile().screen};
+  ScreenPowerConsumer screen{model};
+  screen.apply_cap(0.0);
+  EXPECT_GE(screen.granted_mw(), model.params().c_screen_mw);
+  EXPECT_DOUBLE_EQ(screen.brightness_cap(), 0.0);
+  DeviceDemand demand;
+  demand.screen = ScreenState::kOn;
+  demand.brightness = 200.0;
+  screen.shape(demand);
+  EXPECT_EQ(demand.screen, ScreenState::kOn);
+  EXPECT_DOUBLE_EQ(demand.brightness, 0.0);
+}
+
+// --------------------------------------------------------------- WiFi ---
+
+TEST(WifiPowerConsumer, ShapedDrawFitsGrant) {
+  const WifiModel model{profile().wifi};
+  WifiPowerConsumer wifi{model};
+  const auto cap = wifi.capability();
+  DeviceDemand demand;
+  demand.wifi = WifiState::kSend;
+  demand.packet_rate = WifiPowerConsumer::kMaxPacketRate;
+  for (double budget :
+       {cap.max_draw_mw, cap.max_draw_mw / 2.0, cap.min_draw_mw + 40.0, 0.0}) {
+    const double granted = wifi.apply_cap(budget);
+    DeviceDemand shaped = demand;
+    wifi.shape(shaped);
+    const double draw_mw =
+        util::to_milliwatts(model.power(shaped.wifi, shaped.packet_rate));
+    EXPECT_LE(draw_mw, granted + 1e-9)
+        << "budget " << budget << " granted " << granted;
+  }
+}
+
+TEST(WifiPowerConsumer, ShedsFirst) {
+  const WifiModel model{profile().wifi};
+  const CpuModel cpu_model{profile().cpu};
+  const ScreenModel screen_model{profile().screen};
+  EXPECT_LT(WifiPowerConsumer{model}.capability().shed_priority,
+            ScreenPowerConsumer{screen_model}.capability().shed_priority);
+  EXPECT_LT(ScreenPowerConsumer{screen_model}.capability().shed_priority,
+            CpuPowerConsumer{cpu_model}.capability().shed_priority);
+}
+
+// ---------------------------------------------------------------- TEC ---
+
+TEST(TecPowerConsumer, GrantGatesTurnOn) {
+  const thermal::Tec tec_model;
+  thermal::TecPowerConsumer tec{tec_model};
+  const double reference = tec.reference_draw_mw();
+  EXPECT_GT(reference, 0.0);
+
+  tec.apply_cap(reference);
+  EXPECT_TRUE(tec.allows_on());
+  tec.apply_cap(0.0);
+  EXPECT_FALSE(tec.allows_on());
+  EXPECT_DOUBLE_EQ(tec.granted_mw(), 0.0);
+}
+
+TEST(TecPowerConsumer, ReferenceDrawCoversRatedCurrentRun) {
+  const thermal::Tec tec_model;
+  const thermal::TecPowerConsumer tec{tec_model};
+  const double i = tec_model.params().rated_current.value();
+  const double expected_w =
+      tec_model.params().seebeck_v_per_k * i *
+          thermal::TecPowerConsumer::kReferenceDeltaK +
+      i * i * tec_model.params().resistance.value();
+  EXPECT_NEAR(tec.reference_draw_mw(), expected_w * 1000.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace capman::device

@@ -39,6 +39,8 @@ DecisionRecord sample_record() {
   rec.little_soc = 0.5;
   rec.hotspot_c = 41.125;
   rec.demand_w = 2.5;
+  rec.budget_level = 1;
+  rec.granted_mw = 3450.5;
   return rec;
 }
 
@@ -60,7 +62,8 @@ TEST(DecisionTraceTest, FullRecordSerialisesEveryField) {
             "\"switch_pending\":false,\"guard_fallback\":false,"
             "\"fault_stuck\":true,\"big_soc\":0.750000,"
             "\"little_soc\":0.500000,\"hotspot_c\":41.125,"
-            "\"demand_w\":2.5000}\n");
+            "\"demand_w\":2.5000,\"budget_level\":1,"
+            "\"granted_mw\":3450.5}\n");
 }
 
 TEST(DecisionTraceTest, MissingDetailAndNaNBecomeNull) {

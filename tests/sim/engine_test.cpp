@@ -314,6 +314,78 @@ TEST(Experiment, ComparisonRunsAllFivePolicies) {
   EXPECT_EQ(results[4].policy, "Practice");
 }
 
+// ------------------------------------------------- power-budget arbiter ---
+
+TEST(SimEngineBudget, DisabledArbiterLeavesResultFieldsZero) {
+  SimConfig config;
+  config.max_duration = util::Seconds{120.0};
+  SimEngine engine{config};
+  auto policy = make_test_policy(PolicyKind::kDual);
+  const auto r = engine.run(video_trace(), *policy, nexus());
+  EXPECT_DOUBLE_EQ(r.avg_budget_mw, 0.0);
+  EXPECT_DOUBLE_EQ(r.budget_shed_j, 0.0);
+  EXPECT_EQ(r.budget_rebudgets, 0u);
+  EXPECT_EQ(r.budget_throttled_steps, 0u);
+  EXPECT_EQ(r.budget_tec_vetoes, 0u);
+}
+
+TEST(SimEngineBudget, ValidationErrorsCarryTheBudgetPrefix) {
+  SimConfig config;
+  config.budget.enabled = true;
+  config.budget.min_rebudget_gap_s = 0.0;
+  const auto errors = config.validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors.front(), "budget.min_rebudget_gap_s must be > 0");
+  EXPECT_THROW(SimEngine{config}, std::invalid_argument);
+}
+
+TEST(SimEngineBudget, EnabledRunIsDeterministic) {
+  SimConfig config;
+  config.max_duration = util::Seconds{900.0};
+  config.budget.enabled = true;
+  config.budget.base_budget_mw = 3200.0;
+  SimEngine engine{config};
+  RunnerOptions options;
+  options.seed = 9;
+  options.config = config;
+  options.capman.learn_budget = true;
+  const ExperimentRunner runner{nexus(), options};
+  auto a = runner.build_policy(PolicyKind::kCapman);
+  auto b = runner.build_policy(PolicyKind::kCapman);
+  const auto ra = engine.run(video_trace(3), *a, nexus());
+  const auto rb = engine.run(video_trace(3), *b, nexus());
+  EXPECT_DOUBLE_EQ(ra.service_time_s, rb.service_time_s);
+  EXPECT_EQ(ra.switch_count, rb.switch_count);
+  EXPECT_DOUBLE_EQ(ra.energy_delivered_j, rb.energy_delivered_j);
+  EXPECT_DOUBLE_EQ(ra.avg_budget_mw, rb.avg_budget_mw);
+  EXPECT_EQ(ra.budget_rebudgets, rb.budget_rebudgets);
+  EXPECT_EQ(ra.budget_tec_vetoes, rb.budget_tec_vetoes);
+  EXPECT_GT(ra.budget_rebudgets, 0u);
+  EXPECT_GT(ra.avg_budget_mw, 0.0);
+}
+
+TEST(SimEngineBudget, TightBudgetShedsPowerAndCoolsTheRun) {
+  SimConfig config;
+  config.max_duration = util::Seconds{900.0};
+  config.record_series = false;
+  SimEngine uncapped_engine{config};
+  auto uncapped_policy = make_test_policy(PolicyKind::kDual);
+  const auto trace =
+      workload::make_geekbench()->generate(util::Seconds{600.0}, 7);
+  const auto uncapped = uncapped_engine.run(trace, *uncapped_policy, nexus());
+
+  config.budget.enabled = true;
+  config.budget.base_budget_mw = 2400.0;
+  SimEngine capped_engine{config};
+  auto capped_policy = make_test_policy(PolicyKind::kDual);
+  const auto capped = capped_engine.run(trace, *capped_policy, nexus());
+
+  EXPECT_GT(capped.budget_throttled_steps, 0u);
+  EXPECT_GT(capped.budget_shed_j, 0.0);
+  EXPECT_LT(capped.avg_power_w, uncapped.avg_power_w);
+  EXPECT_LE(capped.max_cpu_temp_c, uncapped.max_cpu_temp_c + 0.5);
+}
+
 TEST(SimResult, DerivedAccessors) {
   SimResult r;
   r.energy_delivered_j = 80.0;

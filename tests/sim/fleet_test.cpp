@@ -310,6 +310,29 @@ TEST(FleetRunner, FaultFractionSamplesFaultyDevices) {
   EXPECT_NE(d0.fault_seed, d1.fault_seed);
 }
 
+// Arbiter-enabled fleets keep the headline determinism contract: the
+// arbiter is pure arithmetic, so thread count still changes nothing.
+TEST(FleetRunner, BudgetEnabledStaysBitIdenticalAcrossThreads) {
+  FleetConfig base = small_fleet(8, 4, 1);
+  base.base.budget.enabled = true;
+  base.base.budget.base_budget_mw = 2600.0;
+  base.capman.learn_budget = true;
+  FleetConfig threaded = base;
+  threaded.threads = 4;
+  const FleetResult r1 = FleetRunner{base}.run();
+  const FleetResult r4 = FleetRunner{threaded}.run();
+  EXPECT_EQ(snapshot_json(r1.metrics), snapshot_json(r4.metrics));
+  EXPECT_EQ(r1.total_engine_steps, r4.total_engine_steps);
+}
+
+TEST(FleetConfigValidate, BudgetErrorsCarryTheNestedPrefix) {
+  FleetConfig config;
+  config.base.budget.enabled = true;
+  config.base.budget.min_rebudget_gap_s = 0.0;
+  EXPECT_TRUE(has_error(config.validate(),
+                        "base.budget.min_rebudget_gap_s must be > 0"));
+}
+
 TEST(FleetRunner, EnumNamesAreStable) {
   EXPECT_STREQ(to_string(FleetPhone::kNexus), "nexus");
   EXPECT_STREQ(to_string(FleetPhone::kHonor), "honor");
