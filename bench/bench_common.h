@@ -5,11 +5,18 @@
 // directory, so results can be re-plotted offline.
 #pragma once
 
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "obs/json_append.h"
 #include "sim/experiment.h"
 #include "util/csv.h"
 #include "util/table.h"
@@ -18,12 +25,42 @@ namespace capman::bench {
 
 inline constexpr std::uint64_t kDefaultSeed = 42;
 
-/// Parse an optional "--seed N" / positional seed argument.
+/// Strict uint64 parse: the whole token must be a decimal number that
+/// fits. Returns std::nullopt for junk ("abc", "12x", "-1", "",
+/// out-of-range) instead of throwing or truncating — the testable core of
+/// seed_from_args (tests/bench/bench_common_test.cpp).
+inline std::optional<std::uint64_t> parse_seed(std::string_view token) {
+  std::uint64_t value = 0;
+  const char* const first = token.data();
+  const char* const last = first + token.size();
+  const auto result = std::from_chars(first, last, value);
+  if (result.ec != std::errc{} || result.ptr != last || token.empty()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+/// Parse an optional "--seed N" argument. A malformed or missing value is
+/// a usage error: print it and exit 2 (previously std::stoull let the
+/// exception escape as a terminate backtrace).
 inline std::uint64_t seed_from_args(int argc, char** argv,
                                     std::uint64_t fallback = kDefaultSeed) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--seed" && i + 1 < argc) return std::stoull(argv[i + 1]);
+    if (arg != "--seed") continue;
+    if (i + 1 >= argc) {
+      std::cerr << "error: --seed requires a value\n"
+                << "usage: " << argv[0] << " [--seed N] [--csv] [--json]\n";
+      std::exit(2);
+    }
+    const auto seed = parse_seed(argv[i + 1]);
+    if (!seed.has_value()) {
+      std::cerr << "error: invalid --seed '" << argv[i + 1]
+                << "' (expected an unsigned integer)\n"
+                << "usage: " << argv[0] << " [--seed N] [--csv] [--json]\n";
+      std::exit(2);
+    }
+    return *seed;
   }
   return fallback;
 }
@@ -35,6 +72,72 @@ inline bool csv_requested(int argc, char** argv) {
   }
   return false;
 }
+
+/// True when "--json" was passed (write the BENCH_<name>.json artifact).
+inline bool json_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string{argv[i]} == "--json") return true;
+  }
+  return false;
+}
+
+/// Headline-number artifact of one bench run: collects (key, value) pairs
+/// and writes BENCH_<name>.json for scripts/check_bench_regress.py to
+/// diff against the committed baseline. Keys keep insertion order (the
+/// bench's own narrative order); values serialise via to_chars, so the
+/// artifact of a deterministic bench is byte-stable.
+class BenchJson {
+ public:
+  BenchJson(std::string name, std::uint64_t seed)
+      : name_(std::move(name)), seed_(seed) {}
+
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Serialise ({"name":...,"seed":...,"metrics":{...}}) to `out`.
+  void write(std::ostream& out) const {
+    std::string buf;
+    buf.reserve(512);
+    buf += "{\"name\":";
+    obs::detail::append_string(buf, name_);
+    buf += ",\"seed\":";
+    obs::detail::append_u64(buf, seed_);
+    buf += ",\"metrics\":{";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      if (i > 0) buf += ',';
+      obs::detail::append_string(buf, metrics_[i].first);
+      buf += ':';
+      obs::detail::append_double(buf, metrics_[i].second);
+    }
+    buf += "}}\n";
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  }
+
+  /// Write BENCH_<name>.json in the working directory.
+  void write_file() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out{path, std::ios::trunc};
+    if (!out) {
+      std::cerr << "error: cannot open " << path << "\n";
+      std::exit(1);
+    }
+    write(out);
+    std::cout << "  wrote " << path << "\n";
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& metrics()
+      const {
+    return metrics_;
+  }
+
+ private:
+  std::string name_;
+  std::uint64_t seed_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 inline void paper_note(std::ostream& out, const std::string& text) {
   out << "  [paper] " << text << "\n";

@@ -22,6 +22,7 @@
 // --csv dumps bench_fleet_scaling.csv (one row per measured run).
 #include "bench_common.h"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <cstdlib>
@@ -135,6 +136,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = bench::seed_from_args(argc, argv);
   const bool smoke = flag(argc, argv, "--smoke");
   const bool csv = bench::csv_requested(argc, argv);
+  const bool json = bench::json_requested(argc, argv);
   const std::size_t hw = std::max<std::size_t>(
       std::thread::hardware_concurrency(), 1);
 
@@ -171,19 +173,43 @@ int main(int argc, char** argv) {
   if (smoke) thread_counts = {1, 2};
   util::TextTable curve{{"threads", "seconds", "devices/sec", "speedup"}};
   double serial_rate = 0.0;
+  double best_rate = 0.0;
+  const sim::PolicyAggregate* curve_dual = nullptr;
+  sim::FleetResult last_curve_result;
   for (std::size_t threads : thread_counts) {
-    const auto run =
-        run_timed(fleet_config(curve_devices, 256, threads, seed));
+    auto run = run_timed(fleet_config(curve_devices, 256, threads, seed));
     if (serial_rate <= 0.0) serial_rate = run.devices_per_sec();
+    best_rate = std::max(best_rate, run.devices_per_sec());
     curve.add_row(std::to_string(threads),
                   {run.seconds, run.devices_per_sec(),
                    serial_rate > 0.0 ? run.devices_per_sec() / serial_rate
                                      : 0.0});
     record(run);
+    last_curve_result = std::move(run.result);
   }
+  curve_dual = last_curve_result.find(sim::PolicyKind::kDual);
   util::print_section(std::cout, std::to_string(curve_devices) +
                                      " devices: throughput vs threads");
   curve.print(std::cout);
+
+  if (json) {
+    // Curve-stage aggregates are deterministic for a fixed (devices, seed);
+    // the throughput number is machine-dependent and carries a loose
+    // tolerance in the regression baseline. curve_devices is recorded so a
+    // smoke-mode artifact cannot silently diff against a full-mode baseline.
+    bench::BenchJson artifact{"fleet_scaling", seed};
+    artifact.metric("identity_ok", 1.0);  // main() returned above otherwise
+    artifact.metric("curve_devices", static_cast<double>(curve_devices));
+    if (curve_dual != nullptr) {
+      artifact.metric("dual_p50_s", curve_dual->lifetime_s_sketch.quantile(0.5));
+      artifact.metric("dual_p90_s", curve_dual->lifetime_s_sketch.quantile(0.9));
+      artifact.metric("dual_brownout_pct",
+                      100.0 * curve_dual->brownout_fraction());
+      artifact.metric("dual_switches_per_dev", curve_dual->mean_switches());
+    }
+    artifact.metric("devices_per_sec_best", best_rate);
+    artifact.write_file();
+  }
 
   if (!smoke) {
     // Stage 3: the headline run. Peak-RSS growth across it, divided by

@@ -63,7 +63,29 @@ double envelope_k(const sim::SimResult& r, double ambient_c) {
   return r.max_surface_temp_c - ambient_c;
 }
 
-int run_smoke(std::uint64_t seed) {
+/// Headline artifact shared by the smoke and full-sweep paths: the
+/// uncapped-vs-3000mW-relax comparison at 26 C ambient, which is the pair
+/// the smoke gate pins. All values are deterministic for a fixed seed.
+void write_json(std::uint64_t seed, const sim::SimResult& uncapped,
+                const sim::SimResult& capped, double ambient) {
+  bench::BenchJson artifact{"power_budget", seed};
+  artifact.metric("envelope_uncapped_k", envelope_k(uncapped, ambient));
+  artifact.metric("envelope_capped_k", envelope_k(capped, ambient));
+  const double envelope_uncapped = envelope_k(uncapped, ambient);
+  artifact.metric("envelope_ratio",
+                  envelope_uncapped > 0.0
+                      ? envelope_k(capped, ambient) / envelope_uncapped
+                      : 1.0);
+  artifact.metric("efficiency_ratio",
+                  uncapped.efficiency() > 0.0
+                      ? capped.efficiency() / uncapped.efficiency()
+                      : 1.0);
+  artifact.metric("rebudgets", static_cast<double>(capped.budget_rebudgets));
+  artifact.metric("shed_j", capped.budget_shed_j);
+  artifact.write_file();
+}
+
+int run_smoke(std::uint64_t seed, bool json) {
   if (std::thread::hardware_concurrency() < 2) {
     std::cout << "power_budget smoke: <2 hardware threads, skipping\n";
     return kSkipExitCode;
@@ -110,6 +132,7 @@ int run_smoke(std::uint64_t seed) {
     ok = false;
   }
   if (ok) std::cout << "power_budget smoke: PASS\n";
+  if (json) write_json(seed, uncapped, capped, ambient);
   return ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }
 
@@ -117,8 +140,9 @@ int run_smoke(std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const auto seed = bench::seed_from_args(argc, argv);
+  const bool json = bench::json_requested(argc, argv);
   for (int i = 1; i < argc; ++i) {
-    if (std::string{argv[i]} == "--smoke") return run_smoke(seed);
+    if (std::string{argv[i]} == "--smoke") return run_smoke(seed, json);
   }
   const bool csv = bench::csv_requested(argc, argv);
 
@@ -145,8 +169,18 @@ int main(int argc, char** argv) {
                  "max_skin_c", "envelope_k", "efficiency", "shed_j",
                  "rebudgets", "tec_vetoes"});
   }
+  // The smoke-gate pair, recaptured from the sweep for the --json artifact.
+  sim::SimResult json_uncapped;
+  sim::SimResult json_capped;
   for (const auto& point : points) {
     const auto r = run_point(point, seed, 45.0);
+    if (point.ambient_c == 26.0) {
+      if (point.budget_mw == 0.0) json_uncapped = r;
+      if (point.budget_mw == 3000.0 &&
+          point.method == core::CapMethod::kRelax) {
+        json_capped = r;
+      }
+    }
     const std::string label =
         point.budget_mw > 0.0
             ? std::to_string(static_cast<int>(point.budget_mw)) + " " +
@@ -176,5 +210,6 @@ int main(int argc, char** argv) {
       "mid-table budgets (~3000 mW) tighten the skin envelope 10-20% below "
       "the uncapped run at <=5% efficiency cost; kStatic gives up a little "
       "more than kRelax for the same base budget (worst-case margin).");
+  if (json) write_json(seed, json_uncapped, json_capped, 26.0);
   return 0;
 }

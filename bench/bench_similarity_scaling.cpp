@@ -121,6 +121,7 @@ bool bit_identical(const core::SimilarityResult& a,
 int main(int argc, char** argv) {
   const auto seed = bench::seed_from_args(argc, argv);
   const bool csv = bench::csv_requested(argc, argv);
+  const bool json = bench::json_requested(argc, argv);
   util::Rng rng{seed};
 
   util::print_section(
@@ -136,6 +137,11 @@ int main(int argc, char** argv) {
 
   bool all_identical = true;
   double largest_speedup_4t = 0.0;
+  // Deterministic headline counts from the largest (96-state) graph, for
+  // the BENCH_similarity_scaling.json artifact.
+  std::uint64_t final_sweeps = 0;
+  std::uint64_t final_emd_solved = 0;
+  double final_frontier_dev = 0.0;
   for (const std::size_t n_states : {24, 48, 96}) {
     const auto graph = learned_shape_graph(n_states, rng);
     const int reps = n_states <= 48 ? 3 : 1;
@@ -202,6 +208,9 @@ int main(int argc, char** argv) {
                      frontier.result.state_similarity),
         max_abs_diff(serial.result.action_similarity,
                      frontier.result.action_similarity));
+    final_sweeps = static_cast<std::uint64_t>(serial.result.iterations);
+    final_emd_solved = serial.result.stats.action_pairs_computed;
+    final_frontier_dev = dev;
     table.print(std::cout);
     std::cout << "  frontier max |deviation| = " << dev
               << " (bound epsilon*c/(4(1-c)) = "
@@ -220,5 +229,17 @@ int main(int argc, char** argv) {
       "per-pair decomposition parallelises Algorithm 1 near-linearly on "
       "real cores; on a single-core host the speedup is carried by the "
       "exact EMD cache over the absorbing-frozen rows.");
+  if (json) {
+    // Counts and the frontier deviation are deterministic for a fixed
+    // seed; the x4 speedup is machine-dependent and carries a loose
+    // tolerance in the regression baseline.
+    bench::BenchJson artifact{"similarity_scaling", seed};
+    artifact.metric("bit_identical", all_identical ? 1.0 : 0.0);
+    artifact.metric("sweeps_96", static_cast<double>(final_sweeps));
+    artifact.metric("emd_solved_96", static_cast<double>(final_emd_solved));
+    artifact.metric("frontier_max_dev_96", final_frontier_dev);
+    artifact.metric("speedup_x4_96", largest_speedup_4t);
+    artifact.write_file();
+  }
   return all_identical ? 0 : 1;
 }

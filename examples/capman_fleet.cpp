@@ -31,6 +31,7 @@ struct Options {
   double fault_fraction = 0.0;
   double budget_mw = 0.0;
   std::string cap_method = "relax";
+  bool health = false;
   std::vector<sim::PolicyKind> policies{sim::PolicyKind::kDual,
                                         sim::PolicyKind::kHeuristic};
   bool json = false;
@@ -88,6 +89,8 @@ bool parse_args(int argc, char** argv, Options& options) {
       }
     } else if (arg == "--policies") {
       if (!parse_policies(value(), options.policies)) return false;
+    } else if (arg == "--health") {
+      options.health = true;
     } else if (arg == "--json") {
       options.json = true;
     } else {
@@ -97,7 +100,7 @@ bool parse_args(int argc, char** argv, Options& options) {
                 << "                    [--policies dual,heuristic] "
                    "[--fault-fraction F] [--json]\n"
                 << "                    [--budget-mw B] "
-                   "[--cap-method relax|static]\n";
+                   "[--cap-method relax|static] [--health]\n";
       return false;
     }
   }
@@ -126,6 +129,11 @@ sim::FleetConfig fleet_config(const Options& options) {
   if (options.fault_fraction > 0.0) {
     // A mild actuator fault template: occasional stuck switches.
     config.population.fault_template.stuck_rate_per_min = 0.5;
+  }
+  if (options.health) {
+    // Per-device health watchdogs; alert counts land in the policy
+    // aggregates and the fleet/<policy>/alerts/* counters.
+    config.health.enabled = true;
   }
   if (options.budget_mw > 0.0) {
     config.base.budget.enabled = true;
@@ -173,5 +181,20 @@ int main(int argc, char** argv) {
                    static_cast<double>(aggregate.faulty_devices)});
   }
   table.print(std::cout);
+  if (result.health_enabled) {
+    std::cout << "\nhealth alerts (obs/health.h, summed over the fleet):\n";
+    util::TextTable alerts({"policy", "thermal", "starved", "thrash",
+                            "guard", "tte-low", "total"});
+    for (const auto& aggregate : result.policies) {
+      const auto& a = aggregate.health_alerts;
+      alerts.add_row(sim::to_string(aggregate.kind),
+                     {static_cast<double>(a[0]), static_cast<double>(a[1]),
+                      static_cast<double>(a[2]), static_cast<double>(a[3]),
+                      static_cast<double>(a[4]),
+                      static_cast<double>(aggregate.health_alert_total())},
+                     0);
+    }
+    alerts.print(std::cout);
+  }
   return 0;
 }

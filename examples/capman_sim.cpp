@@ -55,6 +55,20 @@ void usage() {
       "  --verbose-spans   add per-EMD-solve spans to the profile\n"
       "  --timing-metrics  publish wall-clock timings into the registry\n"
       "                    (nondeterministic across runs)\n"
+      "  --sample-period S sample soc/power/temps every S sim-seconds into\n"
+      "                    bounded ring buffers (obs/timeseries.h)\n"
+      "  --sample-csv F    write the sampled history as wide CSV\n"
+      "                    (implies --sample-period 2 unless given)\n"
+      "  --openmetrics-out F  write the end-of-run snapshot in\n"
+      "                    Prometheus/OpenMetrics text format\n"
+      "  --flight-out F    arm the flight recorder; dump the event ring as\n"
+      "                    JSONL to F on alert/exception triggers\n"
+      "  --flight-at-end   additionally dump the ring at end of run\n"
+      "  --health          run the health watchdogs (obs/health.h):\n"
+      "                    thermal runaway, budget starvation, switch\n"
+      "                    thrash, guard engaged, time-to-empty\n"
+      "  --alerts-out F    write fired health alerts as JSONL (implies\n"
+      "                    --health)\n"
       "  --threads N       similarity solver threads (default auto)\n"
       "  --max-minutes M   workload length in minutes (default 10)\n";
 }
@@ -113,6 +127,13 @@ int main(int argc, char** argv) {
   std::string spans_out;
   bool verbose_spans = false;
   bool timing_metrics = false;
+  double sample_period_s = 0.0;
+  std::string sample_csv;
+  std::string openmetrics_out;
+  std::string flight_out;
+  bool flight_at_end = false;
+  bool health = false;
+  std::string alerts_out;
   std::size_t threads = 0;
   double max_minutes = 10.0;
 
@@ -137,6 +158,13 @@ int main(int argc, char** argv) {
     else if (arg == "--spans-out") spans_out = next();
     else if (arg == "--verbose-spans") verbose_spans = true;
     else if (arg == "--timing-metrics") timing_metrics = true;
+    else if (arg == "--sample-period") sample_period_s = std::stod(next());
+    else if (arg == "--sample-csv") sample_csv = next();
+    else if (arg == "--openmetrics-out") openmetrics_out = next();
+    else if (arg == "--flight-out") flight_out = next();
+    else if (arg == "--flight-at-end") flight_at_end = true;
+    else if (arg == "--health") health = true;
+    else if (arg == "--alerts-out") alerts_out = next();
     else if (arg == "--threads") threads = std::stoull(next());
     else if (arg == "--max-minutes") max_minutes = std::stod(next());
     else {
@@ -172,6 +200,22 @@ int main(int argc, char** argv) {
   options.capman.similarity_threads = threads;
   options.config.telemetry.verbose_spans = verbose_spans;
   options.config.telemetry.timing_metrics = timing_metrics;
+  if (sample_period_s > 0.0 || !sample_csv.empty()) {
+    options.config.telemetry.sampler.enabled = true;
+    if (sample_period_s > 0.0) {
+      options.config.telemetry.sampler.period_s = sample_period_s;
+    }
+  }
+  if (!flight_out.empty()) {
+    options.config.telemetry.recorder.enabled = true;
+    options.config.telemetry.recorder.dump_at_end = flight_at_end;
+  } else if (flight_at_end) {
+    std::cerr << "--flight-at-end requires --flight-out\n";
+    return 1;
+  }
+  if (health || !alerts_out.empty()) {
+    options.config.telemetry.health.enabled = true;
+  }
   if (fault_stuck_rate > 0.0) {
     sim::FaultPlanConfig plan;
     plan.seed = seed;
@@ -222,6 +266,9 @@ int main(int argc, char** argv) {
                          "efficiency [%]"});
   util::TextTable fault_table({"policy", "stuck [s]", "dropped req",
                                "detected", "fallbacks", "retries"});
+  util::TextTable health_table({"policy", "thermal", "starved", "thrash",
+                                "guard", "tte-low", "total"});
+  const bool health_on = health || !alerts_out.empty();
   const bool multi = kinds.size() > 1;
   for (auto kind : kinds) {
     // One runner per policy so telemetry output files can carry the
@@ -234,6 +281,14 @@ int main(int argc, char** argv) {
         with_policy_suffix(trace_out, policy, multi);
     policy_options.config.telemetry.spans_path =
         with_policy_suffix(spans_out, policy, multi);
+    policy_options.config.telemetry.openmetrics_path =
+        with_policy_suffix(openmetrics_out, policy, multi);
+    policy_options.config.telemetry.sampler.csv_path =
+        with_policy_suffix(sample_csv, policy, multi);
+    policy_options.config.telemetry.recorder.dump_path =
+        with_policy_suffix(flight_out, policy, multi);
+    policy_options.config.telemetry.health.alerts_path =
+        with_policy_suffix(alerts_out, policy, multi);
     const sim::ExperimentRunner runner{phone, policy_options};
     const auto r = runner.run(trace, kind);
     if (fault_stuck_rate > 0.0) {
@@ -251,6 +306,16 @@ int main(int argc, char** argv) {
                    static_cast<double>(r.switch_count), r.max_cpu_temp_c,
                    r.tec_on_fraction * 100.0, r.efficiency() * 100.0},
                   1);
+    if (health_on) {
+      const auto& alerts = r.health.alerts;
+      health_table.add_row(
+          r.policy,
+          {static_cast<double>(alerts[0]), static_cast<double>(alerts[1]),
+           static_cast<double>(alerts[2]), static_cast<double>(alerts[3]),
+           static_cast<double>(alerts[4]),
+           static_cast<double>(r.health.total_alerts())},
+          0);
+    }
     if (!csv_prefix.empty()) {
       util::CsvWriter out{csv_prefix + "_" + r.policy + ".csv"};
       out.header({"t_s", "soc", "power_w", "cpu_temp_c"});
@@ -264,6 +329,10 @@ int main(int argc, char** argv) {
   if (fault_stuck_rate > 0.0) {
     std::cout << "\nfault telemetry (sim/faults.h):\n";
     fault_table.print(std::cout);
+  }
+  if (health_on) {
+    std::cout << "\nhealth alerts (obs/health.h):\n";
+    health_table.print(std::cout);
   }
   return 0;
 }

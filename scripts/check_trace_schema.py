@@ -11,6 +11,20 @@ Runs one CAPMAN discharge cycle with every sink enabled, then checks:
   * the metrics snapshot is valid JSON whose histograms carry
     len(bounds)+1 buckets that sum to the observation count.
 
+A second pass runs a stuck-comparator fault cycle with the health
+monitor and flight recorder armed (obs/health.h, obs/flight_recorder.h)
+and checks:
+  * the alert stream is JSONL matching ALERT_SCHEMA exactly, with a
+    known rule slug, strictly increasing seq and non-decreasing time,
+  * the flight-recorder dump is JSONL matching FLIGHT_SCHEMA exactly:
+    consecutive dump ids from 0, each dump headed by a kind="trigger"
+    record whose value equals the number of ring records that follow it,
+    ring records in strictly increasing seq order and every kind known,
+  * the run actually fired at least one alert and produced at least one
+    dump (a fault run that stays silent means the watchdogs regressed),
+  * the metrics snapshot of a health-enabled run carries the health/*
+    counters HealthStats::publish is contracted to emit.
+
 Every artifact is also checked for *unknown top-level keys*: a key the
 schema does not list fails the run, so silently-added output fields force
 a schema (and doc) update here first.
@@ -79,6 +93,35 @@ ARBITER_GAUGES = {
 
 SOURCES = {"exact", "transferred", "fallback", "explored"}
 
+# Flight-recorder dump records (obs/flight_recorder.cpp write_json_line);
+# tests/obs pins the serialised form, this is the field/type contract.
+FLIGHT_SCHEMA = {
+    "dump": (int,),
+    "seq": (int,),
+    "t_s": (int, float),
+    "kind": (str,),
+    "what": (str,),
+    "detail": (str,),
+    "value": (int, float),
+}
+FLIGHT_KINDS = {"trigger", "decision", "switch", "budget", "fault", "guard",
+                "alert", "engine"}
+
+# Health alert records (obs/health.cpp write_json_line).
+ALERT_SCHEMA = {
+    "seq": (int,),
+    "t_s": (int, float),
+    "rule": (str,),
+    "value": (int, float),
+    "threshold": (int, float),
+    "detail": (str,),
+}
+ALERT_RULES = {"thermal_runaway", "budget_starvation", "switch_thrash",
+               "guard_engaged", "time_to_empty"}
+
+# Metric keys a health-enabled run must publish (HealthStats::publish).
+HEALTH_COUNTERS = {"health/evaluations", "health/alerts_total"}
+
 # Exhaustive top-level keys of each artifact; anything else is a failure.
 SPANS_TOP_LEVEL = {"traceEvents"}
 METRICS_TOP_LEVEL = {"counters", "gauges", "histograms"}
@@ -102,6 +145,107 @@ def check_type(rec, key, value):
         fail(f"record {rec.get('seq')}: {key} has type {type(value).__name__}")
     if not isinstance(value, types):
         fail(f"record {rec.get('seq')}: {key} has type {type(value).__name__}")
+
+
+def check_record(schema, rec, label):
+    """Exact-field, typed validation of one JSONL record against `schema`."""
+    missing = schema.keys() - rec.keys()
+    extra = rec.keys() - schema.keys()
+    if missing:
+        fail(f"{label}: missing fields {sorted(missing)}")
+    if extra:
+        fail(f"{label}: unknown fields {sorted(extra)}")
+    for key, value in rec.items():
+        allowed = schema[key]
+        if value is None:
+            if None not in allowed:
+                fail(f"{label}: {key} is null but must not be")
+            continue
+        types = tuple(t for t in allowed if t is not None)
+        if isinstance(value, bool) != (bool in types):
+            fail(f"{label}: {key} has type {type(value).__name__}")
+        if not isinstance(value, types):
+            fail(f"{label}: {key} has type {type(value).__name__}")
+
+
+def check_flight(path):
+    """Validate a flight-recorder JSONL dump file; returns (#records, #dumps)."""
+    n = 0
+    last_dump = -1
+    dump_header_value = 0  # ring size the current dump's trigger promised
+    dump_records = 0       # ring records seen in the current dump so far
+    last_seq = -1
+    with open(path) as f:
+        for line in f:
+            rec = json.loads(line)
+            label = f"flight record {rec.get('dump')}/{rec.get('seq')}"
+            check_record(FLIGHT_SCHEMA, rec, label)
+            if rec["kind"] not in FLIGHT_KINDS:
+                fail(f"{label}: unknown kind {rec['kind']!r}")
+            if not math.isfinite(rec["t_s"]) or rec["t_s"] < 0:
+                fail(f"{label}: bad t_s {rec['t_s']!r}")
+            if rec["kind"] == "trigger":
+                # A new dump begins. Close out the previous one first.
+                if last_dump >= 0 and dump_records != dump_header_value:
+                    fail(f"dump {last_dump}: trigger promised "
+                         f"{dump_header_value} ring records, got {dump_records}")
+                if rec["dump"] != last_dump + 1:
+                    fail(f"{label}: dump ids must be consecutive from 0 "
+                         f"({last_dump} -> {rec['dump']})")
+                last_dump = rec["dump"]
+                dump_header_value = int(rec["value"])
+                if dump_header_value <= 0:
+                    fail(f"{label}: trigger with empty ring")
+                dump_records = 0
+                last_seq = -1
+            else:
+                if last_dump < 0:
+                    fail(f"{label}: ring record before any trigger header")
+                if rec["dump"] != last_dump:
+                    fail(f"{label}: ring record tagged dump {rec['dump']} "
+                         f"inside dump {last_dump}")
+                if rec["seq"] <= last_seq:
+                    fail(f"{label}: ring seq not increasing "
+                         f"({last_seq} -> {rec['seq']})")
+                last_seq = rec["seq"]
+                dump_records += 1
+            n += 1
+    if n == 0:
+        fail("flight dump is empty")
+    if dump_records != dump_header_value:
+        fail(f"dump {last_dump}: trigger promised {dump_header_value} "
+             f"ring records, got {dump_records}")
+    return n, last_dump + 1
+
+
+def check_alerts(path):
+    """Validate a health-alert JSONL stream; returns (#alerts, rules seen)."""
+    n = 0
+    last_seq = -1
+    last_t = -1.0
+    rules = set()
+    with open(path) as f:
+        for line in f:
+            rec = json.loads(line)
+            label = f"alert {rec.get('seq')}"
+            check_record(ALERT_SCHEMA, rec, label)
+            if rec["rule"] not in ALERT_RULES:
+                fail(f"{label}: unknown rule {rec['rule']!r}")
+            if rec["seq"] != last_seq + 1:
+                fail(f"alert seq gap: {last_seq} -> {rec['seq']}")
+            if not math.isfinite(rec["t_s"]) or rec["t_s"] < last_t:
+                fail(f"{label}: time went backwards "
+                     f"({last_t} -> {rec['t_s']})")
+            if not math.isfinite(rec["value"]) or \
+                    not math.isfinite(rec["threshold"]):
+                fail(f"{label}: non-finite value/threshold")
+            last_seq = rec["seq"]
+            last_t = rec["t_s"]
+            rules.add(rec["rule"])
+            n += 1
+    if n == 0:
+        fail("alert stream is empty")
+    return n, rules
 
 
 def check_decisions(path):
@@ -256,6 +400,31 @@ def _valid_metrics_doc():
     }
 
 
+def _valid_flight_records():
+    """Two dumps: a 2-record ring then a 1-record ring."""
+    return [
+        {"dump": 0, "seq": 10, "t_s": 120.0, "kind": "trigger",
+         "what": "alert:switch_thrash", "detail": "", "value": 2},
+        {"dump": 0, "seq": 3, "t_s": 60.5, "kind": "budget",
+         "what": "rebudget", "detail": "level=1", "value": 3450.0},
+        {"dump": 0, "seq": 7, "t_s": 90.0, "kind": "switch",
+         "what": "latched", "detail": "", "value": 1},
+        {"dump": 1, "seq": 20, "t_s": 300.0, "kind": "trigger",
+         "what": "end-of-run", "detail": "", "value": 1},
+        {"dump": 1, "seq": 15, "t_s": 200.0, "kind": "fault",
+         "what": "stuck-enter", "detail": "", "value": 1},
+    ]
+
+
+def _valid_alert_records():
+    return [
+        {"seq": 0, "t_s": 100.0, "rule": "switch_thrash", "value": 14.2,
+         "threshold": 12.0, "detail": "14.2 switches/min"},
+        {"seq": 1, "t_s": 140.0, "rule": "guard_engaged", "value": 1.0,
+         "threshold": 1.0, "detail": "degradation guard fallback"},
+    ]
+
+
 def self_test():
     """Fixture accept/reject run (CTest: trace_schema_selftest).
 
@@ -334,6 +503,57 @@ def self_test():
         expect("metrics histogram with inconsistent buckets",
                lambda: check_metrics(bad), False)
 
+        good = write_jsonl("flight.jsonl", _valid_flight_records())
+        expect("valid flight dump", lambda: check_flight(good), True)
+
+        recs = _valid_flight_records()
+        recs[1]["kind"] = "mystery"
+        bad = write_jsonl("flight_kind.jsonl", recs)
+        expect("flight record with unknown kind",
+               lambda: check_flight(bad), False)
+
+        recs = _valid_flight_records()
+        recs[3]["dump"] = 5
+        recs[4]["dump"] = 5
+        bad = write_jsonl("flight_dumpgap.jsonl", recs)
+        expect("flight dump ids not consecutive",
+               lambda: check_flight(bad), False)
+
+        recs = _valid_flight_records()
+        recs[0]["value"] = 3  # trigger promises 3 ring records, file has 2
+        bad = write_jsonl("flight_count.jsonl", recs)
+        expect("flight trigger/ring count mismatch",
+               lambda: check_flight(bad), False)
+
+        bad = write_jsonl("flight_headless.jsonl",
+                          _valid_flight_records()[1:3])
+        expect("flight ring records without a trigger header",
+               lambda: check_flight(bad), False)
+
+        recs = _valid_flight_records()
+        recs[2]["extra"] = 1
+        bad = write_jsonl("flight_extra.jsonl", recs)
+        expect("flight record with unknown field",
+               lambda: check_flight(bad), False)
+
+        good = write_jsonl("alerts.jsonl", _valid_alert_records())
+        expect("valid alert stream", lambda: check_alerts(good), True)
+
+        recs = _valid_alert_records()
+        recs[0]["rule"] = "phase_of_moon"
+        bad = write_jsonl("alerts_rule.jsonl", recs)
+        expect("alert with unknown rule", lambda: check_alerts(bad), False)
+
+        recs = _valid_alert_records()
+        recs[1]["seq"] = 5
+        bad = write_jsonl("alerts_gap.jsonl", recs)
+        expect("alert seq gap", lambda: check_alerts(bad), False)
+
+        recs = _valid_alert_records()
+        del recs[0]["threshold"]
+        bad = write_jsonl("alerts_missing.jsonl", recs)
+        expect("alert with missing field", lambda: check_alerts(bad), False)
+
     print("check_trace_schema: self-test OK")
 
 
@@ -403,10 +623,43 @@ def main():
         if not granted_seen:
             fail("arbiter run never recorded a granted budget")
 
+        # Third run: stuck-comparator faults with the watchdogs armed. The
+        # fault must make the health monitor fire (thrash/guard alerts) and
+        # the alert must trigger a schema-valid flight-recorder dump.
+        flight = tmp / "flight.jsonl"
+        alerts = tmp / "alerts.jsonl"
+        h_metrics = tmp / "metrics_health.json"
+        cmd = [
+            str(binary),
+            "--policy", "capman",
+            "--workload", "video",
+            "--seed", "42",
+            "--max-minutes", "30",
+            "--fault-stuck", "2",
+            "--health",
+            "--alerts-out", str(alerts),
+            "--flight-out", str(flight),
+            "--flight-at-end",
+            "--metrics-out", str(h_metrics),
+        ]
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        n_alerts, rules = check_alerts(alerts)
+        n_flight, n_dumps = check_flight(flight)
+        with open(h_metrics) as f:
+            doc = json.load(f)
+        missing = HEALTH_COUNTERS - doc["counters"].keys()
+        if missing:
+            fail(f"health run lacks counters {sorted(missing)}")
+        if doc["counters"]["health/alerts_total"] != n_alerts:
+            fail(f"health/alerts_total {doc['counters']['health/alerts_total']}"
+                 f" != {n_alerts} alert records")
+
     print(
         f"check_trace_schema: OK ({n_dec} decision records, {n_ev} trace "
         f"events on {n_pool} pool tracks, {n_ctr} counters; arbiter run "
-        f"{n_bdec} records)"
+        f"{n_bdec} records; fault run {n_alerts} alerts "
+        f"({', '.join(sorted(rules))}), {n_flight} flight records in "
+        f"{n_dumps} dumps)"
     )
 
 

@@ -1,0 +1,131 @@
+// Black-box flight recorder: a bounded ring of structured events that
+// stays silent until something goes wrong.
+//
+// Long-running systems cannot afford a full trace, but when a thermal
+// runaway or a budget-starvation episode hits, the question is always
+// "what happened in the last N seconds" — the role the in-flight data
+// recorder (and RROS's observable ring) plays. The recorder keeps the
+// most recent `capacity` events (decisions, budget grants/trims, switch
+// latches, fault-episode transitions, DegradationGuard transitions,
+// health alerts) in memory and dumps them as JSONL only on a trigger:
+//  * a HealthMonitor alert fired (dump_on_alert),
+//  * the engine caught an exception mid-run (always),
+//  * the run ended with dump_at_end set (explicit flag).
+// Each dump appends the ring oldest-to-newest behind a kTrigger record
+// carrying the reason, then clears the ring so back-to-back triggers never
+// replay the same history.
+//
+// Schema (one JSON object per line; scripts/check_trace_schema.py is the
+// source of truth):
+//   dump   — dump index within the run (all records of one trigger share it)
+//   seq    — monotonically increasing event index within the run
+//   t_s    — simulation time of the event (trigger records: trigger time)
+//   kind   — trigger | decision | switch | budget | fault | guard | alert
+//            | engine
+//   what   — short label ("consult", "stuck-enter", "rebudget", ...);
+//            for kTrigger records, the trigger reason
+//   detail — free-form context ("policy=CAPMAN chosen=big", may be empty)
+//   value  — one numeric payload (demand W, granted mW, ... kind-specific)
+//
+// Determinism contract: a disabled recorder is never constructed; a
+// constructed recorder only observes simulation state and never feeds
+// anything back, so runs with recording on are bit-identical to runs with
+// it off (tests/sim/telemetry_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace capman::obs {
+
+enum class FlightEventKind : std::uint8_t {
+  kTrigger = 0,  // synthetic first record of every dump
+  kDecision,
+  kSwitch,
+  kBudget,
+  kFault,
+  kGuard,
+  kAlert,
+  kEngine,
+};
+
+const char* to_string(FlightEventKind kind);
+
+struct FlightEvent {
+  std::uint64_t seq = 0;
+  double t_s = 0.0;
+  FlightEventKind kind = FlightEventKind::kEngine;
+  std::string what;
+  std::string detail;
+  double value = 0.0;
+};
+
+/// Nested in obs::TelemetryConfig. Disabled by default; when enabled the
+/// dump path is mandatory (a black box that cannot land is pointless).
+struct FlightRecorderConfig {
+  bool enabled = false;
+  /// Ring capacity: how much history each dump can explain.
+  std::size_t capacity = 256;
+  /// JSONL dump target; dumps append, so one file collects every trigger.
+  std::string dump_path;
+  /// HealthMonitor alerts trigger a dump (the black-box default).
+  bool dump_on_alert = true;
+  /// Unconditionally dump whatever the ring holds at end of run.
+  bool dump_at_end = false;
+
+  /// Human-readable configuration errors; empty means valid. Aggregated
+  /// by TelemetryConfig::validate() under "recorder.".
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+class FlightRecorder {
+ public:
+  /// Validates `config` (throws std::invalid_argument). Opens nothing:
+  /// the dump file is created lazily on the first trigger.
+  explicit FlightRecorder(const FlightRecorderConfig& config);
+
+  /// Writes to a caller-owned stream instead of the configured path
+  /// (tests); the config's dump_path is ignored.
+  FlightRecorder(const FlightRecorderConfig& config, std::ostream& out);
+
+  [[nodiscard]] const FlightRecorderConfig& config() const { return config_; }
+
+  /// Append one event to the ring (overwriting the oldest when full).
+  void record(double t_s, FlightEventKind kind, std::string what,
+              std::string detail = {}, double value = 0.0);
+
+  /// Dump the ring as JSONL behind a kTrigger record carrying `reason`,
+  /// then clear it. Returns the number of records written (0 when the
+  /// ring was empty — an empty black box writes nothing, not a header).
+  std::size_t trigger(double t_s, const std::string& reason);
+
+  [[nodiscard]] std::uint64_t events_recorded() const { return seq_; }
+  [[nodiscard]] std::uint64_t dumps_written() const { return dumps_; }
+  [[nodiscard]] std::uint64_t records_written() const { return records_; }
+  /// Events currently buffered (cleared by trigger()).
+  [[nodiscard]] std::size_t buffered() const { return ring_.size(); }
+
+  void flush();
+
+  /// The serialisation itself, exposed for schema round-trip tests.
+  static void write_json_line(std::ostream& out, const FlightEvent& event,
+                              std::uint64_t dump);
+
+ private:
+  void open_sink();
+
+  FlightRecorderConfig config_;
+  std::vector<FlightEvent> ring_;  // circular via next_
+  std::size_t next_ = 0;           // ring write cursor once full
+  std::uint64_t seq_ = 0;
+  std::uint64_t dumps_ = 0;
+  std::uint64_t records_ = 0;
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;  // nullptr until the first trigger
+};
+
+}  // namespace capman::obs

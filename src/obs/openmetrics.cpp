@@ -1,0 +1,76 @@
+#include "obs/openmetrics.h"
+
+#include <cstdint>
+
+#include "obs/json_append.h"
+
+namespace capman::obs {
+
+namespace {
+
+bool legal_metric_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+void append_value(std::string& out, double v) {
+  detail::append_double(out, v);  // non-finite becomes "null"; snapshots
+                                  // only carry finite values by contract
+}
+
+}  // namespace
+
+std::string openmetrics_name(std::string_view raw) {
+  std::string name = "capman_";
+  name.reserve(raw.size() + name.size());
+  for (const char c : raw) {
+    name += legal_metric_char(c) ? c : '_';
+  }
+  return name;
+}
+
+void write_openmetrics(std::ostream& out, const MetricsSnapshot& snapshot) {
+  std::string buf;
+  buf.reserve(4096);
+  for (const auto& counter : snapshot.counters) {
+    const std::string name = openmetrics_name(counter.name);
+    buf += "# TYPE " + name + " counter\n";
+    buf += name + "_total ";
+    detail::append_u64(buf, counter.value);
+    buf += '\n';
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    const std::string name = openmetrics_name(gauge.name);
+    buf += "# TYPE " + name + " gauge\n";
+    buf += name + ' ';
+    append_value(buf, gauge.value);
+    buf += '\n';
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    const std::string name = openmetrics_name(histogram.name);
+    buf += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < histogram.buckets.size(); ++i) {
+      cumulative += histogram.buckets[i];
+      buf += name + "_bucket{le=\"";
+      if (i < histogram.bounds.size()) {
+        append_value(buf, histogram.bounds[i]);
+      } else {
+        buf += "+Inf";
+      }
+      buf += "\"} ";
+      detail::append_u64(buf, cumulative);
+      buf += '\n';
+    }
+    buf += name + "_sum ";
+    append_value(buf, histogram.sum);
+    buf += '\n';
+    buf += name + "_count ";
+    detail::append_u64(buf, histogram.count);
+    buf += '\n';
+  }
+  buf += "# EOF\n";
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+}  // namespace capman::obs

@@ -1,0 +1,32 @@
+// Prometheus/OpenMetrics text exposition of a MetricsSnapshot — the
+// export format a scrape endpoint (the future capman_serve) would serve,
+// produced here from the end-of-run snapshot so dashboards and the CLI
+// share one wire format.
+//
+// Mapping (names are sanitised: '/' and any non-[a-zA-Z0-9_:] byte become
+// '_', and everything is prefixed "capman_"):
+//  * Counter   -> `# TYPE <name> counter` + `<name>_total <v>`
+//  * Gauge     -> `# TYPE <name> gauge` + `<name> <v>`
+//  * Histogram -> classic Prometheus histogram: cumulative `_bucket`
+//                 samples with `le` labels (plus `le="+Inf"`), `_sum`,
+//                 `_count`
+// The exposition ends with `# EOF` (OpenMetrics terminator). Output order
+// is the snapshot's sorted order, so two identical runs serialise
+// identically (the same discipline as MetricsSnapshot::write_json).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace capman::obs {
+
+/// "fleet/CAPMAN/lifetime_s/p50" -> "capman_fleet_CAPMAN_lifetime_s_p50".
+[[nodiscard]] std::string openmetrics_name(std::string_view raw);
+
+/// Write the full exposition (see the file comment).
+void write_openmetrics(std::ostream& out, const MetricsSnapshot& snapshot);
+
+}  // namespace capman::obs

@@ -4,12 +4,23 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/openmetrics.h"
+
 namespace capman::obs {
 
 std::vector<std::string> TelemetryConfig::validate() const {
   std::vector<std::string> errors;
   if (verbose_spans && !spans_enabled()) {
     errors.push_back("verbose_spans requires spans_path to be set");
+  }
+  for (const auto& error : sampler.validate()) {
+    errors.push_back("sampler." + error);
+  }
+  for (const auto& error : recorder.validate()) {
+    errors.push_back("recorder." + error);
+  }
+  for (const auto& error : health.validate()) {
+    errors.push_back("health." + error);
   }
   // Each enabled sink writes (and truncates) its own file; two sinks
   // sharing a path would silently clobber each other.
@@ -18,9 +29,14 @@ std::vector<std::string> TelemetryConfig::validate() const {
     const std::string& path;
   } sinks[] = {{"metrics_json_path", metrics_json_path},
                {"decision_trace_path", decision_trace_path},
-               {"spans_path", spans_path}};
-  for (std::size_t i = 0; i < 3; ++i) {
-    for (std::size_t j = i + 1; j < 3; ++j) {
+               {"spans_path", spans_path},
+               {"openmetrics_path", openmetrics_path},
+               {"sampler.csv_path", sampler.csv_path},
+               {"recorder.dump_path", recorder.dump_path},
+               {"health.alerts_path", health.alerts_path}};
+  constexpr std::size_t kSinkCount = sizeof sinks / sizeof sinks[0];
+  for (std::size_t i = 0; i < kSinkCount; ++i) {
+    for (std::size_t j = i + 1; j < kSinkCount; ++j) {
       if (!sinks[i].path.empty() && sinks[i].path == sinks[j].path) {
         errors.push_back(std::string(sinks[i].name) + " and " +
                          sinks[j].name + " must not share a file (" +
@@ -42,26 +58,60 @@ Telemetry::Telemetry(const TelemetryConfig& config) : config_(config) {
     profiler_ = std::make_unique<SpanProfiler>(
         SpanProfiler::Options{config_.verbose_spans});
   }
+  // Disabled components are never constructed (determinism contract): the
+  // engine's null-pointer guards then compile to the pre-telemetry path.
+  if (config_.sampler.enabled) {
+    sampler_ = std::make_unique<MetricsSampler>(config_.sampler);
+  }
+  if (config_.recorder.enabled) {
+    recorder_ = std::make_unique<FlightRecorder>(config_.recorder);
+  }
+  if (config_.health.enabled) {
+    health_ = std::make_unique<HealthMonitor>(config_.health);
+  }
 }
 
+namespace {
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) {
+    throw std::runtime_error("Telemetry: cannot open " + path);
+  }
+  return out;
+}
+
+}  // namespace
+
 MetricsSnapshot Telemetry::finish() {
+  if (health_ != nullptr) {
+    health_->stats().publish(registry_);
+  }
   MetricsSnapshot snap = registry_.snapshot();
   if (!config_.metrics_json_path.empty()) {
-    std::ofstream out{config_.metrics_json_path, std::ios::trunc};
-    if (!out) {
-      throw std::runtime_error("Telemetry: cannot open " +
-                               config_.metrics_json_path);
-    }
+    auto out = open_or_throw(config_.metrics_json_path);
     snap.write_json(out);
     out << '\n';
   }
+  if (!config_.openmetrics_path.empty()) {
+    auto out = open_or_throw(config_.openmetrics_path);
+    write_openmetrics(out, snap);
+  }
   if (profiler_ != nullptr && !config_.spans_path.empty()) {
-    std::ofstream out{config_.spans_path, std::ios::trunc};
-    if (!out) {
-      throw std::runtime_error("Telemetry: cannot open " + config_.spans_path);
-    }
+    auto out = open_or_throw(config_.spans_path);
     profiler_->write_chrome_trace(out);
     out << '\n';
+  }
+  if (sampler_ != nullptr && !config_.sampler.csv_path.empty()) {
+    auto out = open_or_throw(config_.sampler.csv_path);
+    sampler_->write_csv(out);
+  }
+  if (health_ != nullptr && !config_.health.alerts_path.empty()) {
+    auto out = open_or_throw(config_.health.alerts_path);
+    health_->write_alerts(out);
+  }
+  if (recorder_ != nullptr) {
+    recorder_->flush();
   }
   decisions_->flush();
   return snap;

@@ -19,8 +19,11 @@
 #include <vector>
 
 #include "obs/decision_trace.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/spans.h"
+#include "obs/timeseries.h"
 
 namespace capman::obs {
 
@@ -38,6 +41,15 @@ struct TelemetryConfig {
   /// registry. Off by default so two identical runs produce identical
   /// snapshots (timings are the one nondeterministic measurement).
   bool timing_metrics = false;
+  /// End-of-run OpenMetrics text exposition of the snapshot ("" = don't
+  /// write). Complements metrics_json_path with the Prometheus wire format.
+  std::string openmetrics_path;
+  /// Sim-clock periodic sampling into downsampling ring buffers.
+  SamplerConfig sampler;
+  /// Black-box event ring, dumped as JSONL on trigger.
+  FlightRecorderConfig recorder;
+  /// Declarative health watchdogs over trailing windows.
+  HealthConfig health;
 
   [[nodiscard]] bool decisions_enabled() const {
     return !decision_trace_path.empty();
@@ -45,7 +57,8 @@ struct TelemetryConfig {
   [[nodiscard]] bool spans_enabled() const { return !spans_path.empty(); }
   [[nodiscard]] bool any_sink() const {
     return !metrics_json_path.empty() || decisions_enabled() ||
-           spans_enabled();
+           spans_enabled() || !openmetrics_path.empty() || sampler.enabled ||
+           recorder.enabled || health.enabled;
   }
 
   /// Human-readable configuration errors; empty means valid. Aggregated by
@@ -64,6 +77,11 @@ class Telemetry {
   /// ambient SpanProfiler for the duration of the run.
   [[nodiscard]] SpanProfiler* profiler() { return profiler_.get(); }
   [[nodiscard]] bool timing_metrics() const { return config_.timing_metrics; }
+  /// Null unless the corresponding config is enabled — the determinism
+  /// contract's "disabled components are never constructed" pattern.
+  [[nodiscard]] MetricsSampler* sampler() { return sampler_.get(); }
+  [[nodiscard]] FlightRecorder* recorder() { return recorder_.get(); }
+  [[nodiscard]] HealthMonitor* health() { return health_.get(); }
 
   /// Monotonic decision sequence number within this run.
   std::uint64_t next_seq() { return seq_++; }
@@ -78,6 +96,9 @@ class Telemetry {
   MetricsRegistry registry_;
   std::unique_ptr<DecisionSink> decisions_;
   std::unique_ptr<SpanProfiler> profiler_;
+  std::unique_ptr<MetricsSampler> sampler_;
+  std::unique_ptr<FlightRecorder> recorder_;
+  std::unique_ptr<HealthMonitor> health_;
   std::uint64_t seq_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <exception>
 #include <optional>
 #include <stdexcept>
 
@@ -102,6 +103,26 @@ SimResult SimEngine::run(const workload::Trace& trace,
   policy.bind_metrics(&telemetry.registry(), telemetry.timing_metrics());
   obs::DecisionSink& decision_sink = telemetry.decisions();
 
+  // Time-dimension observability (obs/timeseries.h, obs/flight_recorder.h,
+  // obs/health.h). All three are null when their configs are disabled (the
+  // default), so the hot loop below keeps its pre-observability shape.
+  obs::MetricsSampler* const sampler = telemetry.sampler();
+  obs::FlightRecorder* const recorder = telemetry.recorder();
+  obs::HealthMonitor* const health = telemetry.health();
+  struct SamplerChannels {
+    std::size_t soc, power_w, hotspot_c, skin_c, cell_c, demand_w, granted_mw;
+  };
+  SamplerChannels ch{};
+  if (sampler != nullptr) {
+    ch.soc = sampler->channel("soc");
+    ch.power_w = sampler->channel("power_w");
+    ch.hotspot_c = sampler->channel("hotspot_c");
+    ch.skin_c = sampler->channel("skin_c");
+    ch.cell_c = sampler->channel("cell_c");
+    ch.demand_w = sampler->channel("demand_w");
+    ch.granted_mw = sampler->channel("granted_mw");
+  }
+
   // Fault injection (sim/faults.h). The injector is only built when the
   // plan is enabled: with no injector the run is byte-for-byte the code
   // path that existed before the fault layer, so zero-fault configs are
@@ -185,6 +206,29 @@ SimResult SimEngine::run(const workload::Trace& trace,
   std::uint64_t emergency_consults = 0;
   std::uint64_t unmet_steps = 0;
 
+  // Flight-recorder edge detectors: the ring records transitions, not
+  // levels, so a quiet run stays quiet even with the recorder armed.
+  std::size_t last_switch_count = 0;
+  bool last_stuck = false;
+  bool last_guard = false;
+
+  // Black-box landing on crash: if anything in the loop below throws, dump
+  // whatever the ring holds before the exception unwinds past the engine.
+  struct CrashDump {
+    obs::FlightRecorder* recorder;
+    const double* now_s;
+    int armed = std::uncaught_exceptions();
+    ~CrashDump() {
+      if (recorder != nullptr && std::uncaught_exceptions() > armed) {
+        try {
+          recorder->record(*now_s, obs::FlightEventKind::kEngine, "exception");
+          recorder->trigger(*now_s, "engine-exception");
+        } catch (...) {  // a failing dump must not mask the original error
+        }
+      }
+    }
+  } crash_dump{recorder, &t};
+
   // engine.run is closed by hand (not RAII) so the span lands in the
   // buffers before Telemetry::finish() serialises the trace below.
   obs::SpanProfiler* const run_profiler = obs::SpanProfiler::current();
@@ -263,6 +307,20 @@ SimResult SimEngine::run(const workload::Trace& trace,
         budget_level = policy.preferred_budget_level();
         rig->arbiter.rebudget(budget_inputs(), budget_level, rig->consumers);
         last_rebudget_s = t;
+        if (recorder != nullptr) {
+          recorder->record(
+              t, obs::FlightEventKind::kBudget, "rebudget",
+              "level=" + std::to_string(static_cast<int>(budget_level)),
+              rig->arbiter.last_grant().granted_mw);
+        }
+      }
+      if (recorder != nullptr) {
+        recorder->record(t, obs::FlightEventKind::kDecision,
+                         ctx.emergency ? "rail-monitor"
+                                       : workload::to_string(action.kind),
+                         std::string("policy=") + result.policy +
+                             " chosen=" + battery::to_string(choice),
+                         ctx.demand_w);
       }
 
       // One decision-trace record per consultation: what the policy saw,
@@ -340,6 +398,11 @@ SimResult SimEngine::run(const workload::Trace& trace,
         rig->arbiter.note_voltage_trigger();
         rig->arbiter.rebudget(budget_inputs(), budget_level, rig->consumers);
         last_rebudget_s = t;
+        if (recorder != nullptr) {
+          recorder->record(t, obs::FlightEventKind::kBudget, "relax-rebudget",
+                           "rail_v=" + std::to_string(last_rail_v),
+                           rig->arbiter.last_grant().granted_mw);
+        }
       }
       sum_budget_x_dt += rig->arbiter.last_grant().effective_mw * dt_s;
     }
@@ -375,6 +438,68 @@ SimResult SimEngine::run(const workload::Trace& trace,
                               thermal.cpu_temperature().value());
       }
       next_sample_s = t + config_.series_period.value();
+    }
+
+    // --- Time-dimension observability (all sim-clock driven) ---
+    if (recorder != nullptr) {
+      const std::size_t switches = source->switch_count();
+      if (switches != last_switch_count) {
+        recorder->record(
+            t, obs::FlightEventKind::kSwitch, "latched",
+            std::string("active=") + battery::to_string(source->active()),
+            static_cast<double>(switches));
+        last_switch_count = switches;
+      }
+      if (injector) {
+        const bool stuck = injector->stuck_now(util::Seconds{t});
+        if (stuck != last_stuck) {
+          recorder->record(t, obs::FlightEventKind::kFault,
+                           stuck ? "stuck-enter" : "stuck-exit");
+          last_stuck = stuck;
+        }
+      }
+      const bool guard_now = policy.degradation().in_fallback;
+      if (guard_now != last_guard) {
+        recorder->record(t, obs::FlightEventKind::kGuard,
+                         guard_now ? "fallback-enter" : "fallback-exit");
+        last_guard = guard_now;
+      }
+    }
+    if (sampler != nullptr && sampler->due(t)) {
+      sampler->set(ch.soc, source->soc());
+      sampler->set(ch.power_w, load.value());
+      sampler->set(ch.hotspot_c, thermal.cpu_temperature().value());
+      sampler->set(ch.skin_c, thermal.surface_temperature().value());
+      sampler->set(ch.cell_c, thermal.battery_temperature().value());
+      sampler->set(ch.demand_w, comp.total().value());
+      sampler->set(ch.granted_mw,
+                   rig ? rig->arbiter.last_grant().granted_mw : 0.0);
+      sampler->sample(t);
+    }
+    if (health != nullptr && health->due(t)) {
+      // The monitor models the management facility's own sensors, so it
+      // reads ground truth (like the arbiter), not the policy's view.
+      obs::HealthMonitor::Inputs in;
+      in.skin_c = thermal.surface_temperature().value();
+      in.cell_c = thermal.battery_temperature().value();
+      in.soc = source->soc();
+      in.demand_mw = comp.total().value() * 1000.0;
+      in.granted_mw = rig ? rig->arbiter.last_grant().granted_mw : 0.0;
+      in.budget_active = rig != nullptr;
+      in.switch_count = source->switch_count();
+      in.guard_engaged = policy.degradation().in_fallback;
+      const auto& alerts_fired = health->evaluate(t, in);
+      if (recorder != nullptr && !alerts_fired.empty()) {
+        for (const auto& alert : alerts_fired) {
+          recorder->record(t, obs::FlightEventKind::kAlert,
+                           obs::to_string(alert.rule), alert.detail,
+                           alert.value);
+        }
+        if (recorder->config().dump_on_alert) {
+          recorder->trigger(t, std::string("alert:") +
+                                   obs::to_string(alerts_fired.front().rule));
+        }
+      }
     }
 
     ++steps;
@@ -458,9 +583,18 @@ SimResult SimEngine::run(const workload::Trace& trace,
                            run_profiler->now_us() - run_start_us);
     registry.counter("engine/trace_events").add(run_profiler->event_count());
   }
+  if (recorder != nullptr && recorder->config().dump_at_end) {
+    recorder->trigger(t, "end-of-run");
+  }
   policy.bind_metrics(nullptr, false);
   profiler_scope.reset();  // uninstall before serialising the trace
   result.metrics = telemetry.finish();
+  if (health != nullptr) {
+    // Same view contract as FaultStats: HealthStats reconstructs from the
+    // snapshot Telemetry::finish() published into.
+    result.health = obs::HealthStats::from_snapshot(result.metrics);
+    result.health_alerts = health->alerts();
+  }
   if (injector) {
     // Round-trip through the snapshot: FaultStats is a view over the
     // registry, and reconstructing it here keeps that contract honest.

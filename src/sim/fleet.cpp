@@ -212,6 +212,12 @@ std::vector<std::string> FleetConfig::validate() const {
   for (auto& error : capman.validate()) {
     errors.push_back("capman." + error);
   }
+  for (auto& error : health.validate()) {
+    errors.push_back("health." + error);
+  }
+  require(health.alerts_path.empty(),
+          "health.alerts_path must be empty for fleet runs (fleets "
+          "aggregate alert counts, they do not write per-device files)");
   return errors;
 }
 
@@ -229,6 +235,10 @@ void PolicyAggregate::add(const SimResult& result, bool faulty) {
   lifetime_us += quantize_u64(result.service_time_s, 1e6);
   max_temp_mc += std::llround(result.max_cpu_temp_c * 1e3);
   energy_delivered_mj += quantize_u64(result.energy_delivered_j, 1e3);
+  health_evaluations += result.health.evaluations;
+  for (std::size_t i = 0; i < health_alerts.size(); ++i) {
+    health_alerts[i] += result.health.alerts[i];
+  }
   lifetime_s_sketch.observe(non_negative(result.service_time_s));
   max_temp_c_sketch.observe(non_negative(result.max_cpu_temp_c));
   switches_sketch.observe(static_cast<double>(result.switch_count));
@@ -245,9 +255,19 @@ void PolicyAggregate::merge(const PolicyAggregate& other) {
   lifetime_us += other.lifetime_us;
   max_temp_mc += other.max_temp_mc;
   energy_delivered_mj += other.energy_delivered_mj;
+  health_evaluations += other.health_evaluations;
+  for (std::size_t i = 0; i < health_alerts.size(); ++i) {
+    health_alerts[i] += other.health_alerts[i];
+  }
   lifetime_s_sketch.merge(other.lifetime_s_sketch);
   max_temp_c_sketch.merge(other.max_temp_c_sketch);
   switches_sketch.merge(other.switches_sketch);
+}
+
+std::uint64_t PolicyAggregate::health_alert_total() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : health_alerts) total += n;
+  return total;
 }
 
 double PolicyAggregate::mean_lifetime_s() const {
@@ -403,6 +423,20 @@ void publish_fleet(obs::MetricsRegistry& registry, const FleetResult& result) {
     registry.gauge(prefix + "/energy_j/mean").set(aggregate.mean_energy_j());
     registry.gauge(prefix + "/brownout_fraction")
         .set(aggregate.brownout_fraction());
+    // Health counters appear only when the fleet ran with monitoring, so
+    // default-config snapshots stay bit-identical to pre-health builds.
+    if (result.health_enabled) {
+      registry.counter(prefix + "/health_evaluations")
+          .add(aggregate.health_evaluations);
+      registry.counter(prefix + "/alerts_total")
+          .add(aggregate.health_alert_total());
+      for (std::size_t i = 0; i < aggregate.health_alerts.size(); ++i) {
+        registry
+            .counter(prefix + "/alerts/" +
+                     obs::to_string(static_cast<obs::HealthRule>(i)))
+            .add(aggregate.health_alerts[i]);
+      }
+    }
   }
   for (const auto& shard : result.shards) {
     registry.counter(shard_instrument(shard.shard, "devices"))
@@ -435,8 +469,12 @@ FleetResult FleetRunner::run() const {
     SimConfig device_config = config_.base;
     // Fleets aggregate, they do not trace: per-device series and file
     // sinks would be O(devices) memory and I/O, so both are forced off.
+    // Health monitoring survives the reset (alert counts reduce to O(1)
+    // integers per shard), minus any file sink.
     device_config.record_series = false;
     device_config.telemetry = obs::TelemetryConfig{};
+    device_config.telemetry.health = config_.health;
+    device_config.telemetry.health.alerts_path.clear();
     device_config.pack_config.big_chemistry = spec.big_chemistry;
     device_config.pack_config.big_capacity_mah = spec.big_capacity_mah;
     device_config.pack_config.little_chemistry = spec.little_chemistry;
@@ -483,6 +521,7 @@ FleetResult FleetRunner::run() const {
   result.shard_count = shards_;
   result.threads = threads_;
   result.seed = config_.seed;
+  result.health_enabled = config_.health.enabled;
   result.policies.reserve(config_.policies.size());
   for (PolicyKind kind : config_.policies) {
     result.policies.push_back(

@@ -34,7 +34,10 @@
 #include <string>
 #include <vector>
 
+#include <array>
+
 #include "battery/chemistry.h"
+#include "obs/health.h"
 #include "obs/sketch.h"
 #include "sim/experiment.h"
 #include "util/units.h"
@@ -142,6 +145,14 @@ struct FleetConfig {
   // Relative-error bound of the per-policy percentile sketches.
   double sketch_relative_error = 0.01;
 
+  // Per-device health monitoring (obs/health.h). When enabled, every
+  // device runs a HealthMonitor and the per-rule alert counts are reduced
+  // into the policy aggregates (exact integer adds merged in shard order,
+  // so fleet alert counts are bit-identical across thread AND shard
+  // counts). alerts_path must stay empty — fleets aggregate, they do not
+  // trace (per-device files would be O(devices) I/O).
+  obs::HealthConfig health{};
+
   /// Human-readable configuration errors; empty means the config is
   /// valid. Aggregates the nested population ("population." prefix),
   /// base SimConfig ("base." prefix) and capman ("capman." prefix)
@@ -187,6 +198,12 @@ struct PolicyAggregate {
   std::int64_t max_temp_mc = 0;            // per-device max hotspot, m°C
   std::uint64_t energy_delivered_mj = 0;   // millijoules
 
+  // Health-watchdog reduction (all zero unless FleetConfig::health is
+  // enabled): per-rule alert counts summed over the population, exact
+  // integer folds like the quantized sums above.
+  std::uint64_t health_evaluations = 0;
+  std::array<std::uint64_t, obs::kHealthRuleCount> health_alerts{};
+
   obs::QuantileSketch lifetime_s_sketch;   // seconds
   obs::QuantileSketch max_temp_c_sketch;   // per-device max hotspot, °C
   obs::QuantileSketch switches_sketch;     // switch count per device
@@ -195,6 +212,9 @@ struct PolicyAggregate {
   void add(const SimResult& result, bool faulty);
   /// Fold another aggregate in (exact; commutative and associative).
   void merge(const PolicyAggregate& other);
+
+  /// Total alerts across every rule.
+  [[nodiscard]] std::uint64_t health_alert_total() const;
 
   // Derived means over the quantized sums (0 when no devices).
   [[nodiscard]] double mean_lifetime_s() const;
@@ -221,6 +241,7 @@ struct FleetResult {
   std::size_t shard_count = 0;
   std::size_t threads = 0;     // resolved worker count (wall clock only)
   std::uint64_t seed = 0;
+  bool health_enabled = false; // FleetConfig::health.enabled, echoed
 
   std::vector<PolicyAggregate> policies;  // FleetConfig::policies order
   std::vector<ShardSummary> shards;       // shard-index order

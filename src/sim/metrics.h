@@ -4,7 +4,9 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "util/stats.h"
 
@@ -84,6 +86,12 @@ struct SimResult {
   double end_little_soc = 0.0;  // (stranded charge is the 'rate-capacity' cost)
 
   FaultStats faults;  // all-zero unless the run had an active FaultPlan
+
+  /// Health-watchdog telemetry (obs/health.h): per-rule alert counts plus
+  /// the full alert log. All-zero/empty unless TelemetryConfig::health was
+  /// enabled for the run.
+  obs::HealthStats health;
+  std::vector<obs::HealthAlert> health_alerts;
 
   /// Deterministic end-of-run registry snapshot (src/obs): decision-ladder
   /// counters, Algorithm 1 pair counters, switch/fault/guard counters,

@@ -1,0 +1,68 @@
+// bench::parse_seed and bench::BenchJson (bench/bench_common.h): the
+// testable core of the shared bench argument handling. seed_from_args
+// itself exits the process on bad input — that path is pinned by the
+// bench_seed_usage_error CTest gate, which runs a real bench binary with
+// `--seed bogus` and expects exit code 2.
+#include "bench_common.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace capman::bench {
+namespace {
+
+TEST(ParseSeed, AcceptsPlainDecimals) {
+  EXPECT_EQ(parse_seed("0"), 0u);
+  EXPECT_EQ(parse_seed("42"), 42u);
+  EXPECT_EQ(parse_seed("18446744073709551615"),  // UINT64_MAX
+            18446744073709551615ull);
+}
+
+TEST(ParseSeed, RejectsJunk) {
+  EXPECT_FALSE(parse_seed("").has_value());
+  EXPECT_FALSE(parse_seed("abc").has_value());
+  EXPECT_FALSE(parse_seed("12x").has_value());    // trailing garbage
+  EXPECT_FALSE(parse_seed("x12").has_value());
+  EXPECT_FALSE(parse_seed("-1").has_value());     // negative
+  EXPECT_FALSE(parse_seed("+1").has_value());     // from_chars takes no sign
+  EXPECT_FALSE(parse_seed("1.5").has_value());    // not an integer
+  EXPECT_FALSE(parse_seed(" 42").has_value());    // leading whitespace
+  EXPECT_FALSE(parse_seed("0x10").has_value());   // no hex
+  EXPECT_FALSE(parse_seed("18446744073709551616").has_value());  // overflow
+}
+
+TEST(SeedFromArgs, FallsBackWithoutTheFlag) {
+  const char* argv[] = {"bench", "--csv"};
+  EXPECT_EQ(seed_from_args(2, const_cast<char**>(argv)), kDefaultSeed);
+  EXPECT_EQ(seed_from_args(2, const_cast<char**>(argv), 7u), 7u);
+}
+
+TEST(SeedFromArgs, ParsesAValidSeed) {
+  const char* argv[] = {"bench", "--seed", "123"};
+  EXPECT_EQ(seed_from_args(3, const_cast<char**>(argv)), 123u);
+}
+
+TEST(FlagHelpers, DetectCsvAndJson) {
+  const char* argv[] = {"bench", "--json"};
+  EXPECT_TRUE(json_requested(2, const_cast<char**>(argv)));
+  EXPECT_FALSE(csv_requested(2, const_cast<char**>(argv)));
+}
+
+TEST(BenchJson, SerialisesNameSeedAndOrderedMetrics) {
+  BenchJson artifact{"demo", 42};
+  artifact.metric("count", 7409.0);
+  artifact.metric("ratio", 0.5);
+  std::ostringstream out;
+  artifact.write(out);
+  EXPECT_EQ(out.str(),
+            "{\"name\":\"demo\",\"seed\":42,"
+            "\"metrics\":{\"count\":7409,\"ratio\":0.5}}\n");
+  EXPECT_EQ(artifact.name(), "demo");
+  EXPECT_EQ(artifact.seed(), 42u);
+  EXPECT_EQ(artifact.metrics().size(), 2u);
+}
+
+}  // namespace
+}  // namespace capman::bench

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -73,6 +74,29 @@ TEST(MetricsRegistryTest, HistogramBucketEdges) {
   EXPECT_EQ(h.bucket_count(3), 1u);
   EXPECT_EQ(h.count(), 6u);
   EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 100.0 + 1e6);
+}
+
+TEST(MetricsRegistryTest, HistogramEveryBoundIsInclusiveUpperEdge) {
+  // Samples landing *exactly* on a bucket bound go to that bucket, for
+  // every bound — including 0 and negative edges (an "le"-style
+  // cumulative exposition depends on this being consistent).
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test/edges", {-1.0, 0.0, 1.0, 2.0});
+  for (const double bound : {-1.0, 0.0, 1.0, 2.0}) {
+    h.observe(bound);
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(h.bucket_count(i), 1u) << "bound bucket " << i;
+  }
+  EXPECT_EQ(h.bucket_count(4), 0u);  // nothing overflowed
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.0);
+
+  // The next representable value above a bound spills into the next
+  // bucket — the edge really is the edge.
+  h.observe(std::nextafter(1.0, 2.0));
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 2u);
 }
 
 TEST(MetricsRegistryTest, HistogramReregistrationKeepsOriginalBounds) {

@@ -151,5 +151,57 @@ TEST(QuantileSketch, QuantileIsClampedToObservedRange) {
   }
 }
 
+TEST(QuantileSketch, MergingAnEmptySketchIsANoOp) {
+  QuantileSketch populated;
+  populated.observe(3.0);
+  populated.observe(5.0);
+  const QuantileSketch empty;
+  populated.merge(empty);
+  EXPECT_EQ(populated.count(), 2u);
+  EXPECT_DOUBLE_EQ(populated.min(), 3.0);
+  EXPECT_DOUBLE_EQ(populated.max(), 5.0);
+
+  // And both ways: empty.merge(empty) stays empty.
+  QuantileSketch a;
+  a.merge(QuantileSketch{});
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketch, MergeOfSingleSampleSketchesMatchesDirectObservation) {
+  // Fleet shards often hold one device each; folding N one-sample
+  // sketches must be bit-identical to one sketch observing all N values,
+  // regardless of merge grouping.
+  const double values[] = {0.0, 0.5, 2.0, 8.0, 512.0};
+  QuantileSketch direct;
+  QuantileSketch left_fold;
+  QuantileSketch pairwise;
+  std::vector<QuantileSketch> singles;
+  for (const double v : values) {
+    direct.observe(v);
+    QuantileSketch one;
+    one.observe(v);
+    singles.push_back(one);
+    left_fold.merge(one);
+  }
+  pairwise.merge(singles[0]);
+  QuantileSketch right;
+  right.merge(singles[3]);
+  right.merge(singles[4]);
+  pairwise.merge(singles[1]);
+  pairwise.merge(singles[2]);
+  pairwise.merge(right);
+
+  EXPECT_EQ(left_fold.count(), direct.count());
+  EXPECT_EQ(pairwise.count(), direct.count());
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(left_fold.quantile(q), direct.quantile(q)) << q;
+    EXPECT_EQ(pairwise.quantile(q), direct.quantile(q)) << q;
+  }
+  EXPECT_EQ(direct.min(), 0.0);
+  EXPECT_EQ(direct.max(), 512.0);
+}
+
 }  // namespace
 }  // namespace capman::obs

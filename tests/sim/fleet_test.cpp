@@ -325,6 +325,95 @@ TEST(FleetRunner, BudgetEnabledStaysBitIdenticalAcrossThreads) {
   EXPECT_EQ(r1.total_engine_steps, r4.total_engine_steps);
 }
 
+// Health monitoring reduces per-device alert counts into the policy
+// aggregates by exact integer folds in shard order, so the PR-8 contract
+// holds: thread count changes nothing observable, including alert counts.
+TEST(FleetRunner, HealthAlertCountsBitIdenticalAcrossThreadCounts) {
+  FleetConfig base = small_fleet(12, 6, 1);
+  base.health.enabled = true;
+  // Every device faulty so the watchdogs have something to bark at.
+  base.population.fault_fraction = 1.0;
+  base.population.fault_template.stuck_rate_per_min = 2.0;
+  FleetConfig threaded = base;
+  threaded.threads = 4;
+
+  const FleetResult r1 = FleetRunner{base}.run();
+  const FleetResult r4 = FleetRunner{threaded}.run();
+
+  EXPECT_TRUE(r1.health_enabled);
+  EXPECT_EQ(snapshot_json(r1.metrics), snapshot_json(r4.metrics));
+  ASSERT_EQ(r1.policies.size(), r4.policies.size());
+  std::uint64_t evaluations = 0;
+  for (std::size_t i = 0; i < r1.policies.size(); ++i) {
+    EXPECT_EQ(r1.policies[i].health_evaluations,
+              r4.policies[i].health_evaluations);
+    EXPECT_EQ(r1.policies[i].health_alerts, r4.policies[i].health_alerts);
+    evaluations += r1.policies[i].health_evaluations;
+  }
+  EXPECT_GT(evaluations, 0u);
+}
+
+// Shard count changes only the fleet/shard/* breakdown; merged per-policy
+// alert counts are invariant because the fold is shard-ordered integers.
+TEST(FleetRunner, HealthAlertCountsIdenticalAcrossShardCounts) {
+  FleetConfig base = small_fleet(12, 1, 2);
+  base.health.enabled = true;
+  base.population.fault_fraction = 1.0;
+  base.population.fault_template.stuck_rate_per_min = 2.0;
+  const FleetResult one = FleetRunner{base}.run();
+
+  for (std::size_t shards : {3u, 6u, 12u}) {
+    FleetConfig config = base;
+    config.shard_count = shards;
+    const FleetResult other = FleetRunner{config}.run();
+    ASSERT_EQ(other.policies.size(), one.policies.size());
+    for (std::size_t i = 0; i < one.policies.size(); ++i) {
+      const auto& a = one.policies[i];
+      const auto& b = other.policies[i];
+      EXPECT_EQ(a.health_evaluations, b.health_evaluations)
+          << shards << " shards, policy " << i;
+      EXPECT_EQ(a.health_alerts, b.health_alerts)
+          << shards << " shards, policy " << i;
+      EXPECT_EQ(a.health_alert_total(), b.health_alert_total());
+    }
+  }
+}
+
+// Health counters must stay out of default snapshots entirely — that is
+// what keeps pre-health and health-off fleets bit-identical.
+TEST(FleetRunner, HealthCountersAbsentWhenMonitoringIsOff) {
+  const FleetResult result = FleetRunner{small_fleet(4, 2)}.run();
+  EXPECT_FALSE(result.health_enabled);
+  const std::string json = snapshot_json(result.metrics);
+  EXPECT_EQ(json.find("health"), std::string::npos);
+  for (const auto& aggregate : result.policies) {
+    EXPECT_EQ(aggregate.health_evaluations, 0u);
+    EXPECT_EQ(aggregate.health_alert_total(), 0u);
+  }
+}
+
+TEST(FleetConfigValidate, HealthAlertsPathIsRejected) {
+  FleetConfig config;
+  config.health.enabled = true;
+  config.health.alerts_path = "alerts.jsonl";
+  EXPECT_TRUE(has_error(
+      config.validate(),
+      "health.alerts_path must be empty for fleet runs (fleets "
+      "aggregate alert counts, they do not write per-device files)"));
+}
+
+TEST(FleetConfigValidate, HealthErrorsCarryTheNestedPrefix) {
+  FleetConfig config;
+  config.health.enabled = true;
+  config.health.thermal_window_s = 0.0;
+  const auto errors = config.validate();
+  bool prefixed = false;
+  for (const auto& error : errors) {
+    prefixed = prefixed || error.rfind("health.", 0) == 0;
+  }
+  EXPECT_TRUE(prefixed) << "health.* validation must carry the prefix";
+}
+
 TEST(FleetConfigValidate, BudgetErrorsCarryTheNestedPrefix) {
   FleetConfig config;
   config.base.budget.enabled = true;

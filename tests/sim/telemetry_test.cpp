@@ -102,6 +102,73 @@ TEST(TelemetryTest, SpanProfilingIsBitIdentical) {
   EXPECT_GT(r1.metrics.counter_or("engine/trace_events"), 0u);
 }
 
+TEST(TelemetryTest, TimeDimensionSinksAreBitIdentical) {
+  // Sampler + flight recorder + health monitor all on (the PR-8 time
+  // dimension): every simulated quantity must still match a sink-free
+  // run bit for bit — the three components only observe.
+  const auto trace = video_trace();
+
+  RunnerOptions plain;
+  plain.seed = 11;
+  plain.config.max_duration = util::Seconds{900.0};
+  const ExperimentRunner baseline{nexus(), plain};
+  const auto r0 = baseline.run(trace, PolicyKind::kCapman);
+
+  RunnerOptions observed = plain;
+  const std::string csv_path = "telemetry_test_samples.csv";
+  const std::string dump_path = "telemetry_test_flight.jsonl";
+  const std::string alerts_path = "telemetry_test_alerts.jsonl";
+  observed.config.telemetry.sampler.enabled = true;
+  observed.config.telemetry.sampler.csv_path = csv_path;
+  observed.config.telemetry.recorder.enabled = true;
+  observed.config.telemetry.recorder.dump_path = dump_path;
+  observed.config.telemetry.recorder.dump_at_end = true;
+  observed.config.telemetry.health.enabled = true;
+  observed.config.telemetry.health.alerts_path = alerts_path;
+  const ExperimentRunner recorder{nexus(), observed};
+  const auto r1 = recorder.run(trace, PolicyKind::kCapman);
+
+  expect_bit_identical(r0, r1);
+
+  // Only the observed run carries health telemetry; the baseline result
+  // must not even mention it (publication is gated on construction).
+  EXPECT_GT(r1.health.evaluations, 0u);
+  EXPECT_EQ(r0.health.evaluations, 0u);
+  EXPECT_EQ(r0.metrics.counter_or("health/evaluations"), 0u);
+
+  // The sinks actually landed.
+  std::ifstream csv{csv_path};
+  EXPECT_TRUE(csv.good());
+  csv.close();
+  std::ifstream dump{dump_path};
+  EXPECT_TRUE(dump.good());
+  dump.close();
+  std::remove(csv_path.c_str());
+  std::remove(dump_path.c_str());
+  std::remove(alerts_path.c_str());
+}
+
+TEST(TelemetryTest, HealthStatsRoundTripThroughSnapshot) {
+  RunnerOptions options;
+  options.seed = 9;
+  options.config.max_duration = util::Seconds{900.0};
+  options.config.telemetry.health.enabled = true;
+  FaultPlanConfig plan;
+  plan.seed = 9;
+  plan.stuck_rate_per_min = 2.0;
+  plan.stuck_min_duration = util::Seconds{30.0};
+  plan.stuck_max_duration = util::Seconds{60.0};
+  options.faults = plan;
+  const ExperimentRunner runner{nexus(), options};
+  const auto r = runner.run(video_trace(), PolicyKind::kCapman);
+
+  const auto views = obs::HealthStats::from_snapshot(r.metrics);
+  EXPECT_EQ(views.evaluations, r.health.evaluations);
+  EXPECT_EQ(views.alerts, r.health.alerts);
+  EXPECT_GT(r.health.evaluations, 0u);
+  EXPECT_EQ(r.health.total_alerts(), r.health_alerts.size());
+}
+
 TEST(TelemetryTest, SnapshotIsPopulatedAndConsistent) {
   RunnerOptions options;
   options.seed = 3;
