@@ -49,7 +49,7 @@ sim::SimResult run_point(const SweepPoint& point, std::uint64_t seed,
   options.config.thermal_config.ambient = util::Celsius{point.ambient_c};
   if (point.budget_mw > 0.0) {
     options.config.budget.enabled = true;
-    options.config.budget.base_budget_mw = point.budget_mw;
+    options.config.budget.base_budget_mw = util::Milliwatts{point.budget_mw};
     options.config.budget.cap_method = point.method;
     options.capman.learn_budget = true;
   }

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
          "On (physical model @ rated I, dT=8K)"});
     tec_table.add_row(
         "power",
-        {0.0, profile.tec_on_mw,
+        {0.0, profile.tec_on_mw.raw(),
          1000.0 * tec.electric_power(util::Celsius{45.0}, util::Celsius{53.0},
                                      tec.params().rated_current)
                       .value()},

@@ -137,7 +137,7 @@ sim::FleetConfig fleet_config(const Options& options) {
   }
   if (options.budget_mw > 0.0) {
     config.base.budget.enabled = true;
-    config.base.budget.base_budget_mw = options.budget_mw;
+    config.base.budget.base_budget_mw = util::Milliwatts{options.budget_mw};
     config.base.budget.cap_method = options.cap_method == "static"
                                         ? core::CapMethod::kStatic
                                         : core::CapMethod::kRelax;

@@ -231,7 +231,7 @@ int main(int argc, char** argv) {
   }
   if (budget_mw > 0.0) {
     options.config.budget.enabled = true;
-    options.config.budget.base_budget_mw = budget_mw;
+    options.config.budget.base_budget_mw = util::Milliwatts{budget_mw};
     options.config.budget.cap_method = cap_method == "static"
                                            ? core::CapMethod::kStatic
                                            : core::CapMethod::kRelax;

@@ -24,20 +24,47 @@ enforces them on every build:
                        comparisons are legal but must be declared).
   L5 header-hygiene    every public header under src/*/ is self-contained:
                        a generated one-line TU per header must compile.
+  L6 unit-safety       headers under src/{core,device,thermal,battery} may
+                       not declare raw arithmetic params/fields whose names
+                       carry a unit suffix (*_mw, *_mj, *_mc, *_us, *_pct);
+                       those surfaces must use the util::units strong types
+                       (util::Milliwatts, util::Millijoules, ...).
+  L7 thread-safety     classes under src/ that own a mutex must use the
+                       annotated util::Mutex and carry CAPMAN_GUARDED_BY on
+                       the state it protects; raw std::mutex /
+                       std::lock_guard / std::scoped_lock / std::unique_lock
+                       are banned outside util/thread_annotations.h (they
+                       are invisible to clang -Wthread-safety).
+  L8 raw-unit          every `.raw()` strong-type escape under src/ must be
+                       declared: capman-lint: allow(raw-unit, <reason>) on
+                       the same line or the line directly above.
 
 Suppressions (per rule, narrowest-scope-wins):
 
     some_code();  // capman-lint: allow(determinism)
     // capman-lint: allow(float-compare)   <- suppresses the next line
+    // capman-lint: allow(raw-unit, gauges export plain doubles)
     // capman-lint: allow-file(ordered-output)
 
-Rules are addressed by slug or by their L-number (L1..L5). Exit codes:
+The first token inside allow(...) must be a known rule slug or L-number
+(more rules may follow, comma-separated); anything after the last rule
+token is the free-text reason. An unknown first token is itself a finding
+(bad-suppression): a typoed slug must not silently disable nothing.
+L8/raw-unit REQUIRES a non-empty reason.
+
+Rules are addressed by slug or by their L-number (L1..L8). Exit codes:
 0 clean, 1 findings, 2 usage error, 77 skipped (needed tooling absent —
 CTest's SKIP_RETURN_CODE).
 
 Usage:
     scripts/capman_lint.py [paths...] [--rules L1,L4] [--json]
                            [--compiler g++] [--list-rules]
+                           [--compile-commands build/compile_commands.json]
+
+When a compile_commands.json is given (or auto-discovered at
+<root>/build/compile_commands.json), its include directories are fed to
+the header-hygiene compiles and the libclang parse so vendored include
+paths resolve exactly as the real build sees them.
 
 Backend: uses libclang for the float-compare rule when python bindings are
 importable (precise binary-operator detection); otherwise — including this
@@ -69,6 +96,9 @@ RULES = {
     "L3": "config-validate",
     "L4": "float-compare",
     "L5": "header-hygiene",
+    "L6": "unit-safety",
+    "L7": "thread-safety",
+    "L8": "raw-unit",
 }
 SLUGS = {slug: lnum for lnum, slug in RULES.items()}
 
@@ -77,7 +107,11 @@ DETERMINISM_DIRS = ("src/core", "src/sim", "src/math", "src/policy")
 
 # Banned tokens for L1 with human-readable reasons.
 DETERMINISM_BANNED = [
-    (re.compile(r"\bstd::rand\b|\bsrand\s*\(|(?<![\w:])rand\s*\("),
+    # The bare-call alternatives exclude member/scope access (`rig.rand(`,
+    # `engine.clock()`, `clk->time(...)`) via the [.>:] lookbehind: a
+    # method named like the libc function is the project's own API, not a
+    # wall-clock or libc-rand call.
+    (re.compile(r"\bstd::rand\b|\bsrand\s*\(|(?<![\w:.>])rand\s*\("),
      "C library rand(); draw through util::Rng instead"),
     (re.compile(r"\brandom_device\b"),
      "std::random_device is nondeterministic; seed util::Rng explicitly"),
@@ -87,10 +121,10 @@ DETERMINISM_BANNED = [
      "<random> engines bypass util::Rng (and its split()/replay contract)"),
     (re.compile(r"#\s*include\s*<random>"),
      "<random> is banned here; all randomness flows through util::Rng"),
-    (re.compile(r"\bstd::time\b|\btime\s*\(\s*(NULL|nullptr|0|&)"),
+    (re.compile(r"\bstd::time\b|(?<![\w:.>])time\s*\(\s*(NULL|nullptr|0|&)"),
      "wall-clock time(2); simulation time comes from the engine clock"),
     (re.compile(r"\bgettimeofday\s*\(|\bclock_gettime\s*\(|"
-                r"(?<![\w:])clock\s*\(\s*\)"),
+                r"(?<![\w:.>])clock\s*\(\s*\)"),
      "wall-clock syscall; simulation time comes from the engine clock"),
     (re.compile(r"\bstd::chrono::(system_clock|steady_clock|"
                 r"high_resolution_clock)\b"),
@@ -111,8 +145,10 @@ SORT_MARKERS = re.compile(r"\b(std::)?(stable_)?sort\b|\bsorted_\w*\b")
 FLOAT_LITERAL = re.compile(r"(\b\d+\.\d*(e[+-]?\d+)?\b|(?<!\w)\.\d+\b|"
                            r"\b\d+e[+-]?\d+\b)", re.IGNORECASE)
 # Expression fragments that are floating-point by project convention: the
-# util::units strong types all expose double value().
-FLOAT_CALLS = re.compile(r"\.value\(\)|\bgauge_or\s*\(|\bstd::(fabs|abs|"
+# util::units Quantity types expose double value(), and the Strong escape
+# hatch raw() is double on the hot (Milliwatts/Ratio) surfaces.
+FLOAT_CALLS = re.compile(r"\.value\(\)|\.raw\(\)|\bgauge_or\s*\(|"
+                         r"\bstd::(fabs|abs|"
                          r"floor|ceil|round|fmod|sqrt|exp|log|pow)\s*\(")
 
 ALLOW_RE = re.compile(r"capman-lint:\s*allow\(([^)]*)\)")
@@ -196,6 +232,14 @@ def split_code_comments(text: str) -> tuple[str, str]:
             i += 1
             continue
         if state == "line":
+            if c == "\\" and nxt == "\n":
+                # Backslash-continued line comment: the comment swallows
+                # the next physical line too (the continuation byte itself
+                # stays comment text so suppressions keep their line).
+                code[i] = " "
+                comments[i] = c
+                i += 2
+                continue
             if c == "\n":
                 state = None
             else:
@@ -255,25 +299,38 @@ class SourceFile:
         self.text_lines = text.splitlines()
         self.file_allows: set[str] = set()
         self.line_allows: dict[int, set[str]] = {}
+        self.line_reasons: dict[int, dict[str, str]] = {}
+        self.bad_suppressions: list[tuple[int, str]] = []
         self._scan_suppressions()
 
     def _scan_suppressions(self):
         for lineno, comment in enumerate(self.comments.splitlines(), 1):
             for m in ALLOW_FILE_RE.finditer(comment):
-                self.file_allows.update(_parse_rule_list(m.group(1)))
+                rules, _reason, bad = _parse_allow(m.group(1))
+                if bad is not None:
+                    self.bad_suppressions.append((lineno, bad))
+                self.file_allows.update(rules)
             for m in ALLOW_RE.finditer(comment):
-                rules = _parse_rule_list(m.group(1))
-                self.line_allows.setdefault(lineno, set()).update(rules)
+                rules, reason, bad = _parse_allow(m.group(1))
+                if bad is not None:
+                    self.bad_suppressions.append((lineno, bad))
+                covered = [lineno]
                 # A comment alone on its line covers the next line of code.
                 code_line = (self.code_lines[lineno - 1]
                              if lineno - 1 < len(self.code_lines) else "")
                 if not code_line.strip():
-                    self.line_allows.setdefault(lineno + 1,
-                                                set()).update(rules)
+                    covered.append(lineno + 1)
+                for ln in covered:
+                    self.line_allows.setdefault(ln, set()).update(rules)
+                    for rule in rules:
+                        self.line_reasons.setdefault(ln, {})[rule] = reason
 
     def allowed(self, rule: str, line: int) -> bool:
         return (rule in self.file_allows or
                 rule in self.line_allows.get(line, set()))
+
+    def allow_reason(self, rule: str, line: int) -> str:
+        return self.line_reasons.get(line, {}).get(rule, "")
 
     def line_of_offset(self, offset: int) -> int:
         return self.text.count("\n", 0, offset) + 1
@@ -292,6 +349,33 @@ def _parse_rule_list(raw: str) -> set[str]:
             continue
         out.add(RULES.get(token.upper(), token))
     return out
+
+
+def _parse_allow(raw: str) -> tuple[set[str], str, str | None]:
+    """Parse the inside of allow(...): leading rule tokens, then a reason.
+
+    Returns (rules, reason, bad_token). Tokens are read left to right;
+    each that names a known rule (slug or L-number) selects it, and the
+    first token that does not ends the rule list — it and everything after
+    it form the free-text reason. A reason with no preceding valid rule
+    token is a bad suppression (bad_token is that first token).
+    """
+    tokens = [t.strip() for t in raw.split(",")]
+    rules: set[str] = set()
+    reason = ""
+    bad: str | None = None
+    for i, token in enumerate(tokens):
+        if not token:
+            continue
+        slug = RULES.get(token.upper()) or (token if token in SLUGS else None)
+        if slug is None:
+            if rules:
+                reason = ", ".join(tokens[i:]).strip()
+            else:
+                bad = token
+            break
+        rules.add(slug)
+    return rules, reason, bad
 
 
 # ---------------------------------------------------------------------------
@@ -759,7 +843,8 @@ def _operand_right(s: str) -> str:
     return "".join(out).strip()
 
 
-def libclang_float_compare(sf: SourceFile, include_dir: Path):
+def libclang_float_compare(sf: SourceFile, include_dir: Path,
+                           extra_includes: list[str] | None = None):
     """Precise L4 via libclang when the bindings are importable.
 
     Returns a findings list, or None when libclang is unusable (the caller
@@ -770,8 +855,9 @@ def libclang_float_compare(sf: SourceFile, include_dir: Path):
     try:
         from clang import cindex  # type: ignore
         index = cindex.Index.create()
-        tu = index.parse(str(sf.path),
-                         args=["-std=c++20", f"-I{include_dir}"])
+        args = ["-std=c++20", f"-I{include_dir}"]
+        args += [f"-I{inc}" for inc in (extra_includes or [])]
+        tu = index.parse(str(sf.path), args=args)
         findings = []
         for node in tu.cursor.walk_preorder():
             if node.kind != cindex.CursorKind.BINARY_OPERATOR:
@@ -818,8 +904,12 @@ def find_compiler(explicit: str | None) -> str | None:
 
 
 def check_header_hygiene(root: Path, headers: list[SourceFile],
-                         compiler: str) -> list[Finding]:
+                         compiler: str,
+                         extra_includes: list[str] | None = None
+                         ) -> list[Finding]:
     findings = []
+    include_flags = [f"-I{root / 'src'}"]
+    include_flags += [f"-I{inc}" for inc in (extra_includes or [])]
 
     def compile_one(sf: SourceFile):
         if sf.allowed("header-hygiene", 1):
@@ -832,7 +922,7 @@ def check_header_hygiene(root: Path, headers: list[SourceFile],
             tu_path = tu.name
         try:
             proc = subprocess.run(
-                [compiler, "-std=c++20", f"-I{root / 'src'}",
+                [compiler, "-std=c++20", *include_flags,
                  "-fsyntax-only", "-Wall", "-Wextra", tu_path],
                 capture_output=True, text=True)
             if proc.returncode != 0:
@@ -852,6 +942,195 @@ def check_header_hygiene(root: Path, headers: list[SourceFile],
             if result:
                 findings.append(result)
     return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule L6: unit-safety
+
+# Public surfaces that must trade in util::units strong types.
+UNIT_SAFETY_DIRS = ("src/core", "src/device", "src/thermal", "src/battery")
+
+# A raw arithmetic declaration whose identifier ends in a unit suffix. The
+# suffix must terminate the name (gamma_mw_per_util carries mW *per* a
+# denominator — a genuine double slope, not a power), and the `(?!\s*\()`
+# lookahead skips function declarations (derive_budget_mw(...) names its
+# return convention, the return type itself is what L6 polices).
+UNIT_SUFFIXES = ("mw", "mj", "mc", "us", "pct")
+UNIT_DECL = re.compile(
+    r"\b(double|float|(?:unsigned\s+|signed\s+)?(?:int|long(?:\s+long)?|"
+    r"short)|(?:std::)?u?int(?:8|16|32|64)_t|(?:std::)?size_t)"
+    r"(?:\s*[&*])?\s+([A-Za-z_]\w*_(?:" + "|".join(UNIT_SUFFIXES) +
+    r"))\b(?!\s*\()")
+
+UNIT_TYPE_HINTS = {
+    "mw": "util::Milliwatts",
+    "mj": "util::Millijoules",
+    "mc": "util::MilliCelsius",
+    "us": "util::MicroSeconds",
+    "pct": "util::Ratio",
+}
+
+
+def check_unit_safety(sf: SourceFile) -> list[Finding]:
+    if not sf.rel.endswith((".h", ".hpp")):
+        return []
+    if not sf.rel.startswith(UNIT_SAFETY_DIRS):
+        return []
+    findings = []
+    for m in UNIT_DECL.finditer(sf.code):
+        lineno = sf.line_of_offset(m.start())
+        if sf.allowed("unit-safety", lineno):
+            continue
+        name = m.group(2)
+        suffix = name.rsplit("_", 1)[-1]
+        hint = UNIT_TYPE_HINTS.get(suffix, "a util::units strong type")
+        findings.append(Finding(
+            "unit-safety", sf.rel, lineno,
+            f"`{m.group(1)} {name}` declares a unit-suffixed surface with a "
+            f"raw arithmetic type; use {hint} so mixed-unit arithmetic "
+            "fails to compile",
+            sf.snippet(lineno)))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule L7: thread-safety
+
+# The annotated wrapper lives here; it is the one file allowed to own a
+# raw std::mutex (it *is* the capability).
+THREAD_ANNOTATIONS_HEADER = "src/util/thread_annotations.h"
+
+RAW_LOCK_USE = re.compile(
+    r"\bstd::(?:recursive_)?mutex\b|"
+    r"\bstd::(?:scoped_lock|lock_guard|unique_lock)\b")
+MUTEX_MEMBER = re.compile(
+    r"\b(?:(?:util::)?Mutex|std::(?:recursive_)?mutex)\s+"
+    r"([A-Za-z_]\w*)\s*;")
+GUARD_MACRO = re.compile(r"\bCAPMAN_(?:PT_)?GUARDED_BY\s*\(|"
+                         r"\bCAPMAN_REQUIRES\s*\(")
+
+
+def check_thread_safety(sf: SourceFile, blocks: list[Block]) -> list[Finding]:
+    if not sf.rel.startswith("src/") or sf.rel == THREAD_ANNOTATIONS_HEADER:
+        return []
+    findings = []
+    # (a) Raw standard mutexes / lock RAII are invisible to clang's
+    # -Wthread-safety pass; the util wrappers are drop-in replacements.
+    for lineno, line in enumerate(sf.code_lines, 1):
+        m = RAW_LOCK_USE.search(line)
+        if not m:
+            continue
+        if sf.allowed("thread-safety", lineno):
+            continue
+        findings.append(Finding(
+            "thread-safety", sf.rel, lineno,
+            f"`{m.group(0)}` is unannotated and invisible to clang "
+            "-Wthread-safety; use util::Mutex / util::MutexLock "
+            "(src/util/thread_annotations.h)",
+            sf.snippet(lineno)))
+    # (b) A class that owns a mutex must say what the mutex protects:
+    # at least one member carries CAPMAN_GUARDED_BY (or the class is
+    # explicitly suppressed at the mutex member).
+    for block in blocks:
+        if block.kind != "struct":
+            continue
+        body = sf.code[block.start:block.end]
+        for m in MUTEX_MEMBER.finditer(body):
+            lineno = sf.line_of_offset(block.start + m.start())
+            if sf.allowed("thread-safety", lineno):
+                continue
+            if GUARD_MACRO.search(body):
+                continue
+            findings.append(Finding(
+                "thread-safety", sf.rel, lineno,
+                f"class {block.name or '(anonymous)'} owns mutex "
+                f"`{m.group(1)}` but no member carries CAPMAN_GUARDED_BY; "
+                "annotate the guarded state so -Wthread-safety can check "
+                "every access",
+                sf.snippet(lineno)))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule L8: raw-unit
+
+RAW_ESCAPE = re.compile(r"\.\s*raw\s*\(\s*\)")
+
+
+def check_raw_unit(sf: SourceFile) -> list[Finding]:
+    if not sf.rel.startswith("src/"):
+        return []
+    findings = []
+    for lineno, line in enumerate(sf.code_lines, 1):
+        if not RAW_ESCAPE.search(line):
+            continue
+        if sf.allowed("raw-unit", lineno):
+            if sf.allow_reason("raw-unit", lineno) or \
+                    "raw-unit" in sf.file_allows:
+                continue
+            findings.append(Finding(
+                "raw-unit", sf.rel, lineno,
+                ".raw() suppression has no reason; write "
+                "capman-lint: allow(raw-unit, <why the raw value is safe>)",
+                sf.snippet(lineno)))
+            continue
+        findings.append(Finding(
+            "raw-unit", sf.rel, lineno,
+            "undeclared strong-type escape `.raw()`; declare "
+            "capman-lint: allow(raw-unit, <reason>) on this line or the "
+            "line above",
+            sf.snippet(lineno)))
+    return findings
+
+
+def check_suppression_syntax(sf: SourceFile) -> list[Finding]:
+    """Typoed allow() slugs fail loudly under every rule selection."""
+    findings = []
+    for lineno, token in sf.bad_suppressions:
+        findings.append(Finding(
+            "bad-suppression", sf.rel, lineno,
+            f"unknown rule `{token}` in capman-lint suppression; known "
+            f"rules: {', '.join(sorted(SLUGS))} (a reason must follow a "
+            "valid rule token, not replace it)",
+            sf.snippet(lineno)))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# compile_commands.json consumption
+
+def load_compile_includes(path: Path) -> list[str]:
+    """Extract the -I/-isystem include directories the real build uses."""
+    try:
+        entries = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return []
+    includes: list[str] = []
+    seen = set()
+    for entry in entries:
+        command = entry.get("command")
+        if command is None:
+            command = " ".join(entry.get("arguments", []))
+        directory = entry.get("directory", ".")
+        tokens = command.split()
+        i = 0
+        while i < len(tokens):
+            tok = tokens[i]
+            inc = None
+            if tok in ("-I", "-isystem") and i + 1 < len(tokens):
+                inc = tokens[i + 1]
+                i += 1
+            elif tok.startswith("-I"):
+                inc = tok[2:]
+            elif tok.startswith("-isystem"):
+                inc = tok[len("-isystem"):]
+            if inc:
+                resolved = str((Path(directory) / inc).resolve())
+                if resolved not in seen:
+                    seen.add(resolved)
+                    includes.append(resolved)
+            i += 1
+    return includes
 
 
 # ---------------------------------------------------------------------------
@@ -876,12 +1155,20 @@ def load_files(root: Path, paths: list[Path]) -> list[SourceFile]:
 
 
 def run_lint(root: Path, paths: list[Path], rules: set[str],
-             compiler: str | None = None) -> tuple[list[Finding], list[str]]:
+             compiler: str | None = None,
+             extra_includes: list[str] | None = None
+             ) -> tuple[list[Finding], list[str]]:
     """Run the selected rules; returns (findings, skipped-rule slugs)."""
     files = load_files(root, paths)
     findings: list[Finding] = []
     skipped: list[str] = []
     blocks_by_file = {sf.rel: parse_blocks(sf) for sf in files}
+
+    # Bad suppressions are reported under every rule selection: a typoed
+    # slug silently disables nothing, which is exactly the failure mode a
+    # suppression grammar must make loud.
+    for sf in files:
+        findings += check_suppression_syntax(sf)
 
     if "determinism" in rules:
         for sf in files:
@@ -895,7 +1182,8 @@ def run_lint(root: Path, paths: list[Path], rules: set[str],
         findings += check_config_validate(files, blocks_by_file)
     if "float-compare" in rules:
         for sf in files:
-            clang_findings = libclang_float_compare(sf, root / "src")
+            clang_findings = libclang_float_compare(sf, root / "src",
+                                                    extra_includes)
             findings += (clang_findings if clang_findings is not None
                          else check_float_compare(sf))
     if "header-hygiene" in rules:
@@ -905,7 +1193,17 @@ def run_lint(root: Path, paths: list[Path], rules: set[str],
         if cxx is None:
             skipped.append("header-hygiene")
         elif headers:
-            findings += check_header_hygiene(root, headers, cxx)
+            findings += check_header_hygiene(root, headers, cxx,
+                                             extra_includes)
+    if "unit-safety" in rules:
+        for sf in files:
+            findings += check_unit_safety(sf)
+    if "thread-safety" in rules:
+        for sf in files:
+            findings += check_thread_safety(sf, blocks_by_file[sf.rel])
+    if "raw-unit" in rules:
+        for sf in files:
+            findings += check_raw_unit(sf)
 
     # Nested blocks can surface the same site twice; keep one per location.
     unique = {}
@@ -926,11 +1224,15 @@ def main(argv=None) -> int:
                         default=Path(__file__).resolve().parent.parent,
                         help="repo root (default: the linter's repo)")
     parser.add_argument("--rules", default="all",
-                        help="comma list of rules (L1..L5 or slugs)")
+                        help="comma list of rules (L1..L8 or slugs)")
     parser.add_argument("--json", action="store_true",
                         help="machine-readable findings on stdout")
     parser.add_argument("--compiler", default=None,
                         help="C++ compiler for header-hygiene (L5)")
+    parser.add_argument("--compile-commands", type=Path, default=None,
+                        help="compile_commands.json whose include dirs feed "
+                        "the L5 compiles and the libclang parse (default: "
+                        "<root>/build/compile_commands.json when present)")
     parser.add_argument("--list-rules", action="store_true")
     args = parser.parse_args(argv)
 
@@ -956,7 +1258,19 @@ def main(argv=None) -> int:
             print(f"capman-lint: no such path: {p}", file=sys.stderr)
             return EXIT_USAGE
 
-    findings, skipped = run_lint(root, paths, rules, args.compiler)
+    compile_db = args.compile_commands
+    if compile_db is None:
+        default_db = root / "build" / "compile_commands.json"
+        if default_db.is_file():
+            compile_db = default_db
+    elif not compile_db.is_file():
+        print(f"capman-lint: no such compile db: {compile_db}",
+              file=sys.stderr)
+        return EXIT_USAGE
+    extra_includes = load_compile_includes(compile_db) if compile_db else []
+
+    findings, skipped = run_lint(root, paths, rules, args.compiler,
+                                 extra_includes)
 
     if args.json:
         print(json.dumps({

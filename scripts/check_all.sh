@@ -2,12 +2,24 @@
 # One-shot QA pipeline: every repository check in sequence with a summary
 # table. Usage:
 #
-#   scripts/check_all.sh [build-dir]       # default: build
+#   scripts/check_all.sh [--fast] [build-dir]       # default: build
+#
+# --fast runs only the checks that need no compilation — docs, format,
+# every capman-lint rule except L5, the lint/schema self-tests — which
+# finishes in seconds and is the right pre-commit loop. The full run adds
+# the sanitizer rebuilds (asan/ubsan/tsan), clang-tidy, header hygiene,
+# thread-safety, and the fleet smoke.
 #
 # Checks that need missing tooling (clang-tidy, clang-format) report SKIP
 # rather than FAIL — the same exit-77 convention the CTest registrations
 # use. Exits non-zero iff at least one check FAILed.
 set -u
+
+fast=0
+if [ "${1:-}" = "--fast" ]; then
+  fast=1
+  shift
+fi
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
@@ -42,28 +54,35 @@ run_check() {
 run_check docs            "$repo_root/scripts/check_docs.sh"
 run_check format          "$repo_root/scripts/check_format.sh"
 run_check capman-lint     python3 "$repo_root/scripts/capman_lint.py" \
-                          --root "$repo_root" --rules L1,L2,L3,L4
+                          --root "$repo_root" \
+                          --rules L1,L2,L3,L4,L6,L7,L8
 run_check lint-selftest   python3 "$repo_root/scripts/test_capman_lint.py"
-run_check headers         python3 "$repo_root/scripts/capman_lint.py" \
-                          --root "$repo_root" --rules L5
-run_check clang-tidy      "$repo_root/scripts/check_tidy.sh" "$build_dir"
 run_check schema-selftest python3 \
                           "$repo_root/scripts/check_trace_schema.py" \
                           --self-test
-run_check asan            "$repo_root/scripts/check_asan.sh"
-run_check tsan            "$repo_root/scripts/check_tsan.sh"
 
-# Small-fleet smoke: the FleetRunner bit-identity contract on 10^3
-# devices (bench_fleet_scaling --smoke; exit 77 = constrained machine).
-fleet_smoke() {
-  local bench="$build_dir/bench/bench_fleet_scaling"
-  if [[ ! -x "$bench" ]]; then
-    echo "fleet-smoke: $bench not built; run cmake --build $build_dir first" >&2
-    return 1
-  fi
-  "$bench" --smoke
-}
-run_check fleet-smoke     fleet_smoke
+if [ "$fast" -eq 0 ]; then
+  run_check headers         python3 "$repo_root/scripts/capman_lint.py" \
+                            --root "$repo_root" --rules L5
+  run_check clang-tidy      "$repo_root/scripts/check_tidy.sh" "$build_dir"
+  run_check thread-safety   "$repo_root/scripts/check_thread_safety.sh"
+  run_check asan            "$repo_root/scripts/check_asan.sh"
+  run_check ubsan           "$repo_root/scripts/check_ubsan.sh"
+  run_check tsan            "$repo_root/scripts/check_tsan.sh"
+
+  # Small-fleet smoke: the FleetRunner bit-identity contract on 10^3
+  # devices (bench_fleet_scaling --smoke; exit 77 = constrained machine).
+  fleet_smoke() {
+    local bench="$build_dir/bench/bench_fleet_scaling"
+    if [[ ! -x "$bench" ]]; then
+      echo "fleet-smoke: $bench not built; run cmake --build $build_dir" \
+           "first" >&2
+      return 1
+    fi
+    "$bench" --smoke
+  }
+  run_check fleet-smoke     fleet_smoke
+fi
 
 echo
 echo "================ check_all summary ================"

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Clang thread-safety analysis over the whole src/ tree: every TU is
+# parsed with -Wthread-safety promoted to an error, so a CAPMAN_GUARDED_BY
+# member accessed without its util::Mutex held fails this gate. The
+# annotations (src/util/thread_annotations.h) compile away under GCC, so
+# this check needs clang++ — absent, it exits 77 (the CTest skip code),
+# and capman-lint L7 remains the compiler-independent backstop. Wired
+# into CTest as the `thread_safety_check` test; run manually with:
+#
+#   scripts/check_thread_safety.sh [clang++]
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cxx="${1:-clang++}"
+
+if ! command -v "$cxx" >/dev/null 2>&1; then
+  echo "check_thread_safety: $cxx not found; skipping" >&2
+  exit 77
+fi
+if ! "$cxx" --version 2>/dev/null | grep -qi clang; then
+  echo "check_thread_safety: $cxx is not clang; skipping" >&2
+  exit 77
+fi
+
+status=0
+while IFS= read -r tu; do
+  if ! "$cxx" -std=c++20 -I"$repo_root/src" -fsyntax-only \
+       -Wthread-safety -Werror=thread-safety "$tu"; then
+    status=1
+  fi
+done < <(find "$repo_root/src" -name '*.cpp' | sort)
+
+if [ "$status" -ne 0 ]; then
+  echo "check_thread_safety: -Wthread-safety violations found" >&2
+  exit 1
+fi
+echo "check_thread_safety: src/ clean under clang -Wthread-safety"

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Builds the unit-arithmetic-hot suites under UndefinedBehaviorSanitizer
+# alone (-DCAPMAN_UBSAN=ON — no ASan, so the run is fast enough to gate
+# every build) and executes them: the util::units strong types, the
+# power-budget arbiter, the PowerConsumer shaping path, and the battery
+# charger energy accounting. These are the surfaces the strong-typed
+# units migration touched — signed overflow, float-cast overflow, or an
+# invalid enum load introduced there would surface here first. Wired into
+# CTest as the `ubsan_smoke` test; run manually with:
+#
+#   scripts/check_ubsan.sh [build-dir]     # default: build-ubsan
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-ubsan}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCAPMAN_UBSAN=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$build_dir" -j \
+      --target util_units_test core_power_budget_test \
+               device_power_consumer_test battery_charger_test >/dev/null
+
+export UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1
+
+"$build_dir/tests/util_units_test" --gtest_brief=1
+"$build_dir/tests/core_power_budget_test" --gtest_brief=1
+"$build_dir/tests/device_power_consumer_test" --gtest_brief=1
+"$build_dir/tests/battery_charger_test" --gtest_brief=1
+
+echo "check_ubsan: UBSan unit-arithmetic suites passed"

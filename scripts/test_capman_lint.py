@@ -319,6 +319,287 @@ def test_l5_negative_self_contained_and_suppressed():
 
 
 # ---------------------------------------------------------------------------
+# L6 unit-safety
+
+def test_l6_positive_raw_double_field_and_param():
+    findings = lint_tree({
+        "src/core/budget.h": (
+            "#pragma once\n"
+            "struct BudgetConfig {\n"
+            "  double base_budget_mw = 4500.0;\n"
+            "  int settle_us = 250;\n"
+            "};\n"),
+    }, "L6")
+    assert rules_hit(findings) == {"unit-safety"}, findings
+    assert [f.line for f in findings] == [3, 4], findings
+    assert "util::Milliwatts" in findings[0].message
+    assert "util::MicroSeconds" in findings[1].message
+
+
+def test_l6_positive_all_suffixes_and_integer_types():
+    findings = lint_tree({
+        "src/thermal/t.h": ("#pragma once\n"
+                            "struct T {\n"
+                            "  float trip_mc = 0.0f;\n"
+                            "  std::int64_t drained_mj = 0;\n"
+                            "  unsigned int duty_pct = 50;\n"
+                            "};\n"),
+    }, "L6")
+    assert len(findings) == 3, findings
+
+
+def test_l6_negative_strong_types_and_out_of_scope():
+    findings = lint_tree({
+        # Strong types are the sanctioned spelling.
+        "src/core/good.h": (
+            "#pragma once\n"
+            "#include \"util/units.h\"\n"
+            "struct GoodConfig {\n"
+            "  util::Milliwatts base_budget_mw{4500.0};\n"
+            "  util::MicroSeconds settle_us{250};\n"
+            "};\n"),
+        # Suffix mid-name is a slope/denominator, not a bare quantity.
+        "src/device/slope.h": (
+            "#pragma once\n"
+            "struct Slope { double gamma_mw_per_util = 6.04; };\n"),
+        # util/ and obs/ are outside the L6 surface (quantization knobs
+        # there are deliberate raw doubles).
+        "src/obs/quant.h": ("#pragma once\n"
+                            "struct Q { double quantum_mw = 1.0; };\n"),
+        # .cpp files are out of scope: L6 polices declared surfaces.
+        "src/core/impl.cpp": "static double local_mw = 3.0;\n",
+        # Function declarations name a return convention, not a field.
+        "src/core/fn.h": ("#pragma once\n"
+                          "double derive_budget_mw(int level);\n"),
+    }, "L6")
+    assert findings == [], findings
+
+
+def test_l6_negative_suppressed():
+    findings = lint_tree({
+        "src/battery/cal.h": (
+            "#pragma once\n"
+            "struct Cal {\n"
+            "  // capman-lint: allow(unit-safety, vendor ABI mirrors a "
+            "packed register file)\n"
+            "  double shunt_mw = 0.0;\n"
+            "};\n"),
+    }, "L6")
+    assert findings == [], findings
+
+
+# ---------------------------------------------------------------------------
+# L7 thread-safety
+
+def test_l7_positive_raw_mutex_and_lock_guard():
+    findings = lint_tree({
+        "src/obs/reg.h": ("#pragma once\n"
+                          "#include <mutex>\n"
+                          "class Reg {\n"
+                          "  std::mutex mu_;\n"
+                          "  int hits_ = 0;\n"
+                          "};\n"),
+        "src/obs/reg.cpp": ("#include <mutex>\n"
+                            "void f(std::mutex& m) {\n"
+                            "  const std::lock_guard<std::mutex> lock(m);\n"
+                            "}\n"),
+    }, "L7")
+    assert rules_hit(findings) == {"thread-safety"}, findings
+    assert len(findings) >= 2, findings
+
+
+def test_l7_positive_unannotated_util_mutex_owner():
+    findings = lint_tree({
+        "src/obs/reg.h": ("#pragma once\n"
+                          "#include \"util/thread_annotations.h\"\n"
+                          "class Reg {\n"
+                          "  util::Mutex mu_;\n"
+                          "  int hits_ = 0;\n"  # nothing GUARDED_BY
+                          "};\n"),
+    }, "L7")
+    assert rules_hit(findings) == {"thread-safety"}, findings
+    assert "CAPMAN_GUARDED_BY" in findings[0].message
+
+
+def test_l7_negative_annotated_owner_and_wrapper_home():
+    findings = lint_tree({
+        "src/obs/reg.h": (
+            "#pragma once\n"
+            "#include \"util/thread_annotations.h\"\n"
+            "class Reg {\n"
+            "  mutable util::Mutex mu_;\n"
+            "  int hits_ CAPMAN_GUARDED_BY(mu_) = 0;\n"
+            "};\n"),
+        # The wrapper header itself is the one sanctioned std::mutex home.
+        "src/util/thread_annotations.h": (
+            "#pragma once\n"
+            "#include <mutex>\n"
+            "namespace capman::util {\n"
+            "class Mutex { std::mutex mu_; };\n"
+            "}\n"),
+    }, "L7")
+    assert findings == [], findings
+
+
+def test_l7_negative_suppressed_raw_mutex():
+    findings = lint_tree({
+        "src/util/ffi.h": (
+            "#pragma once\n"
+            "#include <mutex>\n"
+            "struct Ffi {\n"
+            "  // capman-lint: allow(thread-safety, handed to a C callback "
+            "that takes std::mutex*)\n"
+            "  std::mutex raw_;\n"
+            "};\n"),
+    }, "L7")
+    assert findings == [], findings
+
+
+# ---------------------------------------------------------------------------
+# L8 raw-unit
+
+def test_l8_positive_undeclared_escape():
+    findings = lint_tree({
+        "src/core/x.cpp": (
+            "#include \"util/units.h\"\n"
+            "double f(util::Milliwatts m) { return m.raw(); }\n"),
+    }, "L8")
+    assert rules_hit(findings) == {"raw-unit"}, findings
+    assert "undeclared" in findings[0].message
+
+
+def test_l8_positive_suppression_without_reason():
+    findings = lint_tree({
+        "src/core/x.cpp": (
+            "#include \"util/units.h\"\n"
+            "// capman-lint: allow(raw-unit)\n"
+            "double f(util::Milliwatts m) { return m.raw(); }\n"),
+    }, "L8")
+    assert len(findings) == 1, findings
+    assert "no reason" in findings[0].message
+
+
+def test_l8_negative_same_line_and_preceding_line_reasons():
+    findings = lint_tree({
+        "src/core/x.cpp": (
+            "#include \"util/units.h\"\n"
+            "double f(util::Milliwatts m) {\n"
+            "  return m.raw();  // capman-lint: allow(raw-unit, CSV export "
+            "boundary)\n"
+            "}\n"
+            "double g(util::Milliwatts m) {\n"
+            "  // capman-lint: allow(raw-unit, fed to std::min over "
+            "doubles)\n"
+            "  return m.raw();\n"
+            "}\n"),
+    }, "L8")
+    assert findings == [], findings
+
+
+def test_l8_negative_outside_src_and_no_escape():
+    findings = lint_tree({
+        "src/core/clean.cpp": (
+            "#include \"util/units.h\"\n"
+            "util::Milliwatts f(util::Milliwatts m) { return m; }\n"),
+    }, "L8")
+    assert findings == [], findings
+    # tests/ and bench/ are outside the L8 surface entirely.
+    assert cl.check_raw_unit(cl.SourceFile(
+        Path("t.cpp"), "tests/core/t.cpp",
+        "double f(util::Milliwatts m) { return m.raw(); }\n")) == []
+
+
+# ---------------------------------------------------------------------------
+# Suppression grammar
+
+def test_suppression_unknown_slug_is_a_finding():
+    findings = lint_tree({
+        "src/core/x.cpp": (
+            "// capman-lint: allow(raw-units, off by one letter)\n"
+            "int f() { return 0; }\n"),
+    }, "L1")  # reported regardless of the rule selection
+    assert rules_hit(findings) == {"bad-suppression"}, findings
+    assert "raw-units" in findings[0].message
+
+
+def test_suppression_reason_only_is_a_finding():
+    findings = lint_tree({
+        "src/core/x.cpp": (
+            "// capman-lint: allow(because I said so)\n"
+            "int f() { return 0; }\n"),
+    }, "L4")
+    assert rules_hit(findings) == {"bad-suppression"}, findings
+
+
+def test_suppression_same_line_does_not_leak_to_next_line():
+    sf = cl.SourceFile(Path("x.cpp"), "src/core/x.cpp", (
+        "int a = 0;  // capman-lint: allow(determinism)\n"
+        "int b = 0;\n"))
+    assert sf.allowed("determinism", 1)
+    assert not sf.allowed("determinism", 2)
+
+
+def test_suppression_multi_rule_with_reason():
+    sf = cl.SourceFile(Path("x.cpp"), "src/core/x.cpp", (
+        "// capman-lint: allow(determinism, float-compare, shared sentinel "
+        "check)\n"
+        "int a = 0;\n"))
+    assert sf.allowed("determinism", 2)
+    assert sf.allowed("float-compare", 2)
+    assert sf.allow_reason("float-compare", 2) == "shared sentinel check"
+    assert sf.bad_suppressions == []
+
+
+# ---------------------------------------------------------------------------
+# Lexer / L1 false-positive regressions
+
+def test_l1_negative_member_calls_named_like_libc():
+    findings = lint_tree({
+        "src/core/ok.cpp": (
+            "#include \"sim/engine.h\"\n"
+            "double f(capman::sim::Engine& engine) {"
+            " return engine.clock(); }\n"
+            "double g(Rig& rig) { return rig.rand(42); }\n"
+            "double h(Clock* clk) { return clk->time(nullptr); }\n"
+            "double k(Clock& c) { return c.clock(); }\n"),
+    }, "L1")
+    assert findings == [], findings
+
+
+def test_lexer_backslash_continued_line_comment():
+    # The continuation swallows the second physical line: the rand() call
+    # there is comment text, not code.
+    sf = cl.SourceFile(Path("x.cpp"), "src/core/x.cpp", (
+        "// a comment that continues \\\n"
+        "rand();\n"
+        "int live = 1;\n"))
+    assert "rand" not in sf.code
+    assert "live" in sf.code
+
+
+# ---------------------------------------------------------------------------
+# compile_commands.json consumption
+
+def test_compile_commands_include_extraction():
+    with tempfile.TemporaryDirectory(prefix="capman_lint_ccj_") as tmp:
+        db = Path(tmp) / "compile_commands.json"
+        db.write_text(json.dumps([
+            {"directory": tmp,
+             "command": "g++ -Isrc -isystem vendor/include -I deps/gtest "
+                        "-c src/a.cpp",
+             "file": "src/a.cpp"},
+            {"directory": tmp,
+             "command": f"g++ -I{tmp}/src -c src/b.cpp",  # dup after resolve
+             "file": "src/b.cpp"},
+        ]))
+        incs = cl.load_compile_includes(db)
+        assert incs == [str(Path(tmp, "src").resolve()),
+                        str(Path(tmp, "vendor/include").resolve()),
+                        str(Path(tmp, "deps/gtest").resolve())], incs
+    assert cl.load_compile_includes(Path("/no/such/file.json")) == []
+
+
+# ---------------------------------------------------------------------------
 # CLI surface
 
 def test_cli_json_output_and_exit_codes():

@@ -53,12 +53,11 @@ ChargeStepResult Charger::step(Cell& cell, util::Seconds dt) const {
   const util::Amperes current{c_rate * cell.capacity_ah()};
   const auto accepted = cell.charge(current, dt, config_.efficiency);
 
-  const double v_now = cell.open_circuit_voltage().value();
+  const util::Volts v_now = cell.open_circuit_voltage();
   result.current = current;
-  result.accepted = util::Joules{accepted.value() * v_now};
-  const double drawn_j =
-      current.value() * dt.value() * v_now;  // wall-side energy
-  result.losses = util::Joules{std::max(0.0, drawn_j - result.accepted.value())};
+  result.accepted = accepted * v_now;  // cell-side energy, Q * V
+  const util::Joules drawn = current * dt * v_now;  // wall-side energy
+  result.losses = std::max(util::Joules{0.0}, drawn - result.accepted);
   result.done = cell.full();
   return result;
 }

@@ -14,38 +14,39 @@ const char* to_string(CapMethod method) {
   return "?";
 }
 
-double CorecapSplit::cap_for(device::ConsumerKind kind) const {
+util::Milliwatts CorecapSplit::cap_for(device::ConsumerKind kind) const {
   switch (kind) {
     case device::ConsumerKind::kCpu: return cpu_mw;
     case device::ConsumerKind::kScreen: return screen_mw;
     case device::ConsumerKind::kWifi: return wifi_mw;
     case device::ConsumerKind::kTec: return tec_mw;
   }
-  return 0.0;
+  return util::Milliwatts{};
 }
 
 std::vector<CorecapRow> default_corecap_table() {
+  using namespace util::literals;
   // budget     cpu-priority {cpu, screen, wifi, tec}
   //            cooling-priority {cpu, screen, wifi, tec}
   return {
-      {1000.0,
-       {620.0, 205.0, 120.0, 0.0},
-       {420.0, 205.0, 120.0, 200.0}},
-      {1800.0,
-       {1150.0, 320.0, 250.0, 0.0},
-       {520.0, 205.0, 150.0, 900.0}},
-      {2800.0,
-       {1700.0, 500.0, 500.0, 0.0},
-       {620.0, 240.0, 170.0, 1700.0}},
-      {3600.0,
-       {1950.0, 700.0, 850.0, 0.0},
-       {900.0, 450.0, 500.0, 1700.0}},
-      {4400.0,
-       {2050.0, 900.0, 1350.0, 100.0},
-       {1250.0, 650.0, 800.0, 1700.0}},
-      {5400.0,
-       {2050.0, 1040.0, 2080.0, 230.0},
-       {1650.0, 900.0, 1150.0, 1700.0}},
+      {1000.0_mw,
+       {620.0_mw, 205.0_mw, 120.0_mw, 0.0_mw},
+       {420.0_mw, 205.0_mw, 120.0_mw, 200.0_mw}},
+      {1800.0_mw,
+       {1150.0_mw, 320.0_mw, 250.0_mw, 0.0_mw},
+       {520.0_mw, 205.0_mw, 150.0_mw, 900.0_mw}},
+      {2800.0_mw,
+       {1700.0_mw, 500.0_mw, 500.0_mw, 0.0_mw},
+       {620.0_mw, 240.0_mw, 170.0_mw, 1700.0_mw}},
+      {3600.0_mw,
+       {1950.0_mw, 700.0_mw, 850.0_mw, 0.0_mw},
+       {900.0_mw, 450.0_mw, 500.0_mw, 1700.0_mw}},
+      {4400.0_mw,
+       {2050.0_mw, 900.0_mw, 1350.0_mw, 100.0_mw},
+       {1250.0_mw, 650.0_mw, 800.0_mw, 1700.0_mw}},
+      {5400.0_mw,
+       {2050.0_mw, 1040.0_mw, 2080.0_mw, 230.0_mw},
+       {1650.0_mw, 900.0_mw, 1150.0_mw, 1700.0_mw}},
   };
 }
 
@@ -57,8 +58,9 @@ void validate_split(const CorecapRow& row, const CorecapSplit& split,
                     const CorecapSplit* previous, std::size_t index,
                     const char* name, std::vector<std::string>& errors) {
   const std::string where = "corecaps[" + std::to_string(index) + "]." + name;
-  if (split.cpu_mw < 0.0 || split.screen_mw < 0.0 || split.wifi_mw < 0.0 ||
-      split.tec_mw < 0.0) {
+  const util::Milliwatts zero;
+  if (split.cpu_mw < zero || split.screen_mw < zero || split.wifi_mw < zero ||
+      split.tec_mw < zero) {
     errors.push_back(where + " caps must be >= 0");
   }
   if (split.total() > row.budget_mw) {
@@ -78,8 +80,9 @@ std::vector<std::string> PowerBudgetArbiterConfig::validate() const {
   auto require = [&errors](bool ok, const char* message) {
     if (!ok) errors.emplace_back(message);
   };
-  require(base_budget_mw > 0.0, "base_budget_mw must be > 0");
-  require(min_budget_mw > 0.0 && min_budget_mw <= base_budget_mw,
+  const util::Milliwatts zero_mw;
+  require(base_budget_mw > zero_mw, "base_budget_mw must be > 0");
+  require(min_budget_mw > zero_mw && min_budget_mw <= base_budget_mw,
           "min_budget_mw must be > 0 and <= base_budget_mw");
   require(soc_floor >= 0.0 && soc_floor < 1.0, "soc_floor must be in [0, 1)");
   require(soc_knee > soc_floor && soc_knee <= 1.0,
@@ -99,7 +102,8 @@ std::vector<std::string> PowerBudgetArbiterConfig::validate() const {
           "cooling_priority_hotspot_c must be > 0");
   bool fractions_ok = true;
   for (std::size_t i = 0; i < level_fraction.size(); ++i) {
-    if (level_fraction[i] <= 0.0 || level_fraction[i] > 1.0) {
+    if (level_fraction[i] <= util::Ratio{0.0} ||
+        level_fraction[i] > util::Ratio{1.0}) {
       fractions_ok = false;
     }
     if (i > 0 && level_fraction[i] > level_fraction[i - 1]) {
@@ -114,7 +118,7 @@ std::vector<std::string> PowerBudgetArbiterConfig::validate() const {
   }
   for (std::size_t i = 0; i < corecaps.size(); ++i) {
     const CorecapRow& row = corecaps[i];
-    if (row.budget_mw <= 0.0 ||
+    if (row.budget_mw <= zero_mw ||
         (i > 0 && row.budget_mw <= corecaps[i - 1].budget_mw)) {
       errors.push_back("corecaps[" + std::to_string(i) +
                        "].budget_mw must be > 0 and strictly increasing");
@@ -142,7 +146,8 @@ PowerBudgetArbiter::PowerBudgetArbiter(const PowerBudgetArbiterConfig& config)
   }
 }
 
-double PowerBudgetArbiter::derive_budget_mw(const BudgetInputs& in) const {
+util::Milliwatts PowerBudgetArbiter::derive_budget_mw(
+    const BudgetInputs& in) const {
   const double soc = in.active == battery::BatterySelection::kBig
                          ? in.big_soc
                          : in.little_soc;
@@ -170,7 +175,7 @@ double PowerBudgetArbiter::derive_budget_mw(const BudgetInputs& in) const {
   return std::max(config_.min_budget_mw, headroom * config_.base_budget_mw);
 }
 
-const CorecapRow& PowerBudgetArbiter::row_for(double effective_mw,
+const CorecapRow& PowerBudgetArbiter::row_for(util::Milliwatts effective_mw,
                                               std::size_t* index) const {
   // Highest row whose activation budget fits; below the first row the
   // first row's caps apply and the shed loop trims them to the budget.
@@ -188,7 +193,7 @@ BudgetGrant PowerBudgetArbiter::rebudget(
   BudgetGrant grant;
   grant.level = level;
   grant.derived_mw = derive_budget_mw(in);
-  double effective =
+  util::Milliwatts effective =
       grant.derived_mw * config_.level_fraction[static_cast<std::size_t>(level)];
   if (config_.cap_method == CapMethod::kStatic) {
     effective *= config_.static_margin;
@@ -204,12 +209,12 @@ BudgetGrant PowerBudgetArbiter::rebudget(
   struct Slot {
     device::PowerConsumer* consumer = nullptr;
     device::ConsumerCapability cap;
-    double target = 0.0;
+    util::Milliwatts target;
     int priority = 0;
   };
   std::array<Slot, device::kConsumerKindCount> slots;
   std::size_t count = 0;
-  double total = 0.0;
+  util::Milliwatts total;
   for (device::PowerConsumer* consumer : consumers) {
     if (consumer == nullptr || count >= slots.size()) continue;
     Slot& slot = slots[count++];
@@ -230,8 +235,8 @@ BudgetGrant PowerBudgetArbiter::rebudget(
   // FastCap-style fair trim: shed the deficit in priority order, never
   // below a consumer's floor. When the floors alone exceed the budget the
   // grant honestly reports granted_mw > effective_mw (zero-headroom case).
-  double deficit = total - effective;
-  if (deficit > 0.0) {
+  util::Milliwatts deficit = total - effective;
+  if (deficit > util::Milliwatts{}) {
     std::array<std::size_t, device::kConsumerKindCount> order{};
     for (std::size_t i = 0; i < count; ++i) order[i] = i;
     std::sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(count),
@@ -241,17 +246,18 @@ BudgetGrant PowerBudgetArbiter::rebudget(
                 }
                 return slots[a].consumer->kind() < slots[b].consumer->kind();
               });
-    for (std::size_t i = 0; i < count && deficit > 0.0; ++i) {
+    for (std::size_t i = 0; i < count && deficit > util::Milliwatts{}; ++i) {
       Slot& slot = slots[order[i]];
-      const double reducible = slot.target - slot.cap.min_draw_mw;
-      const double take = std::min(deficit, reducible);
+      const util::Milliwatts reducible = slot.target - slot.cap.min_draw_mw;
+      const util::Milliwatts take = std::min(deficit, reducible);
       slot.target -= take;
       deficit -= take;
     }
   }
 
   for (std::size_t i = 0; i < count; ++i) {
-    const double granted = slots[i].consumer->apply_cap(slots[i].target);
+    const util::Milliwatts granted =
+        slots[i].consumer->apply_cap(slots[i].target);
     grant.by_kind[static_cast<std::size_t>(slots[i].consumer->kind())] =
         granted;
     grant.granted_mw += granted;
@@ -271,9 +277,12 @@ void PowerBudgetArbiter::publish_metrics(obs::MetricsRegistry& registry) const {
   registry.counter("arbiter/rebudgets").add(rebudgets_);
   registry.counter("arbiter/voltage_triggers").add(voltage_triggers_);
   registry.counter("arbiter/cooling_rebudgets").add(cooling_rebudgets_);
-  registry.gauge("arbiter/budget_mw").set(last_.derived_mw);
-  registry.gauge("arbiter/granted_mw").set(last_.granted_mw);
-  registry.gauge("arbiter/min_granted_mw").set(min_granted_mw_);
+  // capman-lint: allow(raw-unit, gauges export plain doubles)
+  registry.gauge("arbiter/budget_mw").set(last_.derived_mw.raw());
+  // capman-lint: allow(raw-unit, gauges export plain doubles)
+  registry.gauge("arbiter/granted_mw").set(last_.granted_mw.raw());
+  // capman-lint: allow(raw-unit, gauges export plain doubles)
+  registry.gauge("arbiter/min_granted_mw").set(min_granted_mw_.raw());
 }
 
 }  // namespace capman::core

@@ -53,15 +53,15 @@ const char* to_string(CapMethod method);
 
 /// Per-consumer milliwatt caps of one corecap row.
 struct CorecapSplit {
-  double cpu_mw = 0.0;
-  double screen_mw = 0.0;
-  double wifi_mw = 0.0;
-  double tec_mw = 0.0;
+  util::Milliwatts cpu_mw;
+  util::Milliwatts screen_mw;
+  util::Milliwatts wifi_mw;
+  util::Milliwatts tec_mw;
 
-  [[nodiscard]] double total() const {
+  [[nodiscard]] util::Milliwatts total() const {
     return cpu_mw + screen_mw + wifi_mw + tec_mw;
   }
-  [[nodiscard]] double cap_for(device::ConsumerKind kind) const;
+  [[nodiscard]] util::Milliwatts cap_for(device::ConsumerKind kind) const;
 };
 
 /// One corecap-table row: activates when the effective budget reaches
@@ -69,7 +69,7 @@ struct CorecapSplit {
 /// (each split's caps must sum to at most budget_mw — validated — which
 /// is what makes grants monotone in the budget).
 struct CorecapRow {
-  double budget_mw = 0.0;
+  util::Milliwatts budget_mw;
   CorecapSplit cpu_priority;
   CorecapSplit cooling_priority;
 };
@@ -85,8 +85,8 @@ struct PowerBudgetArbiterConfig {
   CapMethod cap_method = CapMethod::kRelax;
 
   // Budget range: base at full headroom, floor when every derate bites.
-  double base_budget_mw = 5400.0;
-  double min_budget_mw = 900.0;
+  util::Milliwatts base_budget_mw{5400.0};
+  util::Milliwatts min_budget_mw{900.0};
 
   // State-of-charge derating of the active cell: no derate above the
   // knee, linear derate between knee and floor, floored below.
@@ -115,7 +115,8 @@ struct PowerBudgetArbiterConfig {
   double static_margin = 0.85;
 
   // Voluntary spend fraction per BudgetLevel (full, balanced, eco).
-  std::array<double, kBudgetLevelCount> level_fraction{1.0, 0.8, 0.6};
+  std::array<util::Ratio, kBudgetLevelCount> level_fraction{
+      util::Ratio{1.0}, util::Ratio{0.8}, util::Ratio{0.6}};
 
   // Cooling-priority rows engage above this hot-spot temperature.
   double cooling_priority_hotspot_c = 43.0;
@@ -144,14 +145,14 @@ struct BudgetInputs {
 
 /// The outcome of one rebudget.
 struct BudgetGrant {
-  double derived_mw = 0.0;    // budget before level scaling / margin
-  double effective_mw = 0.0;  // after level fraction and cap method
-  double granted_mw = 0.0;    // sum of consumer grants (may exceed
-                              // effective_mw when floors dominate)
+  util::Milliwatts derived_mw;    // budget before level scaling / margin
+  util::Milliwatts effective_mw;  // after level fraction and cap method
+  util::Milliwatts granted_mw;    // sum of consumer grants (may exceed
+                                  // effective_mw when floors dominate)
   BudgetLevel level = BudgetLevel::kFull;
   bool cooling_priority = false;
   std::size_t row = 0;  // index of the corecap row applied
-  std::array<double, device::kConsumerKindCount> by_kind{};
+  std::array<util::Milliwatts, device::kConsumerKindCount> by_kind{};
 };
 
 class PowerBudgetArbiter : public obs::Instrumented {
@@ -162,7 +163,7 @@ class PowerBudgetArbiter : public obs::Instrumented {
 
   /// The total budget the battery/thermal state supports right now, in
   /// [min_budget_mw, base_budget_mw]. Pure: no state is touched.
-  [[nodiscard]] double derive_budget_mw(const BudgetInputs& in) const;
+  [[nodiscard]] util::Milliwatts derive_budget_mw(const BudgetInputs& in) const;
 
   /// Full rebudget: derive, scale by `level`, pick the corecap row, trim
   /// to the effective budget in shed-priority order, and hand each
@@ -189,7 +190,7 @@ class PowerBudgetArbiter : public obs::Instrumented {
   void publish_metrics(obs::MetricsRegistry& registry) const override;
 
  private:
-  [[nodiscard]] const CorecapRow& row_for(double effective_mw,
+  [[nodiscard]] const CorecapRow& row_for(util::Milliwatts effective_mw,
                                           std::size_t* index) const;
 
   PowerBudgetArbiterConfig config_;
@@ -197,7 +198,7 @@ class PowerBudgetArbiter : public obs::Instrumented {
   std::size_t rebudgets_ = 0;
   std::size_t voltage_triggers_ = 0;
   std::size_t cooling_rebudgets_ = 0;
-  double min_granted_mw_ = 0.0;
+  util::Milliwatts min_granted_mw_;
   bool any_grant_ = false;
 };
 

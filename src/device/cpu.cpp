@@ -13,17 +13,17 @@ util::Watts CpuModel::power(CpuState state, double utilization,
                             std::size_t freq_index) const {
   switch (state) {
     case CpuState::kSleep:
-      return util::milliwatts(params_.sleep_mw);
+      return util::to_watts(params_.sleep_mw);
     case CpuState::kC2:
-      return util::milliwatts(params_.c2_mw);
+      return util::to_watts(params_.c2_mw);
     case CpuState::kC1:
-      return util::milliwatts(params_.c1_mw);
+      return util::to_watts(params_.c1_mw);
     case CpuState::kC0: {
       const double mu = std::clamp(utilization, 0.0, 100.0);
       const std::size_t f =
           std::min(freq_index, params_.gamma_mw_per_util.size() - 1);
-      return util::milliwatts(params_.gamma_mw_per_util[f] * mu +
-                              params_.c0_base_mw);
+      return util::to_watts(util::Milliwatts{params_.gamma_mw_per_util[f] * mu} +
+                            params_.c0_base_mw);
     }
   }
   return util::Watts{0.0};

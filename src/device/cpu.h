@@ -13,12 +13,13 @@
 namespace capman::device {
 
 struct CpuParams {
-  // One gamma per frequency level, mW per % utilization.
+  // One gamma per frequency level, mW per % utilization (a slope, not a
+  // power level — stays raw by the L6 naming convention).
   std::vector<double> gamma_mw_per_util;
-  double c0_base_mw = 310.0;   // C_cpu: active baseline (== C2 clocked idle)
-  double c1_mw = 462.0;        // shallow idle
-  double c2_mw = 310.0;        // deep idle, clocks gated
-  double sleep_mw = 55.0;      // suspend-to-RAM
+  util::Milliwatts c0_base_mw{310.0};  // C_cpu: active baseline (== C2 idle)
+  util::Milliwatts c1_mw{462.0};       // shallow idle
+  util::Milliwatts c2_mw{310.0};       // deep idle, clocks gated
+  util::Milliwatts sleep_mw{55.0};     // suspend-to-RAM
   // Frequency range, informational (paper: 1040-2000 MHz across phones).
   double min_freq_mhz = 1040.0;
   double max_freq_mhz = 2000.0;

@@ -9,10 +9,10 @@ CpuParams scaled_cpu(double scale) {
   // Three frequency levels; gamma grows superlinearly with frequency
   // (dynamic power ~ f * V^2).
   p.gamma_mw_per_util = {4.2 * scale, 6.04 * scale, 9.0 * scale};
-  p.c0_base_mw = 310.0 * scale;
-  p.c1_mw = 462.0 * scale;
-  p.c2_mw = 310.0 * scale;
-  p.sleep_mw = 55.0 * scale;
+  p.c0_base_mw = util::Milliwatts{310.0 * scale};
+  p.c1_mw = util::Milliwatts{462.0 * scale};
+  p.c2_mw = util::Milliwatts{310.0 * scale};
+  p.sleep_mw = util::Milliwatts{55.0 * scale};
   return p;
 }
 
@@ -27,9 +27,9 @@ ScreenParams scaled_screen(double scale) {
 
 WifiParams scaled_wifi(double scale) {
   WifiParams w;
-  w.gamma_low_mw *= scale;
+  w.gamma_low_mw_per_rate *= scale;
   w.c_low_mw *= scale;
-  w.gamma_high_mw *= scale;
+  w.gamma_high_mw_per_rate *= scale;
   w.c_high_mw *= scale;
   w.send_premium_mw *= scale;
   return w;

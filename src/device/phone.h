@@ -49,7 +49,7 @@ struct PhoneProfile {
   // Table III's TEC row (0 / 29.17 mW) — the paper's duty-cycle-averaged
   // figure, reported for the table reproduction; the thermal simulation
   // uses the physical TEC model.
-  double tec_on_mw = 29.17;
+  util::Milliwatts tec_on_mw{29.17};
 };
 
 /// The Nexus 6 profile: Table III numbers verbatim.

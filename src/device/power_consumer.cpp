@@ -15,14 +15,15 @@ const char* to_string(ConsumerKind kind) {
   return "?";
 }
 
-double quantize_cap(double budget_mw, const ConsumerCapability& cap) {
+util::Milliwatts quantize_cap(util::Milliwatts budget_mw,
+                              const ConsumerCapability& cap) {
   // A budget covering the worst case grants it exactly: flooring it to the
   // quantum would derate an uncapped consumer (max_draw need not be a
   // quantum multiple).
   if (budget_mw >= cap.max_draw_mw) return cap.max_draw_mw;
-  double granted = budget_mw;
-  if (cap.quantum_mw > 0.0) {
-    granted = std::floor(granted / cap.quantum_mw) * cap.quantum_mw;
+  util::Milliwatts granted = budget_mw;
+  if (cap.quantum_mw > util::Milliwatts{}) {
+    granted = floor_to_multiple(granted, cap.quantum_mw);
   }
   return std::clamp(granted, cap.min_draw_mw, cap.max_draw_mw);
 }
@@ -40,14 +41,14 @@ ConsumerCapability CpuPowerConsumer::capability() const {
       p.gamma_mw_per_util.empty() ? 0.0 : p.gamma_mw_per_util.front();
   const double gamma_high =
       p.gamma_mw_per_util.empty() ? 0.0 : p.gamma_mw_per_util.back();
-  cap.min_draw_mw = gamma_low * kMinUtil + p.c0_base_mw;
-  cap.max_draw_mw = gamma_high * 100.0 + p.c0_base_mw;
-  cap.quantum_mw = 25.0;
+  cap.min_draw_mw = util::Milliwatts{gamma_low * kMinUtil} + p.c0_base_mw;
+  cap.max_draw_mw = util::Milliwatts{gamma_high * 100.0} + p.c0_base_mw;
+  cap.quantum_mw = util::Milliwatts{25.0};
   cap.shed_priority = 3;  // the workhorse sheds last (CPU-priority rows)
   return cap;
 }
 
-double CpuPowerConsumer::apply_cap(double budget_mw) {
+util::Milliwatts CpuPowerConsumer::apply_cap(util::Milliwatts budget_mw) {
   const ConsumerCapability cap = capability();
   granted_mw_ = quantize_cap(budget_mw, cap);
   const CpuParams& p = model_->params();
@@ -56,7 +57,8 @@ double CpuPowerConsumer::apply_cap(double budget_mw) {
   freq_cap_ = 0;
   bool fits = false;
   for (std::size_t f = 0; f < p.gamma_mw_per_util.size(); ++f) {
-    if (p.gamma_mw_per_util[f] * 100.0 + p.c0_base_mw <= granted_mw_) {
+    if (util::Milliwatts{p.gamma_mw_per_util[f] * 100.0} + p.c0_base_mw <=
+        granted_mw_) {
       freq_cap_ = f;
       fits = true;
     }
@@ -66,9 +68,10 @@ double CpuPowerConsumer::apply_cap(double budget_mw) {
   } else {
     // Even the lowest frequency cannot run flat out: LITTLE-cluster
     // utilization ceiling carries the remainder of the derate.
-    util_cap_ = std::clamp(
-        (granted_mw_ - p.c0_base_mw) / p.gamma_mw_per_util.front(), kMinUtil,
-        100.0);
+    // capman-lint: allow(raw-unit, slope inversion mW -> %util ceiling)
+    util_cap_ = std::clamp((granted_mw_ - p.c0_base_mw).raw() /
+                               p.gamma_mw_per_util.front(),
+                           kMinUtil, 100.0);
   }
   return granted_mw_;
 }
@@ -91,21 +94,21 @@ ConsumerCapability ScreenPowerConsumer::capability() const {
   const double alpha = (p.alpha_b_mw_per_level + p.alpha_w_mw_per_level) / 2.0;
   ConsumerCapability cap;
   cap.min_draw_mw = p.c_screen_mw;  // on, brightness 0
-  cap.max_draw_mw = alpha * 255.0 + p.c_screen_mw;
-  cap.quantum_mw = 10.0;
+  cap.max_draw_mw = util::Milliwatts{alpha * 255.0} + p.c_screen_mw;
+  cap.quantum_mw = util::Milliwatts{10.0};
   cap.shed_priority = 1;
   return cap;
 }
 
-double ScreenPowerConsumer::apply_cap(double budget_mw) {
+util::Milliwatts ScreenPowerConsumer::apply_cap(util::Milliwatts budget_mw) {
   const ConsumerCapability cap = capability();
   granted_mw_ = quantize_cap(budget_mw, cap);
   const ScreenParams& p = model_->params();
   const double alpha = (p.alpha_b_mw_per_level + p.alpha_w_mw_per_level) / 2.0;
+  // capman-lint: allow(raw-unit, slope inversion mW -> brightness ceiling)
+  const double above_floor = (granted_mw_ - p.c_screen_mw).raw();
   brightness_cap_ =
-      alpha > 0.0
-          ? std::clamp((granted_mw_ - p.c_screen_mw) / alpha, 0.0, 255.0)
-          : 255.0;
+      alpha > 0.0 ? std::clamp(above_floor / alpha, 0.0, 255.0) : 255.0;
   return granted_mw_;
 }
 
@@ -126,14 +129,14 @@ ConsumerCapability WifiPowerConsumer::capability() const {
   // A Send state pays the fixed premium even at rate 0, so the honest
   // floor (and every rate inversion below) budgets for the worst case.
   cap.min_draw_mw = p.c_low_mw + p.send_premium_mw;
-  cap.max_draw_mw =
-      p.gamma_high_mw * kMaxPacketRate + p.c_high_mw + p.send_premium_mw;
-  cap.quantum_mw = 10.0;
+  cap.max_draw_mw = util::Milliwatts{p.gamma_high_mw_per_rate * kMaxPacketRate} +
+                    p.c_high_mw + p.send_premium_mw;
+  cap.quantum_mw = util::Milliwatts{10.0};
   cap.shed_priority = 0;  // traffic queues; it sheds first
   return cap;
 }
 
-double WifiPowerConsumer::apply_cap(double budget_mw) {
+util::Milliwatts WifiPowerConsumer::apply_cap(util::Milliwatts budget_mw) {
   const ConsumerCapability cap = capability();
   granted_mw_ = quantize_cap(budget_mw, cap);
   const WifiParams& p = model_->params();
@@ -141,13 +144,16 @@ double WifiPowerConsumer::apply_cap(double budget_mw) {
   // net of the worst-case send premium. The two segments meet at the
   // threshold rate, so picking the segment by the knee power keeps the
   // inverse continuous.
-  const double available_mw = granted_mw_ - p.send_premium_mw;
-  const double knee_mw = p.gamma_low_mw * p.threshold + p.c_low_mw;
+  const util::Milliwatts available_mw = granted_mw_ - p.send_premium_mw;
+  const util::Milliwatts knee_mw =
+      util::Milliwatts{p.gamma_low_mw_per_rate * p.threshold} + p.c_low_mw;
   double rate = 0.0;
-  if (available_mw >= knee_mw && p.gamma_high_mw > 0.0) {
-    rate = (available_mw - p.c_high_mw) / p.gamma_high_mw;
-  } else if (p.gamma_low_mw > 0.0) {
-    rate = (available_mw - p.c_low_mw) / p.gamma_low_mw;
+  if (available_mw >= knee_mw && p.gamma_high_mw_per_rate > 0.0) {
+    // capman-lint: allow(raw-unit, slope inversion mW -> packet-rate ceiling)
+    rate = (available_mw - p.c_high_mw).raw() / p.gamma_high_mw_per_rate;
+  } else if (p.gamma_low_mw_per_rate > 0.0) {
+    // capman-lint: allow(raw-unit, slope inversion mW -> packet-rate ceiling)
+    rate = (available_mw - p.c_low_mw).raw() / p.gamma_low_mw_per_rate;
   }
   rate_cap_ = std::clamp(rate, 0.0, kMaxPacketRate);
   return granted_mw_;

@@ -36,9 +36,9 @@ const char* to_string(ConsumerKind kind);
 
 /// What a consumer tells the arbiter about itself before any cap is set.
 struct ConsumerCapability {
-  double min_draw_mw = 0.0;  // floor: the consumer cannot shed below this
-  double max_draw_mw = 0.0;  // worst-case unconstrained draw
-  double quantum_mw = 1.0;   // cap granularity; grants are floor-quantized
+  util::Milliwatts min_draw_mw;        // floor: cannot shed below this
+  util::Milliwatts max_draw_mw;        // worst-case unconstrained draw
+  util::Milliwatts quantum_mw{1.0};    // cap granularity (floor-quantized)
   // Shed order under deficit: lower sheds first (FastCap-style fair
   // trimming). The arbiter may reorder CPU vs TEC per its priority row.
   int shed_priority = 0;
@@ -47,8 +47,8 @@ struct ConsumerCapability {
 /// Floor-quantize `budget_mw` to the capability quantum, then clamp into
 /// [min_draw_mw, max_draw_mw]. This is the one quantization rule every
 /// consumer applies, exposed so the arbiter and tests agree with it.
-[[nodiscard]] double quantize_cap(double budget_mw,
-                                  const ConsumerCapability& cap);
+[[nodiscard]] util::Milliwatts quantize_cap(util::Milliwatts budget_mw,
+                                            const ConsumerCapability& cap);
 
 /// One cappable device subsystem. apply_cap() is the only mutating entry:
 /// it stores the granted level and derives whatever internal ceilings the
@@ -63,10 +63,10 @@ class PowerConsumer {
 
   /// Apply a cap of `budget_mw`; returns the granted level (quantized to
   /// the capability quantum, clamped into [min_draw, max_draw]).
-  virtual double apply_cap(double budget_mw) = 0;
+  virtual util::Milliwatts apply_cap(util::Milliwatts budget_mw) = 0;
 
   /// The level the last apply_cap() granted (max_draw before any cap).
-  [[nodiscard]] virtual double granted_mw() const = 0;
+  [[nodiscard]] virtual util::Milliwatts granted_mw() const = 0;
 
   /// Shape `demand` so this consumer's modeled draw fits the granted cap.
   /// Default: no-op (consumers that do not act through DeviceDemand).
@@ -90,8 +90,10 @@ class CpuPowerConsumer final : public PowerConsumer {
   }
   [[nodiscard]] const char* name() const override { return "cpu"; }
   [[nodiscard]] ConsumerCapability capability() const override;
-  double apply_cap(double budget_mw) override;
-  [[nodiscard]] double granted_mw() const override { return granted_mw_; }
+  util::Milliwatts apply_cap(util::Milliwatts budget_mw) override;
+  [[nodiscard]] util::Milliwatts granted_mw() const override {
+    return granted_mw_;
+  }
   void shape(DeviceDemand& demand) const override;
 
   /// Ceilings derived by the last apply_cap (exposed for tests).
@@ -100,7 +102,7 @@ class CpuPowerConsumer final : public PowerConsumer {
 
  private:
   const CpuModel* model_;
-  double granted_mw_ = 0.0;
+  util::Milliwatts granted_mw_;
   std::size_t freq_cap_ = 0;
   double util_cap_ = 100.0;
 };
@@ -117,15 +119,17 @@ class ScreenPowerConsumer final : public PowerConsumer {
   }
   [[nodiscard]] const char* name() const override { return "screen"; }
   [[nodiscard]] ConsumerCapability capability() const override;
-  double apply_cap(double budget_mw) override;
-  [[nodiscard]] double granted_mw() const override { return granted_mw_; }
+  util::Milliwatts apply_cap(util::Milliwatts budget_mw) override;
+  [[nodiscard]] util::Milliwatts granted_mw() const override {
+    return granted_mw_;
+  }
   void shape(DeviceDemand& demand) const override;
 
   [[nodiscard]] double brightness_cap() const { return brightness_cap_; }
 
  private:
   const ScreenModel* model_;
-  double granted_mw_ = 0.0;
+  util::Milliwatts granted_mw_;
   double brightness_cap_ = 255.0;
 };
 
@@ -145,15 +149,17 @@ class WifiPowerConsumer final : public PowerConsumer {
   }
   [[nodiscard]] const char* name() const override { return "wifi"; }
   [[nodiscard]] ConsumerCapability capability() const override;
-  double apply_cap(double budget_mw) override;
-  [[nodiscard]] double granted_mw() const override { return granted_mw_; }
+  util::Milliwatts apply_cap(util::Milliwatts budget_mw) override;
+  [[nodiscard]] util::Milliwatts granted_mw() const override {
+    return granted_mw_;
+  }
   void shape(DeviceDemand& demand) const override;
 
   [[nodiscard]] double rate_cap() const { return rate_cap_; }
 
  private:
   const WifiModel* model_;
-  double granted_mw_ = 0.0;
+  util::Milliwatts granted_mw_;
   double rate_cap_ = kMaxPacketRate;
 };
 

@@ -6,12 +6,14 @@ namespace capman::device {
 
 util::Watts ScreenModel::power(ScreenState state,
                                double brightness_level) const {
-  if (state == ScreenState::kOff) return util::milliwatts(params_.off_mw);
+  if (state == ScreenState::kOff) return util::to_watts(params_.off_mw);
   const double b = std::clamp(brightness_level, 0.0, 255.0);
-  const double mw =
-      0.5 * (params_.alpha_b_mw_per_level + params_.alpha_w_mw_per_level) * b +
+  const util::Milliwatts mw =
+      util::Milliwatts{0.5 * (params_.alpha_b_mw_per_level +
+                              params_.alpha_w_mw_per_level) *
+                       b} +
       params_.c_screen_mw;
-  return util::milliwatts(mw);
+  return util::to_watts(mw);
 }
 
 }  // namespace capman::device

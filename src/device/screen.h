@@ -10,10 +10,11 @@
 namespace capman::device {
 
 struct ScreenParams {
+  // Per-brightness-level slopes (mW per level — stay raw under L6).
   double alpha_b_mw_per_level = 3.5;
   double alpha_w_mw_per_level = 3.0;
-  double c_screen_mw = 205.0;
-  double off_mw = 22.0;
+  util::Milliwatts c_screen_mw{205.0};
+  util::Milliwatts off_mw{22.0};
 };
 
 class ScreenModel {

@@ -5,14 +5,17 @@
 namespace capman::device {
 
 util::Watts WifiModel::power(WifiState state, double packet_rate) const {
-  if (state == WifiState::kIdle) return util::milliwatts(params_.c_low_mw);
+  if (state == WifiState::kIdle) return util::to_watts(params_.c_low_mw);
   const double p = std::max(packet_rate, 0.0);
-  const double mw = p <= params_.threshold
-                        ? params_.gamma_low_mw * p + params_.c_low_mw
-                        : params_.gamma_high_mw * p + params_.c_high_mw;
-  const double premium =
-      state == WifiState::kSend ? params_.send_premium_mw : 0.0;
-  return util::milliwatts(mw + premium);
+  const util::Milliwatts mw =
+      p <= params_.threshold
+          ? util::Milliwatts{params_.gamma_low_mw_per_rate * p} +
+                params_.c_low_mw
+          : util::Milliwatts{params_.gamma_high_mw_per_rate * p} +
+                params_.c_high_mw;
+  const util::Milliwatts premium =
+      state == WifiState::kSend ? params_.send_premium_mw : util::Milliwatts{};
+  return util::to_watts(mw + premium);
 }
 
 WifiState WifiModel::state_for_rate(double packet_rate, bool sending) const {

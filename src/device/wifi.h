@@ -11,14 +11,16 @@
 namespace capman::device {
 
 struct WifiParams {
-  double gamma_low_mw = 12.24;   // mW per packet-rate unit below threshold
-  double c_low_mw = 60.0;        // == Table III idle power at p = 0
-  double gamma_high_mw = 2.64;   // mW per unit above threshold
-  double c_high_mw = 1020.0;
-  double threshold = 100.0;      // packet-rate units (≈ kB/s)
+  // Slopes in mW per packet-rate unit (rates, not power levels — named
+  // *_mw_per_rate so L6 leaves them raw).
+  double gamma_low_mw_per_rate = 12.24;   // below threshold
+  double gamma_high_mw_per_rate = 2.64;   // above threshold
+  util::Milliwatts c_low_mw{60.0};        // == Table III idle power at p = 0
+  util::Milliwatts c_high_mw{1020.0};
+  double threshold = 100.0;               // packet-rate units (≈ kB/s)
   // Fixed premium of sending over receiving at the same rate (Table III:
   // Send 1548 mW vs Access 1284 mW).
-  double send_premium_mw = 264.0;
+  util::Milliwatts send_premium_mw{264.0};
 };
 
 class WifiModel {

@@ -22,7 +22,7 @@ void Histogram::observe(double v) {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  const std::scoped_lock lock{mutex_};
+  const util::MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string{name}, std::make_unique<Counter>())
@@ -32,7 +32,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  const std::scoped_lock lock{mutex_};
+  const util::MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string{name}, std::make_unique<Gauge>()).first;
@@ -42,7 +42,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> bounds) {
-  const std::scoped_lock lock{mutex_};
+  const util::MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -55,7 +55,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
-  const std::scoped_lock lock{mutex_};
+  const util::MutexLock lock(mutex_);
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
     snap.counters.push_back({name, c->value()});

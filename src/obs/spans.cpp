@@ -57,7 +57,7 @@ double SpanProfiler::now_us() const {
 
 SpanProfiler::ThreadBuffer& SpanProfiler::local_buffer() {
   if (t_slot.generation != generation_ || t_slot.buffer == nullptr) {
-    const std::scoped_lock lock{mutex_};
+    const util::MutexLock lock(mutex_);
     auto buffer = std::make_unique<ThreadBuffer>();
     buffer->tid = static_cast<std::uint32_t>(buffers_.size());
     buffer->label = t_label.empty()
@@ -85,7 +85,7 @@ void SpanProfiler::instant(const char* name, const char* category,
 }
 
 void SpanProfiler::append_sim(Event event) {
-  const std::scoped_lock lock{mutex_};
+  const util::MutexLock lock(mutex_);
   sim_events_.push_back(event);
 }
 
@@ -109,7 +109,7 @@ void SpanProfiler::sim_counter(const char* name, double t_s, double value) {
 }
 
 std::size_t SpanProfiler::event_count() const {
-  const std::scoped_lock lock{mutex_};
+  const util::MutexLock lock(mutex_);
   std::size_t n = sim_events_.size();
   for (const auto& buf : buffers_) n += buf->events.size();
   return n;
@@ -165,7 +165,7 @@ void append_metadata(std::string& out, const char* what, std::uint32_t pid,
 }  // namespace
 
 void SpanProfiler::write_chrome_trace(std::ostream& out) const {
-  const std::scoped_lock lock{mutex_};
+  const util::MutexLock lock(mutex_);
   std::size_t events = sim_events_.size();
   for (const auto& buf : buffers_) events += buf->events.size();
 

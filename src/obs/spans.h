@@ -28,11 +28,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace capman::obs {
 
@@ -134,9 +135,10 @@ class SpanProfiler {
   std::uint64_t generation_;
   std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mutex_;  // guards buffers_ registration & sim_events_
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
-  std::vector<Event> sim_events_;
+  mutable util::Mutex mutex_;  // guards buffers_ registration & sim_events_
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+      CAPMAN_GUARDED_BY(mutex_);
+  std::vector<Event> sim_events_ CAPMAN_GUARDED_BY(mutex_);
 };
 
 /// RAII wall-clock span. Resolves the ambient profiler once at

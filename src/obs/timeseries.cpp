@@ -15,7 +15,7 @@ TimeSeries::TimeSeries(std::size_t capacity) : capacity_(capacity) {
   v_.reserve(capacity_);
 }
 
-void TimeSeries::add(double t, double v) {
+void TimeSeries::add(util::Seconds t, double v) {
   const std::uint64_t index = offered_++;
   if (index % stride_ != 0) return;
   if (t_.size() == capacity_) {
@@ -32,7 +32,7 @@ void TimeSeries::add(double t, double v) {
     stride_ *= 2;
     if (index % stride_ != 0) return;
   }
-  t_.push_back(t);
+  t_.push_back(t.value());
   v_.push_back(v);
 }
 
@@ -103,7 +103,7 @@ std::size_t MetricsSampler::bind_gauge(std::string name, const Gauge& gauge) {
   return id;
 }
 
-void MetricsSampler::sample(double t) {
+void MetricsSampler::sample(util::Seconds t) {
   for (auto& ch : channels_) {
     if (ch.counter != nullptr) {
       ch.last = static_cast<double>(ch.counter->value());
@@ -113,7 +113,7 @@ void MetricsSampler::sample(double t) {
     ch.series.add(t, ch.last);
   }
   ++samples_;
-  next_sample_s_ = t + config_.period_s;
+  next_sample_s_ = t.value() + config_.period_s;
 }
 
 const TimeSeries* MetricsSampler::find(std::string_view name) const {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/units.h"
 
 namespace capman::obs {
 
@@ -39,10 +40,12 @@ class TimeSeries {
  public:
   explicit TimeSeries(std::size_t capacity = 512);
 
-  /// Offer one sample. Samples are accepted when their offer index is a
-  /// multiple of the current stride; a full buffer compacts (drops every
-  /// other retained sample) and doubles the stride first.
-  void add(double t, double v);
+  /// Offer one sample at simulation time `t`. Samples are accepted when
+  /// their offer index is a multiple of the current stride; a full buffer
+  /// compacts (drops every other retained sample) and doubles the stride
+  /// first. Takes strong-typed seconds: the series is simulation-clock
+  /// history by contract, and the type seals the µs/ms/s confusion off.
+  void add(util::Seconds t, double v);
 
   [[nodiscard]] std::size_t size() const { return t_.size(); }
   [[nodiscard]] bool empty() const { return t_.empty(); }
@@ -107,9 +110,11 @@ class MetricsSampler {
   void set(std::size_t id, double v) { channels_[id].last = v; }
 
   /// True when simulation time `t` has reached the next sampling tick.
-  [[nodiscard]] bool due(double t) const { return t >= next_sample_s_; }
+  [[nodiscard]] bool due(util::Seconds t) const {
+    return t.value() >= next_sample_s_;
+  }
   /// Record every channel at time `t` and advance the cadence.
-  void sample(double t);
+  void sample(util::Seconds t);
 
   [[nodiscard]] const SamplerConfig& config() const { return config_; }
   [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }

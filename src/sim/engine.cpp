@@ -293,7 +293,8 @@ SimResult SimEngine::run(const workload::Trace& trace,
       ctx.interval_duration_s = cursor.next_event_time(t) - t;
       ctx.pack = dual;
       if (rig) {
-        ctx.granted_budget_mw = rig->arbiter.last_grant().granted_mw;
+        // capman-lint: allow(raw-unit, policy context carries plain doubles)
+        ctx.granted_budget_mw = rig->arbiter.last_grant().granted_mw.raw();
         ctx.budget_level = budget_level;
       }
       const workload::Action& action = cursor.action_at(t);
@@ -311,7 +312,8 @@ SimResult SimEngine::run(const workload::Trace& trace,
           recorder->record(
               t, obs::FlightEventKind::kBudget, "rebudget",
               "level=" + std::to_string(static_cast<int>(budget_level)),
-              rig->arbiter.last_grant().granted_mw);
+              // capman-lint: allow(raw-unit, flight recorder value is double)
+              rig->arbiter.last_grant().granted_mw.raw());
         }
       }
       if (recorder != nullptr) {
@@ -357,7 +359,8 @@ SimResult SimEngine::run(const workload::Trace& trace,
         rec.demand_w = ctx.demand_w;
         if (rig) {
           rec.budget_level = static_cast<int>(budget_level);
-          rec.granted_mw = rig->arbiter.last_grant().granted_mw;
+          // capman-lint: allow(raw-unit, decision trace serializes doubles)
+          rec.granted_mw = rig->arbiter.last_grant().granted_mw.raw();
         }
         decision_sink.record(rec);
       }
@@ -401,10 +404,12 @@ SimResult SimEngine::run(const workload::Trace& trace,
         if (recorder != nullptr) {
           recorder->record(t, obs::FlightEventKind::kBudget, "relax-rebudget",
                            "rail_v=" + std::to_string(last_rail_v),
-                           rig->arbiter.last_grant().granted_mw);
+                           // capman-lint: allow(raw-unit, recorder value is double)
+                           rig->arbiter.last_grant().granted_mw.raw());
         }
       }
-      sum_budget_x_dt += rig->arbiter.last_grant().effective_mw * dt_s;
+      // capman-lint: allow(raw-unit, time-weighted budget integral is double)
+      sum_budget_x_dt += rig->arbiter.last_grant().effective_mw.raw() * dt_s;
     }
 
     // Thermal integration; CPU node carries compute + policy maintenance,
@@ -465,16 +470,18 @@ SimResult SimEngine::run(const workload::Trace& trace,
         last_guard = guard_now;
       }
     }
-    if (sampler != nullptr && sampler->due(t)) {
+    if (sampler != nullptr && sampler->due(util::Seconds{t})) {
       sampler->set(ch.soc, source->soc());
       sampler->set(ch.power_w, load.value());
       sampler->set(ch.hotspot_c, thermal.cpu_temperature().value());
       sampler->set(ch.skin_c, thermal.surface_temperature().value());
       sampler->set(ch.cell_c, thermal.battery_temperature().value());
       sampler->set(ch.demand_w, comp.total().value());
-      sampler->set(ch.granted_mw,
-                   rig ? rig->arbiter.last_grant().granted_mw : 0.0);
-      sampler->sample(t);
+      const double sampled_grant =
+          // capman-lint: allow(raw-unit, sampler channels carry plain doubles)
+          rig ? rig->arbiter.last_grant().granted_mw.raw() : 0.0;
+      sampler->set(ch.granted_mw, sampled_grant);
+      sampler->sample(util::Seconds{t});
     }
     if (health != nullptr && health->due(t)) {
       // The monitor models the management facility's own sensors, so it
@@ -484,7 +491,8 @@ SimResult SimEngine::run(const workload::Trace& trace,
       in.cell_c = thermal.battery_temperature().value();
       in.soc = source->soc();
       in.demand_mw = comp.total().value() * 1000.0;
-      in.granted_mw = rig ? rig->arbiter.last_grant().granted_mw : 0.0;
+      // capman-lint: allow(raw-unit, health inputs carry plain doubles)
+      in.granted_mw = rig ? rig->arbiter.last_grant().granted_mw.raw() : 0.0;
       in.budget_active = rig != nullptr;
       in.switch_count = source->switch_count();
       in.guard_engaged = policy.degradation().in_fallback;

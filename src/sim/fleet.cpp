@@ -94,10 +94,6 @@ std::uint64_t mix64(std::uint64_t z) {
 constexpr std::uint64_t kSampleSalt = 0xF1EE75A117ULL;
 constexpr std::uint64_t kFaultSalt = 0xFA0175EEDULL;
 
-std::uint64_t quantize_u64(double value, double scale) {
-  return static_cast<std::uint64_t>(std::llround(std::max(value, 0.0) * scale));
-}
-
 /// Sketches reject negatives; fleet metrics are non-negative by
 /// construction, but clamp defensively so a pathological run cannot
 /// throw inside a worker thread.
@@ -232,9 +228,12 @@ void PolicyAggregate::add(const SimResult& result, bool faulty) {
   if (faulty) ++faulty_devices;
   fault_fallbacks += result.faults.fallback_episodes;
   fault_dropped_requests += result.faults.dropped_requests;
-  lifetime_us += quantize_u64(result.service_time_s, 1e6);
-  max_temp_mc += std::llround(result.max_cpu_temp_c * 1e3);
-  energy_delivered_mj += quantize_u64(result.energy_delivered_j, 1e3);
+  lifetime_us +=
+      util::quantize_microseconds(util::Seconds{result.service_time_s});
+  max_temp_mc +=
+      util::quantize_millicelsius(util::Celsius{result.max_cpu_temp_c});
+  energy_delivered_mj +=
+      util::quantize_millijoules(util::Joules{result.energy_delivered_j});
   health_evaluations += result.health.evaluations;
   for (std::size_t i = 0; i < health_alerts.size(); ++i) {
     health_alerts[i] += result.health.alerts[i];
@@ -271,24 +270,24 @@ std::uint64_t PolicyAggregate::health_alert_total() const {
 }
 
 double PolicyAggregate::mean_lifetime_s() const {
-  return devices > 0
-             ? static_cast<double>(lifetime_us) / 1e6 /
-                   static_cast<double>(devices)
-             : 0.0;
+  if (devices == 0) return 0.0;
+  // capman-lint: allow(raw-unit, mean reporting scales the exact fold)
+  return static_cast<double>(lifetime_us.raw()) / 1e6 /
+         static_cast<double>(devices);
 }
 
 double PolicyAggregate::mean_max_temp_c() const {
-  return devices > 0
-             ? static_cast<double>(max_temp_mc) / 1e3 /
-                   static_cast<double>(devices)
-             : 0.0;
+  if (devices == 0) return 0.0;
+  // capman-lint: allow(raw-unit, mean reporting scales the exact fold)
+  return static_cast<double>(max_temp_mc.raw()) / 1e3 /
+         static_cast<double>(devices);
 }
 
 double PolicyAggregate::mean_energy_j() const {
-  return devices > 0
-             ? static_cast<double>(energy_delivered_mj) / 1e3 /
-                   static_cast<double>(devices)
-             : 0.0;
+  if (devices == 0) return 0.0;
+  // capman-lint: allow(raw-unit, mean reporting scales the exact fold)
+  return static_cast<double>(energy_delivered_mj.raw()) / 1e3 /
+         static_cast<double>(devices);
 }
 
 double PolicyAggregate::mean_switches() const {

@@ -193,10 +193,13 @@ struct PolicyAggregate {
   std::uint64_t fault_fallbacks = 0; // DegradationGuard fallback episodes
   std::uint64_t fault_dropped_requests = 0;
 
-  // Quantized sums (exact integer folds; see the header comment).
-  std::uint64_t lifetime_us = 0;           // service time, microseconds
-  std::int64_t max_temp_mc = 0;            // per-device max hotspot, m°C
-  std::uint64_t energy_delivered_mj = 0;   // millijoules
+  // Quantized sums (exact integer folds; see the header comment). The
+  // strong types carry the integer representation: util::MicroSeconds /
+  // util::MilliCelsius / util::Millijoules only add to themselves, so a
+  // µs/mJ cross-fold no longer compiles.
+  util::MicroSeconds lifetime_us;          // service time
+  util::MilliCelsius max_temp_mc;          // per-device max hotspot sum
+  util::Millijoules energy_delivered_mj;   // delivered energy
 
   // Health-watchdog reduction (all zero unless FleetConfig::health is
   // enabled): per-rule alert counts summed over the population, exact

@@ -6,25 +6,25 @@ TecPowerConsumer::TecPowerConsumer(const Tec& tec) : tec_(&tec) {
   apply_cap(capability().max_draw_mw);  // start uncapped
 }
 
-double TecPowerConsumer::reference_draw_mw() const {
+util::Milliwatts TecPowerConsumer::reference_draw_mw() const {
   const TecParams& p = tec_->params();
   const double current = p.rated_current.value();
   // P = S_T * I * dT + I^2 * R at the worst-case temperature difference.
   const double watts = p.seebeck_v_per_k * current * kReferenceDeltaK +
                        current * current * p.resistance.value();
-  return watts * 1000.0;
+  return util::as_milliwatts(util::Watts{watts});
 }
 
 device::ConsumerCapability TecPowerConsumer::capability() const {
   device::ConsumerCapability cap;
-  cap.min_draw_mw = 0.0;  // off is always allowed
+  cap.min_draw_mw = util::Milliwatts{};  // off is always allowed
   cap.max_draw_mw = reference_draw_mw();
-  cap.quantum_mw = 50.0;
+  cap.quantum_mw = util::Milliwatts{50.0};
   cap.shed_priority = 2;  // before the CPU on CPU-priority rows
   return cap;
 }
 
-double TecPowerConsumer::apply_cap(double budget_mw) {
+util::Milliwatts TecPowerConsumer::apply_cap(util::Milliwatts budget_mw) {
   granted_mw_ = device::quantize_cap(budget_mw, capability());
   return granted_mw_;
 }
@@ -32,7 +32,8 @@ double TecPowerConsumer::apply_cap(double budget_mw) {
 bool TecPowerConsumer::allows_on() const {
   // The quantizer floors, so compare against the floored reference.
   const device::ConsumerCapability cap = capability();
-  return granted_mw_ >= device::quantize_cap(cap.max_draw_mw, cap) - 1e-9;
+  return granted_mw_ >=
+         device::quantize_cap(cap.max_draw_mw, cap) - util::Milliwatts{1e-9};
 }
 
 }  // namespace capman::thermal

@@ -26,20 +26,22 @@ class TecPowerConsumer final : public device::PowerConsumer {
   }
   [[nodiscard]] const char* name() const override { return "tec"; }
   [[nodiscard]] device::ConsumerCapability capability() const override;
-  double apply_cap(double budget_mw) override;
-  [[nodiscard]] double granted_mw() const override { return granted_mw_; }
+  util::Milliwatts apply_cap(util::Milliwatts budget_mw) override;
+  [[nodiscard]] util::Milliwatts granted_mw() const override {
+    return granted_mw_;
+  }
   // shape(): inherited no-op — the TEC is gated by the engine via
   // allows_on(), it does not act through DeviceDemand.
 
-  /// Worst-case electric power of a rated-current run, in mW.
-  [[nodiscard]] double reference_draw_mw() const;
+  /// Worst-case electric power of a rated-current run.
+  [[nodiscard]] util::Milliwatts reference_draw_mw() const;
 
   /// Whether the current grant covers running the TEC at rated current.
   [[nodiscard]] bool allows_on() const;
 
  private:
   const Tec* tec_;
-  double granted_mw_ = 0.0;
+  util::Milliwatts granted_mw_;
 };
 
 }  // namespace capman::thermal

@@ -62,7 +62,7 @@ void Logger::write(LogLevel level, std::string_view component,
   const std::size_t tid =
       std::hash<std::thread::id>{}(std::this_thread::get_id()) % 100000;
 
-  const std::scoped_lock lock{mutex_};
+  const MutexLock lock(mutex_);
   std::ostream& out = sink_ != nullptr ? *sink_ : std::clog;
   out << '[' << stamp << "] [" << kNames[static_cast<int>(level)] << "] [tid "
       << tid << "] " << component << ": " << msg << '\n';

@@ -12,11 +12,12 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <optional>
 #include <ostream>
 #include <sstream>
 #include <string_view>
+
+#include "util/thread_annotations.h"
 
 namespace capman::util {
 
@@ -36,15 +37,20 @@ class Logger {
   [[nodiscard]] LogLevel level() const {
     return level_.load(std::memory_order_relaxed);
   }
-  void set_sink(std::ostream* sink) { sink_ = sink; }
+  void set_sink(std::ostream* sink) {
+    // Locked: tests swap the sink while pooled workers may still be
+    // logging; an unsynchronized pointer store here was a latent race.
+    const MutexLock lock(mutex_);
+    sink_ = sink;
+  }
 
   void write(LogLevel level, std::string_view component, std::string_view msg);
 
  private:
   Logger();  // applies CAPMAN_LOG
   std::atomic<LogLevel> level_{LogLevel::kWarn};
-  std::ostream* sink_ = nullptr;  // nullptr -> std::clog
-  std::mutex mutex_;
+  Mutex mutex_;
+  std::ostream* sink_ CAPMAN_GUARDED_BY(mutex_) = nullptr;  // nullptr -> clog
 };
 
 namespace detail {

@@ -24,7 +24,7 @@ ThreadPool::ThreadPool(std::size_t threads)
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_ready_.notify_all();
@@ -71,7 +71,7 @@ void ThreadPool::parallel_for(
     return;
   }
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     task_ = &body;
     task_total_ = total;
     pending_ = workers_ - 1;
@@ -82,9 +82,13 @@ void ThreadPool::parallel_for(
     const obs::ScopedSpan span{"pool.chunk", "threadpool"};
     body(chunk_begin(0), chunk_begin(1), 0);  // caller runs chunk 0 inline
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [this] { return pending_ == 0; });
-  task_ = nullptr;
+  {
+    const MutexLock lock(mutex_);
+    // condition_variable_any waits on the annotated mutex directly; the
+    // manual loop keeps the guarded predicate visible to the analysis.
+    while (pending_ != 0) work_done_.wait(mutex_);
+    task_ = nullptr;
+  }
 }
 
 void ThreadPool::worker_loop(std::size_t worker) {
@@ -94,10 +98,10 @@ void ThreadPool::worker_loop(std::size_t worker) {
     const std::function<void(std::size_t, std::size_t, std::size_t)>* task;
     std::size_t total;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [&] {
-        return stopping_ || generation_ != seen_generation;
-      });
+      const MutexLock lock(mutex_);
+      while (!stopping_ && generation_ == seen_generation) {
+        work_ready_.wait(mutex_);
+      }
       if (stopping_) return;
       seen_generation = generation_;
       task = task_;
@@ -113,7 +117,7 @@ void ThreadPool::worker_loop(std::size_t worker) {
     }
     bool last = false;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       last = --pending_ == 0;
     }
     if (last) work_done_.notify_one();

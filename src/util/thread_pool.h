@@ -25,9 +25,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace capman::obs {
 class Counter;
@@ -81,15 +82,18 @@ class ThreadPool {
 
   // One-shot task state, guarded by mutex_: generation_ increments per
   // parallel_for call; workers run the current task_ once per generation.
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  std::uint64_t generation_ = 0;
-  std::size_t pending_ = 0;
-  bool stopping_ = false;
-  std::size_t task_total_ = 0;
-  const std::function<void(std::size_t, std::size_t, std::size_t)>* task_ =
-      nullptr;
+  // The condition variables are _any so they can wait on the annotated
+  // util::Mutex (a BasicLockable) directly; clang -Wthread-safety then
+  // checks every guarded access (the thread_safety_check gate).
+  Mutex mutex_;
+  std::condition_variable_any work_ready_;
+  std::condition_variable_any work_done_;
+  std::uint64_t generation_ CAPMAN_GUARDED_BY(mutex_) = 0;
+  std::size_t pending_ CAPMAN_GUARDED_BY(mutex_) = 0;
+  bool stopping_ CAPMAN_GUARDED_BY(mutex_) = false;
+  std::size_t task_total_ CAPMAN_GUARDED_BY(mutex_) = 0;
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* task_
+      CAPMAN_GUARDED_BY(mutex_) = nullptr;
 
   // Registry handles (stable for the registry's lifetime); null when no
   // registry is bound.

@@ -5,10 +5,27 @@
 // in a tagged Quantity so that a caller cannot pass milliwatts where joules
 // are expected. Arithmetic is defined within a unit, plus the handful of
 // cross-unit products the physics needs (V*A = W, W*s = J, A*s = C, ...).
+//
+// Two families live here:
+//
+//  * Quantity<Tag> — the SI-base family (Watts, Joules, Seconds, ...):
+//    double representation, `.value()` accessor, cross-unit physics.
+//  * Strong<Tag, Rep> — the scaled-integer/milli family (Milliwatts,
+//    Millijoules, MilliCelsius, MicroSeconds, Ratio): the budget arbiter,
+//    the consumer capability surface and the fleet's exact integer folds
+//    trade in these. The representation escape hatch is `.raw()`, and
+//    capman-lint L8 audits every `.raw()` call site under src/ (it must
+//    carry a `// capman-lint: allow(raw-unit, <reason>)`).
+//
+// Both are zero-overhead: one scalar member, all operations constexpr and
+// inlined, so wrapping a double in Milliwatts compiles to the identical
+// instruction stream — the bit-identity gates (fleet, bench baselines)
+// pin that down.
 #pragma once
 
 #include <cmath>
 #include <compare>
+#include <concepts>
 #include <cstdint>
 
 namespace capman::util {
@@ -105,6 +122,10 @@ constexpr Amperes operator/(Watts p, Volts v) { return Amperes{p.value() / v.val
 constexpr Volts operator/(Watts p, Amperes i) { return Volts{p.value() / i.value()}; }
 constexpr Watts operator/(Joules e, Seconds t) { return Watts{e.value() / t.value()}; }
 constexpr Seconds operator/(Joules e, Watts p) { return Seconds{e.value() / p.value()}; }
+constexpr Joules operator*(Coulombs q, Volts v) {
+  return Joules{q.value() * v.value()};
+}
+constexpr Joules operator*(Volts v, Coulombs q) { return q * v; }
 
 /// Temperature +/- difference.
 constexpr Celsius operator+(Celsius t, KelvinDiff d) {
@@ -123,6 +144,152 @@ constexpr KelvinDiff temperature_difference(Celsius a, Celsius b) {
 /// Kelvin value of an absolute Celsius temperature (for the Peltier term
 /// S_T * T_c * I, which needs absolute temperature).
 constexpr double kelvin(Celsius t) { return t.value() + 273.15; }
+
+// ---- Strong scaled scalars (Milliwatts, Millijoules, ...) --------------
+
+/// A strongly typed scalar with representation `Rep` and no implicit
+/// conversions. Same-dimension arithmetic only; scalar scaling and ratios
+/// exist for floating representations (scaling an exact integer fold
+/// would silently round). `.raw()` is the audited escape hatch (L8).
+template <typename Tag, typename Rep>
+class Strong {
+ public:
+  using rep = Rep;
+
+  constexpr Strong() = default;
+  constexpr explicit Strong(Rep v) : raw_(v) {}
+
+  /// The raw representation. Call sites under src/ must justify the
+  /// escape with `// capman-lint: allow(raw-unit, <reason>)`.
+  [[nodiscard]] constexpr Rep raw() const { return raw_; }
+
+  constexpr Strong& operator+=(Strong o) {
+    raw_ += o.raw_;
+    return *this;
+  }
+  constexpr Strong& operator-=(Strong o) {
+    raw_ -= o.raw_;
+    return *this;
+  }
+  constexpr Strong& operator*=(double s)
+    requires std::floating_point<Rep>
+  {
+    raw_ *= s;
+    return *this;
+  }
+  constexpr Strong& operator/=(double s)
+    requires std::floating_point<Rep>
+  {
+    raw_ /= s;
+    return *this;
+  }
+
+  friend constexpr Strong operator+(Strong a, Strong b) {
+    return Strong{a.raw_ + b.raw_};
+  }
+  friend constexpr Strong operator-(Strong a, Strong b) {
+    return Strong{a.raw_ - b.raw_};
+  }
+  friend constexpr Strong operator-(Strong a)
+    requires std::floating_point<Rep> || std::signed_integral<Rep>
+  {
+    return Strong{-a.raw_};
+  }
+  friend constexpr Strong operator*(Strong a, double s)
+    requires std::floating_point<Rep>
+  {
+    return Strong{a.raw_ * s};
+  }
+  friend constexpr Strong operator*(double s, Strong a)
+    requires std::floating_point<Rep>
+  {
+    return Strong{s * a.raw_};
+  }
+  friend constexpr Strong operator/(Strong a, double s)
+    requires std::floating_point<Rep>
+  {
+    return Strong{a.raw_ / s};
+  }
+  /// Ratio of two like quantities is a plain number.
+  friend constexpr double operator/(Strong a, Strong b)
+    requires std::floating_point<Rep>
+  {
+    return a.raw_ / b.raw_;
+  }
+  friend constexpr auto operator<=>(Strong a, Strong b) = default;
+
+  /// Largest multiple of `quantum` not exceeding `v` (the consumer-cap
+  /// floor quantization; device::quantize_cap builds on it).
+  friend Strong floor_to_multiple(Strong v, Strong quantum)
+    requires std::floating_point<Rep>
+  {
+    return Strong{std::floor(v.raw_ / quantum.raw_) * quantum.raw_};
+  }
+
+ private:
+  Rep raw_ = Rep{};
+};
+
+struct MilliwattsTag {};
+struct MillijoulesTag {};
+struct MilliCelsiusTag {};
+struct MicroSecondsTag {};
+struct RatioTag {};
+
+/// Milliwatt power levels (the budget/cap currency of the arbiter and the
+/// PowerConsumer surface; Table II/III coefficients).
+using Milliwatts = Strong<MilliwattsTag, double>;
+/// Exact millijoule sums (the fleet's integer energy fold).
+using Millijoules = Strong<MillijoulesTag, std::uint64_t>;
+/// Exact milli-degree-Celsius sums (signed: sub-zero ambients exist).
+using MilliCelsius = Strong<MilliCelsiusTag, std::int64_t>;
+/// Exact microsecond sums (the fleet's integer lifetime fold).
+using MicroSeconds = Strong<MicroSecondsTag, std::uint64_t>;
+/// A dimensionless fraction (budget-level spend fractions, derates).
+using Ratio = Strong<RatioTag, double>;
+
+// ---- Conversions between the families ----------------------------------
+
+// capman-lint: allow(raw-unit, family conversion mW -> W)
+constexpr Watts to_watts(Milliwatts mw) { return Watts{mw.raw() / 1000.0}; }
+constexpr Milliwatts as_milliwatts(Watts w) {
+  return Milliwatts{w.value() * 1000.0};
+}
+
+/// Milliwatts scaled by a dimensionless fraction stay milliwatts.
+constexpr Milliwatts operator*(Milliwatts mw, Ratio r) {
+  // capman-lint: allow(raw-unit, defines the mW x ratio operator itself)
+  return Milliwatts{mw.raw() * r.raw()};
+}
+constexpr Milliwatts operator*(Ratio r, Milliwatts mw) {
+  // capman-lint: allow(raw-unit, defines the ratio x mW operator itself)
+  return Milliwatts{r.raw() * mw.raw()};
+}
+
+// Fixed-resolution quantizers for the fleet's exact integer folds. The
+// formulas are the original FleetRunner ones verbatim (llround of the
+// non-negative-clamped scaled value), so migrated aggregates stay
+// bit-identical to the pre-units quantization.
+inline MicroSeconds quantize_microseconds(Seconds s) {
+  return MicroSeconds{static_cast<std::uint64_t>(
+      std::llround(std::max(s.value(), 0.0) * 1e6))};
+}
+inline MilliCelsius quantize_millicelsius(Celsius c) {
+  return MilliCelsius{std::llround(c.value() * 1e3)};
+}
+inline Millijoules quantize_millijoules(Joules j) {
+  return Millijoules{static_cast<std::uint64_t>(
+      std::llround(std::max(j.value(), 0.0) * 1e3))};
+}
+
+namespace literals {
+constexpr Milliwatts operator""_mw(long double mw) {
+  return Milliwatts{static_cast<double>(mw)};
+}
+constexpr Milliwatts operator""_mw(unsigned long long mw) {
+  return Milliwatts{static_cast<double>(mw)};
+}
+}  // namespace literals
 
 // ---- Convenience constructors -----------------------------------------
 

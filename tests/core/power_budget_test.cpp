@@ -33,8 +33,9 @@ TEST(PowerBudgetArbiterConfig, DefaultsValidate) {
 
 TEST(PowerBudgetArbiterConfig, EveryFieldHasANamedMessage) {
   PowerBudgetArbiterConfig config;
-  config.base_budget_mw = 0.0;
-  config.min_budget_mw = -1.0;  // keep <= base so only its own rule fires
+  config.base_budget_mw = util::Milliwatts{0.0};
+  config.min_budget_mw =
+      util::Milliwatts{-1.0};  // keep <= base so only its own rule fires
   {
     const auto errors = config.validate();
     ASSERT_EQ(errors.size(), 2u);
@@ -42,7 +43,7 @@ TEST(PowerBudgetArbiterConfig, EveryFieldHasANamedMessage) {
     EXPECT_EQ(errors[1], "min_budget_mw must be > 0 and <= base_budget_mw");
   }
   config = {};
-  config.min_budget_mw = config.base_budget_mw + 1.0;
+  config.min_budget_mw = config.base_budget_mw + util::Milliwatts{1.0};
   expect_single_error(config,
                       "min_budget_mw must be > 0 and <= base_budget_mw");
   config = {};
@@ -79,7 +80,8 @@ TEST(PowerBudgetArbiterConfig, EveryFieldHasANamedMessage) {
   config.cooling_priority_hotspot_c = 0.0;
   expect_single_error(config, "cooling_priority_hotspot_c must be > 0");
   config = {};
-  config.level_fraction = {0.6, 0.8, 1.0};  // increasing: invalid
+  config.level_fraction = {util::Ratio{0.6}, util::Ratio{0.8},
+                           util::Ratio{1.0}};  // increasing: invalid
   expect_single_error(
       config, "level_fraction values must be in (0, 1] and non-increasing");
 }
@@ -104,7 +106,7 @@ TEST(PowerBudgetArbiterConfig, CorecapTableRules) {
   }
 
   config = {};
-  config.corecaps[0].cpu_priority.cpu_mw = -1.0;
+  config.corecaps[0].cpu_priority.cpu_mw = util::Milliwatts{-1.0};
   expect_single_error(config,
                       "corecaps[0].cpu_priority caps must be >= 0");
 
@@ -127,7 +129,7 @@ TEST(PowerBudgetArbiterConfig, CorecapTableRules) {
 
 TEST(PowerBudgetArbiter, ConstructorThrowsListingEveryError) {
   PowerBudgetArbiterConfig config;
-  config.base_budget_mw = 0.0;
+  config.base_budget_mw = util::Milliwatts{0.0};
   config.static_margin = 2.0;
   try {
     PowerBudgetArbiter arbiter{config};
@@ -157,8 +159,8 @@ BudgetInputs healthy_inputs() {
 
 TEST(PowerBudgetArbiter, FullHeadroomYieldsBaseBudget) {
   const PowerBudgetArbiter arbiter{PowerBudgetArbiterConfig{}};
-  EXPECT_DOUBLE_EQ(arbiter.derive_budget_mw(healthy_inputs()),
-                   arbiter.config().base_budget_mw);
+  EXPECT_DOUBLE_EQ(arbiter.derive_budget_mw(healthy_inputs()).raw(),
+                   arbiter.config().base_budget_mw.raw());
 }
 
 TEST(PowerBudgetArbiter, TightestConstraintRules) {
@@ -169,21 +171,24 @@ TEST(PowerBudgetArbiter, TightestConstraintRules) {
   // other (healthy) factors; the floor keeps the budget alive.
   BudgetInputs in = healthy_inputs();
   in.big_soc = config.soc_floor;
-  EXPECT_DOUBLE_EQ(arbiter.derive_budget_mw(in), config.min_budget_mw);
+  EXPECT_DOUBLE_EQ(arbiter.derive_budget_mw(in).raw(),
+                   config.min_budget_mw.raw());
 
   // ... but only the *active* cell's SoC matters.
   in.active = battery::BatterySelection::kLittle;
-  EXPECT_DOUBLE_EQ(arbiter.derive_budget_mw(in), config.base_budget_mw);
+  EXPECT_DOUBLE_EQ(arbiter.derive_budget_mw(in).raw(),
+                   config.base_budget_mw.raw());
 
   // Skin at the hard limit also floors the budget.
   in = healthy_inputs();
   in.skin_c = config.skin_hard_c;
-  EXPECT_DOUBLE_EQ(arbiter.derive_budget_mw(in), config.min_budget_mw);
+  EXPECT_DOUBLE_EQ(arbiter.derive_budget_mw(in).raw(),
+                   config.min_budget_mw.raw());
 
   // Halfway between soft and hard derates to half the base.
   in.skin_c = (config.skin_soft_c + config.skin_hard_c) / 2.0;
-  EXPECT_NEAR(arbiter.derive_budget_mw(in), config.base_budget_mw / 2.0,
-              1e-9);
+  EXPECT_NEAR(arbiter.derive_budget_mw(in).raw(),
+              config.base_budget_mw.raw() / 2.0, 1e-9);
 }
 
 TEST(PowerBudgetArbiter, StaticMethodIgnoresRailVoltage) {
@@ -196,10 +201,10 @@ TEST(PowerBudgetArbiter, StaticMethodIgnoresRailVoltage) {
 
   BudgetInputs sag = healthy_inputs();
   sag.rail_v = (relax.rail_min_v + relax.nominal_v) / 2.0;
-  EXPECT_LT(relax_arbiter.derive_budget_mw(sag),
-            relax.base_budget_mw);  // relax sees the sag
-  EXPECT_DOUBLE_EQ(static_arbiter.derive_budget_mw(sag),
-                   fixed.base_budget_mw);  // static cannot read the rail
+  EXPECT_LT(relax_arbiter.derive_budget_mw(sag).raw(),
+            relax.base_budget_mw.raw());  // relax sees the sag
+  EXPECT_DOUBLE_EQ(static_arbiter.derive_budget_mw(sag).raw(),
+                   fixed.base_budget_mw.raw());  // static cannot read the rail
 }
 
 // ------------------------------------------------------------ grants ---
@@ -229,15 +234,15 @@ TEST(PowerBudgetArbiter, GrantsAreMonotoneInTheBudget) {
   for (double base : {600.0, 1000.0, 1400.0, 1800.0, 2300.0, 2800.0, 3200.0,
                       3600.0, 4000.0, 4400.0, 4900.0, 5400.0}) {
     PowerBudgetArbiterConfig config;
-    config.base_budget_mw = base;
-    config.min_budget_mw = std::min(900.0, base);
+    config.base_budget_mw = util::Milliwatts{base};
+    config.min_budget_mw = util::Milliwatts{std::min(900.0, base)};
     Rig rig;
     PowerBudgetArbiter arbiter{config};
     const BudgetGrant grant =
         arbiter.rebudget(healthy_inputs(), BudgetLevel::kFull, rig.consumers);
-    EXPECT_GE(grant.granted_mw, previous) << "base " << base;
-    EXPECT_DOUBLE_EQ(grant.effective_mw, base);
-    previous = grant.granted_mw;
+    EXPECT_GE(grant.granted_mw.raw(), previous) << "base " << base;
+    EXPECT_DOUBLE_EQ(grant.effective_mw.raw(), base);
+    previous = grant.granted_mw.raw();
   }
 }
 
@@ -246,16 +251,17 @@ TEST(PowerBudgetArbiter, GrantFitsEffectiveBudgetAboveTheFloors) {
   PowerBudgetArbiter arbiter{PowerBudgetArbiterConfig{}};
   const BudgetGrant grant =
       arbiter.rebudget(healthy_inputs(), BudgetLevel::kFull, rig.consumers);
-  EXPECT_LE(grant.granted_mw, grant.effective_mw + 1e-9);
-  EXPECT_GT(grant.granted_mw, 0.0);
+  EXPECT_LE(grant.granted_mw.raw(), grant.effective_mw.raw() + 1e-9);
+  EXPECT_GT(grant.granted_mw.raw(), 0.0);
   for (std::size_t kind = 0; kind < device::kConsumerKindCount; ++kind) {
-    EXPECT_GE(grant.by_kind[kind], 0.0);
+    EXPECT_GE(grant.by_kind[kind].raw(), 0.0);
   }
 }
 
 TEST(PowerBudgetArbiter, ZeroHeadroomGrantsTheFloors) {
   PowerBudgetArbiterConfig config;
-  config.min_budget_mw = 1.0;  // the trim has nothing to work with
+  config.min_budget_mw =
+      util::Milliwatts{1.0};  // the trim has nothing to work with
   Rig rig;
   PowerBudgetArbiter arbiter{config};
   BudgetInputs in = healthy_inputs();
@@ -265,34 +271,39 @@ TEST(PowerBudgetArbiter, ZeroHeadroomGrantsTheFloors) {
   // Every consumer is pinned at its capability floor; the grant honestly
   // reports more than the (unachievable) effective budget.
   EXPECT_DOUBLE_EQ(
-      grant.by_kind[static_cast<std::size_t>(device::ConsumerKind::kCpu)],
-      rig.cpu.capability().min_draw_mw);
+      grant.by_kind[static_cast<std::size_t>(device::ConsumerKind::kCpu)]
+          .raw(),
+      rig.cpu.capability().min_draw_mw.raw());
   EXPECT_DOUBLE_EQ(
-      grant.by_kind[static_cast<std::size_t>(device::ConsumerKind::kScreen)],
-      rig.screen.capability().min_draw_mw);
+      grant.by_kind[static_cast<std::size_t>(device::ConsumerKind::kScreen)]
+          .raw(),
+      rig.screen.capability().min_draw_mw.raw());
   EXPECT_DOUBLE_EQ(
-      grant.by_kind[static_cast<std::size_t>(device::ConsumerKind::kWifi)],
-      rig.wifi.capability().min_draw_mw);
+      grant.by_kind[static_cast<std::size_t>(device::ConsumerKind::kWifi)]
+          .raw(),
+      rig.wifi.capability().min_draw_mw.raw());
   EXPECT_DOUBLE_EQ(
-      grant.by_kind[static_cast<std::size_t>(device::ConsumerKind::kTec)],
+      grant.by_kind[static_cast<std::size_t>(device::ConsumerKind::kTec)]
+          .raw(),
       0.0);
-  EXPECT_GT(grant.granted_mw, grant.effective_mw);
+  EXPECT_GT(grant.granted_mw.raw(), grant.effective_mw.raw());
   EXPECT_FALSE(rig.tec.allows_on());
 }
 
 TEST(PowerBudgetArbiter, SingleConsumerSpanLeavesOthersAlone) {
   Rig rig;
   PowerBudgetArbiter arbiter{PowerBudgetArbiterConfig{}};
-  const double wifi_before = rig.wifi.granted_mw();
+  const double wifi_before = rig.wifi.granted_mw().raw();
   std::array<device::PowerConsumer*, 1> only_cpu{&rig.cpu};
   const BudgetGrant grant =
       arbiter.rebudget(healthy_inputs(), BudgetLevel::kFull, only_cpu);
-  EXPECT_GT(grant.granted_mw, 0.0);
+  EXPECT_GT(grant.granted_mw.raw(), 0.0);
   EXPECT_DOUBLE_EQ(
-      grant.granted_mw,
-      grant.by_kind[static_cast<std::size_t>(device::ConsumerKind::kCpu)]);
+      grant.granted_mw.raw(),
+      grant.by_kind[static_cast<std::size_t>(device::ConsumerKind::kCpu)]
+          .raw());
   // Consumers outside the span keep their previous caps.
-  EXPECT_DOUBLE_EQ(rig.wifi.granted_mw(), wifi_before);
+  EXPECT_DOUBLE_EQ(rig.wifi.granted_mw().raw(), wifi_before);
 }
 
 TEST(PowerBudgetArbiter, LevelFractionsScaleTheGrant) {
@@ -303,9 +314,10 @@ TEST(PowerBudgetArbiter, LevelFractionsScaleTheGrant) {
     PowerBudgetArbiter arbiter{config};
     const BudgetGrant grant = arbiter.rebudget(
         healthy_inputs(), static_cast<BudgetLevel>(level), rig.consumers);
-    effective[level] = grant.effective_mw;
-    EXPECT_DOUBLE_EQ(grant.effective_mw,
-                     config.base_budget_mw * config.level_fraction[level]);
+    effective[level] = grant.effective_mw.raw();
+    EXPECT_DOUBLE_EQ(
+        grant.effective_mw.raw(),
+        (config.base_budget_mw * config.level_fraction[level]).raw());
   }
   EXPECT_GT(effective[0], effective[1]);
   EXPECT_GT(effective[1], effective[2]);
@@ -318,8 +330,8 @@ TEST(PowerBudgetArbiter, StaticMarginShavesEveryBudget) {
   PowerBudgetArbiter arbiter{config};
   const BudgetGrant grant =
       arbiter.rebudget(healthy_inputs(), BudgetLevel::kFull, rig.consumers);
-  EXPECT_DOUBLE_EQ(grant.effective_mw,
-                   config.base_budget_mw * config.static_margin);
+  EXPECT_DOUBLE_EQ(grant.effective_mw.raw(),
+                   config.base_budget_mw.raw() * config.static_margin);
 }
 
 TEST(PowerBudgetArbiter, CoolingPriorityFundsTheTec) {
@@ -339,8 +351,10 @@ TEST(PowerBudgetArbiter, CoolingPriorityFundsTheTec) {
       arbiter.rebudget(healthy_inputs(), BudgetLevel::kFull, rig.consumers);
   EXPECT_FALSE(cool.cooling_priority);
   EXPECT_LT(
-      cool.by_kind[static_cast<std::size_t>(device::ConsumerKind::kTec)],
-      grant.by_kind[static_cast<std::size_t>(device::ConsumerKind::kTec)]);
+      cool.by_kind[static_cast<std::size_t>(device::ConsumerKind::kTec)]
+          .raw(),
+      grant.by_kind[static_cast<std::size_t>(device::ConsumerKind::kTec)]
+          .raw());
   EXPECT_FALSE(rig.tec.allows_on());
 }
 

@@ -137,7 +137,7 @@ TEST(WifiModel, HighRateUsesHighSlope) {
   WifiModel wifi{nexus_profile().wifi};
   const auto& p = nexus_profile().wifi;
   const double p200 = util::to_milliwatts(wifi.power(WifiState::kAccess, 200.0));
-  EXPECT_NEAR(p200, p.gamma_high_mw * 200.0 + p.c_high_mw, 1.0);
+  EXPECT_NEAR(p200, p.gamma_high_mw_per_rate * 200.0 + p.c_high_mw.raw(), 1.0);
 }
 
 TEST(WifiModel, StateForRate) {
@@ -199,7 +199,7 @@ TEST(PhoneModel, ProfileMetadata) {
   EXPECT_EQ(nexus_profile().name, "Nexus");
   EXPECT_EQ(honor_profile().name, "Honor");
   EXPECT_EQ(lenovo_profile().name, "Lenovo");
-  EXPECT_NEAR(nexus_profile().tec_on_mw, 29.17, 1e-9);
+  EXPECT_NEAR(nexus_profile().tec_on_mw.raw(), 29.17, 1e-9);
 }
 
 }  // namespace

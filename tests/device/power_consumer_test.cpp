@@ -14,21 +14,23 @@ PhoneProfile profile() { return nexus_profile(); }
 
 TEST(QuantizeCap, FloorsToQuantumThenClamps) {
   ConsumerCapability cap;
-  cap.min_draw_mw = 50.0;
-  cap.max_draw_mw = 500.0;
-  cap.quantum_mw = 25.0;
-  EXPECT_DOUBLE_EQ(quantize_cap(130.0, cap), 125.0);
-  EXPECT_DOUBLE_EQ(quantize_cap(125.0, cap), 125.0);
-  EXPECT_DOUBLE_EQ(quantize_cap(10.0, cap), 50.0);     // below floor
-  EXPECT_DOUBLE_EQ(quantize_cap(9999.0, cap), 500.0);  // above ceiling
+  cap.min_draw_mw = util::Milliwatts{50.0};
+  cap.max_draw_mw = util::Milliwatts{500.0};
+  cap.quantum_mw = util::Milliwatts{25.0};
+  EXPECT_DOUBLE_EQ(quantize_cap(util::Milliwatts{130.0}, cap).raw(), 125.0);
+  EXPECT_DOUBLE_EQ(quantize_cap(util::Milliwatts{125.0}, cap).raw(), 125.0);
+  EXPECT_DOUBLE_EQ(quantize_cap(util::Milliwatts{10.0}, cap).raw(),
+                   50.0);  // below floor
+  EXPECT_DOUBLE_EQ(quantize_cap(util::Milliwatts{9999.0}, cap).raw(),
+                   500.0);  // above ceiling
 }
 
 TEST(QuantizeCap, ZeroQuantumSkipsQuantization) {
   ConsumerCapability cap;
-  cap.min_draw_mw = 0.0;
-  cap.max_draw_mw = 100.0;
-  cap.quantum_mw = 0.0;
-  EXPECT_DOUBLE_EQ(quantize_cap(33.3, cap), 33.3);
+  cap.min_draw_mw = util::Milliwatts{0.0};
+  cap.max_draw_mw = util::Milliwatts{100.0};
+  cap.quantum_mw = util::Milliwatts{0.0};
+  EXPECT_DOUBLE_EQ(quantize_cap(util::Milliwatts{33.3}, cap).raw(), 33.3);
 }
 
 TEST(ConsumerKindNames, CoverEveryKind) {
@@ -44,7 +46,7 @@ TEST(CpuPowerConsumer, StartsUncapped) {
   const CpuModel model{profile().cpu};
   CpuPowerConsumer cpu{model};
   const auto cap = cpu.capability();
-  EXPECT_DOUBLE_EQ(cpu.granted_mw(), cap.max_draw_mw);
+  EXPECT_DOUBLE_EQ(cpu.granted_mw().raw(), cap.max_draw_mw.raw());
   EXPECT_DOUBLE_EQ(cpu.util_cap(), 100.0);
   EXPECT_EQ(cpu.freq_cap(), model.params().gamma_mw_per_util.size() - 1);
 }
@@ -54,11 +56,11 @@ TEST(CpuPowerConsumer, CapabilitySpansTableII) {
   const CpuPowerConsumer cpu{model};
   const auto cap = cpu.capability();
   const auto& p = model.params();
-  EXPECT_DOUBLE_EQ(cap.max_draw_mw,
-                   p.gamma_mw_per_util.back() * 100.0 + p.c0_base_mw);
-  EXPECT_DOUBLE_EQ(cap.min_draw_mw,
+  EXPECT_DOUBLE_EQ(cap.max_draw_mw.raw(),
+                   p.gamma_mw_per_util.back() * 100.0 + p.c0_base_mw.raw());
+  EXPECT_DOUBLE_EQ(cap.min_draw_mw.raw(),
                    p.gamma_mw_per_util.front() * CpuPowerConsumer::kMinUtil +
-                       p.c0_base_mw);
+                       p.c0_base_mw.raw());
   EXPECT_LT(cap.min_draw_mw, cap.max_draw_mw);
 }
 
@@ -70,16 +72,16 @@ TEST(CpuPowerConsumer, ShapedDrawFitsGrant) {
   demand.cpu = CpuState::kC0;
   demand.utilization = 100.0;
   demand.freq_index = model.params().gamma_mw_per_util.size() - 1;
-  for (double budget : {cap.max_draw_mw, 1500.0, 900.0, 500.0,
-                        cap.min_draw_mw, 0.0}) {
-    const double granted = cpu.apply_cap(budget);
+  for (double budget : {cap.max_draw_mw.raw(), 1500.0, 900.0, 500.0,
+                        cap.min_draw_mw.raw(), 0.0}) {
+    const double granted = cpu.apply_cap(util::Milliwatts{budget}).raw();
     DeviceDemand shaped = demand;
     cpu.shape(shaped);
     const double draw_mw = util::to_milliwatts(
         model.power(shaped.cpu, shaped.utilization, shaped.freq_index));
     EXPECT_LE(draw_mw, granted + 1e-9)
         << "budget " << budget << " granted " << granted;
-    EXPECT_GE(granted, cap.min_draw_mw);
+    EXPECT_GE(granted, cap.min_draw_mw.raw());
   }
 }
 
@@ -115,9 +117,9 @@ TEST(ScreenPowerConsumer, ShapedDrawFitsGrant) {
   DeviceDemand demand;
   demand.screen = ScreenState::kOn;
   demand.brightness = 255.0;
-  for (double budget :
-       {cap.max_draw_mw, cap.max_draw_mw / 2.0, cap.min_draw_mw, 0.0}) {
-    const double granted = screen.apply_cap(budget);
+  for (double budget : {cap.max_draw_mw.raw(), cap.max_draw_mw.raw() / 2.0,
+                        cap.min_draw_mw.raw(), 0.0}) {
+    const double granted = screen.apply_cap(util::Milliwatts{budget}).raw();
     DeviceDemand shaped = demand;
     screen.shape(shaped);
     // The panel's two alphas straddle the capability's mean alpha, so
@@ -134,8 +136,8 @@ TEST(ScreenPowerConsumer, ShapedDrawFitsGrant) {
 TEST(ScreenPowerConsumer, CapNeverTurnsScreenOff) {
   const ScreenModel model{profile().screen};
   ScreenPowerConsumer screen{model};
-  screen.apply_cap(0.0);
-  EXPECT_GE(screen.granted_mw(), model.params().c_screen_mw);
+  screen.apply_cap(util::Milliwatts{0.0});
+  EXPECT_GE(screen.granted_mw().raw(), model.params().c_screen_mw.raw());
   EXPECT_DOUBLE_EQ(screen.brightness_cap(), 0.0);
   DeviceDemand demand;
   demand.screen = ScreenState::kOn;
@@ -154,9 +156,9 @@ TEST(WifiPowerConsumer, ShapedDrawFitsGrant) {
   DeviceDemand demand;
   demand.wifi = WifiState::kSend;
   demand.packet_rate = WifiPowerConsumer::kMaxPacketRate;
-  for (double budget :
-       {cap.max_draw_mw, cap.max_draw_mw / 2.0, cap.min_draw_mw + 40.0, 0.0}) {
-    const double granted = wifi.apply_cap(budget);
+  for (double budget : {cap.max_draw_mw.raw(), cap.max_draw_mw.raw() / 2.0,
+                        cap.min_draw_mw.raw() + 40.0, 0.0}) {
+    const double granted = wifi.apply_cap(util::Milliwatts{budget}).raw();
     DeviceDemand shaped = demand;
     wifi.shape(shaped);
     const double draw_mw =
@@ -181,14 +183,14 @@ TEST(WifiPowerConsumer, ShedsFirst) {
 TEST(TecPowerConsumer, GrantGatesTurnOn) {
   const thermal::Tec tec_model;
   thermal::TecPowerConsumer tec{tec_model};
-  const double reference = tec.reference_draw_mw();
-  EXPECT_GT(reference, 0.0);
+  const util::Milliwatts reference = tec.reference_draw_mw();
+  EXPECT_GT(reference.raw(), 0.0);
 
   tec.apply_cap(reference);
   EXPECT_TRUE(tec.allows_on());
-  tec.apply_cap(0.0);
+  tec.apply_cap(util::Milliwatts{0.0});
   EXPECT_FALSE(tec.allows_on());
-  EXPECT_DOUBLE_EQ(tec.granted_mw(), 0.0);
+  EXPECT_DOUBLE_EQ(tec.granted_mw().raw(), 0.0);
 }
 
 TEST(TecPowerConsumer, ReferenceDrawCoversRatedCurrentRun) {
@@ -199,7 +201,7 @@ TEST(TecPowerConsumer, ReferenceDrawCoversRatedCurrentRun) {
       tec_model.params().seebeck_v_per_k * i *
           thermal::TecPowerConsumer::kReferenceDeltaK +
       i * i * tec_model.params().resistance.value();
-  EXPECT_NEAR(tec.reference_draw_mw(), expected_w * 1000.0, 1e-6);
+  EXPECT_NEAR(tec.reference_draw_mw().raw(), expected_w * 1000.0, 1e-6);
 }
 
 }  // namespace

@@ -23,7 +23,7 @@ TEST(TimeSeries, CapacityBelowTwoThrows) {
 TEST(TimeSeries, KeepsEverySampleUntilFull) {
   TimeSeries series{4};
   for (int i = 0; i < 4; ++i) {
-    series.add(static_cast<double>(i), 10.0 * i);
+    series.add(util::Seconds{static_cast<double>(i)}, 10.0 * i);
   }
   EXPECT_EQ(series.size(), 4u);
   EXPECT_EQ(series.stride(), 1u);
@@ -40,7 +40,7 @@ TEST(TimeSeries, OverflowCompactsAndDoublesStride) {
   // doubles the stride to 2, and appends index 4 (4 % 2 == 0).
   TimeSeries series{4};
   for (int i = 0; i <= 6; ++i) {
-    series.add(static_cast<double>(i), static_cast<double>(i));
+    series.add(util::Seconds{static_cast<double>(i)}, static_cast<double>(i));
   }
   EXPECT_EQ(series.stride(), 2u);
   EXPECT_EQ(series.times(), (std::vector<double>{0.0, 2.0, 4.0, 6.0}));
@@ -51,7 +51,7 @@ TEST(TimeSeries, RepeatedOverflowKeepsStrideMultiples) {
   // always multiples of the current stride, oldest sample is index 0.
   TimeSeries series{4};
   for (int i = 0; i <= 16; ++i) {
-    series.add(static_cast<double>(i), static_cast<double>(i));
+    series.add(util::Seconds{static_cast<double>(i)}, static_cast<double>(i));
   }
   EXPECT_EQ(series.stride(), 8u);
   EXPECT_EQ(series.times(), (std::vector<double>{0.0, 8.0, 16.0}));
@@ -68,8 +68,8 @@ TEST(TimeSeries, RetainedSetIsAPureFunctionOfTheAddSequence) {
   for (int i = 0; i < 1000; ++i) {
     const double t = 0.25 * i;
     const double v = (i * 7919) % 104729;  // deterministic, non-monotonic
-    a.add(t, v);
-    b.add(t, v);
+    a.add(util::Seconds{t}, v);
+    b.add(util::Seconds{t}, v);
   }
   EXPECT_EQ(a.stride(), b.stride());
   ASSERT_EQ(a.size(), b.size());
@@ -83,9 +83,9 @@ TEST(TimeSeries, SummaryHelpersTrackRetainedSamples) {
   TimeSeries series{8};
   EXPECT_DOUBLE_EQ(series.last_time(), 0.0);
   EXPECT_DOUBLE_EQ(series.min_value(), 0.0);
-  series.add(1.0, 5.0);
-  series.add(2.0, -3.0);
-  series.add(3.0, 9.0);
+  series.add(util::Seconds{1.0}, 5.0);
+  series.add(util::Seconds{2.0}, -3.0);
+  series.add(util::Seconds{3.0}, 9.0);
   EXPECT_DOUBLE_EQ(series.last_time(), 3.0);
   EXPECT_DOUBLE_EQ(series.last_value(), 9.0);
   EXPECT_DOUBLE_EQ(series.min_value(), -3.0);
@@ -129,15 +129,15 @@ TEST(MetricsSampler, ChannelsShareOneCadence) {
   const std::size_t soc = sampler.channel("soc");
   const std::size_t power = sampler.channel("power_w");
 
-  EXPECT_TRUE(sampler.due(0.0));  // first tick fires immediately
+  EXPECT_TRUE(sampler.due(util::Seconds{0.0}));  // first tick fires immediately
   double t = 0.0;
   for (int step = 0; step < 100; ++step) {
     t = 0.1 * step;
     sampler.set(soc, 1.0 - 0.001 * step);
     sampler.set(power, 2.0);
-    if (sampler.due(t)) sampler.sample(t);
+    if (sampler.due(util::Seconds{t})) sampler.sample(util::Seconds{t});
   }
-  EXPECT_FALSE(sampler.due(t));
+  EXPECT_FALSE(sampler.due(util::Seconds{t}));
   EXPECT_EQ(sampler.samples_taken(), 5u);  // t = 0, 2, 4, 6, 8
   EXPECT_EQ(sampler.series(soc).size(), sampler.series(power).size());
   EXPECT_EQ(sampler.series(soc).times(), sampler.series(power).times());
@@ -154,10 +154,10 @@ TEST(MetricsSampler, BoundInstrumentsAreReadAtTheTick) {
 
   steps.add(3);
   temp.set(41.5);
-  sampler.sample(0.0);
+  sampler.sample(util::Seconds{0.0});
   steps.add(4);
   temp.set(44.0);
-  sampler.sample(2.0);
+  sampler.sample(util::Seconds{2.0});
 
   EXPECT_DOUBLE_EQ(sampler.series(c).value_at(0), 3.0);
   EXPECT_DOUBLE_EQ(sampler.series(c).value_at(1), 7.0);
@@ -181,7 +181,7 @@ TEST(MetricsSampler, CsvRowsAlignAcrossDownsampledChannels) {
   for (int i = 0; i <= 6; ++i) {
     sampler.set(a, 1.0 * i);
     sampler.set(b, -1.0 * i);
-    sampler.sample(static_cast<double>(i));
+    sampler.sample(util::Seconds{static_cast<double>(i)});
   }
 
   std::ostringstream out;

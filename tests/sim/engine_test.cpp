@@ -343,7 +343,7 @@ TEST(SimEngineBudget, EnabledRunIsDeterministic) {
   SimConfig config;
   config.max_duration = util::Seconds{900.0};
   config.budget.enabled = true;
-  config.budget.base_budget_mw = 3200.0;
+  config.budget.base_budget_mw = util::Milliwatts{3200.0};
   SimEngine engine{config};
   RunnerOptions options;
   options.seed = 9;
@@ -375,7 +375,7 @@ TEST(SimEngineBudget, TightBudgetShedsPowerAndCoolsTheRun) {
   const auto uncapped = uncapped_engine.run(trace, *uncapped_policy, nexus());
 
   config.budget.enabled = true;
-  config.budget.base_budget_mw = 2400.0;
+  config.budget.base_budget_mw = util::Milliwatts{2400.0};
   SimEngine capped_engine{config};
   auto capped_policy = make_test_policy(PolicyKind::kDual);
   const auto capped = capped_engine.run(trace, *capped_policy, nexus());

@@ -315,7 +315,7 @@ TEST(FleetRunner, FaultFractionSamplesFaultyDevices) {
 TEST(FleetRunner, BudgetEnabledStaysBitIdenticalAcrossThreads) {
   FleetConfig base = small_fleet(8, 4, 1);
   base.base.budget.enabled = true;
-  base.base.budget.base_budget_mw = 2600.0;
+  base.base.budget.base_budget_mw = util::Milliwatts{2600.0};
   base.capman.learn_budget = true;
   FleetConfig threaded = base;
   threaded.threads = 4;
