@@ -3,10 +3,13 @@
 // plus the bit-identity and memory-flatness checks that back the fleet
 // determinism and memory contracts.
 //
-// Three stages:
+// Four stages:
 //  1. Identity — the same fleet at 1 worker vs N workers must serialise
 //     to byte-identical metrics snapshots (hard failure otherwise).
 //  2. Thread curve — devices/sec at 10^4 devices for 1/2/4/8 workers.
+//  2b. Checkpoint overhead — the same fleet with and without periodic
+//     checkpoint writes (sim/checkpoint.h); reports the wall-clock cost
+//     of crash-safety as a percentage (report-only budget line).
 //  3. Headline — one 10^5-device run at auto threads with peak-RSS
 //     growth per device (flat-memory evidence).
 //
@@ -31,7 +34,10 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+
 #include <sys/resource.h>
+#include <unistd.h>
 
 #include "sim/fleet.h"
 
@@ -192,6 +198,45 @@ int main(int argc, char** argv) {
                                      " devices: throughput vs threads");
   curve.print(std::cout);
 
+  // Stage 2b: checkpoint overhead budget. Same fleet with and without
+  // durability (sim/checkpoint.h, every 4 shards); the wall-clock delta
+  // is the price of crash-safety. Report-only — the regression baseline
+  // carries it in the NOISY set — but the printed budget line is what
+  // EXPERIMENTS.md quotes (<5% on an unloaded machine).
+  double checkpoint_overhead_pct = 0.0;
+  {
+    const std::size_t ck_devices = smoke ? 500 : 5000;
+    const auto plain = run_timed(fleet_config(ck_devices, 64, 0, seed));
+    char ck_template[] = "/tmp/capman_bench_ckpt_XXXXXX";
+    char* ck_dir = mkdtemp(ck_template);
+    if (ck_dir == nullptr) {
+      std::cout << "  [skip] mkdtemp failed; checkpoint overhead not "
+                   "measured\n";
+    } else {
+      auto config = fleet_config(ck_devices, 64, 0, seed);
+      config.checkpoint.directory = ck_dir;
+      config.checkpoint.every_shards = 4;
+      const auto durable = run_timed(config);
+      checkpoint_overhead_pct =
+          plain.seconds > 0.0
+              ? 100.0 * (durable.seconds - plain.seconds) / plain.seconds
+              : 0.0;
+      bench::measured_note(
+          std::cout,
+          "checkpoint overhead: " +
+              util::TextTable::format(checkpoint_overhead_pct, 2) +
+              "% wall clock (" + std::to_string(ck_devices) +
+              " devices, write every 4 shards, " +
+              std::to_string(durable.result.checkpoint.writes) +
+              " writes, last " +
+              std::to_string(durable.result.checkpoint.bytes_last_write) +
+              " bytes)");
+      std::remove((std::string{ck_dir} + "/fleet.ckpt").c_str());
+      std::remove((std::string{ck_dir} + "/fleet.ckpt.tmp").c_str());
+      rmdir(ck_dir);
+    }
+  }
+
   if (json) {
     // Curve-stage aggregates are deterministic for a fixed (devices, seed);
     // the throughput number is machine-dependent and carries a loose
@@ -208,6 +253,7 @@ int main(int argc, char** argv) {
       artifact.metric("dual_switches_per_dev", curve_dual->mean_switches());
     }
     artifact.metric("devices_per_sec_best", best_rate);
+    artifact.metric("checkpoint_overhead_pct", checkpoint_overhead_pct);
     artifact.write_file();
   }
 

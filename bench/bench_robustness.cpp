@@ -5,7 +5,9 @@
 // read back off the run's metrics snapshot (SimResult::metrics, via
 // FaultStats::from_snapshot). A final full-chaos row turns every fault
 // knob on at once for CAPMAN. --csv additionally writes the sweep rows to
-// bench_robustness.csv.
+// bench_robustness.csv; --json writes the BENCH_robustness.json headline
+// artifact diffed against bench/baselines/robustness.json by
+// scripts/check_bench_regress.py (all metrics deterministic for a seed).
 //
 // CAPMAN's DegradationGuard is armed automatically by ExperimentRunner
 // whenever the fault plan can fire: a switch the facility never latched is
@@ -35,6 +37,7 @@ sim::FaultPlanConfig stuck_plan(double rate_per_min, std::uint64_t seed) {
 int main(int argc, char** argv) {
   const auto seed = bench::seed_from_args(argc, argv);
   const bool csv = bench::csv_requested(argc, argv);
+  const bool json = bench::json_requested(argc, argv);
   const device::PhoneModel phone{device::nexus_profile()};
   const auto trace =
       workload::make_video()->generate(util::Seconds{600.0}, seed);
@@ -93,6 +96,10 @@ int main(int argc, char** argv) {
       csv_out->end_row();
     }
   };
+  // Headline artifact for the regression gate (bench/baselines/
+  // robustness.json): every metric below is a pure function of the seed,
+  // so the checker holds them to REL_TOL.
+  bench::BenchJson artifact{"robustness", seed};
   for (const double rate : {0.0, 0.5, 1.0, 2.0}) {
     for (std::size_t i = 0; i < policies.size(); ++i) {
       const auto kind = policies[i];
@@ -108,6 +115,21 @@ int main(int argc, char** argv) {
                  sim::to_string(kind),
              util::TextTable::format(rate, 1), sim::to_string(kind), r,
              baseline_service[i]);
+      if (rate == 1.0) {
+        const std::string policy = sim::to_string(kind);
+        const auto faults = sim::FaultStats::from_snapshot(r.metrics);
+        artifact.metric(policy + "_service_s_rate1", r.service_time_s);
+        artifact.metric(policy + "_stuck_s_rate1", faults.stuck_time_s);
+        if (kind == sim::PolicyKind::kCapman) {
+          artifact.metric("capman_detected_rate1",
+                          static_cast<double>(
+                              faults.detected_switch_failures));
+          artifact.metric("capman_fallbacks_rate1",
+                          static_cast<double>(faults.fallback_episodes));
+          artifact.metric("capman_retries_rate1",
+                          static_cast<double>(faults.fallback_retries));
+        }
+      }
     }
   }
 
@@ -129,6 +151,15 @@ int main(int argc, char** argv) {
   const auto rc = chaos_runner.run(trace, sim::PolicyKind::kCapman);
   report("full chaos  CAPMAN", "chaos", "CAPMAN", rc, baseline_service[0]);
   table.print(std::cout);
+
+  if (json) {
+    const auto chaos_faults = sim::FaultStats::from_snapshot(rc.metrics);
+    artifact.metric("capman_service_s_chaos", rc.service_time_s);
+    artifact.metric("capman_dropped_chaos",
+                    static_cast<double>(chaos_faults.dropped_requests));
+    artifact.metric("baseline_capman_service_s", baseline_service[0]);
+    artifact.write_file();
+  }
 
   bench::measured_note(std::cout,
                        "the 0.0/min rows are bit-identical to the fault-free "

@@ -6,17 +6,23 @@
 //   ./build/examples/capman_fleet [--devices N] [--seed S] [--threads T]
 //                                 [--shards K] [--policies dual,heuristic]
 //                                 [--fault-fraction F] [--json]
+//                                 [--checkpoint-dir DIR] [--resume]
 //
 // Defaults simulate 1000 sub-scale devices (coarse dt, small cells — see
 // the fleet preset below) under the Dual and Heuristic policies and print
 // one row per policy plus the lifetime percentiles. --json dumps the full
 // deterministic fleet/* metrics snapshot instead.
+//
+// Exit-2 usage contract (locked by the fleet_usage_error CTest gate):
+// unknown flags and unparseable values print usage to stderr and exit 2;
+// --help prints the same usage to stdout and exits 0.
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "sim/fleet.h"
+#include "util/parse.h"
 #include "util/table.h"
 
 using namespace capman;
@@ -35,7 +41,24 @@ struct Options {
   std::vector<sim::PolicyKind> policies{sim::PolicyKind::kDual,
                                         sim::PolicyKind::kHeuristic};
   bool json = false;
+  std::string checkpoint_dir;       // empty = checkpointing off
+  std::size_t checkpoint_every = 8; // completed shards per write
+  bool resume = false;
+  std::size_t crash_after = 0;      // test hook: SIGKILL after N shards
+  std::string flight_out;           // fleet flight-recorder JSONL path
 };
+
+void usage(std::ostream& out) {
+  out << "usage: capman_fleet [--devices N] [--seed S] [--threads T] "
+         "[--shards K]\n"
+         "                    [--policies dual,heuristic] "
+         "[--fault-fraction F] [--json]\n"
+         "                    [--budget-mw B] [--cap-method relax|static] "
+         "[--health]\n"
+         "                    [--checkpoint-dir DIR] [--checkpoint-every N] "
+         "[--resume]\n"
+         "                    [--crash-after N] [--flight-out PATH]\n";
+}
 
 bool parse_policies(const std::string& list,
                     std::vector<sim::PolicyKind>& out) {
@@ -62,49 +85,92 @@ bool parse_policies(const std::string& list,
   return !out.empty();
 }
 
-bool parse_args(int argc, char** argv, Options& options) {
+enum class ParseOutcome { kRun, kHelp, kError };
+
+ParseOutcome parse_args(int argc, char** argv, Options& options) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> std::string {
       return i + 1 < argc ? argv[++i] : std::string{};
     };
+    // Strict value parsing: a flag with a missing or malformed value is
+    // the same usage error as an unknown flag (exit 2, never terminate).
+    const auto u64_value = [&](std::size_t& out) {
+      const std::string token = value();
+      const auto parsed = util::parse_u64(token);
+      if (!parsed) {
+        std::cerr << "invalid value '" << token << "' for " << arg << "\n";
+        return false;
+      }
+      out = static_cast<std::size_t>(*parsed);
+      return true;
+    };
+    const auto double_value = [&](double& out) {
+      const std::string token = value();
+      const auto parsed = util::parse_double(token);
+      if (!parsed) {
+        std::cerr << "invalid value '" << token << "' for " << arg << "\n";
+        return false;
+      }
+      out = *parsed;
+      return true;
+    };
+    if (arg == "--help" || arg == "-h") {
+      return ParseOutcome::kHelp;
+    }
     if (arg == "--devices") {
-      options.devices = std::stoull(value());
+      if (!u64_value(options.devices)) return ParseOutcome::kError;
     } else if (arg == "--shards") {
-      options.shards = std::stoull(value());
+      if (!u64_value(options.shards)) return ParseOutcome::kError;
     } else if (arg == "--threads") {
-      options.threads = std::stoull(value());
+      if (!u64_value(options.threads)) return ParseOutcome::kError;
     } else if (arg == "--seed") {
-      options.seed = std::stoull(value());
+      std::size_t seed = 0;
+      if (!u64_value(seed)) return ParseOutcome::kError;
+      options.seed = seed;
     } else if (arg == "--fault-fraction") {
-      options.fault_fraction = std::stod(value());
+      if (!double_value(options.fault_fraction)) return ParseOutcome::kError;
     } else if (arg == "--budget-mw") {
-      options.budget_mw = std::stod(value());
+      if (!double_value(options.budget_mw)) return ParseOutcome::kError;
     } else if (arg == "--cap-method") {
       options.cap_method = value();
       if (options.cap_method != "relax" && options.cap_method != "static") {
         std::cerr << "unknown cap method '" << options.cap_method
                   << "' (expected relax or static)\n";
-        return false;
+        return ParseOutcome::kError;
       }
     } else if (arg == "--policies") {
-      if (!parse_policies(value(), options.policies)) return false;
+      if (!parse_policies(value(), options.policies)) {
+        return ParseOutcome::kError;
+      }
     } else if (arg == "--health") {
       options.health = true;
     } else if (arg == "--json") {
       options.json = true;
+    } else if (arg == "--checkpoint-dir") {
+      options.checkpoint_dir = value();
+      if (options.checkpoint_dir.empty()) {
+        std::cerr << "--checkpoint-dir needs a directory\n";
+        return ParseOutcome::kError;
+      }
+    } else if (arg == "--checkpoint-every") {
+      if (!u64_value(options.checkpoint_every)) return ParseOutcome::kError;
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg == "--crash-after") {
+      if (!u64_value(options.crash_after)) return ParseOutcome::kError;
+    } else if (arg == "--flight-out") {
+      options.flight_out = value();
+      if (options.flight_out.empty()) {
+        std::cerr << "--flight-out needs a path\n";
+        return ParseOutcome::kError;
+      }
     } else {
-      std::cerr << "unknown argument '" << arg << "'\n"
-                << "usage: capman_fleet [--devices N] [--seed S] "
-                   "[--threads T] [--shards K]\n"
-                << "                    [--policies dual,heuristic] "
-                   "[--fault-fraction F] [--json]\n"
-                << "                    [--budget-mw B] "
-                   "[--cap-method relax|static] [--health]\n";
-      return false;
+      std::cerr << "unknown argument '" << arg << "'\n";
+      return ParseOutcome::kError;
     }
   }
-  return true;
+  return ParseOutcome::kRun;
 }
 
 // The sub-scale fleet preset shared with bench_fleet_scaling: ~20
@@ -143,6 +209,15 @@ sim::FleetConfig fleet_config(const Options& options) {
                                         : core::CapMethod::kRelax;
     config.capman.learn_budget = true;
   }
+  config.checkpoint.directory = options.checkpoint_dir;
+  config.checkpoint.every_shards = options.checkpoint_every;
+  config.checkpoint.resume = options.resume;
+  config.crash_after_shards = options.crash_after;
+  if (!options.flight_out.empty()) {
+    config.recorder.enabled = true;
+    config.recorder.dump_path = options.flight_out;
+    config.recorder.dump_at_end = true;
+  }
   return config;
 }
 
@@ -150,10 +225,50 @@ sim::FleetConfig fleet_config(const Options& options) {
 
 int main(int argc, char** argv) {
   Options options;
-  if (!parse_args(argc, argv, options)) return 2;
+  switch (parse_args(argc, argv, options)) {
+    case ParseOutcome::kHelp:
+      usage(std::cout);
+      return 0;
+    case ParseOutcome::kError:
+      usage(std::cerr);
+      return 2;
+    case ParseOutcome::kRun:
+      break;
+  }
 
-  const sim::FleetRunner runner{fleet_config(options)};
-  const sim::FleetResult result = runner.run();
+  sim::FleetResult result;
+  try {
+    const sim::FleetRunner runner{fleet_config(options)};
+    result = runner.run();
+  } catch (const std::exception& error) {
+    // Config rejections and resume refusals (fingerprint mismatch) are
+    // operational errors, not usage errors: exit 1, no usage text.
+    std::cerr << "capman_fleet: " << error.what() << "\n";
+    return 1;
+  }
+
+  // Durability summary on stderr (never stdout: --json output must stay
+  // byte-identical between a resumed and an uninterrupted run, and the
+  // operational numbers here legitimately differ).
+  if (result.checkpoint.enabled) {
+    std::cerr << "checkpoint: wrote " << result.checkpoint.writes
+              << " file(s), last " << result.checkpoint.bytes_last_write
+              << " bytes";
+    if (result.checkpoint.resumed) {
+      std::cerr << ", resumed " << result.checkpoint.resumed_shards
+                << " shard(s)";
+    }
+    if (result.checkpoint.frames_discarded > 0) {
+      std::cerr << ", discarded " << result.checkpoint.frames_discarded
+                << " torn frame(s)";
+    }
+    std::cerr << "\n";
+  }
+  if (result.quarantined_devices > 0) {
+    std::cerr << "supervisor: quarantined " << result.quarantined_devices
+              << " device(s) after " << result.quarantine_retries
+              << " retry attempt(s)\n";
+  }
 
   if (options.json) {
     result.metrics.write_json(std::cout);

@@ -15,11 +15,15 @@
 // trace, and the Chrome trace-event span profile (open in Perfetto); when
 // several policies run, the policy name is inserted before the extension
 // so runs never clobber each other.
+// Exit-2 usage contract (locked by the sim_usage_error CTest gate):
+// unknown flags and unparseable or unrecognized values print usage to
+// stderr and exit 2; --help prints the same usage to stdout and exits 0.
 #include <cstring>
 #include <iostream>
 #include <string>
 
 #include "sim/experiment.h"
+#include "util/parse.h"
 #include "util/table.h"
 #include "util/csv.h"
 #include "workload/trace_io.h"
@@ -28,8 +32,8 @@ using namespace capman;
 
 namespace {
 
-void usage() {
-  std::cout <<
+void usage(std::ostream& out) {
+  out <<
       "usage: capman_sim [options]\n"
       "  --workload NAME   geekbench|pcmark|video|localvideo|idle|\n"
       "                    eta20|eta50|eta80|toggle60|toggle10 (default video)\n"
@@ -142,14 +146,35 @@ int main(int argc, char** argv) {
     auto next = [&]() -> std::string {
       return i + 1 < argc ? argv[++i] : std::string{};
     };
+    // Strict value parsing (util/parse.h): a malformed numeric value is a
+    // usage error (exit 2), never a std::stoull terminate backtrace.
+    auto u64_next = [&](std::uint64_t& out) {
+      const std::string token = next();
+      const auto parsed = util::parse_u64(token);
+      if (parsed) out = *parsed;
+      else std::cerr << "invalid value '" << token << "' for " << arg << "\n";
+      return parsed.has_value();
+    };
+    auto double_next = [&](double& out) {
+      const std::string token = next();
+      const auto parsed = util::parse_double(token);
+      if (parsed) out = *parsed;
+      else std::cerr << "invalid value '" << token << "' for " << arg << "\n";
+      return parsed.has_value();
+    };
+    bool ok = true;
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    }
     if (arg == "--workload") workload_name = next();
     else if (arg == "--trace") trace_path = next();
     else if (arg == "--policy") policy_name = next();
     else if (arg == "--phone") phone_name = next();
-    else if (arg == "--seed") seed = std::stoull(next());
+    else if (arg == "--seed") ok = u64_next(seed);
     else if (arg == "--no-tec") tec = false;
-    else if (arg == "--fault-stuck") fault_stuck_rate = std::stod(next());
-    else if (arg == "--budget-mw") budget_mw = std::stod(next());
+    else if (arg == "--fault-stuck") ok = double_next(fault_stuck_rate);
+    else if (arg == "--budget-mw") ok = double_next(budget_mw);
     else if (arg == "--cap-method") cap_method = next();
     else if (arg == "--dump-trace") dump_path = next();
     else if (arg == "--csv") csv_prefix = next();
@@ -158,18 +183,26 @@ int main(int argc, char** argv) {
     else if (arg == "--spans-out") spans_out = next();
     else if (arg == "--verbose-spans") verbose_spans = true;
     else if (arg == "--timing-metrics") timing_metrics = true;
-    else if (arg == "--sample-period") sample_period_s = std::stod(next());
+    else if (arg == "--sample-period") ok = double_next(sample_period_s);
     else if (arg == "--sample-csv") sample_csv = next();
     else if (arg == "--openmetrics-out") openmetrics_out = next();
     else if (arg == "--flight-out") flight_out = next();
     else if (arg == "--flight-at-end") flight_at_end = true;
     else if (arg == "--health") health = true;
     else if (arg == "--alerts-out") alerts_out = next();
-    else if (arg == "--threads") threads = std::stoull(next());
-    else if (arg == "--max-minutes") max_minutes = std::stod(next());
+    else if (arg == "--threads") {
+      std::uint64_t value = 0;
+      ok = u64_next(value);
+      threads = static_cast<std::size_t>(value);
+    } else if (arg == "--max-minutes") ok = double_next(max_minutes);
     else {
-      usage();
-      return arg == "--help" || arg == "-h" ? 0 : 1;
+      std::cerr << "unknown argument '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+    if (!ok) {
+      usage(std::cerr);
+      return 2;
     }
   }
 
@@ -181,8 +214,8 @@ int main(int argc, char** argv) {
     auto generator = generator_by_name(workload_name);
     if (generator == nullptr) {
       std::cerr << "unknown workload '" << workload_name << "'\n";
-      usage();
-      return 1;
+      usage(std::cerr);
+      return 2;
     }
     trace = generator->generate(util::Seconds{trace_seconds}, seed);
   }
@@ -226,8 +259,8 @@ int main(int argc, char** argv) {
   }
   if (cap_method != "relax" && cap_method != "static") {
     std::cerr << "unknown cap method '" << cap_method << "'\n";
-    usage();
-    return 1;
+    usage(std::cerr);
+    return 2;
   }
   if (budget_mw > 0.0) {
     options.config.budget.enabled = true;
@@ -251,7 +284,8 @@ int main(int argc, char** argv) {
     }
     if (kinds.empty()) {
       std::cerr << "unknown policy '" << policy_name << "'\n";
-      return 1;
+      usage(std::cerr);
+      return 2;
     }
   }
 

@@ -8,7 +8,7 @@
 # every capman-lint rule except L5, the lint/schema self-tests — which
 # finishes in seconds and is the right pre-commit loop. The full run adds
 # the sanitizer rebuilds (asan/ubsan/tsan), clang-tidy, header hygiene,
-# thread-safety, and the fleet smoke.
+# thread-safety, the fleet smoke, and the crash-resume smoke.
 #
 # Checks that need missing tooling (clang-tidy, clang-format) report SKIP
 # rather than FAIL — the same exit-77 convention the CTest registrations
@@ -82,6 +82,20 @@ if [ "$fast" -eq 0 ]; then
     "$bench" --smoke
   }
   run_check fleet-smoke     fleet_smoke
+
+  # Crash-resume smoke: SIGKILL a checkpointed fleet campaign, resume,
+  # require byte-identical --json; torn/corrupt tails must roll back
+  # (scripts/check_crash_resume.sh, the crash_resume_check CTest gate).
+  crash_resume_smoke() {
+    local fleet="$build_dir/examples/capman_fleet"
+    if [[ ! -x "$fleet" ]]; then
+      echo "crash-resume: $fleet not built; run cmake --build $build_dir" \
+           "first" >&2
+      return 1
+    fi
+    "$repo_root/scripts/check_crash_resume.sh" "$fleet"
+  }
+  run_check crash-resume    crash_resume_smoke
 fi
 
 echo

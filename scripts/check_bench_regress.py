@@ -54,6 +54,7 @@ REL_TOL = 1e-9
 NOISY = {
     ("similarity_scaling", "speedup_x4_96"),
     ("fleet_scaling", "devices_per_sec_best"),
+    ("fleet_scaling", "checkpoint_overhead_pct"),
     ("obs_overhead", "overhead_decisions_pct"),
     ("obs_overhead", "overhead_time_dim_pct"),
 }

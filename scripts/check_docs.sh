@@ -48,6 +48,16 @@ else
     fi
   done < <(sed -n -E 's/^(struct|class|enum class) ([A-Za-z0-9_]+).*/\2/p' \
              "$fleet_header" | sort -u)
+  # Same drift gate for the checkpoint layer (the "Checkpoint & resume"
+  # section of FLEET.md documents the durability API).
+  ckpt_header="$repo_root/src/sim/checkpoint.h"
+  while IFS= read -r symbol; do
+    if ! grep -q "$symbol" "$fleet_doc"; then
+      echo "check_docs: checkpoint API type '$symbol' (src/sim/checkpoint.h) is not documented in docs/FLEET.md" >&2
+      missing=$((missing + 1))
+    fi
+  done < <(sed -n -E 's/^(struct|class|enum class) ([A-Za-z0-9_]+).*/\2/p' \
+             "$ckpt_header" | sort -u)
 fi
 
 if [[ $missing -gt 0 ]]; then

@@ -29,9 +29,15 @@ Every artifact is also checked for *unknown top-level keys*: a key the
 schema does not list fails the run, so silently-added output fields force
 a schema (and doc) update here first.
 
+A fourth pass (only when a capman_fleet path is given) runs a small
+checkpointed fleet campaign with the fleet flight recorder armed and
+checks the dump carries schema-valid kind="checkpoint" records — the
+write cadence plus the final full write (sim/fleet.cpp, docs/FLEET.md
+"Checkpoint & resume").
+
 Wired into CTest as `trace_schema_check`; run manually with:
 
-    scripts/check_trace_schema.py [path/to/capman_sim]
+    scripts/check_trace_schema.py [path/to/capman_sim [path/to/capman_fleet]]
     scripts/check_trace_schema.py --self-test   # fixture accept/reject run
 """
 
@@ -105,7 +111,12 @@ FLIGHT_SCHEMA = {
     "value": (int, float),
 }
 FLIGHT_KINDS = {"trigger", "decision", "switch", "budget", "fault", "guard",
-                "alert", "engine"}
+                "alert", "engine", "checkpoint"}
+
+# kind="checkpoint" records (fleet durability, sim/fleet.cpp): the what
+# names the operation, detail carries the checkpoint path, value is the
+# shard count involved (resumed / persisted / total).
+CHECKPOINT_WHATS = {"load", "write", "final"}
 
 # Health alert records (obs/health.cpp write_json_line).
 ALERT_SCHEMA = {
@@ -184,6 +195,15 @@ def check_flight(path):
                 fail(f"{label}: unknown kind {rec['kind']!r}")
             if not math.isfinite(rec["t_s"]) or rec["t_s"] < 0:
                 fail(f"{label}: bad t_s {rec['t_s']!r}")
+            if rec["kind"] == "checkpoint":
+                if rec["what"] not in CHECKPOINT_WHATS:
+                    fail(f"{label}: unknown checkpoint op {rec['what']!r}")
+                if not rec["detail"].startswith("path="):
+                    fail(f"{label}: checkpoint detail lacks path= "
+                         f"({rec['detail']!r})")
+                if rec["value"] < 0 or rec["value"] != int(rec["value"]):
+                    fail(f"{label}: checkpoint value must be a shard count, "
+                         f"got {rec['value']!r}")
             if rec["kind"] == "trigger":
                 # A new dump begins. Close out the previous one first.
                 if last_dump >= 0 and dump_records != dump_header_value:
@@ -401,14 +421,16 @@ def _valid_metrics_doc():
 
 
 def _valid_flight_records():
-    """Two dumps: a 2-record ring then a 1-record ring."""
+    """Two dumps: a 3-record ring then a 1-record ring."""
     return [
         {"dump": 0, "seq": 10, "t_s": 120.0, "kind": "trigger",
-         "what": "alert:switch_thrash", "detail": "", "value": 2},
+         "what": "alert:switch_thrash", "detail": "", "value": 3},
         {"dump": 0, "seq": 3, "t_s": 60.5, "kind": "budget",
          "what": "rebudget", "detail": "level=1", "value": 3450.0},
         {"dump": 0, "seq": 7, "t_s": 90.0, "kind": "switch",
          "what": "latched", "detail": "", "value": 1},
+        {"dump": 0, "seq": 8, "t_s": 95.0, "kind": "checkpoint",
+         "what": "write", "detail": "path=/tmp/fleet.ckpt", "value": 4},
         {"dump": 1, "seq": 20, "t_s": 300.0, "kind": "trigger",
          "what": "end-of-run", "detail": "", "value": 1},
         {"dump": 1, "seq": 15, "t_s": 200.0, "kind": "fault",
@@ -513,14 +535,14 @@ def self_test():
                lambda: check_flight(bad), False)
 
         recs = _valid_flight_records()
-        recs[3]["dump"] = 5
         recs[4]["dump"] = 5
+        recs[5]["dump"] = 5
         bad = write_jsonl("flight_dumpgap.jsonl", recs)
         expect("flight dump ids not consecutive",
                lambda: check_flight(bad), False)
 
         recs = _valid_flight_records()
-        recs[0]["value"] = 3  # trigger promises 3 ring records, file has 2
+        recs[0]["value"] = 5  # trigger promises 5 ring records, file has 3
         bad = write_jsonl("flight_count.jsonl", recs)
         expect("flight trigger/ring count mismatch",
                lambda: check_flight(bad), False)
@@ -534,6 +556,24 @@ def self_test():
         recs[2]["extra"] = 1
         bad = write_jsonl("flight_extra.jsonl", recs)
         expect("flight record with unknown field",
+               lambda: check_flight(bad), False)
+
+        recs = _valid_flight_records()
+        recs[3]["what"] = "compact"
+        bad = write_jsonl("flight_ckpt_op.jsonl", recs)
+        expect("checkpoint record with unknown op",
+               lambda: check_flight(bad), False)
+
+        recs = _valid_flight_records()
+        recs[3]["detail"] = "shard=4"
+        bad = write_jsonl("flight_ckpt_detail.jsonl", recs)
+        expect("checkpoint record without a path",
+               lambda: check_flight(bad), False)
+
+        recs = _valid_flight_records()
+        recs[3]["value"] = 2.5
+        bad = write_jsonl("flight_ckpt_value.jsonl", recs)
+        expect("checkpoint record with fractional shard count",
                lambda: check_flight(bad), False)
 
         good = write_jsonl("alerts.jsonl", _valid_alert_records())
@@ -564,6 +604,9 @@ def main():
     binary = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("examples/capman_sim")
     if not binary.exists():
         fail(f"capman_sim binary not found at {binary}")
+    fleet_binary = Path(sys.argv[2]) if len(sys.argv) > 2 else None
+    if fleet_binary is not None and not fleet_binary.exists():
+        fail(f"capman_fleet binary not found at {fleet_binary}")
 
     with tempfile.TemporaryDirectory(prefix="capman_trace_") as tmp:
         tmp = Path(tmp)
@@ -654,12 +697,43 @@ def main():
             fail(f"health/alerts_total {doc['counters']['health/alerts_total']}"
                  f" != {n_alerts} alert records")
 
+        # Fourth pass (optional): a checkpointed fleet campaign must dump
+        # schema-valid checkpoint events — the periodic writes plus the
+        # final full write.
+        n_ckpt = 0
+        if fleet_binary is not None:
+            fleet_flight = tmp / "fleet_flight.jsonl"
+            ckpt_dir = tmp / "ckpt"
+            ckpt_dir.mkdir()
+            cmd = [
+                str(fleet_binary),
+                "--devices", "40",
+                "--shards", "4",
+                "--threads", "2",
+                "--checkpoint-dir", str(ckpt_dir),
+                "--checkpoint-every", "2",
+                "--flight-out", str(fleet_flight),
+            ]
+            subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL,
+                           stderr=subprocess.DEVNULL)
+            check_flight(fleet_flight)
+            ops = set()
+            with open(fleet_flight) as f:
+                for line in f:
+                    rec = json.loads(line)
+                    if rec["kind"] == "checkpoint":
+                        ops.add(rec["what"])
+                        n_ckpt += 1
+            if "write" not in ops or "final" not in ops:
+                fail(f"fleet flight dump lacks checkpoint write/final events "
+                     f"(saw {sorted(ops)})")
+
     print(
         f"check_trace_schema: OK ({n_dec} decision records, {n_ev} trace "
         f"events on {n_pool} pool tracks, {n_ctr} counters; arbiter run "
         f"{n_bdec} records; fault run {n_alerts} alerts "
         f"({', '.join(sorted(rules))}), {n_flight} flight records in "
-        f"{n_dumps} dumps)"
+        f"{n_dumps} dumps; fleet run {n_ckpt} checkpoint events)"
     )
 
 

@@ -17,6 +17,7 @@ const char* to_string(FlightEventKind kind) {
     case FlightEventKind::kGuard: return "guard";
     case FlightEventKind::kAlert: return "alert";
     case FlightEventKind::kEngine: return "engine";
+    case FlightEventKind::kCheckpoint: return "checkpoint";
   }
   return "?";
 }

@@ -21,7 +21,7 @@
 //   seq    — monotonically increasing event index within the run
 //   t_s    — simulation time of the event (trigger records: trigger time)
 //   kind   — trigger | decision | switch | budget | fault | guard | alert
-//            | engine
+//            | engine | checkpoint
 //   what   — short label ("consult", "stuck-enter", "rebudget", ...);
 //            for kTrigger records, the trigger reason
 //   detail — free-form context ("policy=CAPMAN chosen=big", may be empty)
@@ -51,6 +51,7 @@ enum class FlightEventKind : std::uint8_t {
   kGuard,
   kAlert,
   kEngine,
+  kCheckpoint,  // fleet durability: checkpoint write / load / final
 };
 
 const char* to_string(FlightEventKind kind);

@@ -95,6 +95,30 @@ double QuantileSketch::quantile(double q) const {
   return max();
 }
 
+QuantileSketchState QuantileSketch::state() const {
+  QuantileSketchState s;
+  s.relative_error = alpha_;
+  s.zero_count = zero_count_;
+  s.count = count_;
+  s.min = min_;
+  s.max = max_;
+  s.has_extremes = has_extremes_;
+  s.buckets.reserve(buckets_.size());
+  for (const auto& [index, n] : buckets_) s.buckets.emplace_back(index, n);
+  return s;
+}
+
+QuantileSketch QuantileSketch::from_state(const QuantileSketchState& state) {
+  QuantileSketch sketch(state.relative_error);
+  sketch.zero_count_ = state.zero_count;
+  sketch.count_ = state.count;
+  sketch.min_ = state.min;
+  sketch.max_ = state.max;
+  sketch.has_extremes_ = state.has_extremes;
+  for (const auto& [index, n] : state.buckets) sketch.buckets_[index] += n;
+  return sketch;
+}
+
 double QuantileSketch::min() const { return has_extremes_ ? min_ : 0.0; }
 
 double QuantileSketch::max() const { return has_extremes_ ? max_ : 0.0; }

@@ -25,9 +25,25 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 namespace capman::obs {
+
+/// Complete serializable state of a QuantileSketch — the exact private
+/// fields, exported for the checkpoint layer (sim::CheckpointWriter) and
+/// restored bit-for-bit by QuantileSketch::from_state(). Buckets are
+/// sorted by index (state() emits map order) so serialized bytes are
+/// deterministic.
+struct QuantileSketchState {
+  double relative_error = 0.01;
+  std::uint64_t zero_count = 0;
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  bool has_extremes = false;
+  std::vector<std::pair<std::int32_t, std::uint64_t>> buckets;
+};
 
 class QuantileSketch {
  public:
@@ -56,6 +72,16 @@ class QuantileSketch {
   [[nodiscard]] bool empty() const { return count() == 0; }
   /// Number of live buckets (the memory footprint, for budget tests).
   [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+
+  /// Snapshot of the full internal state, buckets in ascending index
+  /// order. from_state(state()) reconstructs a bit-identical sketch —
+  /// merge() after a round-trip behaves exactly as on the original.
+  [[nodiscard]] QuantileSketchState state() const;
+  /// Rebuild a sketch from a state() snapshot. Throws std::invalid_
+  /// argument when relative_error is outside (0, 1) (e.g. a corrupt or
+  /// adversarial checkpoint payload).
+  [[nodiscard]] static QuantileSketch from_state(
+      const QuantileSketchState& state);
 
  private:
   [[nodiscard]] std::int32_t bucket_index(double v) const;

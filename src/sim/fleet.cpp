@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "device/phone.h"
 #include "obs/metrics.h"
+#include "sim/checkpoint.h"
 #include "util/sharding.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "workload/generators.h"
 
@@ -172,6 +177,17 @@ std::vector<std::string> PopulationSpec::validate() const {
   return errors;
 }
 
+std::vector<std::string> FleetCheckpointConfig::validate() const {
+  std::vector<std::string> errors;
+  if (every_shards == 0) {
+    errors.emplace_back("every_shards must be > 0");
+  }
+  if (resume && directory.empty()) {
+    errors.emplace_back("resume requires a checkpoint directory");
+  }
+  return errors;
+}
+
 std::vector<std::string> FleetConfig::validate() const {
   std::vector<std::string> errors;
   auto require = [&errors](bool ok, const char* message) {
@@ -214,6 +230,14 @@ std::vector<std::string> FleetConfig::validate() const {
   require(health.alerts_path.empty(),
           "health.alerts_path must be empty for fleet runs (fleets "
           "aggregate alert counts, they do not write per-device files)");
+  for (auto& error : checkpoint.validate()) {
+    errors.push_back("checkpoint." + error);
+  }
+  if (recorder.enabled) {
+    for (auto& error : recorder.validate()) {
+      errors.push_back("recorder." + error);
+    }
+  }
   return errors;
 }
 
@@ -251,6 +275,7 @@ void PolicyAggregate::merge(const PolicyAggregate& other) {
   faulty_devices += other.faulty_devices;
   fault_fallbacks += other.fault_fallbacks;
   fault_dropped_requests += other.fault_dropped_requests;
+  quarantined += other.quarantined;
   lifetime_us += other.lifetime_us;
   max_temp_mc += other.max_temp_mc;
   energy_delivered_mj += other.energy_delivered_mj;
@@ -324,6 +349,10 @@ FleetRunner::FleetRunner(FleetConfig config) : config_(std::move(config)) {
   shards_ = util::resolve_shard_count(config_.shard_count,
                                       config_.device_count);
   threads_ = util::resolve_thread_count(config_.threads);
+  crash_after_ = config_.crash_after_shards;
+  if (const char* env = std::getenv("CAPMAN_CRASH_AFTER_SHARDS")) {
+    crash_after_ = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
 }
 
 std::uint64_t FleetRunner::device_seed(std::uint64_t fleet_seed,
@@ -365,6 +394,102 @@ namespace {
 struct ShardState {
   std::vector<PolicyAggregate> policies;
   std::uint64_t engine_steps = 0;
+  std::uint64_t quarantine_retries = 0;
+  // Quarantined (device id, reason) pairs, replayed into the fleet
+  // flight recorder on the calling thread after the parallel phase.
+  std::vector<std::pair<std::uint64_t, std::string>> quarantine_log;
+};
+
+/// Snapshot one completed shard's reduction state for serialization.
+ShardCheckpoint to_checkpoint(std::size_t shard, const util::ShardRange& range,
+                              const ShardState& state) {
+  ShardCheckpoint out;
+  out.shard = shard;
+  out.device_begin = range.begin;
+  out.device_end = range.end;
+  out.engine_steps = state.engine_steps;
+  out.quarantine_retries = state.quarantine_retries;
+  out.policies = state.policies;
+  return out;
+}
+
+/// Completion bookkeeping shared by every worker: which shards are done,
+/// when to write a checkpoint, and when to inject the test crash. One
+/// mutex serializes all of it — completion is O(shards), not O(devices),
+/// so contention is irrelevant next to the simulation work.
+class ShardSupervisor {
+ public:
+  ShardSupervisor(std::size_t shards, std::size_t every,
+                  std::size_t crash_after, CheckpointWriter* writer)
+      : every_(std::max<std::size_t>(every, 1)),
+        crash_after_(crash_after),
+        writer_(writer),
+        done_(shards, 0) {}
+
+  /// Pre-parallel (main thread): mark a shard restored from checkpoint.
+  void mark_resumed(std::size_t shard) {
+    util::MutexLock lock{mutex_};
+    done_[shard] = 1;
+  }
+
+  /// Worker-side: `shard`'s state is final. The mutex acquire here pairs
+  /// with the release of the completing worker, so write_locked reads
+  /// every done shard's state with a happens-before edge. May SIGKILL
+  /// the process (crash injection; checkpoint cadence runs first so the
+  /// injected crash always leaves a resumable file behind).
+  void complete(std::size_t shard, const std::vector<ShardState>& states,
+                const util::ShardPlan& plan) {
+    util::MutexLock lock{mutex_};
+    done_[shard] = 1;
+    ++completed_;
+    ++since_write_;
+    if (writer_ != nullptr && since_write_ >= every_) {
+      write_locked(states, plan);
+      since_write_ = 0;
+    }
+    if (crash_after_ != 0 && completed_ >= crash_after_) {
+      std::raise(SIGKILL);
+    }
+  }
+
+  /// Post-parallel (main thread): the final whole-fleet checkpoint.
+  void finalize(const std::vector<ShardState>& states,
+                const util::ShardPlan& plan) {
+    util::MutexLock lock{mutex_};
+    if (writer_ != nullptr) {
+      write_locked(states, plan);
+    }
+  }
+
+  /// Shards persisted by each checkpoint write, in write order (flight-
+  /// recorder replay). Post-parallel only.
+  [[nodiscard]] std::vector<std::size_t> write_log() {
+    util::MutexLock lock{mutex_};
+    return write_log_;
+  }
+
+ private:
+  void write_locked(const std::vector<ShardState>& states,
+                    const util::ShardPlan& plan) CAPMAN_REQUIRES(mutex_) {
+    std::vector<ShardCheckpoint> shards;
+    for (std::size_t shard = 0; shard < done_.size(); ++shard) {
+      if (done_[shard] != 0) {
+        shards.push_back(to_checkpoint(shard, plan.range(shard),
+                                       states[shard]));
+      }
+    }
+    writer_->write(shards);
+    write_log_.push_back(shards.size());
+  }
+
+  const std::size_t every_;
+  const std::size_t crash_after_;
+  CheckpointWriter* const writer_;  // nullptr = checkpointing disabled
+  util::Mutex mutex_;
+  std::vector<char> done_ CAPMAN_GUARDED_BY(mutex_);
+  std::size_t completed_ CAPMAN_GUARDED_BY(mutex_) = 0;  // this process
+  std::size_t since_write_ CAPMAN_GUARDED_BY(mutex_) = 0;
+  std::vector<std::size_t> write_log_ CAPMAN_GUARDED_BY(mutex_);
 };
 
 PolicyAggregate make_aggregate(PolicyKind kind, double relative_error) {
@@ -410,6 +535,7 @@ void publish_fleet(obs::MetricsRegistry& registry, const FleetResult& result) {
         .add(aggregate.fault_fallbacks);
     registry.counter(prefix + "/fault_dropped_requests")
         .add(aggregate.fault_dropped_requests);
+    registry.counter(prefix + "/quarantined").add(aggregate.quarantined);
     registry.gauge(prefix + "/lifetime_s/mean").set(aggregate.mean_lifetime_s());
     publish_sketch(registry, prefix + "/lifetime_s",
                    aggregate.lifetime_s_sketch);
@@ -442,6 +568,27 @@ void publish_fleet(obs::MetricsRegistry& registry, const FleetResult& result) {
         .add(shard.device_end - shard.device_begin);
     registry.counter(shard_instrument(shard.shard, "steps"))
         .add(shard.engine_steps);
+    // Quarantine counters appear only where the supervisor actually
+    // skipped devices, so healthy fleets keep their lean shard rows.
+    // Deterministic: skips are a pure function of the config (the poison
+    // hook) or of genuinely broken simulations.
+    if (shard.quarantined_devices > 0) {
+      registry.counter(shard_instrument(shard.shard, "quarantined"))
+          .add(shard.quarantined_devices);
+    }
+    if (shard.quarantine_retries > 0) {
+      registry.counter(shard_instrument(shard.shard, "quarantine_retries"))
+          .add(shard.quarantine_retries);
+    }
+  }
+  // Only resume-invariant checkpoint facts may land in the snapshot: a
+  // resumed run must stay byte-identical to an uninterrupted one (the
+  // crash-resume gate cmp's the two --json outputs). Operational numbers
+  // (writes, restored shards) live in FleetCheckpointStats instead.
+  if (result.checkpoint.enabled) {
+    registry.counter("checkpoint/enabled").add(1);
+    registry.counter("checkpoint/every_shards")
+        .add(result.checkpoint.every_shards);
   }
 }
 
@@ -459,11 +606,83 @@ FleetResult FleetRunner::run() const {
     }
   }
 
+  // Durability setup. The fingerprint binds any checkpoint to this exact
+  // result identity; the writer (when a directory is configured) rewrites
+  // <directory>/fleet.ckpt atomically on every cadence tick.
+  FleetCheckpointStats ckstats;
+  const bool checkpointing = !config_.checkpoint.directory.empty();
+  ckstats.enabled = checkpointing;
+  ckstats.every_shards = config_.checkpoint.every_shards;
+  const std::uint64_t fingerprint = checkpoint_fingerprint(config_, shards_);
+  std::optional<CheckpointWriter> writer;
+  std::string checkpoint_path;
+  if (checkpointing) {
+    checkpoint_path = config_.checkpoint.directory + "/fleet.ckpt";
+    CheckpointHeader header;
+    header.fingerprint = fingerprint;
+    header.device_count = config_.device_count;
+    header.shard_count = shards_;
+    header.seed = config_.seed;
+    header.policies = config_.policies;
+    header.sketch_relative_error = config_.sketch_relative_error;
+    writer.emplace(checkpoint_path, header);
+  }
+
+  // Resume: restore every completed shard bit-for-bit and skip it in the
+  // parallel phase. A missing or headerless file is a cold start; a
+  // fingerprint mismatch is a refusal — silently resuming someone else's
+  // campaign would corrupt both.
+  std::vector<char> resumed(shards_, 0);
+  if (checkpointing && config_.checkpoint.resume) {
+    if (auto load = CheckpointReader::load(checkpoint_path)) {
+      if (load->header.fingerprint != fingerprint) {
+        throw std::runtime_error(
+            "checkpoint '" + checkpoint_path +
+            "' was written by a different fleet configuration "
+            "(fingerprint mismatch); refusing to resume");
+      }
+      for (auto& shard : load->shards) {
+        const auto index = static_cast<std::size_t>(shard.shard);
+        const util::ShardRange range = plan.range(index);
+        // The fingerprint pins the shard plan, so ranges always match; a
+        // frame that still disagrees is treated as invalid, not fatal.
+        if (shard.device_begin != range.begin ||
+            shard.device_end != range.end) {
+          continue;
+        }
+        states[index].policies = std::move(shard.policies);
+        states[index].engine_steps = shard.engine_steps;
+        states[index].quarantine_retries = shard.quarantine_retries;
+        resumed[index] = 1;
+        ++ckstats.resumed_shards;
+      }
+      ckstats.resumed = ckstats.resumed_shards > 0;
+      ckstats.frames_discarded = load->frames_discarded;
+    }
+  }
+
+  ShardSupervisor supervisor{shards_, config_.checkpoint.every_shards,
+                             crash_after_, writer ? &*writer : nullptr};
+  for (std::size_t shard = 0; shard < shards_; ++shard) {
+    if (resumed[shard] != 0) supervisor.mark_resumed(shard);
+  }
+
   // The per-device loop. Every input below is a pure function of
   // (config, device id); workers touch only the shard states they own.
-  auto run_device = [this](std::uint64_t device_id, ShardState& state) {
+  auto run_device = [this](std::uint64_t device_id, bool first_attempt) {
     const DeviceSpec spec =
         sample_device(config_.population, config_.seed, device_id);
+
+    // Supervision test hook: poisoned devices throw here (transient
+    // poison only on the first attempt, so the bounded retry succeeds).
+    if (!config_.poison_devices.empty() &&
+        std::find(config_.poison_devices.begin(),
+                  config_.poison_devices.end(),
+                  device_id) != config_.poison_devices.end() &&
+        (first_attempt || !config_.poison_transient)) {
+      throw std::runtime_error("poisoned device " +
+                               std::to_string(device_id));
+    }
 
     SimConfig device_config = config_.base;
     // Fleets aggregate, they do not trace: per-device series and file
@@ -497,10 +716,47 @@ FleetResult FleetRunner::run() const {
     const ExperimentRunner runner{
         std::move(phone),
         {device_config, spec.seed, std::nullopt, config_.capman}};
-    for (std::size_t i = 0; i < config_.policies.size(); ++i) {
-      const SimResult result = runner.run(trace, config_.policies[i]);
-      state.policies[i].add(result, spec.faulty);
-      state.engine_steps += result.metrics.counter_or("engine/steps");
+    std::vector<SimResult> results;
+    results.reserve(config_.policies.size());
+    for (const PolicyKind kind : config_.policies) {
+      results.push_back(runner.run(trace, kind));
+    }
+    return std::make_pair(spec.faulty, std::move(results));
+  };
+
+  // Record one failed attempt; returns true when the device should be
+  // retried, false once it is quarantined.
+  auto note_failure = [this](ShardState& state, std::uint64_t device_id,
+                             std::size_t attempt, const char* what) {
+    if (attempt < config_.quarantine_retries) {
+      ++state.quarantine_retries;
+      return true;
+    }
+    for (auto& aggregate : state.policies) ++aggregate.quarantined;
+    state.quarantine_log.emplace_back(device_id, std::string{what});
+    return false;
+  };
+
+  // The supervision boundary: nothing is folded into the shard state
+  // until every policy of the device succeeded, so a retried device is
+  // never half-counted. A device that keeps throwing is quarantined —
+  // skipped and counted — instead of killing the campaign.
+  auto run_supervised = [&](std::uint64_t device_id, ShardState& state) {
+    for (std::size_t attempt = 0;; ++attempt) {
+      try {
+        const auto [faulty, results] = run_device(device_id, attempt == 0);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          state.policies[i].add(results[i], faulty);
+          state.engine_steps += results[i].metrics.counter_or("engine/steps");
+        }
+        return;
+      } catch (const std::exception& error) {
+        if (!note_failure(state, device_id, attempt, error.what())) return;
+      } catch (...) {
+        if (!note_failure(state, device_id, attempt, "unknown exception")) {
+          return;
+        }
+      }
     }
   };
 
@@ -508,12 +764,22 @@ FleetResult FleetRunner::run() const {
   pool.parallel_for(shards_, [&](std::size_t begin, std::size_t end,
                                  std::size_t /*worker*/) {
     for (std::size_t shard = begin; shard < end; ++shard) {
+      if (resumed[shard] != 0) continue;  // restored from checkpoint
       const util::ShardRange range = plan.range(shard);
       for (std::size_t device = range.begin; device < range.end; ++device) {
-        run_device(device, states[shard]);
+        run_supervised(device, states[shard]);
       }
+      supervisor.complete(shard, states, plan);
     }
   });
+
+  // One final whole-fleet checkpoint: resuming a finished campaign is a
+  // no-op that reproduces the same result.
+  supervisor.finalize(states, plan);
+  if (writer) {
+    ckstats.writes = writer->writes();
+    ckstats.bytes_last_write = writer->bytes_last_write();
+  }
 
   FleetResult result;
   result.device_count = config_.device_count;
@@ -535,14 +801,57 @@ FleetResult FleetRunner::run() const {
     for (std::size_t i = 0; i < result.policies.size(); ++i) {
       result.policies[i].merge(states[shard].policies[i]);
     }
-    result.shards.push_back(
-        {shard, range.begin, range.end, states[shard].engine_steps});
+    // All policies of a quarantined device count it once, so the first
+    // policy's counter is the shard's device-level skip count.
+    const std::uint64_t shard_quarantined =
+        states[shard].policies.front().quarantined;
+    result.shards.push_back({shard, range.begin, range.end,
+                             states[shard].engine_steps, shard_quarantined,
+                             states[shard].quarantine_retries});
     result.total_engine_steps += states[shard].engine_steps;
+    result.quarantined_devices += shard_quarantined;
+    result.quarantine_retries += states[shard].quarantine_retries;
   }
+  result.checkpoint = ckstats;
 
   obs::MetricsRegistry registry;
   publish_fleet(registry, result);
   result.metrics = registry.snapshot();
+
+  // Fleet-operations flight recorder: replayed here, on the calling
+  // thread, in deterministic order (load, quarantines in shard order,
+  // checkpoint writes in write order, final). The logical clock t_s
+  // counts events — fleet operations have no single simulation time.
+  if (config_.recorder.enabled) {
+    obs::FlightRecorder recorder{config_.recorder};
+    double t = 0.0;
+    if (ckstats.resumed) {
+      recorder.record(t++, obs::FlightEventKind::kCheckpoint, "load",
+                      "path=" + checkpoint_path,
+                      static_cast<double>(ckstats.resumed_shards));
+    }
+    for (std::size_t shard = 0; shard < shards_; ++shard) {
+      for (const auto& [device_id, reason] : states[shard].quarantine_log) {
+        recorder.record(t++, obs::FlightEventKind::kEngine, "quarantine",
+                        "shard=" + std::to_string(shard) +
+                            " reason=" + reason,
+                        static_cast<double>(device_id));
+      }
+    }
+    for (const std::size_t persisted : supervisor.write_log()) {
+      recorder.record(t++, obs::FlightEventKind::kCheckpoint, "write",
+                      "path=" + checkpoint_path,
+                      static_cast<double>(persisted));
+    }
+    if (writer) {
+      recorder.record(t++, obs::FlightEventKind::kCheckpoint, "final",
+                      "path=" + checkpoint_path,
+                      static_cast<double>(shards_));
+    }
+    if (config_.recorder.dump_at_end || result.quarantined_devices > 0) {
+      recorder.trigger(t, "fleet-end");
+    }
+  }
   return result;
 }
 

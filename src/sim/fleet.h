@@ -37,6 +37,7 @@
 #include <array>
 
 #include "battery/chemistry.h"
+#include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/sketch.h"
 #include "sim/experiment.h"
@@ -119,6 +120,23 @@ struct PopulationSpec {
   [[nodiscard]] std::vector<std::string> validate() const;
 };
 
+/// Crash-safe durability knobs (sim/checkpoint.h). Disabled unless a
+/// directory is set; the checkpoint file is `<directory>/fleet.ckpt`,
+/// rewritten atomically (util::AtomicFile) every `every_shards` completed
+/// shards and once more after the run. `resume` restores completed shards
+/// from an existing file — refusing one whose config fingerprint
+/// disagrees — and re-runs only the rest; a missing or headerless file is
+/// a cold start, never an error.
+struct FleetCheckpointConfig {
+  std::string directory;          // empty = checkpointing disabled
+  std::size_t every_shards = 8;   // write cadence, in completed shards
+  bool resume = false;            // restore from an existing checkpoint
+
+  /// Human-readable configuration errors; empty means valid. Aggregated
+  /// by FleetConfig::validate() under "checkpoint.".
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
 /// Everything a FleetRunner needs. The nested base SimConfig supplies the
 /// per-device engine parameters (dt, death grace, thermal stack, ...);
 /// the population spec supplies what varies per device.
@@ -152,6 +170,35 @@ struct FleetConfig {
   // counts). alerts_path must stay empty — fleets aggregate, they do not
   // trace (per-device files would be O(devices) I/O).
   obs::HealthConfig health{};
+
+  // Crash-safe durability (sim/checkpoint.h): see FleetCheckpointConfig.
+  FleetCheckpointConfig checkpoint{};
+
+  // Supervision: a device whose simulation throws is retried up to this
+  // many extra times, then quarantined (skipped, counted under
+  // fleet/<policy>/quarantined) instead of killing the campaign.
+  std::size_t quarantine_retries = 1;
+
+  // Crash-injection test hook: after this many shards complete in this
+  // process, the runner raises SIGKILL — the crash the checkpoint layer
+  // must survive. 0 = never. The CAPMAN_CRASH_AFTER_SHARDS environment
+  // variable overrides it, so shell gates can inject crashes into stock
+  // binaries (scripts/check_crash_resume.sh).
+  std::size_t crash_after_shards = 0;
+
+  // Supervision test hooks: these device ids throw from inside the
+  // per-device simulation. With poison_transient set they throw only on
+  // the first attempt (the retry succeeds); otherwise every attempt
+  // throws and the device is quarantined. Deterministic by construction.
+  std::vector<std::uint64_t> poison_devices;
+  bool poison_transient = false;
+
+  // Fleet-operations flight recorder: checkpoint writes/loads and
+  // quarantine events, dumped as JSONL (same schema as the per-device
+  // recorder; scripts/check_trace_schema.py validates it). Never affects
+  // results — events are buffered by workers and replayed on the calling
+  // thread in deterministic order after the parallel phase.
+  obs::FlightRecorderConfig recorder{};
 
   /// Human-readable configuration errors; empty means the config is
   /// valid. Aggregates the nested population ("population." prefix),
@@ -192,6 +239,10 @@ struct PolicyAggregate {
   std::uint64_t faulty_devices = 0;
   std::uint64_t fault_fallbacks = 0; // DegradationGuard fallback episodes
   std::uint64_t fault_dropped_requests = 0;
+  // Devices whose simulation kept throwing after bounded retry and were
+  // skipped by the supervisor (device-level: every policy of a
+  // quarantined device counts it once).
+  std::uint64_t quarantined = 0;
 
   // Quantized sums (exact integer folds; see the header comment). The
   // strong types carry the integer representation: util::MicroSeconds /
@@ -234,6 +285,24 @@ struct ShardSummary {
   std::size_t device_begin = 0;  // contiguous ShardPlan range
   std::size_t device_end = 0;
   std::uint64_t engine_steps = 0;
+  std::uint64_t quarantined_devices = 0;  // supervisor skips in this shard
+  std::uint64_t quarantine_retries = 0;   // extra attempts made
+};
+
+/// Process-local durability accounting for one run. Deliberately kept
+/// out of the metrics snapshot: a resumed run writes fewer checkpoints
+/// and restores more shards than an uninterrupted one, and the snapshot
+/// must stay byte-identical between the two (the crash-resume gate
+/// compares them with cmp). Operators read these from the CLI's stderr
+/// summary instead.
+struct FleetCheckpointStats {
+  bool enabled = false;
+  std::uint64_t every_shards = 0;    // configured cadence, echoed
+  bool resumed = false;              // a checkpoint was actually restored
+  std::uint64_t resumed_shards = 0;  // shards skipped thanks to resume
+  std::uint64_t writes = 0;          // checkpoint files committed
+  std::uint64_t bytes_last_write = 0;
+  std::uint64_t frames_discarded = 0;  // torn tail frames dropped at load
 };
 
 /// Everything one fleet run produces. `metrics` is the deterministic
@@ -249,6 +318,10 @@ struct FleetResult {
   std::vector<PolicyAggregate> policies;  // FleetConfig::policies order
   std::vector<ShardSummary> shards;       // shard-index order
   std::uint64_t total_engine_steps = 0;
+  std::uint64_t quarantined_devices = 0;  // fleet-wide supervisor skips
+  std::uint64_t quarantine_retries = 0;   // fleet-wide extra attempts
+
+  FleetCheckpointStats checkpoint;  // process-local (see the struct doc)
 
   obs::MetricsSnapshot metrics;
 
@@ -300,6 +373,9 @@ class FleetRunner {
   FleetConfig config_;
   std::size_t shards_ = 1;
   std::size_t threads_ = 1;
+  // Effective crash-injection threshold: config_.crash_after_shards,
+  // overridden by CAPMAN_CRASH_AFTER_SHARDS (read once at construction).
+  std::size_t crash_after_ = 0;
 };
 
 }  // namespace capman::sim

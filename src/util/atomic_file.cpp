@@ -1,0 +1,93 @@
+#include "util/atomic_file.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace capman::util {
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("AtomicFile: " + what + " failed for '" + path +
+                           "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+AtomicFile::AtomicFile(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    fail("open", tmp_path_);
+  }
+}
+
+AtomicFile::~AtomicFile() {
+  if (!committed_) {
+    discard();
+  }
+}
+
+void AtomicFile::discard() noexcept {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::remove(tmp_path_.c_str());
+}
+
+void AtomicFile::append(std::string_view bytes) {
+  if (file_ == nullptr) {
+    throw std::runtime_error("AtomicFile: append after commit on '" + path_ +
+                             "'");
+  }
+  if (bytes.empty()) {
+    return;
+  }
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    const int saved = errno;
+    discard();
+    errno = saved;
+    fail("write", tmp_path_);
+  }
+}
+
+void AtomicFile::commit() {
+  if (file_ == nullptr) {
+    throw std::runtime_error("AtomicFile: double commit on '" + path_ + "'");
+  }
+  if (std::fflush(file_) != 0) {
+    const int saved = errno;
+    discard();
+    errno = saved;
+    fail("flush", tmp_path_);
+  }
+  // fsync before rename: the rename must not become durable before the
+  // data it points at, or a crash window could expose a truncated file.
+  if (fsync(fileno(file_)) != 0) {
+    const int saved = errno;
+    discard();
+    errno = saved;
+    fail("fsync", tmp_path_);
+  }
+  if (std::fclose(file_) != 0) {
+    const int saved = errno;
+    file_ = nullptr;
+    discard();
+    errno = saved;
+    fail("close", tmp_path_);
+  }
+  file_ = nullptr;
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    const int saved = errno;
+    discard();
+    errno = saved;
+    fail("rename", tmp_path_);
+  }
+  committed_ = true;
+}
+
+}  // namespace capman::util

@@ -1,0 +1,57 @@
+// Crash-atomic whole-file replacement: write-temp, fsync, rename.
+//
+// POSIX rename(2) within one directory is atomic, so a reader (including
+// a resumed campaign after SIGKILL) observes either the previous complete
+// file or the new complete file — never a half-written mix. The writer:
+//
+//   AtomicFile out(path);        // opens path + ".tmp"
+//   out.append(bytes);           // any number of times
+//   out.commit();                // flush + fsync + rename over `path`
+//
+// Destruction without commit() removes the temp file, so an exception
+// mid-serialization leaves the previous committed file untouched. One
+// shot: commit() may be called once; append() after commit() throws.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace capman::util {
+
+class AtomicFile {
+ public:
+  /// Opens `path + ".tmp"` for writing. Throws std::runtime_error when
+  /// the temp file cannot be created (missing directory, permissions).
+  explicit AtomicFile(std::string path);
+
+  /// Removes the temp file if commit() was never reached.
+  ~AtomicFile();
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+  AtomicFile(AtomicFile&&) = delete;
+  AtomicFile& operator=(AtomicFile&&) = delete;
+
+  /// Buffered write into the temp file. Throws std::runtime_error on I/O
+  /// failure or when called after commit().
+  void append(std::string_view bytes);
+
+  /// Flush + fsync the temp file, then atomically rename it over the
+  /// destination path. Throws std::runtime_error on any failure (the temp
+  /// file is removed and the destination keeps its previous content).
+  void commit();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] bool committed() const { return committed_; }
+
+ private:
+  void discard() noexcept;
+
+  std::string path_;
+  std::string tmp_path_;
+  std::FILE* file_ = nullptr;
+  bool committed_ = false;
+};
+
+}  // namespace capman::util

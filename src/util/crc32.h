@@ -1,0 +1,21 @@
+// CRC-32 (ISO-HDLC / zlib polynomial) over byte strings.
+//
+// The checkpoint layer (src/sim/checkpoint.*) frames every record with a
+// CRC so torn writes — the normal failure mode of a SIGKILLed campaign —
+// are detected and rolled back instead of silently corrupting a resumed
+// fleet run. The implementation is the standard reflected table-driven
+// form (polynomial 0xEDB88320), byte-order independent, and supports
+// incremental continuation: crc32(b, crc32(a)) == crc32(a + b).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace capman::util {
+
+/// CRC-32 of `bytes`, continuing from `seed` (the return value of a prior
+/// call). Pass the default seed for a fresh checksum.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes,
+                                  std::uint32_t seed = 0);
+
+}  // namespace capman::util

@@ -1,0 +1,42 @@
+// Strict CLI value parsing: whole-token or nothing.
+//
+// std::stoull/std::stod accept garbage suffixes ("12abc") and throw on
+// junk — a terminate backtrace where a tool should print usage and exit
+// 2. These helpers return std::nullopt unless the ENTIRE token parses,
+// which is what the exit-2 usage contract (capman_sim, capman_fleet, the
+// bench family via bench::seed_from_args) is built on.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace capman::util {
+
+/// The whole of `token` as a base-10 unsigned integer, or nullopt.
+inline std::optional<std::uint64_t> parse_u64(std::string_view token) {
+  std::uint64_t value = 0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+  if (ec != std::errc{} || ptr != end || token.empty()) return std::nullopt;
+  return value;
+}
+
+/// The whole of `token` as a double, or nullopt. Uses strtod (not
+/// from_chars) so the header stays portable to standard libraries
+/// without floating-point from_chars; the full-consumption check keeps
+/// the strictness identical.
+inline std::optional<double> parse_double(std::string_view token) {
+  if (token.empty()) return std::nullopt;
+  const std::string copy{token};  // strtod needs a terminator
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace capman::util

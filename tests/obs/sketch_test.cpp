@@ -203,5 +203,73 @@ TEST(QuantileSketch, MergeOfSingleSampleSketchesMatchesDirectObservation) {
   EXPECT_EQ(direct.max(), 512.0);
 }
 
+TEST(QuantileSketch, SelfMergeDoublesEveryCount) {
+  // A shard folded into itself (the degenerate resume case where the
+  // same checkpointed state is merged twice) must double counts without
+  // disturbing extremes or bucket structure.
+  QuantileSketch sketch;
+  for (double v : {0.0, 1.5, 1.5, 40.0}) sketch.observe(v);
+  const std::size_t buckets_before = sketch.bucket_count();
+  sketch.merge(sketch);
+  EXPECT_EQ(sketch.count(), 8u);
+  EXPECT_EQ(sketch.bucket_count(), buckets_before);
+  EXPECT_DOUBLE_EQ(sketch.min(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 40.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), sketch.quantile(0.5));
+}
+
+TEST(QuantileSketch, StateRoundTripIsBitIdentical) {
+  QuantileSketch sketch{0.02};
+  for (int i = 0; i < 300; ++i) sketch.observe(0.25 * (i % 37) + 0.01);
+  sketch.observe(0.0);
+  const QuantileSketchState state = sketch.state();
+  EXPECT_DOUBLE_EQ(state.relative_error, 0.02);
+  const QuantileSketch restored = QuantileSketch::from_state(state);
+  EXPECT_EQ(restored.count(), sketch.count());
+  EXPECT_EQ(restored.bucket_count(), sketch.bucket_count());
+  EXPECT_DOUBLE_EQ(restored.min(), sketch.min());
+  EXPECT_DOUBLE_EQ(restored.max(), sketch.max());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(restored.quantile(q), sketch.quantile(q)) << q;
+  }
+}
+
+TEST(QuantileSketch, EmptyStateRoundTripStaysEmpty) {
+  const QuantileSketch restored =
+      QuantileSketch::from_state(QuantileSketch{0.05}.state());
+  EXPECT_TRUE(restored.empty());
+  EXPECT_DOUBLE_EQ(restored.relative_error(), 0.05);
+  EXPECT_DOUBLE_EQ(restored.quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketch, FromStateRejectsBadRelativeError) {
+  QuantileSketchState state;
+  state.relative_error = 0.0;
+  EXPECT_THROW(QuantileSketch::from_state(state), std::invalid_argument);
+  state.relative_error = 1.5;
+  EXPECT_THROW(QuantileSketch::from_state(state), std::invalid_argument);
+}
+
+TEST(QuantileSketch, MergeAfterRoundTripMatchesDirectMerge) {
+  // The resume path: shard sketches written to a checkpoint, read back,
+  // then folded — the fold must be bit-identical to merging the
+  // originals (the fleet --json byte-identity contract depends on it).
+  std::vector<QuantileSketch> shards(3);
+  for (int i = 0; i < 600; ++i) {
+    shards[static_cast<std::size_t>(i) % 3].observe(0.3 + 0.011 * i);
+  }
+  QuantileSketch direct;
+  QuantileSketch via_state;
+  for (const auto& shard : shards) {
+    direct.merge(shard);
+    via_state.merge(QuantileSketch::from_state(shard.state()));
+  }
+  EXPECT_EQ(via_state.count(), direct.count());
+  EXPECT_EQ(via_state.bucket_count(), direct.bucket_count());
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_EQ(via_state.quantile(q), direct.quantile(q)) << q;
+  }
+}
+
 }  // namespace
 }  // namespace capman::obs

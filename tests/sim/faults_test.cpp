@@ -394,6 +394,53 @@ TEST(DegradationGuard, RetriesWithExponentialBackoff) {
   EXPECT_EQ(guard.stats().retries, 2u);
 }
 
+TEST(DegradationGuard, BackoffSaturatesAtRetryMax) {
+  // A permanently stuck actuator: the retry interval doubles until it
+  // hits retry_max and then stays pinned there — it must never keep
+  // growing (a guard that backs off to hours would effectively abandon
+  // the desired cell) and never wrap back down.
+  core::DegradationConfig cfg;
+  cfg.enabled = true;
+  cfg.retry_initial = Seconds{0.5};
+  cfg.retry_backoff = 2.0;
+  cfg.retry_max = Seconds{2.0};
+  core::DegradationGuard guard{cfg};
+  guard.filter(Seconds{0.0}, BatterySelection::kBig,
+               BatterySelection::kLittle, false);
+  guard.filter(Seconds{0.4}, BatterySelection::kBig,
+               BatterySelection::kLittle, false);  // -> fallback at 0.4
+  ASSERT_TRUE(guard.in_fallback());
+
+  // Exact schedule: retries at 0.9 (0.5 later), 1.9 (1.0), 3.9 (2.0,
+  // now saturated), then every 2.0 s forever.
+  const double retry_times[] = {0.9, 1.9, 3.9, 5.9, 7.9, 9.9};
+  std::size_t expected_retries = 0;
+  for (const double t : retry_times) {
+    // Just before the scheduled point the guard still holds the safe cell.
+    EXPECT_EQ(guard.filter(Seconds{t - 0.05}, BatterySelection::kBig,
+                           BatterySelection::kLittle, false),
+              BatterySelection::kBig)
+        << "t=" << t - 0.05;
+    EXPECT_EQ(guard.filter(Seconds{t}, BatterySelection::kBig,
+                           BatterySelection::kLittle, false),
+              BatterySelection::kLittle)
+        << "t=" << t;
+    EXPECT_EQ(guard.stats().retries, ++expected_retries) << "t=" << t;
+  }
+
+  // An emergency retry mid-interval fires immediately but must not push
+  // the interval past retry_max either.
+  EXPECT_EQ(guard.filter(Seconds{10.5}, BatterySelection::kBig,
+                         BatterySelection::kLittle, true),
+            BatterySelection::kLittle);
+  EXPECT_EQ(guard.filter(Seconds{12.4}, BatterySelection::kBig,
+                         BatterySelection::kLittle, false),
+            BatterySelection::kBig);
+  EXPECT_EQ(guard.filter(Seconds{12.5}, BatterySelection::kBig,
+                         BatterySelection::kLittle, false),
+            BatterySelection::kLittle);
+}
+
 TEST(DegradationGuard, EmergencyBypassesBackoff) {
   core::DegradationGuard guard{guard_config()};
   guard.filter(Seconds{0.0}, BatterySelection::kBig,

@@ -431,5 +431,77 @@ TEST(FleetRunner, EnumNamesAreStable) {
   EXPECT_STREQ(to_string(FleetWorkload::kScreenToggle), "toggle");
 }
 
+// ---------------------------------------------------------------------------
+// Supervised execution (bounded retry + quarantine)
+
+TEST(FleetConfigValidate, CheckpointErrorsCarryTheNestedPrefix) {
+  FleetConfig config;
+  config.checkpoint.every_shards = 0;
+  EXPECT_TRUE(has_error(config.validate(),
+                        "checkpoint.every_shards must be > 0"));
+  config = FleetConfig{};
+  config.checkpoint.resume = true;  // no directory
+  EXPECT_TRUE(has_error(config.validate(),
+                        "checkpoint.resume requires a checkpoint directory"));
+}
+
+TEST(FleetSupervisor, PoisonedDeviceIsQuarantinedAfterBoundedRetry) {
+  auto config = small_fleet(20, 4);
+  config.poison_devices = {5};
+  config.quarantine_retries = 2;
+  const FleetRunner runner{config};
+  const auto result = runner.run();
+
+  EXPECT_EQ(result.quarantined_devices, 1u);
+  EXPECT_EQ(result.quarantine_retries, 2u);  // both extra attempts burned
+  for (const auto& aggregate : result.policies) {
+    EXPECT_EQ(aggregate.quarantined, 1u);
+    // The quarantined device contributes to no aggregate: 19 fold in.
+    EXPECT_EQ(aggregate.devices, 19u);
+  }
+  // The campaign is loud about it: fleet/<policy>/quarantined counters
+  // plus the per-shard supervisor counters.
+  bool shard_counter_seen = false;
+  for (const auto& counter : result.metrics.counters) {
+    if (counter.name.find("/quarantined") != std::string::npos &&
+        counter.value > 0) {
+      shard_counter_seen = true;
+    }
+  }
+  EXPECT_TRUE(shard_counter_seen);
+}
+
+TEST(FleetSupervisor, QuarantineIsDeterministicAcrossThreadCounts) {
+  auto config = small_fleet(20, 4, 1);
+  config.poison_devices = {3, 11};
+  const auto serial = FleetRunner{config}.run();
+  config.threads = 2;
+  const auto parallel = FleetRunner{config}.run();
+  EXPECT_EQ(serial.quarantined_devices, 2u);
+  EXPECT_EQ(snapshot_json(serial.metrics), snapshot_json(parallel.metrics));
+}
+
+TEST(FleetSupervisor, TransientPoisonSucceedsOnRetryWithoutHalfCounting) {
+  auto config = small_fleet(20, 4);
+  const auto clean = FleetRunner{config}.run();
+
+  config.poison_devices = {5};
+  config.poison_transient = true;  // first attempt throws, retry succeeds
+  const auto retried = FleetRunner{config}.run();
+
+  EXPECT_EQ(retried.quarantined_devices, 0u);
+  EXPECT_EQ(retried.quarantine_retries, 1u);
+  ASSERT_EQ(retried.policies.size(), clean.policies.size());
+  for (std::size_t i = 0; i < clean.policies.size(); ++i) {
+    // The retried device folds in exactly once: every aggregate matches
+    // the clean run (no double-count from the failed first attempt).
+    EXPECT_EQ(retried.policies[i].devices, clean.policies[i].devices);
+    EXPECT_EQ(retried.policies[i].lifetime_us, clean.policies[i].lifetime_us);
+    EXPECT_EQ(retried.policies[i].switch_total,
+              clean.policies[i].switch_total);
+    EXPECT_EQ(retried.policies[i].quarantined, 0u);
+  }
+}
+
 }  // namespace
 }  // namespace capman::sim

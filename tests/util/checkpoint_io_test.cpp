@@ -1,0 +1,153 @@
+// The durability primitives under sim/checkpoint.h: CRC-32 framing
+// (util/crc32.h), atomic replace-on-commit file writes
+// (util/atomic_file.h), and the strict CLI value parsers (util/parse.h)
+// the exit-2 usage contract rides on.
+#include "util/atomic_file.h"
+#include "util/crc32.h"
+#include "util/parse.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace capman::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// crc32
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The standard reflected CRC-32 (IEEE 802.3) check values.
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::string payload(256, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(i * 7);
+  }
+  const std::uint32_t good = crc32(payload);
+  for (const std::size_t byte : {std::size_t{0}, payload.size() / 2,
+                                 payload.size() - 1}) {
+    std::string corrupted = payload;
+    corrupted[byte] = static_cast<char>(corrupted[byte] ^ 0x10);
+    EXPECT_NE(crc32(corrupted), good) << "flip at byte " << byte;
+  }
+}
+
+TEST(Crc32, IncrementalContinuationMatchesOneShot) {
+  const std::string a = "frame header ";
+  const std::string b = "and its payload bytes";
+  EXPECT_EQ(crc32(b, crc32(a)), crc32(a + b));
+  // Degenerate splits too.
+  EXPECT_EQ(crc32(a + b, crc32("")), crc32(a + b));
+  EXPECT_EQ(crc32("", crc32(a)), crc32(a));
+}
+
+// ---------------------------------------------------------------------------
+// AtomicFile
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("capman_atomic_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string read_file(const fs::path& path) const {
+    std::ifstream in{path, std::ios::binary};
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(AtomicFileTest, CommitPublishesAllBytes) {
+  const fs::path target = dir_ / "state.bin";
+  {
+    AtomicFile file{target.string()};
+    file.append("hello ");
+    file.append(std::string("wor\0ld", 6));
+    file.commit();
+  }
+  EXPECT_EQ(read_file(target), std::string("hello wor\0ld", 12));
+  EXPECT_FALSE(fs::exists(target.string() + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, UncommittedWriterLeavesTargetUntouched) {
+  const fs::path target = dir_ / "state.bin";
+  {
+    AtomicFile file{target.string()};
+    file.append("first version");
+    file.commit();
+  }
+  {
+    // A writer that dies (scope exit without commit) must not clobber
+    // the committed file — this is the crash-safety property the
+    // checkpoint layer depends on.
+    AtomicFile file{target.string()};
+    file.append("torn half-writ");
+  }
+  EXPECT_EQ(read_file(target), "first version");
+  EXPECT_FALSE(fs::exists(target.string() + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, CommitReplacesPreviousContent) {
+  const fs::path target = dir_ / "state.bin";
+  for (const std::string content : {"generation 1", "gen 2", "3"}) {
+    AtomicFile file{target.string()};
+    file.append(content);
+    file.commit();
+    EXPECT_EQ(read_file(target), content);
+  }
+}
+
+TEST_F(AtomicFileTest, UnwritableDirectoryThrows) {
+  EXPECT_THROW(
+      AtomicFile{(dir_ / "no_such_subdir" / "state.bin").string()},
+      std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// parse_u64 / parse_double
+
+TEST(ParseU64, AcceptsWholeTokensOnly) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("42"), 42u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), 18446744073709551615ull);
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("12abc"));
+  EXPECT_FALSE(parse_u64("-3"));
+  EXPECT_FALSE(parse_u64("4.5"));
+  EXPECT_FALSE(parse_u64(" 7"));
+  EXPECT_FALSE(parse_u64("18446744073709551616"));  // overflow
+}
+
+TEST(ParseDouble, AcceptsWholeTokensOnly) {
+  EXPECT_EQ(parse_double("0.25"), 0.25);
+  EXPECT_EQ(parse_double("-1e3"), -1000.0);
+  EXPECT_EQ(parse_double("7"), 7.0);
+  EXPECT_FALSE(parse_double(""));
+  EXPECT_FALSE(parse_double("1.5x"));
+  EXPECT_FALSE(parse_double("bogus"));
+}
+
+}  // namespace
+}  // namespace capman::util
